@@ -1,0 +1,57 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate every table and figure of the paper on a reduced
+budget (fewer theorems per sweep) so ``pytest benchmarks/
+--benchmark-only`` completes in minutes.  The full-budget run lives in
+``scripts/run_experiments.py``; EXPERIMENTS.md records its output.
+
+Sweeps are cached per (model, hinted) so Figure 1, Table 1 and Table 2
+share one set of searches, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.corpus.loader import load_project
+from repro.eval import ExperimentConfig, Runner
+from repro.eval.runner import EvalRun
+
+BENCH_THEOREMS = 16  # per sweep
+BENCH_FUEL = 64  # paper: 128; halved for bench wall-time
+
+
+@pytest.fixture(scope="session")
+def project():
+    return load_project()
+
+
+@pytest.fixture(scope="session")
+def runner(project):
+    return Runner(
+        project,
+        ExperimentConfig(max_theorems=BENCH_THEOREMS, fuel=BENCH_FUEL),
+    )
+
+
+_SWEEPS: Dict[Tuple[str, bool], EvalRun] = {}
+
+
+@pytest.fixture(scope="session")
+def sweep(runner):
+    """Memoized (model, hinted) evaluation sweep."""
+
+    def _sweep(model: str, hinted: bool) -> EvalRun:
+        key = (model, hinted)
+        if key not in _SWEEPS:
+            _SWEEPS[key] = runner.run(model, hinted)
+        return _SWEEPS[key]
+
+    return _sweep
+
+
+@pytest.fixture(scope="session")
+def env(project):
+    return project.env

@@ -1,0 +1,92 @@
+"""Kernel micro-benchmarks.
+
+These justify the experiment budgets: a tactic executes in well under
+the paper's 5-second validity timeout, and one model query plus eight
+validations costs milliseconds, so a 128-query search is tractable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.goals import initial_state
+from repro.kernel.parser import parse_statement, parse_term
+from repro.kernel.reduction import simpl
+from repro.kernel.typecheck import elaborate_term
+from repro.kernel.unify import MetaStore, unify
+from repro.serapi import ProofChecker
+from repro.tactics import parse_tactic
+from repro.tactics.base import run_tactic
+from repro.tactics.script import run_script
+
+
+def test_perf_parse_statement(benchmark, env):
+    text = (
+        "forall (T : Type) (l1 l2 : list T) (a : T), "
+        "incl l1 (a :: l2) -> ~ In a l1 -> incl l1 l2"
+    )
+    benchmark(lambda: parse_statement(env, text))
+
+
+def test_perf_simpl_arith(benchmark, env):
+    term = elaborate_term(env, parse_term("9 * 9 + 7 * 6"), {})
+    benchmark(lambda: simpl(env, term))
+
+
+def test_perf_unify(benchmark, env):
+    lhs = parse_statement(env, "forall n m, n + m = m + n")
+    rhs = parse_statement(env, "forall a b, a + b = b + a")
+
+    def run():
+        unify(lhs, rhs, MetaStore())
+
+    benchmark(run)
+
+
+def test_perf_tactic_induction(benchmark, env):
+    statement = parse_statement(env, "forall n m, n + m = m + n")
+    state = initial_state(env, statement)
+    node = parse_tactic("induction n; simpl; intros")
+    benchmark(lambda: run_tactic(env, state, node))
+
+
+def test_perf_auto(benchmark, env):
+    statement = parse_statement(env, "forall n, n <= S (S (S n))")
+    state = initial_state(env, statement)
+    node = parse_tactic("auto")
+    benchmark(lambda: run_tactic(env, state, node))
+
+
+def test_perf_full_script(benchmark, env):
+    statement = parse_statement(env, "forall n m, n + m = m + n")
+    script = (
+        "induction n; simpl; intros.\n"
+        "- rewrite plus_0_r. reflexivity.\n"
+        "- rewrite IHn. rewrite plus_n_Sm. reflexivity."
+    )
+    benchmark(lambda: run_script(env, statement, script))
+
+
+def test_perf_checker_validation(benchmark, env):
+    checker = ProofChecker(env)
+    state = checker.start_text("forall n m, n + m = m + n")
+
+    def run():
+        for tactic in ("intros", "induction n", "lia", "simpl", "auto"):
+            checker.check(state, tactic)
+
+    benchmark(run)
+
+
+def test_perf_model_query(benchmark, project):
+    from repro.kernel.goals import initial_state as init
+    from repro.llm import get_model
+    from repro.prompting import PromptBuilder
+
+    model = get_model("gpt-4o")
+    theorem = project.theorem("rev_involutive")
+    builder = PromptBuilder(project, theorem)
+    state = init(project.env_for(theorem), theorem.statement)
+    prompt = builder.build(state, [])
+    model.generate(prompt, 8)  # warm the context cache
+    benchmark(lambda: model.generate(prompt, 8))

@@ -1,0 +1,115 @@
+"""§4.3 probes: reduced context and whole-proof generation.
+
+* Reduced context: theorems the weak model fails with the full prompt
+  become provable when the prompt is hand-reduced to just the needed
+  dependencies (the paper's context-selection finding).
+* Whole proofs: an o1-style model that emits complete scripts without
+  assistant interaction mostly fails (and cannot drive best-first
+  search at all, lacking log-probs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Status
+
+# (theorem, model, dependencies to keep) for the reduced-context probe.
+# These are lemmas the model fails with the full prompt even at
+# best-case attention; the paper's §4.3 finding is that a hand-reduced
+# prompt containing only the needed dependencies rescues them.
+_REDUCED = [
+    (
+        "ndata_log_padded_log",
+        "gpt-4o",
+        [
+            "nonzero_addrs", "ndata_log", "padded_log", "pad2", "map_app",
+            "repeat_map", "nonzero_addrs_app", "nonzero_addrs_repeat_0",
+            "nonzero_addrs_app_zeros", "plus_0_r", "fst_pair",
+        ],
+    ),
+    (
+        "tree_name_distinct_head",
+        "gemini-1.5-pro",
+        [
+            "dirtree", "tree_names_distinct", "Forall", "map_cons",
+            "Forall_inv", "NoDup_cons_inv",
+        ],
+    ),
+    (
+        "sb_alloc_total",
+        "gpt-4o-mini",
+        ["sb_total", "sb_alloc", "fst", "snd"],
+    ),
+]
+
+
+def _focused(model_name):
+    import dataclasses
+
+    from repro.llm.models import SimulatedModel, get_model
+
+    return SimulatedModel(
+        dataclasses.replace(get_model(model_name).profile, lucidity=1.0)
+    )
+
+
+def test_sec43_reduced_context(benchmark, runner, project):
+    def run():
+        results = []
+        for name, model_name, deps in _REDUCED:
+            theorem = project.theorem(name)
+            from repro.core import SearchConfig
+
+            model = _focused(model_name)
+            wide = SearchConfig(width=16, fuel=256)
+            full = runner.run_theorem(
+                theorem,
+                model_name,
+                hinted=False,
+                model_override=model,
+                search_config=wide,
+            )
+            reduced = runner.run_theorem(
+                theorem,
+                model_name,
+                hinted=False,
+                reduced_dependencies=deps,
+                model_override=model,
+                search_config=wide,
+            )
+            results.append((name, full, reduced))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, full, reduced in results:
+        print(
+            f"{name:24} full-context: {full.status.value:8} "
+            f"reduced-context: {reduced.status.value}"
+        )
+    proved_reduced = sum(1 for _, _, r in results if r.proved)
+    assert proved_reduced >= 2, "reduced context should rescue these proofs"
+
+
+def test_sec43_whole_proof(benchmark, runner, project):
+    names = ["plus_comm", "rev_involutive", "incl_tl_inv", "plus_0_l"]
+
+    def run():
+        return [
+            runner.run_whole_proof(project.theorem(name), attempts=6)
+            for name in names
+        ]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    total_attempts = sum(r["attempts"] for r in reports)
+    total_success = sum(r["successes"] for r in reports)
+    for report in reports:
+        print(
+            f"{report['theorem']:20} whole-proof successes: "
+            f"{report['successes']}/{report['attempts']}"
+        )
+    print(f"overall: {total_success}/{total_attempts}")
+    # Whole-proof generation without assistant interaction mostly fails.
+    assert total_success <= total_attempts // 2

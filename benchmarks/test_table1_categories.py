@@ -1,0 +1,47 @@
+"""Table 1: coverage by category, actual vs expected (GPT-4o ± hints).
+
+Paper shape: Utilities and CHL meet or beat expected coverage; the
+File System category falls short of expected (deep dependency chains).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.model import CATEGORIES
+from repro.eval import category_table, render_table1
+from repro.eval.runner import EvalRun
+
+
+@pytest.fixture(scope="module")
+def stratified(runner):
+    """A per-category stratified sample so Table 1 has signal."""
+    per_category = 8
+    chosen = []
+    for category in CATEGORIES:
+        pool = [
+            t
+            for t in runner.splits.test
+            if t.category == category
+        ]
+        chosen.extend(pool[:per_category])
+    return chosen
+
+
+def test_table1_categories(benchmark, runner, stratified):
+    def run():
+        rows = {}
+        for hinted, label in ((False, "gpt-4o"), (True, "gpt-4o (w/ hints)")):
+            sweep = runner.run("gpt-4o", hinted, theorems=stratified)
+            rows[label] = category_table(sweep.outcomes)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table1(rows, "Table 1 — category coverage (actual/expected)"))
+
+    for label, table in rows.items():
+        by_cat = {r.category: r for r in table}
+        assert set(by_cat) == set(CATEGORIES)
+        for row in table:
+            assert row.total > 0

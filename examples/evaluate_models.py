@@ -1,0 +1,48 @@
+"""Domain example: a miniature version of the paper's evaluation.
+
+Runs the best-first search for two models over a small slice of the
+test split, in both the vanilla and hint settings, and prints the
+Figure-1/Table-2 style summaries.
+
+Run:  python examples/evaluate_models.py        (~1-2 minutes)
+"""
+
+from repro.eval import (
+    ExperimentConfig,
+    Runner,
+    coverage_by_bin,
+    coverage_under,
+    outcome_row,
+    overall_coverage,
+    render_figure1,
+)
+
+
+def main() -> None:
+    # 12 theorems per sweep, fuel 48 — a quick demo; the benchmarks and
+    # scripts/run_experiments.py use the paper's full budgets.
+    runner = Runner(config=ExperimentConfig(max_theorems=12, fuel=48))
+    print(
+        f"test split: {len(runner.splits.test)} theorems "
+        f"({len(runner.splits.hint_names)} held out as hints)"
+    )
+
+    series = {}
+    for model in ("gpt-4o-mini", "gpt-4o"):
+        for hinted in (False, True):
+            tag = f"{model} {'(hints)' if hinted else '(vanilla)'}"
+            run = runner.run(model, hinted)
+            series[tag] = coverage_by_bin(run.outcomes)
+            row = outcome_row(run)
+            print(
+                f"{tag:24} proved={row.proved:6.1%} "
+                f"stuck={row.stuck:6.1%} fuelout={row.fuelout:6.1%} "
+                f"coverage<64tok={coverage_under(run.outcomes, 64):6.1%}"
+            )
+
+    print()
+    print(render_figure1(series, "Coverage by human-proof length bin"))
+
+
+if __name__ == "__main__":
+    main()

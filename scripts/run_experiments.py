@@ -1,0 +1,123 @@
+"""Full experiment run: regenerates every table and figure.
+
+Writes the rendered results to stdout (tee into EXPERIMENTS's results
+block).  Budget: paper settings (width 8, fuel 128, 5 s timeout),
+small models on the full test split capped at 60 theorems, large
+models on the subsample capped at 40.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.eval import (
+    ExperimentConfig,
+    Runner,
+    category_table,
+    coverage_by_bin,
+    coverage_under,
+    overall_coverage,
+    random_pair_baseline,
+    render_case,
+    render_figure1,
+    render_table1,
+    render_table2,
+    run_case_studies,
+    table2_rows,
+)
+from repro.eval.config import ALL_MODELS, LARGE_MODELS
+
+SMALL_CAP = 60
+LARGE_CAP = 40
+
+
+def main() -> None:
+    started = time.time()
+    runner = Runner(config=ExperimentConfig())
+    print(
+        f"corpus: {len(runner.project.theorems)} theorems; "
+        f"test split {len(runner.splits.test)}; "
+        f"large subsample {len(runner.splits.test_large)}"
+    )
+
+    runs = []
+    series_vanilla = {}
+    series_hints = {}
+    for model in ALL_MODELS:
+        pool = runner.theorems_for(model)
+        cap = LARGE_CAP if model in LARGE_MODELS else SMALL_CAP
+        theorems = pool[:cap]
+        for hinted in (False, True):
+            t0 = time.time()
+            run = runner.run(model, hinted, theorems=theorems)
+            runs.append(run)
+            (series_hints if hinted else series_vanilla)[model] = (
+                coverage_by_bin(run.outcomes)
+            )
+            print(
+                f"[{time.time() - started:6.0f}s] {model:22} "
+                f"hinted={hinted} n={len(theorems)} "
+                f"proved={overall_coverage(run.outcomes):.1%} "
+                f"({time.time() - t0:.0f}s)",
+                file=sys.stderr,
+            )
+
+    print()
+    print(render_figure1(series_vanilla, "Figure 1a — coverage (no hints)"))
+    print()
+    print(render_figure1(series_hints, "Figure 1a — coverage (with hints)"))
+    print()
+    print(
+        render_figure1(
+            {
+                "gemini-1.5-pro (1M)": series_hints["gemini-1.5-pro"],
+                "gemini-1.5-pro (128k)": series_hints["gemini-1.5-pro-128k"],
+            },
+            "Figure 1b — context windows (with hints)",
+        )
+    )
+
+    # Table 1: GPT-4o over a stratified per-category sample.
+    from repro.corpus.model import CATEGORIES
+
+    stratified = []
+    for category in CATEGORIES:
+        pool = [t for t in runner.splits.test if t.category == category]
+        stratified.extend(pool[:14])
+    table1 = {}
+    for hinted, label in ((False, "gpt-4o"), (True, "gpt-4o (w/ hints)")):
+        sweep = runner.run("gpt-4o", hinted, theorems=stratified)
+        table1[label] = category_table(sweep.outcomes)
+    print()
+    print(render_table1(table1, "Table 1 — category coverage"))
+
+    print()
+    print(render_table2(table2_rows(runs), "Table 2 — outcomes"))
+    baseline = random_pair_baseline(
+        [t.proof_text for t in runner.project.theorems], pairs=200
+    )
+    print(f"random-pair similarity baseline: {baseline:.3f} (paper: 0.360)")
+
+    hinted_4o = next(r for r in runs if r.model == "gpt-4o" and r.hinted)
+    print()
+    print("Headline (hinted GPT-4o):")
+    print(f"  overall coverage: {overall_coverage(hinted_4o.outcomes):.1%} (paper: 38%)")
+    print(f"  coverage <64 tokens: {coverage_under(hinted_4o.outcomes, 64):.1%} (paper: 57%)")
+    under = sum(1 for t in runner.project.theorems if t.proof_tokens < 64)
+    print(
+        f"  corpus <64-token fraction: {under / len(runner.project.theorems):.1%}"
+        " (paper: ~60%)"
+    )
+
+    print()
+    print("Figure 2 — case studies (curated context, best-case attention):")
+    for study in run_case_studies(runner):
+        print()
+        print(render_case(study))
+
+    print(f"\ntotal wall time: {time.time() - started:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

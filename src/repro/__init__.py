@@ -1,0 +1,16 @@
+"""Reproduction of "Can Large Language Models Verify System Software?
+A Case Study Using FSCQ as a Benchmark" (HotOS '25).
+
+Packages:
+
+* :mod:`repro.kernel` — the Coq-like proof kernel.
+* :mod:`repro.tactics` — the tactic interpreter.
+* :mod:`repro.serapi` — the SerAPI-like machine protocol and checker.
+* :mod:`repro.corpus` — the FSCQ-like benchmark corpus.
+* :mod:`repro.llm` — the simulated LLM tactic generators.
+* :mod:`repro.prompting` — proof-context and prompt construction.
+* :mod:`repro.core` — the paper's contribution: best-first proof search.
+* :mod:`repro.eval` — the paper's experiments (Figures 1-2, Tables 1-2).
+"""
+
+__version__ = "1.0.0"

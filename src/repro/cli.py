@@ -1,0 +1,179 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro.cli list [--category CHL]
+    python -m repro.cli show tree_name_distinct_head
+    python -m repro.cli check
+    python -m repro.cli prove rev_involutive --model gpt-4o --hints
+    python -m repro.cli eval --model gpt-4o-mini --n 12
+    python -m repro.cli serve          # SerAPI-like REPL over stdin
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.corpus.loader import load_project
+from repro.corpus.splits import make_splits
+
+
+def _cmd_list(args) -> int:
+    project = load_project(check_proofs=not args.fast)
+    for theorem in project.theorems:
+        if args.category and theorem.category != args.category:
+            continue
+        print(
+            f"{theorem.qualified():45} {theorem.category:12} "
+            f"{theorem.proof_tokens:4} tokens"
+        )
+    return 0
+
+
+def _cmd_show(args) -> int:
+    project = load_project(check_proofs=not args.fast)
+    theorem = project.theorem(args.name)
+    print(f"Lemma {theorem.name} : {theorem.statement_text}.")
+    print("Proof.")
+    print(theorem.proof_text)
+    print("Qed.")
+    print(
+        f"\n(file {theorem.file}.v, category {theorem.category}, "
+        f"{theorem.proof_tokens} proof tokens)"
+    )
+    return 0
+
+
+def _cmd_check(args) -> int:
+    started = time.time()
+    project = load_project(use_cache=False)
+    print(
+        f"all {len(project.theorems)} corpus proofs machine-checked in "
+        f"{time.time() - started:.1f}s"
+    )
+    return 0
+
+
+def _cmd_prove(args) -> int:
+    from repro.core import BestFirstSearch, SearchConfig
+    from repro.llm import get_model
+    from repro.prompting import PromptBuilder
+    from repro.serapi import ProofChecker
+    from repro.tactics.script import run_script
+
+    project = load_project(check_proofs=not args.fast)
+    theorem = project.theorem(args.name)
+    model = get_model(args.model)
+    env = project.env_for(theorem)
+    hints = make_splits(project).hint_names if args.hints else None
+    builder = PromptBuilder(
+        project,
+        theorem,
+        hint_names=hints,
+        window_tokens=model.context_window,
+    )
+    search = BestFirstSearch(
+        ProofChecker(env),
+        model,
+        SearchConfig(width=args.width, fuel=args.fuel),
+    )
+    started = time.time()
+    result = search.prove(theorem.name, theorem.statement, builder.build)
+    elapsed = time.time() - started
+    print(
+        f"{result.status.value} after {result.stats.queries} queries "
+        f"({elapsed:.1f}s; rejected {result.stats.rejected}, "
+        f"duplicates {result.stats.duplicates})"
+    )
+    if result.proved:
+        proof = result.proof_text()
+        run_script(env, theorem.statement, proof)
+        print(f"generated (re-checked): {proof}")
+        print(f"human proof was:\n{theorem.proof_text}")
+        return 0
+    return 1
+
+
+def _cmd_eval(args) -> int:
+    from repro.eval import ExperimentConfig, Runner, outcome_row
+
+    runner = Runner(
+        load_project(check_proofs=not args.fast),
+        ExperimentConfig(max_theorems=args.n, fuel=args.fuel),
+    )
+    for hinted in (False, True):
+        row = outcome_row(runner.run(args.model, hinted))
+        tag = "hints  " if hinted else "vanilla"
+        print(
+            f"{args.model:20} {tag} proved={row.proved:6.1%} "
+            f"stuck={row.stuck:6.1%} fuelout={row.fuelout:6.1%}"
+        )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serapi import SerapiServer
+
+    project = load_project(check_proofs=not args.fast)
+    server = SerapiServer(project.env)
+    print("; repro SerAPI-like server — e.g. (NewDoc \"forall n, n = n\")")
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        if line in ("quit", "exit"):
+            break
+        try:
+            for answer in server.handle_text(line):
+                print(answer)
+        except Exception as exc:  # REPL robustness
+            print(f'(Answer 0 (CoqExn "{exc}"))')
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="trust corpus proofs instead of re-checking them at load",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list corpus theorems")
+    p_list.add_argument("--category", choices=["Utilities", "CHL", "FileSystem"])
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_show = sub.add_parser("show", help="show a theorem and its proof")
+    p_show.add_argument("name")
+    p_show.set_defaults(fn=_cmd_show)
+
+    p_check = sub.add_parser("check", help="machine-check every corpus proof")
+    p_check.set_defaults(fn=_cmd_check)
+
+    p_prove = sub.add_parser("prove", help="search for a proof with a model")
+    p_prove.add_argument("name")
+    p_prove.add_argument("--model", default="gpt-4o")
+    p_prove.add_argument("--hints", action="store_true")
+    p_prove.add_argument("--width", type=int, default=8)
+    p_prove.add_argument("--fuel", type=int, default=128)
+    p_prove.set_defaults(fn=_cmd_prove)
+
+    p_eval = sub.add_parser("eval", help="mini evaluation sweep")
+    p_eval.add_argument("--model", default="gpt-4o")
+    p_eval.add_argument("--n", type=int, default=12)
+    p_eval.add_argument("--fuel", type=int, default=64)
+    p_eval.set_defaults(fn=_cmd_eval)
+
+    p_serve = sub.add_parser("serve", help="SerAPI-like REPL on stdin")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""The best-first frontier.
+
+A max-priority queue over unexpanded nodes keyed by cumulative tactic
+log-probability (ties broken by insertion order for determinism).
+Alternative disciplines (DFS/BFS) are provided for the ablation bench
+in ``benchmarks/test_ablation_search.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from repro.core.node import Node
+
+__all__ = ["Frontier", "BestFirstFrontier", "DepthFirstFrontier", "BreadthFirstFrontier", "make_frontier"]
+
+
+class Frontier:
+    """Interface: push nodes, pop the next node to expand."""
+
+    def push(self, node: Node) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def pop(self) -> Optional[Node]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class BestFirstFrontier(Frontier):
+    """Highest cumulative log-probability first (the paper's choice)."""
+
+    def __init__(self) -> None:
+        self._heap: List = []
+        self._counter = 0
+
+    def push(self, node: Node) -> None:
+        heapq.heappush(self._heap, (-node.cum_log_prob, self._counter, node))
+        self._counter += 1
+
+    def pop(self) -> Optional[Node]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class DepthFirstFrontier(Frontier):
+    """LIFO stack (trial-and-error linear search, Rango-style)."""
+
+    def __init__(self) -> None:
+        self._stack: List[Node] = []
+
+    def push(self, node: Node) -> None:
+        self._stack.append(node)
+
+    def pop(self) -> Optional[Node]:
+        return self._stack.pop() if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class BreadthFirstFrontier(Frontier):
+    """FIFO queue."""
+
+    def __init__(self) -> None:
+        self._queue: List[Node] = []
+
+    def push(self, node: Node) -> None:
+        self._queue.append(node)
+
+    def pop(self) -> Optional[Node]:
+        return self._queue.pop(0) if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+def make_frontier(kind: str) -> Frontier:
+    if kind == "best-first":
+        return BestFirstFrontier()
+    if kind == "depth-first":
+        return DepthFirstFrontier()
+    if kind == "breadth-first":
+        return BreadthFirstFrontier()
+    raise ValueError(f"unknown frontier kind: {kind}")

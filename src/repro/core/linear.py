@@ -1,0 +1,153 @@
+"""Rango-style trial-and-error linear search (paper §2, related work).
+
+The paper contrasts its best-first tree search with Rango's
+"trial-and-error linear search": keep a single proof-in-progress; at
+each step ask the model for candidates, take the best one that
+validates, and never revisit earlier states except by bounded
+backtracking when every candidate fails.
+
+Implemented here so the ablation bench can compare the disciplines
+under identical fuel.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.core.result import SearchResult, SearchStats, Status
+from repro.core.search import PromptFn, SearchConfig
+from repro.errors import GenerationError
+from repro.kernel.goals import ProofState
+from repro.kernel.terms import Term
+from repro.llm.interface import TacticGenerator
+from repro.serapi.checker import ProofChecker, Verdict
+
+__all__ = ["LinearConfig", "LinearSearch"]
+
+
+@dataclass(frozen=True)
+class LinearConfig:
+    width: int = 8
+    fuel: int = 128
+    tactic_timeout: float = 5.0
+    max_backtracks: int = 8
+
+    @classmethod
+    def from_search_config(cls, config: SearchConfig) -> "LinearConfig":
+        return cls(
+            width=config.width,
+            fuel=config.fuel,
+            tactic_timeout=config.tactic_timeout,
+        )
+
+
+class LinearSearch:
+    """One proof attempt at a time, greedy with bounded backtracking."""
+
+    def __init__(
+        self,
+        checker: ProofChecker,
+        generator: TacticGenerator,
+        config: Optional[LinearConfig] = None,
+    ) -> None:
+        if not getattr(generator, "provides_log_probs", False):
+            raise GenerationError(
+                f"model {generator.name} provides no log-probabilities"
+            )
+        self.checker = checker
+        self.generator = generator
+        self.config = config or LinearConfig()
+
+    def prove(
+        self,
+        theorem_name: str,
+        statement: Term,
+        prompt_fn: PromptFn,
+    ) -> SearchResult:
+        config = self.config
+        stats = SearchStats()
+        started = time.monotonic()
+
+        def finish(status: Status, tactics=None) -> SearchResult:
+            stats.wall_seconds = time.monotonic() - started
+            return SearchResult(
+                status=status,
+                theorem_name=theorem_name,
+                tactics=list(tactics or []),
+                stats=stats,
+            )
+
+        # The trail holds (state, remaining-candidates) so backtracking
+        # can try the next-best candidate at an earlier step.
+        root = self.checker.start(statement)
+        seen: Set[str] = {root.key()}
+        trail: List[Tuple[ProofState, List[str], List[str]]] = []
+        state = root
+        steps: List[str] = []
+        backtracks = 0
+
+        while stats.queries < config.fuel:
+            prompt = prompt_fn(state, steps)
+            stats.queries += 1
+            candidates = [
+                c.tactic for c in self.generator.generate(prompt, config.width)
+            ]
+            advanced = False
+            while candidates:
+                tactic = candidates.pop(0)
+                stats.candidates += 1
+                check = self.checker.check(state, tactic, seen_keys=seen)
+                if check.verdict is Verdict.REJECTED:
+                    stats.rejected += 1
+                    continue
+                if check.verdict is Verdict.DUPLICATE:
+                    stats.duplicates += 1
+                    continue
+                if check.verdict is Verdict.TIMEOUT:
+                    stats.timeouts += 1
+                    continue
+                assert check.state is not None
+                trail.append((state, list(candidates), list(steps)))
+                seen.add(check.state.key())
+                stats.nodes_created += 1
+                state = check.state
+                steps = steps + [tactic]
+                if state.is_complete():
+                    return finish(Status.PROVED, steps)
+                advanced = True
+                break
+            if advanced:
+                continue
+            # Dead end: backtrack to the most recent step with a spare
+            # candidate that still validates.
+            resumed = False
+            while trail and not resumed:
+                prev_state, spare, prev_steps = trail.pop()
+                for index, tactic in enumerate(spare):
+                    stats.candidates += 1
+                    check = self.checker.check(
+                        prev_state, tactic, seen_keys=seen
+                    )
+                    if not check.ok:
+                        stats.rejected += 1
+                        continue
+                    assert check.state is not None
+                    trail.append(
+                        (prev_state, spare[index + 1 :], prev_steps)
+                    )
+                    seen.add(check.state.key())
+                    stats.nodes_created += 1
+                    state = check.state
+                    steps = prev_steps + [tactic]
+                    resumed = True
+                    break
+            if not resumed:
+                return finish(Status.STUCK)
+            if state.is_complete():
+                return finish(Status.PROVED, steps)
+            backtracks += 1
+            if backtracks > config.max_backtracks:
+                return finish(Status.STUCK)
+        return finish(Status.FUELOUT)

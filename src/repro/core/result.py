@@ -1,0 +1,48 @@
+"""Search outcomes.
+
+The paper's §4.3 failure taxonomy: a search either *proves* the
+theorem, gets *stuck* (no unexpanded goals remain), or *fuels out*
+(the model-query limit is reached first).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Status", "SearchStats", "SearchResult"]
+
+
+class Status(enum.Enum):
+    PROVED = "proved"
+    STUCK = "stuck"
+    FUELOUT = "fuelout"
+
+
+@dataclass
+class SearchStats:
+    queries: int = 0
+    nodes_created: int = 0
+    nodes_expanded: int = 0
+    candidates: int = 0
+    rejected: int = 0
+    duplicates: int = 0
+    timeouts: int = 0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class SearchResult:
+    status: Status
+    theorem_name: str
+    tactics: List[str] = field(default_factory=list)
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def proved(self) -> bool:
+        return self.status is Status.PROVED
+
+    def proof_text(self) -> str:
+        """The generated proof as a flat script (replayable by Qed)."""
+        return " ".join(f"{t}." for t in self.tactics)

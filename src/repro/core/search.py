@@ -1,0 +1,169 @@
+"""Best-first proof search (the paper's §3).
+
+The loop alternates the paper's two steps:
+
+* **Selection** — pop the unexpanded node with the highest cumulative
+  log-probability of its tactic prefix.
+* **Expansion** — query the model once (one unit of fuel) for up to
+  ``width`` candidate tactics, validate each against the checker, and
+  append the valid ones as children.
+
+A tactic is invalid if it is rejected by the checker, recreates a
+proof state already in the tree, or exceeds the tactic timeout.
+Search succeeds as soon as any child state is complete; it fails
+*stuck* when the frontier empties and *fuelout* when the query limit
+(paper: 128) is exhausted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Set
+
+from repro.core.frontier import make_frontier
+from repro.core.node import Node
+from repro.core.result import SearchResult, SearchStats, Status
+from repro.core.transcript import CandidateEvent, ExpansionEvent, Transcript
+from repro.errors import GenerationError
+from repro.kernel.goals import ProofState
+from repro.kernel.terms import Term
+from repro.llm.interface import TacticGenerator
+from repro.serapi.checker import ProofChecker, Verdict
+
+__all__ = ["SearchConfig", "BestFirstSearch"]
+
+PromptFn = Callable[[ProofState, Sequence[str]], str]
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Hyperparameters (defaults follow the paper §4)."""
+
+    width: int = 8  # candidates per query (Gemini's max outputs)
+    fuel: int = 128  # model-query limit (as in GPT-f)
+    tactic_timeout: float = 5.0  # seconds per tactic
+    frontier: str = "best-first"
+    dedup_states: bool = True  # ablation: duplicate-state pruning
+    max_depth: int = 64
+
+
+class BestFirstSearch:
+    """One searcher per (checker, generator, config) triple."""
+
+    def __init__(
+        self,
+        checker: ProofChecker,
+        generator: TacticGenerator,
+        config: Optional[SearchConfig] = None,
+    ) -> None:
+        if not getattr(generator, "provides_log_probs", False):
+            raise GenerationError(
+                f"model {generator.name} provides no log-probabilities; "
+                "best-first search requires them (paper §4.3)"
+            )
+        self.checker = checker
+        self.generator = generator
+        self.config = config or SearchConfig()
+
+    def prove(
+        self,
+        theorem_name: str,
+        statement: Term,
+        prompt_fn: PromptFn,
+        transcript: Optional[Transcript] = None,
+    ) -> SearchResult:
+        config = self.config
+        stats = SearchStats()
+        started = time.monotonic()
+
+        root_state = self.checker.start(statement)
+        root = Node(
+            state=root_state,
+            key=root_state.key(),
+            cum_log_prob=0.0,
+            depth=0,
+        )
+        frontier = make_frontier(config.frontier)
+        frontier.push(root)
+        seen: Set[str] = {root.key}
+        stats.nodes_created = 1
+
+        def finish(status: Status, tactics=None) -> SearchResult:
+            stats.wall_seconds = time.monotonic() - started
+            return SearchResult(
+                status=status,
+                theorem_name=theorem_name,
+                tactics=list(tactics or []),
+                stats=stats,
+            )
+
+        while True:
+            node = frontier.pop()
+            if node is None:
+                return finish(Status.STUCK)
+            if stats.queries >= config.fuel:
+                return finish(Status.FUELOUT)
+
+            # Expansion: one model query.
+            prompt = prompt_fn(node.state, node.tactics_from_root())
+            stats.queries += 1
+            candidates = self.generator.generate(prompt, config.width)
+            node.expanded = True
+            stats.nodes_expanded += 1
+
+            event = None
+            if transcript is not None:
+                event = ExpansionEvent(
+                    node_depth=node.depth,
+                    node_score=node.cum_log_prob,
+                    goal_preview=node.state.render()[:200],
+                )
+
+            for candidate in candidates:
+                stats.candidates += 1
+                check = self.checker.check(
+                    node.state,
+                    candidate.tactic,
+                    seen_keys=seen if config.dedup_states else None,
+                )
+                if event is not None:
+                    event.candidates.append(
+                        CandidateEvent(
+                            tactic=candidate.tactic,
+                            log_prob=candidate.log_prob,
+                            verdict=check.verdict.value,
+                            message=check.message,
+                        )
+                    )
+                if check.verdict is Verdict.REJECTED:
+                    stats.rejected += 1
+                    continue
+                if check.verdict is Verdict.DUPLICATE:
+                    stats.duplicates += 1
+                    continue
+                if check.verdict is Verdict.TIMEOUT:
+                    stats.timeouts += 1
+                    continue
+                assert check.state is not None
+                child = Node(
+                    state=check.state,
+                    key=check.state.key(),
+                    cum_log_prob=node.cum_log_prob + candidate.log_prob,
+                    depth=node.depth + 1,
+                    parent=node,
+                    tactic=candidate.tactic,
+                )
+                seen.add(child.key)
+                stats.nodes_created += 1
+                if event is not None and transcript is not None:
+                    pass
+                if check.state.is_complete():
+                    if transcript is not None and event is not None:
+                        transcript.record(event)
+                    return finish(Status.PROVED, child.tactics_from_root())
+                if child.depth < config.max_depth:
+                    frontier.push(child)
+
+            if transcript is not None and event is not None:
+                transcript.record(event)

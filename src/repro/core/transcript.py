@@ -1,0 +1,52 @@
+"""Per-search event log, for failure analysis and debugging.
+
+Records every expansion: which node was selected, what the model
+proposed, and each candidate's verdict.  The §4.3-style analyses
+(stuck-vs-fuelout, invalid-tactic breakdowns) read these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["CandidateEvent", "ExpansionEvent", "Transcript"]
+
+
+@dataclass
+class CandidateEvent:
+    tactic: str
+    log_prob: float
+    verdict: str
+    message: str = ""
+
+
+@dataclass
+class ExpansionEvent:
+    node_depth: int
+    node_score: float
+    goal_preview: str
+    candidates: List[CandidateEvent] = field(default_factory=list)
+
+
+@dataclass
+class Transcript:
+    theorem_name: str
+    model_name: str
+    events: List[ExpansionEvent] = field(default_factory=list)
+
+    def record(self, event: ExpansionEvent) -> None:
+        self.events.append(event)
+
+    def summary(self) -> str:
+        lines = [f"search transcript: {self.theorem_name} [{self.model_name}]"]
+        for i, event in enumerate(self.events):
+            lines.append(
+                f"  expansion {i}: depth={event.node_depth} "
+                f"score={event.node_score:.2f}"
+            )
+            for cand in event.candidates:
+                lines.append(
+                    f"    [{cand.verdict:9}] {cand.log_prob:7.2f}  {cand.tactic}"
+                )
+        return "\n".join(lines)

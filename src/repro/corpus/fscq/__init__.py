@@ -1,0 +1,12 @@
+"""The FSCQ-like corpus: one module per "Coq file".
+
+Category map (paper §4.1, Table 1):
+
+* **Utilities** — ``prelude``, ``arith_utils``, ``list_utils``,
+  ``word_utils``, ``rounding``.
+* **CHL** — ``chl.pred``, ``chl.sep_star``, ``chl.hoare``,
+  ``chl.crash``, ``chl.idempotence``.
+* **FileSystem** — ``fs.addr_log``, ``fs.padded_log``, ``fs.balloc``,
+  ``fs.inode``, ``fs.bfile``, ``fs.dir_tree``, ``fs.dirname``,
+  ``fs.super``.
+"""

@@ -1,0 +1,224 @@
+"""ArithUtils.v — arithmetic helper lemmas (Utilities category).
+
+The FSCQ counterpart is the pervasive use of ``omega``-adjacent helper
+lemmas; like FSCQ, order facts lean on the decision procedure
+(``lia``/``omega``) while structural facts use induction.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder("ArithUtils", "Utilities", imports=("Prelude",))
+
+    f.lemma(
+        "plus_0_l",
+        "forall n, 0 + n = n",
+        "intros. reflexivity.",
+    )
+    f.lemma(
+        "plus_0_r",
+        "forall n, n + 0 = n",
+        "induction n; simpl.\n"
+        "- reflexivity.\n"
+        "- rewrite IHn. reflexivity.",
+    )
+    f.lemma(
+        "plus_n_Sm",
+        "forall n m, S (n + m) = n + S m",
+        "induction n; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- rewrite IHn. reflexivity.",
+    )
+    f.lemma(
+        "plus_comm",
+        "forall n m, n + m = m + n",
+        "induction n; simpl; intros.\n"
+        "- rewrite plus_0_r. reflexivity.\n"
+        "- rewrite IHn. rewrite plus_n_Sm. reflexivity.",
+    )
+    f.lemma(
+        "plus_assoc",
+        "forall n m p, n + (m + p) = (n + m) + p",
+        "induction n; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- rewrite IHn. reflexivity.",
+    )
+    f.lemma(
+        "plus_cancel_l",
+        "forall n m p, n + m = n + p -> m = p",
+        "induction n; simpl; intros.\n"
+        "- assumption.\n"
+        "- apply IHn. inversion H. assumption.",
+    )
+    f.hint_resolve("plus_0_r", "plus_n_Sm")
+
+    f.lemma(
+        "mult_0_l",
+        "forall n, 0 * n = 0",
+        "intros. reflexivity.",
+    )
+    f.lemma(
+        "mult_0_r",
+        "forall n, n * 0 = 0",
+        "induction n; simpl.\n"
+        "- reflexivity.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "mult_1_l",
+        "forall n, 1 * n = n",
+        "intros. simpl. apply plus_0_r.",
+    )
+    f.lemma(
+        "mult_n_Sm",
+        "forall n m, n * S m = n + n * m",
+        "induction n; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- rewrite IHn. f_equal. rewrite plus_assoc. "
+        "rewrite plus_assoc. f_equal. apply plus_comm.",
+    )
+    f.lemma(
+        "mult_1_r",
+        "forall n, n * 1 = n",
+        "intros. rewrite mult_n_Sm. rewrite mult_0_r. apply plus_0_r.",
+    )
+    f.lemma(
+        "mult_comm",
+        "forall n m, n * m = m * n",
+        "induction n; simpl; intros.\n"
+        "- rewrite mult_0_r. reflexivity.\n"
+        "- rewrite mult_n_Sm. rewrite IHn. reflexivity.",
+    )
+    f.lemma(
+        "mult_plus_distr_r",
+        "forall n m p, (n + m) * p = n * p + m * p",
+        "induction n; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- rewrite IHn. apply plus_assoc.",
+    )
+
+    # Order lemmas: FSCQ discharges these with omega; we do the same.
+    f.lemma("le_refl", "forall n, n <= n", "intros. apply le_n.")
+    f.lemma("le_0_n", "forall n, 0 <= n", "induction n; auto.")
+    f.lemma("le_trans", "forall n m p, n <= m -> m <= p -> n <= p", "intros. lia.")
+    f.lemma("le_n_S", "forall n m, n <= m -> S n <= S m", "intros. lia.")
+    f.lemma("le_S_n", "forall n m, S n <= S m -> n <= m", "intros. lia.")
+    f.lemma("le_Sn_le", "forall n m, S n <= m -> n <= m", "intros. lia.")
+    f.lemma("lt_le_incl", "forall n m, n < m -> n <= m", "intros. unfold lt in H. lia.")
+    f.lemma("lt_irrefl", "forall n, ~ n < n", "intros. unfold lt. lia.")
+    f.lemma("le_lt_trans", "forall n m p, n <= m -> m < p -> n < p", "intros. unfold lt in *. lia.")
+    f.lemma("lt_le_trans", "forall n m p, n < m -> m <= p -> n < p", "intros. unfold lt in *. lia.")
+    f.lemma("lt_n_S", "forall n m, n < m -> S n < S m", "intros. unfold lt in *. lia.")
+    f.lemma("nlt_0_r", "forall n, ~ n < 0", "intros. unfold lt. lia.")
+    f.lemma("le_Sn_0", "forall n, ~ S n <= 0", "intros. lia.")
+    f.lemma(
+        "le_antisym",
+        "forall n m, n <= m -> m <= n -> n = m",
+        "intros. lia.",
+    )
+    f.lemma(
+        "le_plus_l",
+        "forall n m, n <= n + m",
+        "intros. lia.",
+    )
+    f.lemma(
+        "le_plus_r",
+        "forall n m, m <= n + m",
+        "intros. lia.",
+    )
+    f.lemma(
+        "plus_le_compat",
+        "forall n m p q, n <= m -> p <= q -> n + p <= m + q",
+        "intros. lia.",
+    )
+    f.hint_resolve("le_refl", "le_0_n", "le_n_S", "le_plus_l")
+
+    # Truncated subtraction.
+    f.lemma(
+        "sub_0_r",
+        "forall n, n - 0 = n",
+        "destruct n; reflexivity.",
+    )
+    f.lemma(
+        "sub_diag",
+        "forall n, n - n = 0",
+        "induction n; simpl; auto.",
+    )
+    f.lemma(
+        "sub_0_le",
+        "forall n m, n - m = 0 -> n <= m",
+        "intros. lia.",
+    )
+    f.lemma(
+        "plus_sub_cancel",
+        "forall n m, n + m - m = n",
+        "intros. lia.",
+    )
+    f.lemma(
+        "sub_plus_le",
+        "forall n m, n - m <= n",
+        "intros. lia.",
+    )
+    f.lemma(
+        "sub_succ_l",
+        "forall n m, m <= n -> S n - m = S (n - m)",
+        "intros. lia.",
+    )
+
+    # Boolean equality on nat.
+    f.lemma(
+        "beq_nat_refl",
+        "forall n, beq_nat n n = true",
+        "induction n; simpl; auto.",
+    )
+    f.lemma(
+        "beq_nat_true",
+        "forall n m, beq_nat n m = true -> n = m",
+        "induction n; destruct m; simpl; intros; try discriminate.\n"
+        "- reflexivity.\n"
+        "- f_equal. apply IHn. assumption.",
+    )
+    f.lemma(
+        "beq_nat_false",
+        "forall n m, beq_nat n m = false -> n <> m",
+        "induction n; destruct m; simpl; intros; try discriminate.\n"
+        "- apply IHn in H. congruence.",
+    )
+    f.hint_resolve("beq_nat_refl")
+
+    # min / max.
+    f.lemma(
+        "min_0_l",
+        "forall n, min 0 n = 0",
+        "intros. reflexivity.",
+    )
+    f.lemma(
+        "min_comm",
+        "forall n m, min n m = min m n",
+        "induction n; destruct m; simpl; auto.\nf_equal. apply IHn.",
+    )
+    f.lemma(
+        "max_0_r",
+        "forall n, max n 0 = n",
+        "destruct n; reflexivity.",
+    )
+    f.lemma(
+        "max_comm",
+        "forall n m, max n m = max m n",
+        "induction n; destruct m; simpl; auto.\nf_equal. apply IHn.",
+    )
+    f.lemma(
+        "min_le_l",
+        "forall n m, min n m <= n",
+        "induction n; destruct m; simpl; auto.",
+    )
+    f.lemma(
+        "max_le_l",
+        "forall n m, n <= max n m",
+        "induction n; destruct m; simpl; auto.",
+    )
+
+    return f.build()

@@ -1,0 +1,121 @@
+"""Crash.v — crash transformation of predicates (CHL).
+
+FSCQ's ``crash_xform`` maps a predicate over pre-crash states to the
+predicate over possible post-crash states; its interaction with the
+separation algebra (proved from the disk model there, axiomatized
+here) drives every crash-safety proof.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder("Crash", "CHL", imports=("Pred", "SepStar", "Hoare"))
+
+    f.opaque("crash_xform", "pred -> pred")
+    f.opaque("ptsto_any", "nat -> pred")
+
+    # Disk-model facts (FSCQ proves these over mem; axioms here).
+    f.axiom(
+        "crash_xform_pimpl",
+        "forall (p q : pred), (p =p=> q) -> "
+        "(crash_xform p =p=> crash_xform q)",
+    )
+    f.axiom(
+        "crash_xform_sep_star",
+        "forall (p q : pred), crash_xform (p * q) =p=> "
+        "crash_xform p * crash_xform q",
+    )
+    f.axiom(
+        "crash_xform_sep_star_r",
+        "forall (p q : pred), crash_xform p * crash_xform q =p=> "
+        "crash_xform (p * q)",
+    )
+    f.axiom(
+        "crash_xform_emp",
+        "crash_xform emp =p=> emp",
+    )
+    f.axiom(
+        "crash_xform_emp_r",
+        "emp =p=> crash_xform emp",
+    )
+    f.axiom(
+        "crash_xform_or",
+        "forall (p q : pred), crash_xform (por p q) =p=> "
+        "por (crash_xform p) (crash_xform q)",
+    )
+    f.axiom(
+        "crash_xform_ptsto",
+        "forall (a : nat) (v : valu), "
+        "crash_xform (a |-> v) =p=> por (a |-> v) (ptsto_any a)",
+    )
+    f.axiom(
+        "crash_xform_idem",
+        "forall (p : pred), crash_xform (crash_xform p) =p=> "
+        "crash_xform p",
+    )
+
+    # Derived crash lemmas -------------------------------------------------
+    f.lemma(
+        "crash_xform_sep_star_dist",
+        "forall (p q r : pred), crash_xform ((p * q) * r) =p=> "
+        "crash_xform p * crash_xform q * crash_xform r",
+        "intros. eapply pimpl_trans.\n"
+        "- apply crash_xform_sep_star.\n"
+        "- eapply pimpl_trans.\n"
+        "  + eapply pimpl_sep_star_l. apply crash_xform_sep_star.\n"
+        "  + apply sep_star_assoc_1.",
+    )
+    f.lemma(
+        "crash_xform_pimpl_star",
+        "forall (p q F : pred), (p =p=> q) -> "
+        "(crash_xform p * F =p=> crash_xform q * F)",
+        "intros. apply pimpl_sep_star_l. "
+        "apply crash_xform_pimpl. assumption.",
+    )
+    f.lemma(
+        "crash_xform_emp_star",
+        "forall (p : pred), crash_xform (emp * p) =p=> crash_xform p",
+        "intros. apply crash_xform_pimpl. apply emp_star_2.",
+    )
+    f.lemma(
+        "crash_xform_trans",
+        "forall (p q r : pred), (p =p=> q) -> (q =p=> r) -> "
+        "(crash_xform p =p=> crash_xform r)",
+        "intros. apply crash_xform_pimpl. eapply pimpl_trans.\n"
+        "- apply H.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "crash_xform_or_ptsto",
+        "forall (a : nat) (v1 v2 : valu), "
+        "crash_xform (por (a |-> v1) (a |-> v2)) =p=> "
+        "por (por (a |-> v1) (ptsto_any a)) "
+        "(por (a |-> v2) (ptsto_any a))",
+        "intros. eapply pimpl_trans.\n"
+        "- apply crash_xform_or.\n"
+        "- apply pimpl_or_mono.\n"
+        "  + apply crash_xform_ptsto.\n"
+        "  + apply crash_xform_ptsto.",
+    )
+    f.lemma(
+        "crash_xform_idem_star",
+        "forall (p q : pred), "
+        "crash_xform (crash_xform p) * crash_xform (crash_xform q) "
+        "=p=> crash_xform p * crash_xform q",
+        "intros. apply pimpl_sep_star.\n"
+        "- apply crash_xform_idem.\n"
+        "- apply crash_xform_idem.",
+    )
+    f.lemma(
+        "crash_xform_double_star",
+        "forall (p q : pred), crash_xform (crash_xform (p * q)) =p=> "
+        "crash_xform p * crash_xform q",
+        "intros. eapply pimpl_trans.\n"
+        "- apply crash_xform_idem.\n"
+        "- apply crash_xform_sep_star.",
+    )
+
+    return f.build()

@@ -1,0 +1,196 @@
+"""Hoare.v — Crash Hoare Logic triples over a first-order prog (CHL).
+
+FSCQ's ``corr2`` judgments carry pre-, post-, and crash conditions.
+Our ``hoare pre p post crash`` is an inductive predicate with the
+primitive rules as constructors (so ``constructor``/``inversion``
+work on derivations); the consequence and frame rules — proved from
+the execution semantics in FSCQ — enter as axioms, and the rest of the
+rule inventory is derived.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder("Hoare", "CHL", imports=("Pred", "SepStar"))
+
+    f.inductive(
+        "prog",
+        [
+            ("PRet", [], []),
+            ("PRead", ["nat"], ["a"]),
+            ("PWrite", ["nat", "valu"], ["a", "v"]),
+            ("PSeq", ["prog", "prog"], ["p1", "p2"]),
+        ],
+    )
+
+    f.pred(
+        "hoare",
+        "pred -> prog -> pred -> pred -> Prop",
+        [
+            (
+                "hoare_ret",
+                "forall (p c : pred), (p =p=> c) -> hoare p PRet p c",
+            ),
+            (
+                "hoare_read",
+                "forall (F : pred) (a : nat) (v : valu) (c : pred), "
+                "(F * a |-> v =p=> c) -> "
+                "hoare (F * a |-> v) (PRead a) (F * a |-> v) c",
+            ),
+            (
+                "hoare_write",
+                "forall (F : pred) (a : nat) (v0 v : valu) (c : pred), "
+                "(F * a |-> v0 =p=> c) -> (F * a |-> v =p=> c) -> "
+                "hoare (F * a |-> v0) (PWrite a v) (F * a |-> v) c",
+            ),
+            (
+                "hoare_seq",
+                "forall (p1 p2 : prog) (pre mid post c : pred), "
+                "hoare pre p1 mid c -> hoare mid p2 post c -> "
+                "hoare pre (PSeq p1 p2) post c",
+            ),
+        ],
+    )
+    f.hint_constructors("hoare")
+
+    # Proved from the execution semantics in FSCQ; axioms here.
+    f.axiom(
+        "hoare_conseq",
+        "forall (p : prog) (pre pre' post post' c c' : pred), "
+        "hoare pre p post c -> (pre' =p=> pre) -> (post =p=> post') -> "
+        "(c =p=> c') -> hoare pre' p post' c'",
+    )
+    f.axiom(
+        "hoare_frame",
+        "forall (p : prog) (pre post c F : pred), "
+        "hoare pre p post c -> hoare (pre * F) p (post * F) (c * F)",
+    )
+
+    # Derived rule inventory ------------------------------------------------
+    f.lemma(
+        "hoare_weaken_pre",
+        "forall (p : prog) (pre pre' post c : pred), "
+        "hoare pre p post c -> (pre' =p=> pre) -> hoare pre' p post c",
+        "intros. eapply hoare_conseq.\n"
+        "- apply H.\n"
+        "- assumption.\n"
+        "- apply pimpl_refl.\n"
+        "- apply pimpl_refl.",
+    )
+    f.lemma(
+        "hoare_strengthen_post",
+        "forall (p : prog) (pre post post' c : pred), "
+        "hoare pre p post c -> (post =p=> post') -> hoare pre p post' c",
+        "intros. eapply hoare_conseq.\n"
+        "- apply H.\n"
+        "- apply pimpl_refl.\n"
+        "- assumption.\n"
+        "- apply pimpl_refl.",
+    )
+    f.lemma(
+        "hoare_weaken_crash",
+        "forall (p : prog) (pre post c c' : pred), "
+        "hoare pre p post c -> (c =p=> c') -> hoare pre p post c'",
+        "intros. eapply hoare_conseq.\n"
+        "- apply H.\n"
+        "- apply pimpl_refl.\n"
+        "- apply pimpl_refl.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "hoare_ret_weak",
+        "forall (p q c : pred), (p =p=> q) -> (q =p=> c) -> "
+        "hoare p PRet q c",
+        "intros. eapply hoare_conseq.\n"
+        "- eapply hoare_ret. apply H0.\n"
+        "- assumption.\n"
+        "- apply pimpl_refl.\n"
+        "- apply pimpl_refl.",
+    )
+    f.lemma(
+        "hoare_seq_ret_l",
+        "forall (p : prog) (pre post c : pred), "
+        "hoare pre p post c -> (pre =p=> c) -> "
+        "hoare pre (PSeq PRet p) post c",
+        "intros. eapply hoare_seq.\n"
+        "- apply hoare_ret. assumption.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "hoare_seq_ret_r",
+        "forall (p : prog) (pre post c : pred), "
+        "hoare pre p post c -> (post =p=> c) -> "
+        "hoare pre (PSeq p PRet) post c",
+        "intros. eapply hoare_seq.\n"
+        "- apply H.\n"
+        "- apply hoare_ret. assumption.",
+    )
+    f.lemma(
+        "hoare_seq_inv_l",
+        "forall (p1 p2 : prog) (pre post c : pred), "
+        "hoare pre (PSeq p1 p2) post c -> "
+        "exists mid, hoare pre p1 mid c",
+        "intros. inversion H. exists mid. assumption.",
+    )
+    f.lemma(
+        "hoare_seq_inv_r",
+        "forall (p1 p2 : prog) (pre post c : pred), "
+        "hoare pre (PSeq p1 p2) post c -> "
+        "exists mid, hoare mid p2 post c",
+        "intros. inversion H. exists mid. assumption.",
+    )
+    f.lemma(
+        "hoare_ret_frame",
+        "forall (F p c : pred), (p * F =p=> c) -> "
+        "hoare (p * F) PRet (p * F) c",
+        "intros. apply hoare_ret. assumption.",
+    )
+    f.lemma(
+        "hoare_read_commuted",
+        "forall (F : pred) (a : nat) (v : valu) (c : pred), "
+        "((a |-> v) * F =p=> c) -> "
+        "hoare ((a |-> v) * F) (PRead a) ((a |-> v) * F) c",
+        "intros. eapply hoare_conseq.\n"
+        "- eapply hoare_read. eapply pimpl_trans.\n"
+        "  + apply sep_star_comm.\n"
+        "  + apply H.\n"
+        "- apply sep_star_comm.\n"
+        "- apply sep_star_comm.\n"
+        "- apply pimpl_refl.",
+    )
+    f.lemma(
+        "hoare_write_read",
+        "forall (F : pred) (a : nat) (v0 v : valu), "
+        "hoare (F * a |-> v0) (PSeq (PWrite a v) (PRead a)) "
+        "(F * a |-> v) (por (F * a |-> v0) (F * a |-> v))",
+        "intros. eapply hoare_seq.\n"
+        "- apply hoare_write.\n"
+        "  + apply pimpl_or_intro_l.\n"
+        "  + apply pimpl_or_intro_r.\n"
+        "- apply hoare_read. apply pimpl_or_intro_r.",
+    )
+    f.lemma(
+        "hoare_read_twice",
+        "forall (F : pred) (a : nat) (v : valu), "
+        "hoare (F * a |-> v) (PSeq (PRead a) (PRead a)) "
+        "(F * a |-> v) (F * a |-> v)",
+        "intros. eapply hoare_seq.\n"
+        "- apply hoare_read. apply pimpl_refl.\n"
+        "- apply hoare_read. apply pimpl_refl.",
+    )
+    f.lemma(
+        "hoare_write_emp_crash",
+        "forall (F : pred) (a : nat) (v0 v : valu) (c : pred), "
+        "(F * a |-> v0 =p=> c) -> (F * a |-> v =p=> c) -> "
+        "hoare (F * a |-> v0) (PSeq (PWrite a v) PRet) (F * a |-> v) c",
+        "intros. eapply hoare_seq.\n"
+        "- apply hoare_write.\n"
+        "  + assumption.\n"
+        "  + assumption.\n"
+        "- apply hoare_ret. assumption.",
+    )
+
+    return f.build()

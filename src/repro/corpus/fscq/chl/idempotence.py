@@ -1,0 +1,83 @@
+"""Idempotence.v — recovery idempotence (CHL).
+
+DFSCQ's recovery argument requires crash conditions that are stable
+under repeated crashes (``crash_xform c =p=> c``).  This file defines
+that notion and proves its closure properties, plus the derived
+recovery rule for hoare triples.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "Idempotence", "CHL", imports=("Pred", "SepStar", "Hoare", "Crash")
+    )
+
+    f.definition(
+        "crash_idem",
+        "(p : pred)",
+        "Prop",
+        "crash_xform p =p=> p",
+    )
+
+    f.lemma(
+        "crash_idem_emp",
+        "crash_idem emp",
+        "unfold crash_idem. apply crash_xform_emp.",
+    )
+    f.lemma(
+        "crash_idem_sep_star",
+        "forall (p q : pred), crash_idem p -> crash_idem q -> "
+        "crash_idem (p * q)",
+        "unfold crash_idem. intros. eapply pimpl_trans.\n"
+        "- apply crash_xform_sep_star.\n"
+        "- apply pimpl_sep_star.\n"
+        "  + assumption.\n"
+        "  + assumption.",
+    )
+    f.lemma(
+        "crash_idem_or",
+        "forall (p q : pred), crash_idem p -> crash_idem q -> "
+        "crash_idem (por p q)",
+        "unfold crash_idem. intros. eapply pimpl_trans.\n"
+        "- apply crash_xform_or.\n"
+        "- apply pimpl_or_mono.\n"
+        "  + assumption.\n"
+        "  + assumption.",
+    )
+    f.lemma(
+        "crash_idem_xform",
+        "forall (p : pred), crash_idem (crash_xform p)",
+        "intros. unfold crash_idem. apply crash_xform_idem.",
+    )
+    f.lemma(
+        "crash_idem_pimpl_trans",
+        "forall (p q : pred), crash_idem q -> (p =p=> q) -> "
+        "(crash_xform p =p=> q)",
+        "unfold crash_idem. intros. eapply pimpl_trans.\n"
+        "- eapply crash_xform_pimpl. apply H0.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "hoare_recover_crash",
+        "forall (p : prog) (pre post c : pred), "
+        "hoare pre p post c -> crash_idem c -> "
+        "hoare pre p post (por c (crash_xform c))",
+        "intros. eapply hoare_weaken_crash.\n"
+        "- apply H.\n"
+        "- apply pimpl_or_intro_l.",
+    )
+    f.lemma(
+        "hoare_crash_idem_collapse",
+        "forall (p : prog) (pre post c : pred), "
+        "hoare pre p post (crash_xform (crash_xform c)) -> "
+        "hoare pre p post (crash_xform c)",
+        "intros. eapply hoare_weaken_crash.\n"
+        "- apply H.\n"
+        "- apply crash_xform_idem.",
+    )
+
+    return f.build()

@@ -1,0 +1,192 @@
+"""Pred.v — separation-logic predicates over disk states (CHL).
+
+FSCQ defines ``pred := mem -> Prop`` and *proves* the separation
+algebra from the memory model.  Our kernel's logic is first-order, so
+the algebra's basis is axiomatized (``sep_star_comm`` & co.) and the
+rest of FSCQ's Pred.v derives from it — the derived lemmas are the
+benchmark theorems.  (DESIGN.md §2 records this substitution.)
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder("Pred", "CHL", imports=("Prelude", "ArithUtils"))
+
+    # Types and constants -------------------------------------------------
+    f.opaque_type("valu")
+    f.opaque_type("pred")
+    f.opaque("v0", "valu")
+    f.opaque("emp", "pred")
+    f.opaque("pfalse", "pred")
+    f.opaque("ptsto", "nat -> valu -> pred")
+    f.opaque("sep_star", "pred -> pred -> pred")
+    f.opaque("por", "pred -> pred -> pred")
+    f.opaque("pimpl", "pred -> pred -> Prop")
+
+    # The separation-algebra basis (proved from the mem model in FSCQ).
+    f.axiom("pimpl_refl", "forall (p : pred), p =p=> p")
+    f.axiom(
+        "pimpl_trans",
+        "forall (p q r : pred), (p =p=> q) -> (q =p=> r) -> (p =p=> r)",
+    )
+    f.axiom(
+        "sep_star_comm",
+        "forall (p q : pred), p * q =p=> q * p",
+    )
+    f.axiom(
+        "sep_star_assoc_1",
+        "forall (p q r : pred), (p * q) * r =p=> p * (q * r)",
+    )
+    f.axiom(
+        "sep_star_assoc_2",
+        "forall (p q r : pred), p * (q * r) =p=> (p * q) * r",
+    )
+    f.axiom(
+        "pimpl_sep_star",
+        "forall (p p' q q' : pred), (p =p=> p') -> (q =p=> q') -> "
+        "(p * q =p=> p' * q')",
+    )
+    f.axiom("emp_star_1", "forall (p : pred), p =p=> emp * p")
+    f.axiom("emp_star_2", "forall (p : pred), emp * p =p=> p")
+    f.axiom("pimpl_or_intro_l", "forall (p q : pred), p =p=> por p q")
+    f.axiom("pimpl_or_intro_r", "forall (p q : pred), q =p=> por p q")
+    f.axiom(
+        "pimpl_or_elim",
+        "forall (p q r : pred), (p =p=> r) -> (q =p=> r) -> "
+        "(por p q =p=> r)",
+    )
+    f.axiom(
+        "pimpl_or_mono",
+        "forall (p p' q q' : pred), (p =p=> p') -> (q =p=> q') -> "
+        "(por p q =p=> por p' q')",
+    )
+    f.axiom("pfalse_pimpl", "forall (p : pred), pfalse =p=> p")
+    f.axiom("pfalse_star", "forall (p : pred), pfalse * p =p=> pfalse")
+    f.axiom(
+        "ptsto_conflict",
+        "forall (a : nat) (v1 v2 : valu), "
+        "(a |-> v1) * (a |-> v2) =p=> pfalse",
+    )
+    f.hint_resolve("pimpl_refl")
+
+    # Derived algebra (FSCQ Pred.v's lemma inventory) ----------------------
+    f.lemma(
+        "pimpl_sep_star_l",
+        "forall (p p' q : pred), (p =p=> p') -> (p * q =p=> p' * q)",
+        "intros. apply pimpl_sep_star.\n"
+        "- assumption.\n"
+        "- apply pimpl_refl.",
+    )
+    f.lemma(
+        "pimpl_sep_star_r",
+        "forall (p q q' : pred), (q =p=> q') -> (p * q =p=> p * q')",
+        "intros. apply pimpl_sep_star.\n"
+        "- apply pimpl_refl.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "star_emp_pimpl",
+        "forall (p : pred), p * emp =p=> p",
+        "intros. eapply pimpl_trans.\n"
+        "- apply sep_star_comm.\n"
+        "- apply emp_star_2.",
+    )
+    f.lemma(
+        "pimpl_star_emp",
+        "forall (p : pred), p =p=> p * emp",
+        "intros. eapply pimpl_trans.\n"
+        "- apply emp_star_1.\n"
+        "- apply sep_star_comm.",
+    )
+    f.lemma(
+        "sep_star_comm_trans",
+        "forall (p q r : pred), (q * p =p=> r) -> (p * q =p=> r)",
+        "intros. eapply pimpl_trans.\n"
+        "- apply sep_star_comm.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "sep_star_assoc_swap",
+        "forall (p q r : pred), (p * q) * r =p=> (p * r) * q",
+        "intros. eapply pimpl_trans.\n"
+        "- apply sep_star_assoc_1.\n"
+        "- eapply pimpl_trans.\n"
+        "  + eapply pimpl_sep_star_r. apply sep_star_comm.\n"
+        "  + apply sep_star_assoc_2.",
+    )
+    f.lemma(
+        "sep_star_swap_middle",
+        "forall (p q r : pred), p * (q * r) =p=> q * (p * r)",
+        "intros. eapply pimpl_trans.\n"
+        "- apply sep_star_assoc_2.\n"
+        "- eapply pimpl_trans.\n"
+        "  + eapply pimpl_sep_star_l. apply sep_star_comm.\n"
+        "  + apply sep_star_assoc_1.",
+    )
+    f.lemma(
+        "pimpl_trans_star_l",
+        "forall (p q r s : pred), (p =p=> q * r) -> (q =p=> s) -> "
+        "(p =p=> s * r)",
+        "intros. eapply pimpl_trans.\n"
+        "- apply H.\n"
+        "- apply pimpl_sep_star_l. assumption.",
+    )
+    f.lemma(
+        "emp_star_emp",
+        "emp * emp =p=> emp",
+        "apply emp_star_2.",
+    )
+    f.lemma(
+        "pimpl_or_idem",
+        "forall (p : pred), por p p =p=> p",
+        "intros. apply pimpl_or_elim.\n"
+        "- apply pimpl_refl.\n"
+        "- apply pimpl_refl.",
+    )
+    f.lemma(
+        "pimpl_or_comm",
+        "forall (p q : pred), por p q =p=> por q p",
+        "intros. apply pimpl_or_elim.\n"
+        "- apply pimpl_or_intro_r.\n"
+        "- apply pimpl_or_intro_l.",
+    )
+    f.lemma(
+        "pimpl_or_l_trans",
+        "forall (p q r : pred), (p =p=> q) -> (p =p=> por q r)",
+        "intros. eapply pimpl_trans.\n"
+        "- apply H.\n"
+        "- apply pimpl_or_intro_l.",
+    )
+    f.lemma(
+        "pimpl_or_r_trans",
+        "forall (p q r : pred), (p =p=> r) -> (p =p=> por q r)",
+        "intros. eapply pimpl_trans.\n"
+        "- apply H.\n"
+        "- apply pimpl_or_intro_r.",
+    )
+    f.lemma(
+        "pimpl_or_star_distr",
+        "forall (p q r : pred), por (p * r) (q * r) =p=> por p q * r",
+        "intros. apply pimpl_or_elim.\n"
+        "- apply pimpl_sep_star_l. apply pimpl_or_intro_l.\n"
+        "- apply pimpl_sep_star_l. apply pimpl_or_intro_r.",
+    )
+    f.lemma(
+        "ptsto_conflict_frame",
+        "forall (F : pred) (a : nat) (v1 v2 : valu), "
+        "((a |-> v1) * (a |-> v2)) * F =p=> pfalse * F",
+        "intros. apply pimpl_sep_star_l. apply ptsto_conflict.",
+    )
+    f.lemma(
+        "pfalse_star_pimpl",
+        "forall (p q : pred), pfalse * p =p=> q",
+        "intros. eapply pimpl_trans.\n"
+        "- apply pfalse_star.\n"
+        "- apply pfalse_pimpl.",
+    )
+    f.hint_resolve("pimpl_sep_star_l", "pimpl_sep_star_r", "star_emp_pimpl")
+
+    return f.build()

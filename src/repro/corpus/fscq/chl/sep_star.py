@@ -1,0 +1,112 @@
+"""SepStar.v — separating-conjunction rearrangement lemmas (CHL).
+
+FSCQ's ``SepAuto``/``Pred`` provide a large inventory of star
+reordering and cancellation lemmas used pervasively by the file-system
+proofs; this file derives that inventory from the Pred.v basis.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder("SepStar", "CHL", imports=("Pred",))
+
+    # One additional model fact (proved from mem in FSCQ): star
+    # distributes over disjunction from the left.
+    f.axiom(
+        "sep_star_or_distr_l",
+        "forall (p q r : pred), por p q * r =p=> por (p * r) (q * r)",
+    )
+
+    f.lemma(
+        "sep_star_cancel",
+        "forall (p q F : pred), (p =p=> q) -> (p * F =p=> q * F)",
+        "intros. apply pimpl_sep_star.\n"
+        "- assumption.\n"
+        "- apply pimpl_refl.",
+    )
+    f.lemma(
+        "sep_star_cancel_r",
+        "forall (p q F : pred), (p =p=> q) -> (F * p =p=> F * q)",
+        "intros. apply pimpl_sep_star.\n"
+        "- apply pimpl_refl.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "pimpl_trans_comm",
+        "forall (p q r : pred), (p * q =p=> r) -> (q * p =p=> r)",
+        "intros. eapply pimpl_trans.\n"
+        "- apply sep_star_comm.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "sep_star_left_rotate",
+        "forall (p q r : pred), (p * q) * r =p=> q * (r * p)",
+        "intros. eapply pimpl_trans.\n"
+        "- apply sep_star_assoc_1.\n"
+        "- eapply pimpl_trans.\n"
+        "  + apply sep_star_comm.\n"
+        "  + apply sep_star_assoc_1.",
+    )
+    f.lemma(
+        "sep_star_right_rotate",
+        "forall (p q r : pred), p * (q * r) =p=> (r * p) * q",
+        "intros. eapply pimpl_trans.\n"
+        "- apply sep_star_comm.\n"
+        "- eapply pimpl_trans.\n"
+        "  + apply sep_star_assoc_1.\n"
+        "  + apply sep_star_comm.",
+    )
+    f.lemma(
+        "sep_star_pair_swap",
+        "forall (p q r s : pred), (p * q) * (r * s) =p=> (p * r) * (q * s)",
+        "intros. eapply pimpl_trans.\n"
+        "- apply sep_star_assoc_1.\n"
+        "- eapply pimpl_trans.\n"
+        "  + eapply pimpl_sep_star_r. apply sep_star_swap_middle.\n"
+        "  + apply sep_star_assoc_2.",
+    )
+    f.lemma(
+        "emp_star_cancel",
+        "forall (p q : pred), (p =p=> q) -> (emp * p =p=> q)",
+        "intros. eapply pimpl_trans.\n"
+        "- apply emp_star_2.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "star_emp_intro_r",
+        "forall (p q : pred), (p =p=> q) -> (p =p=> q * emp)",
+        "intros. eapply pimpl_trans.\n"
+        "- apply H.\n"
+        "- apply pimpl_star_emp.",
+    )
+    f.lemma(
+        "sep_star_or_distr_r",
+        "forall (p q r : pred), p * por q r =p=> por (p * q) (p * r)",
+        "intros. eapply pimpl_trans.\n"
+        "- apply sep_star_comm.\n"
+        "- eapply pimpl_trans.\n"
+        "  + apply sep_star_or_distr_l.\n"
+        "  + apply pimpl_or_mono.\n"
+        "    * apply sep_star_comm.\n"
+        "    * apply sep_star_comm.",
+    )
+    f.lemma(
+        "sep_star_or_merge",
+        "forall (p q r : pred), por (p * r) (q * r) =p=> por p q * r",
+        "intros. apply pimpl_or_elim.\n"
+        "- eapply pimpl_sep_star_l. apply pimpl_or_intro_l.\n"
+        "- eapply pimpl_sep_star_l. apply pimpl_or_intro_r.",
+    )
+    f.lemma(
+        "ptsto_any_conflict",
+        "forall (a : nat) (v1 v2 : valu) (F : pred), "
+        "((a |-> v1) * (a |-> v2)) * F =p=> pfalse",
+        "intros. eapply pimpl_trans.\n"
+        "- eapply pimpl_sep_star_l. apply ptsto_conflict.\n"
+        "- apply pfalse_star.",
+    )
+
+    return f.build()

@@ -1,0 +1,125 @@
+"""AddrLog.v — address-tagged log entries (FileSystem).
+
+The write-ahead log stores (address, value) entries; address 0 marks
+padding.  ``ndata_log`` counts live entries — the quantity the paper's
+Figure 2 Case B lemma is about.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "AddrLog",
+        "FileSystem",
+        imports=("Prelude", "ArithUtils", "ListUtils", "WordUtils", "Pred"),
+    )
+
+    f.fixpoint(
+        "nonzero_addrs",
+        "list nat -> nat",
+        [
+            "nonzero_addrs nil = 0",
+            "nonzero_addrs (0 :: l) = nonzero_addrs l",
+            "nonzero_addrs (S a :: l) = S (nonzero_addrs l)",
+        ],
+    )
+    f.definition(
+        "ndata_log",
+        "(l : list (prod nat valu))",
+        "nat",
+        "nonzero_addrs (map fst l)",
+    )
+    f.definition(
+        "addr_valid",
+        "(e : prod nat valu)",
+        "Prop",
+        "0 < fst e",
+    )
+
+    f.lemma(
+        "nonzero_addrs_nil",
+        "nonzero_addrs nil = 0",
+        "reflexivity.",
+    )
+    f.lemma(
+        "nonzero_addrs_app",
+        "forall (l1 l2 : list nat), "
+        "nonzero_addrs (l1 ++ l2) = nonzero_addrs l1 + nonzero_addrs l2",
+        "induction l1; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- destruct a; simpl.\n"
+        "  + apply IHl1.\n"
+        "  + f_equal. apply IHl1.",
+    )
+    f.lemma(
+        "nonzero_addrs_repeat_0",
+        "forall n, nonzero_addrs (repeat 0 n) = 0",
+        "induction n; simpl; auto.",
+    )
+    f.lemma(
+        "nonzero_addrs_app_zeros",
+        "forall (l : list nat) (n : nat), "
+        "nonzero_addrs (l ++ repeat 0 n) = nonzero_addrs l",
+        "intros. rewrite nonzero_addrs_app. "
+        "rewrite nonzero_addrs_repeat_0. apply plus_0_r.",
+    )
+    f.lemma(
+        "nonzero_addrs_bound",
+        "forall (l : list nat), nonzero_addrs l <= length l",
+        "induction l; simpl; auto.\n"
+        "destruct a; simpl; lia.",
+    )
+    f.lemma(
+        "nonzero_addrs_cons_zero",
+        "forall (l : list nat), nonzero_addrs (0 :: l) = nonzero_addrs l",
+        "intros. reflexivity.",
+    )
+    f.lemma(
+        "ndata_log_nil",
+        "ndata_log nil = 0",
+        "reflexivity.",
+    )
+    f.lemma(
+        "ndata_log_app",
+        "forall (l1 l2 : list (prod nat valu)), "
+        "ndata_log (l1 ++ l2) = ndata_log l1 + ndata_log l2",
+        "intros. unfold ndata_log. rewrite map_app. "
+        "apply nonzero_addrs_app.",
+    )
+    f.lemma(
+        "ndata_log_cons_zero",
+        "forall (v : valu) (l : list (prod nat valu)), "
+        "ndata_log (pair 0 v :: l) = ndata_log l",
+        "intros. unfold ndata_log. simpl. reflexivity.",
+    )
+    f.lemma(
+        "ndata_log_cons_nonzero",
+        "forall (a : nat) (v : valu) (l : list (prod nat valu)), "
+        "ndata_log (pair (S a) v :: l) = S (ndata_log l)",
+        "intros. unfold ndata_log. simpl. reflexivity.",
+    )
+    f.lemma(
+        "ndata_log_bound",
+        "forall (l : list (prod nat valu)), ndata_log l <= length l",
+        "intros. unfold ndata_log. "
+        "pose proof (nonzero_addrs_bound (map fst l)). "
+        "rewrite map_length in H. assumption.",
+    )
+    f.lemma(
+        "ndata_log_all_valid",
+        "forall (l : list (prod nat valu)), "
+        "Forall addr_valid l -> ndata_log l = length l",
+        "induction l; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- inversion H. destruct a. unfold addr_valid in H0. "
+        "simpl in H0. destruct a.\n"
+        "  + exfalso. unfold lt in H0. lia.\n"
+        "  + rewrite ndata_log_cons_nonzero. f_equal. "
+        "apply IHl. assumption.",
+    )
+    f.hint_resolve("nonzero_addrs_repeat_0", "ndata_log_nil")
+
+    return f.build()

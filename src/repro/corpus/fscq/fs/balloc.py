@@ -1,0 +1,161 @@
+"""Balloc.v — bitmap block allocator (FileSystem).
+
+A block bitmap is a ``list bool`` (true = used).  ``count_free`` and
+``find_free`` mirror FSCQ's allocator queries; the lemmas relate
+allocation to the free count.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "Balloc",
+        "FileSystem",
+        imports=("Prelude", "ArithUtils", "ListUtils", "WordUtils"),
+    )
+
+    f.fixpoint(
+        "count_free",
+        "list bool -> nat",
+        [
+            "count_free nil = 0",
+            "count_free (true :: l) = count_free l",
+            "count_free (false :: l) = S (count_free l)",
+        ],
+    )
+    f.fixpoint(
+        "opt_succ",
+        "option nat -> option nat",
+        [
+            "opt_succ None = None",
+            "opt_succ (Some n) = Some (S n)",
+        ],
+    )
+    f.fixpoint(
+        "find_free",
+        "list bool -> option nat",
+        [
+            "find_free nil = None",
+            "find_free (false :: l) = Some 0",
+            "find_free (true :: l) = opt_succ (find_free l)",
+        ],
+    )
+    f.definition(
+        "alloc",
+        "(bm : list bool) (i : nat)",
+        "list bool",
+        "updN bm i true",
+    )
+    f.definition(
+        "free",
+        "(bm : list bool) (i : nat)",
+        "list bool",
+        "updN bm i false",
+    )
+
+    f.lemma(
+        "opt_succ_none",
+        "forall (o : option nat), opt_succ o = None -> o = None",
+        "destruct o; simpl; intros.\n"
+        "- discriminate H.\n"
+        "- reflexivity.",
+    )
+    f.lemma(
+        "count_free_bound",
+        "forall (bm : list bool), count_free bm <= length bm",
+        "induction bm; simpl; auto.\n"
+        "destruct a; simpl; lia.",
+    )
+    f.lemma(
+        "count_free_repeat_false",
+        "forall n, count_free (repeat false n) = n",
+        "induction n; simpl; auto.\nf_equal. apply IHn.",
+    )
+    f.lemma(
+        "count_free_repeat_true",
+        "forall n, count_free (repeat true n) = 0",
+        "induction n; simpl; auto.",
+    )
+    f.lemma(
+        "count_free_app",
+        "forall (b1 b2 : list bool), "
+        "count_free (b1 ++ b2) = count_free b1 + count_free b2",
+        "induction b1; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- destruct a; simpl.\n"
+        "  + apply IHb1.\n"
+        "  + f_equal. apply IHb1.",
+    )
+    f.lemma(
+        "alloc_length",
+        "forall (bm : list bool) (i : nat), "
+        "length (alloc bm i) = length bm",
+        "intros. unfold alloc. apply length_updN.",
+    )
+    f.lemma(
+        "free_length",
+        "forall (bm : list bool) (i : nat), "
+        "length (free bm i) = length bm",
+        "intros. unfold free. apply length_updN.",
+    )
+    f.lemma(
+        "alloc_le_count_free",
+        "forall (bm : list bool) (i : nat), "
+        "count_free (alloc bm i) <= count_free bm",
+        "unfold alloc. induction bm; destruct i; simpl; intros; auto.\n"
+        "- destruct a; simpl; lia.\n"
+        "- destruct a; simpl.\n"
+        "  + apply IHbm.\n"
+        "  + pose proof (IHbm n). lia.",
+    )
+    f.lemma(
+        "free_ge_count_free",
+        "forall (bm : list bool) (i : nat), "
+        "count_free bm <= count_free (free bm i)",
+        "unfold free. induction bm; destruct i; simpl; intros; auto.\n"
+        "- destruct a; simpl; lia.\n"
+        "- destruct a; simpl.\n"
+        "  + apply IHbm.\n"
+        "  + pose proof (IHbm n). lia.",
+    )
+    f.lemma(
+        "find_free_none_full",
+        "forall (bm : list bool), "
+        "find_free bm = None -> count_free bm = 0",
+        "induction bm; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- destruct a; simpl in *.\n"
+        "  + apply IHbm. apply opt_succ_none. assumption.\n"
+        "  + discriminate H.",
+    )
+    f.lemma(
+        "find_free_in_range",
+        "forall (bm : list bool) (i : nat), "
+        "find_free bm = Some i -> i < length bm",
+        "induction bm; simpl; intros.\n"
+        "- discriminate H.\n"
+        "- destruct a; simpl in *.\n"
+        "  + destruct (find_free l) eqn:E; simpl in H.\n"
+        "    * inversion H. assert (a < length l) as Hlt.\n"
+        "      { apply IHbm. assumption. }\n"
+        "      unfold lt in *. lia.\n"
+        "    * discriminate H.\n"
+        "  + inversion H. unfold lt. apply le_n_S. apply le_0_n.",
+    )
+    f.lemma(
+        "find_free_is_free",
+        "forall (bm : list bool) (i : nat), "
+        "find_free bm = Some i -> selN bm i true = false",
+        "induction bm; simpl; intros.\n"
+        "- discriminate H.\n"
+        "- destruct a; simpl in *.\n"
+        "  + destruct (find_free l) eqn:E; simpl in H.\n"
+        "    * inversion H. apply IHbm. assumption.\n"
+        "    * discriminate H.\n"
+        "  + inversion H. reflexivity.",
+    )
+
+    return f.build()

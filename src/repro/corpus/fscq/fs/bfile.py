@@ -1,0 +1,120 @@
+"""BFile.v — block-level file operations and their CHL specs
+(FileSystem).
+
+A file is a list of block values; reads and writes are the CHL
+programs from Hoare.v.  These are the first lemmas that combine the
+separation algebra, the hoare rules, and the list substrate — the
+"dependent theorems" flavour the paper blames for the File System
+category's difficulty.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "BFile",
+        "FileSystem",
+        imports=("Prelude", "ListUtils", "Pred", "SepStar", "Hoare", "Crash"),
+    )
+
+    f.definition(
+        "bupd",
+        "(data : list valu) (i : nat) (v : valu)",
+        "list valu",
+        "updN data i v",
+    )
+
+    f.lemma(
+        "bupd_length",
+        "forall (data : list valu) (i : nat) (v : valu), "
+        "length (bupd data i v) = length data",
+        "intros. unfold bupd. apply length_updN.",
+    )
+    f.lemma(
+        "bupd_sel_eq",
+        "forall (data : list valu) (i : nat) (v def : valu), "
+        "i < length data -> selN (bupd data i v) i def = v",
+        "intros. unfold bupd. apply selN_updN_eq. assumption.",
+    )
+    f.lemma(
+        "bupd_sel_ne",
+        "forall (data : list valu) (i j : nat) (v def : valu), "
+        "i <> j -> selN (bupd data i v) j def = selN data j def",
+        "intros. unfold bupd. apply selN_updN_ne. assumption.",
+    )
+    f.lemma(
+        "bfile_read_ok",
+        "forall (F : pred) (a : nat) (v : valu), "
+        "hoare (F * a |-> v) (PRead a) (F * a |-> v) (F * a |-> v)",
+        "intros. apply hoare_read. apply pimpl_refl.",
+    )
+    f.lemma(
+        "bfile_write_ok",
+        "forall (F : pred) (a : nat) (v0 v : valu), "
+        "hoare (F * a |-> v0) (PWrite a v) (F * a |-> v) "
+        "(por (F * a |-> v0) (F * a |-> v))",
+        "intros. apply hoare_write.\n"
+        "- apply pimpl_or_intro_l.\n"
+        "- apply pimpl_or_intro_r.",
+    )
+    f.lemma(
+        "bfile_write_then_read",
+        "forall (F : pred) (a : nat) (v0 v : valu), "
+        "hoare (F * a |-> v0) (PSeq (PWrite a v) (PRead a)) "
+        "(F * a |-> v) (por (F * a |-> v0) (F * a |-> v))",
+        "intros. eapply hoare_seq.\n"
+        "- apply bfile_write_ok.\n"
+        "- apply hoare_read. apply pimpl_or_intro_r.",
+    )
+    f.lemma(
+        "bfile_write_crash_xform",
+        "forall (F : pred) (a : nat) (v0 v : valu) (c : pred), "
+        "(F * a |-> v0 =p=> c) -> (F * a |-> v =p=> c) -> "
+        "hoare (F * a |-> v0) (PWrite a v) (F * a |-> v) "
+        "(por c (crash_xform c))",
+        "intros. eapply hoare_weaken_crash.\n"
+        "- eapply hoare_write.\n"
+        "  + apply H.\n"
+        "  + apply H0.\n"
+        "- apply pimpl_or_intro_l.",
+    )
+    f.lemma(
+        "bfile_read_pre_weak",
+        "forall (F G : pred) (a : nat) (v : valu), "
+        "(G =p=> F * a |-> v) -> "
+        "hoare G (PRead a) (F * a |-> v) (F * a |-> v)",
+        "intros. eapply hoare_weaken_pre.\n"
+        "- apply bfile_read_ok.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "bfile_two_writes",
+        "forall (F : pred) (a : nat) (v0 v1 v2 : valu) (c : pred), "
+        "(F * a |-> v0 =p=> c) -> (F * a |-> v1 =p=> c) -> "
+        "(F * a |-> v2 =p=> c) -> "
+        "hoare (F * a |-> v0) (PSeq (PWrite a v1) (PWrite a v2)) "
+        "(F * a |-> v2) c",
+        "intros. eapply hoare_seq.\n"
+        "- apply hoare_write.\n"
+        "  + apply H.\n"
+        "  + apply H0.\n"
+        "- apply hoare_write.\n"
+        "  + apply H0.\n"
+        "  + apply H1.",
+    )
+    f.lemma(
+        "bfile_read_frame",
+        "forall (F G : pred) (a : nat) (v : valu), "
+        "hoare ((F * a |-> v) * G) (PRead a) "
+        "((F * a |-> v) * G) ((F * a |-> v) * G)",
+        "intros. eapply hoare_conseq.\n"
+        "- eapply hoare_read. eapply sep_star_assoc_swap.\n"
+        "- apply sep_star_assoc_swap.\n"
+        "- apply sep_star_assoc_swap.\n"
+        "- apply pimpl_refl.",
+    )
+
+    return f.build()

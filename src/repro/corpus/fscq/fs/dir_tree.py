@@ -1,0 +1,167 @@
+"""DirTree.v — directory trees and name-distinctness (FileSystem).
+
+The DFSCQ directory tree: files and directories with named entries.
+``tree_names_distinct`` is the invariant from the paper's Figure 2
+Case C; its ``tree_name_distinct_head`` lemma appears here with the
+redundant human proof the paper contrasts against the LLM's.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "DirTree",
+        "FileSystem",
+        imports=("Prelude", "ListUtils", "WordUtils", "Pred"),
+    )
+
+    f.opaque_type("string")
+    f.inductive(
+        "dirtree",
+        [
+            ("TreeFile", ["nat", "list valu"], ["inum", "fdata"]),
+            (
+                "TreeDir",
+                ["nat", "list (prod string dirtree)"],
+                ["inum", "ents"],
+            ),
+        ],
+    )
+    f.fixpoint(
+        "tree_inum",
+        "dirtree -> nat",
+        [
+            "tree_inum (TreeFile inum fdata) = inum",
+            "tree_inum (TreeDir inum ents) = inum",
+        ],
+    )
+    f.fixpoint(
+        "is_file",
+        "dirtree -> bool",
+        [
+            "is_file (TreeFile inum fdata) = true",
+            "is_file (TreeDir inum ents) = false",
+        ],
+    )
+    f.pred(
+        "tree_names_distinct",
+        "dirtree -> Prop",
+        [
+            (
+                "TND_file",
+                "forall (inum : nat) (fdata : list valu), "
+                "tree_names_distinct (TreeFile inum fdata)",
+            ),
+            (
+                "TND_dir",
+                "forall (inum : nat) "
+                "(ents : list (prod string dirtree)), "
+                "Forall tree_names_distinct (map snd ents) -> "
+                "NoDup (map fst ents) -> "
+                "tree_names_distinct (TreeDir inum ents)",
+            ),
+        ],
+    )
+    f.hint_constructors("tree_names_distinct")
+
+    f.lemma(
+        "tree_names_distinct_file",
+        "forall (inum : nat) (fdata : list valu), "
+        "tree_names_distinct (TreeFile inum fdata)",
+        "intros. constructor.",
+    )
+    f.lemma(
+        "tree_names_distinct_empty_dir",
+        "forall (inum : nat), "
+        "tree_names_distinct (TreeDir inum nil)",
+        "intros. constructor.\n"
+        "- simpl. constructor.\n"
+        "- simpl. constructor.",
+    )
+
+    # Figure 2, Case C: the paper's redundant human proof.
+    f.lemma(
+        "tree_name_distinct_head",
+        "forall (inum : nat) (name : string) (l : list (prod string "
+        "dirtree)) (t : dirtree), "
+        "tree_names_distinct (TreeDir inum (pair name t :: l)) -> "
+        "tree_names_distinct t",
+        "intros. destruct t.\n"
+        "- constructor.\n"
+        "- inversion H. rewrite map_cons in H0. "
+        "apply Forall_inv in H0. simpl in H0. inversion H0. "
+        "constructor.\n"
+        "  + assumption.\n"
+        "  + assumption.",
+    )
+    f.lemma(
+        "tree_name_distinct_rest",
+        "forall (inum : nat) (e : prod string dirtree) "
+        "(l : list (prod string dirtree)), "
+        "tree_names_distinct (TreeDir inum (e :: l)) -> "
+        "tree_names_distinct (TreeDir inum l)",
+        "intros. inversion H. constructor.\n"
+        "- apply Forall_inv_tail in H0. assumption.\n"
+        "- simpl in H1. apply NoDup_cons_inv in H1. assumption.",
+    )
+    f.lemma(
+        "tree_names_distinct_subtrees",
+        "forall (inum : nat) (ents : list (prod string dirtree)), "
+        "tree_names_distinct (TreeDir inum ents) -> "
+        "Forall tree_names_distinct (map snd ents)",
+        "intros. inversion H. assumption.",
+    )
+    f.lemma(
+        "tree_names_distinct_names",
+        "forall (inum : nat) (ents : list (prod string dirtree)), "
+        "tree_names_distinct (TreeDir inum ents) -> "
+        "NoDup (map fst ents)",
+        "intros. inversion H. assumption.",
+    )
+    f.lemma(
+        "tree_inum_file",
+        "forall (inum : nat) (fdata : list valu), "
+        "tree_inum (TreeFile inum fdata) = inum",
+        "intros. reflexivity.",
+    )
+    f.lemma(
+        "tree_names_distinct_in_subtree",
+        "forall (inum : nat) (ents : list (prod string dirtree)) "
+        "(t : dirtree), "
+        "tree_names_distinct (TreeDir inum ents) -> "
+        "In t (map snd ents) -> tree_names_distinct t",
+        "intros. apply tree_names_distinct_subtrees in H. "
+        "eapply Forall_forall_in.\n"
+        "- apply H.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "is_file_not_dir",
+        "forall (t : dirtree), is_file t = true -> "
+        "forall (inum : nat) (ents : list (prod string dirtree)), "
+        "t <> TreeDir inum ents",
+        "intros. destruct t.\n"
+        "- discriminate.\n"
+        "- simpl in H. discriminate H.",
+    )
+    f.lemma(
+        "tree_names_distinct_dir_cons_file",
+        "forall (inum inum2 : nat) (name : string) "
+        "(fdata : list valu) (l : list (prod string dirtree)), "
+        "tree_names_distinct (TreeDir inum l) -> "
+        "~ In name (map fst l) -> "
+        "tree_names_distinct "
+        "(TreeDir inum (pair name (TreeFile inum2 fdata) :: l))",
+        "intros. inversion H. constructor.\n"
+        "- rewrite map_cons. constructor.\n"
+        "  + simpl. constructor.\n"
+        "  + assumption.\n"
+        "- rewrite map_cons. constructor.\n"
+        "  + simpl. assumption.\n"
+        "  + assumption.",
+    )
+
+    return f.build()

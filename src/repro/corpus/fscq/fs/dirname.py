@@ -1,0 +1,96 @@
+"""DirName.v — directory-name bookkeeping (FileSystem).
+
+Lemmas about the name column (``map fst ents``) of directory entry
+lists: distinctness through updates and concatenation, lookups by
+position.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "DirName",
+        "FileSystem",
+        imports=("Prelude", "ListUtils", "WordUtils", "DirTree"),
+    )
+
+    f.definition(
+        "ent_names",
+        "(ents : list (prod string dirtree))",
+        "list string",
+        "map fst ents",
+    )
+
+    f.lemma(
+        "ent_names_nil",
+        "ent_names nil = nil",
+        "reflexivity.",
+    )
+    f.lemma(
+        "ent_names_cons",
+        "forall (e : prod string dirtree) "
+        "(ents : list (prod string dirtree)), "
+        "ent_names (e :: ents) = fst e :: ent_names ents",
+        "intros. unfold ent_names. apply map_cons.",
+    )
+    f.lemma(
+        "ent_names_app",
+        "forall (e1 e2 : list (prod string dirtree)), "
+        "ent_names (e1 ++ e2) = ent_names e1 ++ ent_names e2",
+        "intros. unfold ent_names. apply map_app.",
+    )
+    f.lemma(
+        "ent_names_length",
+        "forall (ents : list (prod string dirtree)), "
+        "length (ent_names ents) = length ents",
+        "intros. unfold ent_names. apply map_length.",
+    )
+    f.lemma(
+        "dir_names_head_not_in",
+        "forall (n : string) (t : dirtree) "
+        "(ents : list (prod string dirtree)), "
+        "NoDup (ent_names (pair n t :: ents)) -> "
+        "~ In n (ent_names ents)",
+        "intros. unfold ent_names in *. simpl in H. "
+        "apply NoDup_cons_not_in in H. assumption.",
+    )
+    f.lemma(
+        "dir_names_rest_distinct",
+        "forall (e : prod string dirtree) "
+        "(ents : list (prod string dirtree)), "
+        "NoDup (ent_names (e :: ents)) -> NoDup (ent_names ents)",
+        "intros. unfold ent_names in *. rewrite map_cons in H. "
+        "apply NoDup_cons_inv in H. assumption.",
+    )
+    f.lemma(
+        "dir_names_app_l",
+        "forall (e1 e2 : list (prod string dirtree)), "
+        "NoDup (ent_names (e1 ++ e2)) -> NoDup (ent_names e1)",
+        "intros. rewrite ent_names_app in H. "
+        "eapply NoDup_app_l. eauto.",
+    )
+    f.lemma(
+        "ent_names_upd_same",
+        "forall (ents : list (prod string dirtree)) (i : nat) "
+        "(n : string) (t t' : dirtree), "
+        "selN (ent_names ents) i n = n -> "
+        "ent_names (updN ents i (pair n t')) = "
+        "updN (ent_names ents) i n",
+        "intros. unfold ent_names. rewrite map_updN. "
+        "simpl. reflexivity.",
+    )
+    f.lemma(
+        "dir_names_distinct_head_neq",
+        "forall (n1 n2 : string) (t1 t2 : dirtree) "
+        "(ents : list (prod string dirtree)), "
+        "NoDup (ent_names (pair n1 t1 :: pair n2 t2 :: ents)) -> "
+        "n1 <> n2",
+        "intros. unfold ent_names in H. simpl in H. "
+        "apply NoDup_cons_not_in in H. intro Heq. apply H. "
+        "rewrite Heq. left. reflexivity.",
+    )
+
+    return f.build()

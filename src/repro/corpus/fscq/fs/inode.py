@@ -1,0 +1,106 @@
+"""Inode.v — inode representation invariants (FileSystem).
+
+An inode is a (length, block-list) pair; ``inode_ok`` is the
+representation invariant tying the recorded length to the block list,
+preserved by the grow/shrink/update operations.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "Inode",
+        "FileSystem",
+        imports=("Prelude", "ArithUtils", "ListUtils", "Balloc"),
+    )
+
+    f.definition("ilen", "(i : prod nat (list nat))", "nat", "fst i")
+    f.definition(
+        "iblocks", "(i : prod nat (list nat))", "list nat", "snd i"
+    )
+    f.definition(
+        "inode_ok",
+        "(i : prod nat (list nat))",
+        "Prop",
+        "length (snd i) = fst i",
+    )
+    f.definition(
+        "igrow",
+        "(i : prod nat (list nat)) (b : nat)",
+        "prod nat (list nat)",
+        "pair (S (fst i)) (b :: snd i)",
+    )
+    f.definition(
+        "iupd",
+        "(i : prod nat (list nat)) (k b : nat)",
+        "prod nat (list nat)",
+        "pair (fst i) (updN (snd i) k b)",
+    )
+
+    f.lemma(
+        "inode_ok_empty",
+        "inode_ok (pair 0 nil)",
+        "unfold inode_ok. simpl. reflexivity.",
+    )
+    f.lemma(
+        "inode_ok_grow",
+        "forall (i : prod nat (list nat)) (b : nat), "
+        "inode_ok i -> inode_ok (igrow i b)",
+        "unfold inode_ok, igrow. intros. simpl. "
+        "f_equal. assumption.",
+    )
+    f.lemma(
+        "inode_ok_upd",
+        "forall (i : prod nat (list nat)) (k b : nat), "
+        "inode_ok i -> inode_ok (iupd i k b)",
+        "unfold inode_ok, iupd. intros. simpl. "
+        "rewrite length_updN. assumption.",
+    )
+    f.lemma(
+        "igrow_len",
+        "forall (i : prod nat (list nat)) (b : nat), "
+        "ilen (igrow i b) = S (ilen i)",
+        "intros. unfold ilen, igrow. simpl. reflexivity.",
+    )
+    f.lemma(
+        "iupd_len",
+        "forall (i : prod nat (list nat)) (k b : nat), "
+        "ilen (iupd i k b) = ilen i",
+        "intros. unfold ilen, iupd. simpl. reflexivity.",
+    )
+    f.lemma(
+        "igrow_blocks_head",
+        "forall (i : prod nat (list nat)) (b : nat), "
+        "selN (iblocks (igrow i b)) 0 0 = b",
+        "intros. unfold iblocks, igrow. simpl. reflexivity.",
+    )
+    f.lemma(
+        "inode_ok_shrink",
+        "forall (n b : nat) (bl : list nat), "
+        "inode_ok (pair (S n) (b :: bl)) -> inode_ok (pair n bl)",
+        "unfold inode_ok. simpl. intros. inversion H. reflexivity.",
+    )
+    f.lemma(
+        "inode_ok_len_blocks",
+        "forall (i : prod nat (list nat)), "
+        "inode_ok i -> length (iblocks i) = ilen i",
+        "unfold inode_ok, iblocks, ilen. intros. assumption.",
+    )
+    f.lemma(
+        "inode_ok_zero_nil",
+        "forall (bl : list nat), inode_ok (pair 0 bl) -> bl = nil",
+        "unfold inode_ok. simpl. intros. apply length_nil. assumption.",
+    )
+    f.lemma(
+        "iupd_out_of_bounds",
+        "forall (i : prod nat (list nat)) (k b : nat), "
+        "inode_ok i -> ilen i <= k -> "
+        "length (iblocks (iupd i k b)) = ilen i",
+        "unfold inode_ok, iblocks, ilen, iupd. intros. simpl. "
+        "rewrite length_updN. assumption.",
+    )
+
+    return f.build()

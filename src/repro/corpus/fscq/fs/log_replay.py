@@ -1,0 +1,147 @@
+"""LogReplay.v — applying a write-ahead log to a disk (FileSystem).
+
+``replay`` folds a log of (address, value) entries over the disk
+image with ``updN``; recovery correctness rests on these lemmas.
+Several proofs here are long (generalized inductions with auxiliary
+asserts), populating the File System category's heavy bins.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "LogReplay",
+        "FileSystem",
+        imports=(
+            "Prelude",
+            "ArithUtils",
+            "ListUtils",
+            "ListPred",
+            "Pred",
+            "AddrLog",
+            "PaddedLog",
+        ),
+    )
+
+    f.fixpoint(
+        "replay",
+        "list (prod nat valu) -> list valu -> list valu",
+        [
+            "replay nil d = d",
+            "replay (e :: l) d = replay l (updN d (fst e) (snd e))",
+        ],
+    )
+
+    f.lemma(
+        "replay_nil",
+        "forall (d : list valu), replay nil d = d",
+        "intros. reflexivity.",
+    )
+    f.lemma(
+        "replay_length",
+        "forall (l : list (prod nat valu)) (d : list valu), "
+        "length (replay l d) = length d",
+        "induction l; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- rewrite IHl. apply length_updN.",
+    )
+    f.lemma(
+        "replay_app",
+        "forall (l1 l2 : list (prod nat valu)) (d : list valu), "
+        "replay (l1 ++ l2) d = replay l2 (replay l1 d)",
+        "induction l1; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- apply IHl1.",
+    )
+    f.lemma(
+        "replay_cons_cons",
+        "forall (e1 e2 : prod nat valu) (l : list (prod nat valu)) "
+        "(d : list valu), "
+        "replay (e1 :: e2 :: l) d = "
+        "replay l (updN (updN d (fst e1) (snd e1)) (fst e2) (snd e2))",
+        "intros. simpl. reflexivity.",
+    )
+    f.lemma(
+        "replay_last_wins",
+        "forall (a : nat) (v1 v2 : valu) (d : list valu) (def : valu), "
+        "a < length d -> "
+        "selN (replay (pair a v1 :: pair a v2 :: nil) d) a def = v2",
+        "intros. simpl. apply selN_updN_eq. "
+        "rewrite length_updN. assumption.",
+    )
+    f.lemma(
+        "replay_untouched",
+        "forall (l : list (prod nat valu)) (d : list valu) "
+        "(j : nat) (def : valu), "
+        "Forall (fun e => fst e <> j) l -> "
+        "selN (replay l d) j def = selN d j def",
+        "induction l; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- inversion H. rewrite IHl.\n"
+        "  + apply selN_updN_ne. apply H0.\n"
+        "  + assumption.",
+    )
+    f.lemma(
+        "replay_single",
+        "forall (a : nat) (v : valu) (d : list valu) (def : valu), "
+        "a < length d -> "
+        "selN (replay (pair a v :: nil) d) a def = v",
+        "intros. simpl. apply selN_updN_eq. assumption.",
+    )
+    f.lemma(
+        "replay_padded_length",
+        "forall (l : list (prod nat valu)) (d : list valu), "
+        "length (replay (padded_log l) d) = length d",
+        "intros. apply replay_length.",
+    )
+    f.lemma(
+        "replay_app_length",
+        "forall (l1 l2 : list (prod nat valu)) (d : list valu), "
+        "length (replay (l1 ++ l2) d) = length d",
+        "intros. rewrite replay_app. "
+        "assert (length (replay l2 (replay l1 d)) = "
+        "length (replay l1 d)) as Hinner.\n"
+        "{ apply replay_length. }\n"
+        "rewrite Hinner. apply replay_length.",
+    )
+    f.lemma(
+        "replay_idempotent_nil",
+        "forall (d : list valu), replay (padded_log nil) d = d",
+        "intros. rewrite padded_log_nil. reflexivity.",
+    )
+    f.lemma(
+        "replay_preserves_oob",
+        "forall (l : list (prod nat valu)) (d : list valu) "
+        "(j : nat) (def : valu), "
+        "length d <= j -> selN (replay l d) j def = def",
+        "intros. "
+        "assert (forall (d2 : list valu) (i : nat) (w : valu), "
+        "length d2 <= i -> selN d2 i w = w) as Hoob.\n"
+        "{ induction d2; destruct i; simpl; intros.\n"
+        "  - reflexivity.\n"
+        "  - reflexivity.\n"
+        "  - exfalso. lia.\n"
+        "  - apply IHd2. lia. }\n"
+        "apply Hoob. "
+        "assert (length (replay l d) = length d) as Hlen.\n"
+        "{ apply replay_length. }\n"
+        "rewrite Hlen. assumption.",
+    )
+    f.lemma(
+        "replay_two_disjoint",
+        "forall (a1 a2 : nat) (v1 v2 : valu) (d : list valu) "
+        "(def : valu), "
+        "a1 <> a2 -> a1 < length d -> "
+        "selN (replay (pair a1 v1 :: pair a2 v2 :: nil) d) a1 def = v1",
+        "intros. simpl. "
+        "assert (selN (updN (updN d a1 v1) a2 v2) a1 def = "
+        "selN (updN d a1 v1) a1 def) as Hne.\n"
+        "{ apply selN_updN_ne. intro Heq. apply H. "
+        "rewrite Heq. reflexivity. }\n"
+        "rewrite Hne. apply selN_updN_eq. assumption.",
+    )
+
+    return f.build()

@@ -1,0 +1,91 @@
+"""PaddedLog.v — log padding (FileSystem).
+
+The DFSCQ log pads entry lists to a block boundary with (0, v0)
+entries; padding must not change the live-entry count.  Contains the
+paper's Figure 2 Case B lemma ``ndata_log_padded_log`` with its
+rewrite-heavy human proof.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "PaddedLog",
+        "FileSystem",
+        imports=("Prelude", "ListUtils", "Rounding", "Pred", "AddrLog"),
+    )
+
+    f.definition(
+        "padded_log",
+        "(l : list (prod nat valu))",
+        "list (prod nat valu)",
+        "l ++ repeat (pair 0 v0) (pad2 (length l))",
+    )
+
+    # Figure 2, Case B.
+    f.lemma(
+        "ndata_log_padded_log",
+        "forall (a : list (prod nat valu)), "
+        "ndata_log (padded_log a) = ndata_log a",
+        "unfold ndata_log, padded_log. intros.\n"
+        "rewrite map_app. rewrite repeat_map. simpl.\n"
+        "rewrite nonzero_addrs_app.\n"
+        "rewrite nonzero_addrs_repeat_0. apply plus_0_r.",
+    )
+    f.lemma(
+        "padded_log_length",
+        "forall (l : list (prod nat valu)), "
+        "length (padded_log l) = roundup2 (length l)",
+        "intros. unfold padded_log, roundup2. rewrite app_length. "
+        "rewrite repeat_length. reflexivity.",
+    )
+    f.lemma(
+        "padded_log_even",
+        "forall (l : list (prod nat valu)), "
+        "even (length (padded_log l)) = true",
+        "intros. rewrite padded_log_length. apply even_roundup2.",
+    )
+    f.lemma(
+        "padded_log_nil",
+        "padded_log nil = nil",
+        "unfold padded_log. simpl. reflexivity.",
+    )
+    f.lemma(
+        "padded_log_oob",
+        "forall (l : list (prod nat valu)), "
+        "pad2 (length l) = 0 -> padded_log l = l",
+        "intros. unfold padded_log. rewrite H. simpl. "
+        "apply app_nil_r.",
+    )
+    f.lemma(
+        "padded_log_idem",
+        "forall (l : list (prod nat valu)), "
+        "padded_log (padded_log l) = padded_log l",
+        "intros. apply padded_log_oob. rewrite padded_log_length. "
+        "apply pad2_roundup2.",
+    )
+    f.lemma(
+        "padded_log_ge",
+        "forall (l : list (prod nat valu)), "
+        "length l <= length (padded_log l)",
+        "intros. rewrite padded_log_length. apply roundup2_ge.",
+    )
+    f.lemma(
+        "firstn_padded_log",
+        "forall (l : list (prod nat valu)), "
+        "firstn (length l) (padded_log l) = l",
+        "intros. unfold padded_log. apply firstn_app.",
+    )
+    f.lemma(
+        "padded_log_app_ndata",
+        "forall (l1 l2 : list (prod nat valu)), "
+        "ndata_log (padded_log l1 ++ l2) = ndata_log l1 + ndata_log l2",
+        "intros. rewrite ndata_log_app. "
+        "rewrite ndata_log_padded_log. reflexivity.",
+    )
+    f.hint_resolve("ndata_log_padded_log", "padded_log_length")
+
+    return f.build()

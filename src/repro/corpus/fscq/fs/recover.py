@@ -1,0 +1,137 @@
+"""Recover.v — crash recovery specifications (FileSystem).
+
+DFSCQ's headline guarantee: after a crash anywhere in a transaction,
+replaying the log from a crash-stable state restores a consistent
+disk.  These lemmas tie the CHL crash machinery (``crash_xform``,
+``crash_idem``) to transaction specs.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "Recover",
+        "FileSystem",
+        imports=(
+            "Pred",
+            "SepStar",
+            "Hoare",
+            "Crash",
+            "Idempotence",
+            "BFile",
+            "Txn",
+        ),
+    )
+
+    f.definition(
+        "recover_ok",
+        "(p : prog) (pre post c : pred)",
+        "Prop",
+        "hoare pre p post c /\\ crash_idem c",
+    )
+
+    f.lemma(
+        "recover_ok_hoare",
+        "forall (p : prog) (pre post c : pred), "
+        "recover_ok p pre post c -> hoare pre p post c",
+        "unfold recover_ok. intros. destruct H. assumption.",
+    )
+    f.lemma(
+        "recover_ok_idem",
+        "forall (p : prog) (pre post c : pred), "
+        "recover_ok p pre post c -> crash_idem c",
+        "unfold recover_ok. intros. destruct H. assumption.",
+    )
+    f.lemma(
+        "recover_ok_intro",
+        "forall (p : prog) (pre post c : pred), "
+        "hoare pre p post c -> crash_idem c -> recover_ok p pre post c",
+        "unfold recover_ok. intros. split.\n"
+        "- assumption.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "recover_ok_weaken_pre",
+        "forall (p : prog) (pre pre' post c : pred), "
+        "recover_ok p pre post c -> (pre' =p=> pre) -> "
+        "recover_ok p pre' post c",
+        "unfold recover_ok. intros. destruct H. split.\n"
+        "- eapply hoare_weaken_pre.\n"
+        "  + apply H.\n"
+        "  + assumption.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "recover_ok_crash_stable",
+        "forall (p : prog) (pre post c : pred), "
+        "recover_ok p pre post c -> (crash_xform c =p=> c)",
+        "unfold recover_ok, crash_idem. intros. "
+        "destruct H. assumption.",
+    )
+    f.lemma(
+        "recover_ok_double_crash",
+        "forall (p : prog) (pre post c : pred), "
+        "recover_ok p pre post c -> "
+        "(crash_xform (crash_xform c) =p=> c)",
+        "intros. apply recover_ok_crash_stable in H. "
+        "eapply pimpl_trans.\n"
+        "- apply crash_xform_idem.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "recover_ok_seq",
+        "forall (p1 p2 : prog) (pre mid post c : pred), "
+        "recover_ok p1 pre mid c -> recover_ok p2 mid post c -> "
+        "recover_ok (PSeq p1 p2) pre post c",
+        "unfold recover_ok. intros. destruct H. destruct H0. split.\n"
+        "- eapply hoare_seq.\n"
+        "  + apply H.\n"
+        "  + assumption.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "recover_ok_ret",
+        "forall (c : pred), crash_idem c -> recover_ok PRet c c c",
+        "intros. unfold recover_ok. split.\n"
+        "- apply hoare_ret. apply pimpl_refl.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "recover_ok_star_crash",
+        "forall (p : prog) (pre post c1 c2 : pred), "
+        "recover_ok p pre post (c1 * c2) -> crash_idem c1 -> "
+        "crash_idem c2 -> "
+        "(crash_xform (c1 * c2) =p=> c1 * c2)",
+        "intros. "
+        "assert (crash_idem (c1 * c2)) as Hs.\n"
+        "{ apply crash_idem_sep_star.\n"
+        "  - assumption.\n"
+        "  - assumption. }\n"
+        "unfold crash_idem in Hs. assumption.",
+    )
+    f.lemma(
+        "recover_ok_or_crash",
+        "forall (p : prog) (pre post c1 c2 : pred), "
+        "crash_idem c1 -> crash_idem c2 -> "
+        "hoare pre p post (por c1 c2) -> "
+        "recover_ok p pre post (por c1 c2)",
+        "intros. apply recover_ok_intro.\n"
+        "- assumption.\n"
+        "- apply crash_idem_or.\n"
+        "  + assumption.\n"
+        "  + assumption.",
+    )
+    f.lemma(
+        "recover_ok_xform_crash",
+        "forall (p : prog) (pre post c : pred), "
+        "hoare pre p post (crash_xform c) -> "
+        "recover_ok p pre post (crash_xform c)",
+        "intros. apply recover_ok_intro.\n"
+        "- assumption.\n"
+        "- apply crash_idem_xform.",
+    )
+
+    return f.build()

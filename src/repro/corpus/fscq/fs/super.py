@@ -1,0 +1,88 @@
+"""Super.v — superblock accounting (FileSystem).
+
+The superblock records total and used block counts; its invariant and
+the accounting updates performed by allocation and deallocation.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "Super",
+        "FileSystem",
+        imports=("Prelude", "ArithUtils", "Balloc"),
+    )
+
+    f.definition("sb_total", "(sb : prod nat nat)", "nat", "fst sb")
+    f.definition("sb_used", "(sb : prod nat nat)", "nat", "snd sb")
+    f.definition(
+        "sb_ok",
+        "(sb : prod nat nat)",
+        "Prop",
+        "snd sb <= fst sb",
+    )
+    f.definition(
+        "sb_alloc",
+        "(sb : prod nat nat)",
+        "prod nat nat",
+        "pair (fst sb) (S (snd sb))",
+    )
+    f.definition(
+        "sb_free",
+        "(sb : prod nat nat)",
+        "prod nat nat",
+        "pair (fst sb) (snd sb - 1)",
+    )
+
+    f.lemma(
+        "sb_ok_empty",
+        "forall (total : nat), sb_ok (pair total 0)",
+        "intros. unfold sb_ok. simpl. apply le_0_n.",
+    )
+    f.lemma(
+        "sb_alloc_ok",
+        "forall (sb : prod nat nat), "
+        "sb_ok sb -> sb_used sb < sb_total sb -> sb_ok (sb_alloc sb)",
+        "unfold sb_ok, sb_used, sb_total, sb_alloc. intros. "
+        "simpl. unfold lt in H0. lia.",
+    )
+    f.lemma(
+        "sb_free_ok",
+        "forall (sb : prod nat nat), sb_ok sb -> sb_ok (sb_free sb)",
+        "unfold sb_ok, sb_free. intros. simpl. lia.",
+    )
+    f.lemma(
+        "sb_alloc_used",
+        "forall (sb : prod nat nat), "
+        "sb_used (sb_alloc sb) = S (sb_used sb)",
+        "intros. unfold sb_used, sb_alloc. simpl. reflexivity.",
+    )
+    f.lemma(
+        "sb_alloc_total",
+        "forall (sb : prod nat nat), "
+        "sb_total (sb_alloc sb) = sb_total sb",
+        "intros. unfold sb_total, sb_alloc. simpl. reflexivity.",
+    )
+    f.lemma(
+        "sb_free_alloc_used",
+        "forall (sb : prod nat nat), "
+        "sb_used (sb_free (sb_alloc sb)) = sb_used sb",
+        "intros. unfold sb_used, sb_free, sb_alloc. simpl. lia.",
+    )
+    f.lemma(
+        "sb_used_free_le",
+        "forall (sb : prod nat nat), "
+        "sb_used (sb_free sb) <= sb_used sb",
+        "intros. unfold sb_used, sb_free. simpl. lia.",
+    )
+    f.lemma(
+        "sb_ok_used_bound",
+        "forall (total used : nat), "
+        "sb_ok (pair total used) -> used <= total",
+        "unfold sb_ok. simpl. intros. assumption.",
+    )
+
+    return f.build()

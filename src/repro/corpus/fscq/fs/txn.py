@@ -1,0 +1,109 @@
+"""Txn.v — multi-step transaction specs (FileSystem).
+
+Hoare specs for straight-line transactions of increasing length.
+Before FSCQ grew its automation, each extra program step cost another
+``hoare_seq``/``hoare_read`` block — these proofs scale linearly with
+the transaction and populate the File System category's long bins,
+matching the paper's observation that FS proofs lean on chains of
+dependent reasoning.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def _read_chain_prog(k: int) -> str:
+    """``PSeq (PRead a) (PSeq (PRead a) ...)`` with ``k`` reads."""
+    prog = "(PRead a)"
+    for _ in range(k - 1):
+        prog = f"(PSeq (PRead a) {prog})"
+    return prog
+
+
+def _read_chain_proof(k: int) -> str:
+    """One hoare_seq/hoare_read block per step."""
+    lines: List[str] = ["intros."]
+    for depth in range(k - 1):
+        indent = "  " * depth
+        bullet = "-+*"[depth % 3] * (depth // 3 + 1)
+        lines.append(f"{indent}eapply hoare_seq.")
+        lines.append(f"{indent}{bullet} apply hoare_read. apply pimpl_refl.")
+        lines.append(f"{indent}{bullet}")
+    last_indent = "  " * max(0, k - 2)
+    lines.append(f"{last_indent}apply hoare_read. apply pimpl_refl.")
+    return "\n".join(lines)
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "Txn",
+        "FileSystem",
+        imports=("Pred", "SepStar", "Hoare", "Crash", "BFile"),
+    )
+
+    for k in (2, 3, 4, 5):
+        f.lemma(
+            f"txn_read_chain_{k}",
+            "forall (F : pred) (a : nat) (v : valu), "
+            f"hoare (F * a |-> v) {_read_chain_prog(k)} "
+            "(F * a |-> v) (F * a |-> v)",
+            _read_chain_proof(k),
+        )
+
+    f.lemma(
+        "txn_write_read_write",
+        "forall (F : pred) (a : nat) (v0 v1 v2 : valu) (c : pred), "
+        "(F * a |-> v0 =p=> c) -> (F * a |-> v1 =p=> c) -> "
+        "(F * a |-> v2 =p=> c) -> "
+        "hoare (F * a |-> v0) "
+        "(PSeq (PWrite a v1) (PSeq (PRead a) (PWrite a v2))) "
+        "(F * a |-> v2) c",
+        "intros. eapply hoare_seq.\n"
+        "- apply hoare_write.\n"
+        "  + apply H.\n"
+        "  + apply H0.\n"
+        "- eapply hoare_seq.\n"
+        "  + apply hoare_read. apply H0.\n"
+        "  + apply hoare_write.\n"
+        "    * apply H0.\n"
+        "    * apply H1.",
+    )
+    f.lemma(
+        "txn_double_commit",
+        "forall (F : pred) (a : nat) (v0 v1 : valu), "
+        "hoare (F * a |-> v0) "
+        "(PSeq (PWrite a v1) (PSeq PRet (PWrite a v1))) "
+        "(F * a |-> v1) (por (F * a |-> v0) (F * a |-> v1))",
+        "intros. eapply hoare_seq.\n"
+        "- apply hoare_write.\n"
+        "  + apply pimpl_or_intro_l.\n"
+        "  + apply pimpl_or_intro_r.\n"
+        "- eapply hoare_seq.\n"
+        "  + apply hoare_ret. apply pimpl_or_intro_r.\n"
+        "  + apply hoare_write.\n"
+        "    * apply pimpl_or_intro_r.\n"
+        "    * apply pimpl_or_intro_r.",
+    )
+    f.lemma(
+        "txn_framed_write",
+        "forall (F G : pred) (a : nat) (v0 v1 : valu) (c : pred), "
+        "((F * a |-> v0) * G =p=> c) -> ((F * a |-> v1) * G =p=> c) -> "
+        "hoare ((F * a |-> v0) * G) (PWrite a v1) "
+        "((F * a |-> v1) * G) c",
+        "intros. eapply hoare_conseq.\n"
+        "- eapply hoare_write.\n"
+        "  + eapply pimpl_trans.\n"
+        "    * eapply sep_star_assoc_swap.\n"
+        "    * apply H.\n"
+        "  + eapply pimpl_trans.\n"
+        "    * eapply sep_star_assoc_swap.\n"
+        "    * apply H0.\n"
+        "- apply sep_star_assoc_swap.\n"
+        "- apply sep_star_assoc_swap.\n"
+        "- apply pimpl_refl.",
+    )
+
+    return f.build()

@@ -1,0 +1,189 @@
+"""ListPred.v — heavier list-predicate lemmas (Utilities).
+
+The long-proof tail of the Utilities category: compound Forall/NoDup
+facts and selN/app interaction lemmas whose human proofs run to many
+case splits — the 64-256-token bins of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "ListPred",
+        "Utilities",
+        imports=("Prelude", "ArithUtils", "ListUtils", "WordUtils"),
+    )
+
+    f.lemma(
+        "selN_app2",
+        "forall (A : Type) (l1 l2 : list A) (i : nat) (def : A), "
+        "length l1 <= i -> "
+        "selN (l1 ++ l2) i def = selN l2 (i - length l1) def",
+        "induction l1; simpl; intros.\n"
+        "- rewrite sub_0_r. reflexivity.\n"
+        "- destruct i; simpl.\n"
+        "  + exfalso. lia.\n"
+        "  + apply IHl1. lia.",
+    )
+    f.lemma(
+        "Forall_app_r",
+        "forall (A : Type) (P : A -> Prop) (l1 l2 : list A), "
+        "Forall P (l1 ++ l2) -> Forall P l2",
+        "induction l1; simpl; intros.\n"
+        "- assumption.\n"
+        "- inversion H. apply IHl1. assumption.",
+    )
+    f.lemma(
+        "Forall_app_split",
+        "forall (A : Type) (P : A -> Prop) (l1 l2 : list A), "
+        "Forall P (l1 ++ l2) -> Forall P l1 /\\ Forall P l2",
+        "intros. split.\n"
+        "- eapply Forall_app_l. apply H.\n"
+        "- eapply Forall_app_r. apply H.",
+    )
+    f.lemma(
+        "Forall_firstn",
+        "forall (A : Type) (P : A -> Prop) (l : list A) (n : nat), "
+        "Forall P l -> Forall P (firstn n l)",
+        "induction l; destruct n; simpl; intros; auto.\n"
+        "inversion H. constructor.\n"
+        "- assumption.\n"
+        "- apply IHl. assumption.",
+    )
+    f.lemma(
+        "Forall_skipn",
+        "forall (A : Type) (P : A -> Prop) (l : list A) (n : nat), "
+        "Forall P l -> Forall P (skipn n l)",
+        "induction l; destruct n; simpl; intros; auto.\n"
+        "inversion H. apply IHl. assumption.",
+    )
+    f.lemma(
+        "Forall_updN",
+        "forall (A : Type) (P : A -> Prop) (l : list A) (i : nat) "
+        "(v : A), "
+        "Forall P l -> P v -> Forall P (updN l i v)",
+        "induction l; destruct i; simpl; intros; auto.\n"
+        "- inversion H. constructor.\n"
+        "  + assumption.\n"
+        "  + assumption.\n"
+        "- inversion H. constructor.\n"
+        "  + assumption.\n"
+        "  + apply IHl.\n"
+        "    * assumption.\n"
+        "    * assumption.",
+    )
+    f.lemma(
+        "Forall_selN",
+        "forall (A : Type) (P : A -> Prop) (l : list A) (i : nat) "
+        "(def : A), "
+        "Forall P l -> i < length l -> P (selN l i def)",
+        "induction l; destruct i; simpl; intros.\n"
+        "- exfalso. lia.\n"
+        "- exfalso. lia.\n"
+        "- inversion H. assumption.\n"
+        "- inversion H. apply IHl.\n"
+        "  + assumption.\n"
+        "  + lia.",
+    )
+    f.lemma(
+        "NoDup_app_not_in_l",
+        "forall (A : Type) (l1 l2 : list A) (x : A), "
+        "NoDup (l1 ++ l2) -> In x l2 -> ~ In x l1",
+        "induction l1; simpl; intros.\n"
+        "- intro Hf. assumption.\n"
+        "- inversion H. intro Hin. destruct Hin.\n"
+        "  + apply H1. apply in_or_app. right. rewrite Hin. assumption.\n"
+        "  + assert (~ In x l) as Hnotin.\n"
+        "    { eapply IHl1.\n"
+        "      - apply H2.\n"
+        "      - assumption. }\n"
+        "    apply Hnotin. assumption.",
+    )
+    f.lemma(
+        "incl_app_split",
+        "forall (A : Type) (l1 l2 l3 : list A), "
+        "incl (l1 ++ l2) l3 -> incl l1 l3 /\\ incl l2 l3",
+        "intros. split.\n"
+        "- unfold incl in *. intros. apply H. apply in_or_app. "
+        "left. assumption.\n"
+        "- unfold incl in *. intros. apply H. apply in_or_app. "
+        "right. assumption.",
+    )
+    f.lemma(
+        "incl_map",
+        "forall (A B : Type) (g : A -> B) (l1 l2 : list A), "
+        "incl l1 l2 -> incl (map g l1) (map g l2)",
+        "induction l1; simpl; intros.\n"
+        "- apply incl_nil.\n"
+        "- unfold incl in *. intros. simpl in H0. destruct H0.\n"
+        "  + rewrite <- H0. apply in_map. apply H. simpl. "
+        "left. reflexivity.\n"
+        "  + eapply IHl1.\n"
+        "    * intros. apply H. simpl. right. assumption.\n"
+        "    * assumption.",
+    )
+    f.lemma(
+        "firstn_firstn_min",
+        "forall (A : Type) (l : list A) (n m : nat), "
+        "firstn n (firstn m l) = firstn (min n m) l",
+        "induction l; intros.\n"
+        "- rewrite firstn_nil.\n"
+        "  + rewrite firstn_nil.\n"
+        "    * reflexivity.\n"
+        "    * reflexivity.\n"
+        "  + destruct m; reflexivity.\n"
+        "- destruct n; destruct m; simpl.\n"
+        "  + reflexivity.\n"
+        "  + reflexivity.\n"
+        "  + reflexivity.\n"
+        "  + f_equal. apply IHl.",
+    )
+    f.lemma(
+        "updN_app1",
+        "forall (A : Type) (l1 l2 : list A) (i : nat) (v : A), "
+        "i < length l1 -> "
+        "updN (l1 ++ l2) i v = updN l1 i v ++ l2",
+        "induction l1; destruct i; simpl; intros.\n"
+        "- exfalso. lia.\n"
+        "- exfalso. lia.\n"
+        "- reflexivity.\n"
+        "- f_equal. apply IHl1. lia.",
+    )
+    f.lemma(
+        "updN_firstn_skipn",
+        "forall (A : Type) (l : list A) (i : nat) (v : A), "
+        "i < length l -> "
+        "updN l i v = firstn i l ++ (v :: skipn (S i) l)",
+        "induction l; destruct i; simpl; intros.\n"
+        "- exfalso. lia.\n"
+        "- exfalso. lia.\n"
+        "- reflexivity.\n"
+        "- f_equal. apply IHl. lia.",
+    )
+    f.lemma(
+        "NoDup_updN_in",
+        "forall (A : Type) (l : list A) (i : nat) (v : A), "
+        "NoDup l -> ~ In v l -> i < length l -> "
+        "~ In v (updN l i v) -> False",
+        "intros. intro H2. apply H2. clear H2. "
+        "assert (length (updN l i v) = length l) as Hlen.\n"
+        "{ apply length_updN. }\n"
+        "assert (selN (updN l i v) i v = v) as Hsel.\n"
+        "{ apply selN_updN_eq. assumption. }\n"
+        "clear H H0. "
+        "assert (forall (l2 : list A) (j : nat), j < length l2 -> "
+        "In (selN l2 j v) l2) as Hin.\n"
+        "{ induction l2; destruct j; simpl; intros.\n"
+        "  - intro Hj. lia.\n"
+        "  - intro Hj. lia.\n"
+        "  - left. reflexivity.\n"
+        "  - right. apply IHl2. lia. }\n"
+        "assert (In (selN (updN l i v) i v) (updN l i v)) as Hgoal.\n"
+        "{ apply Hin. rewrite Hlen. assumption. }\n"
+        "rewrite Hsel in Hgoal. assumption.",
+    )
+
+    return f.build()

@@ -1,0 +1,527 @@
+"""ListUtils.v — list helper lemmas (Utilities category).
+
+The FSCQ counterpart is ``ListUtils.v``, the grab-bag of list facts
+the file-system proofs lean on.  Includes the paper's Figure 2 Case A
+lemma ``incl_tl_inv`` with its deliberately induction-heavy human
+proof.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder("ListUtils", "Utilities", imports=("Prelude", "ArithUtils"))
+
+    # ------------------------------------------------------------------
+    # updN: the FSCQ list-update primitive.
+    # ------------------------------------------------------------------
+    f.fixpoint(
+        "updN",
+        "list A -> nat -> A -> list A",
+        [
+            "updN nil i v = nil",
+            "updN (x :: xs) 0 v = v :: xs",
+            "updN (x :: xs) (S i) v = x :: updN xs i v",
+        ],
+        tvars=("A",),
+    )
+
+    # ------------------------------------------------------------------
+    # app
+    # ------------------------------------------------------------------
+    f.lemma(
+        "app_nil_l",
+        "forall (A : Type) (l : list A), nil ++ l = l",
+        "intros. reflexivity.",
+    )
+    f.lemma(
+        "app_nil_r",
+        "forall (A : Type) (l : list A), l ++ nil = l",
+        "induction l; simpl.\n"
+        "- reflexivity.\n"
+        "- rewrite IHl. reflexivity.",
+    )
+    f.lemma(
+        "app_cons",
+        "forall (A : Type) (x : A) (l1 l2 : list A), "
+        "(x :: l1) ++ l2 = x :: (l1 ++ l2)",
+        "intros. reflexivity.",
+    )
+    f.lemma(
+        "app_assoc",
+        "forall (A : Type) (l1 l2 l3 : list A), "
+        "l1 ++ (l2 ++ l3) = (l1 ++ l2) ++ l3",
+        "induction l1; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- rewrite IHl1. reflexivity.",
+    )
+    f.lemma(
+        "app_length",
+        "forall (A : Type) (l1 l2 : list A), "
+        "length (l1 ++ l2) = length l1 + length l2",
+        "induction l1; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- rewrite IHl1. reflexivity.",
+    )
+    f.lemma(
+        "app_eq_nil_l",
+        "forall (A : Type) (l1 l2 : list A), l1 ++ l2 = nil -> l1 = nil",
+        "destruct l1; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- discriminate H.",
+    )
+    f.hint_resolve("app_nil_l", "app_nil_r")
+
+    # ------------------------------------------------------------------
+    # length
+    # ------------------------------------------------------------------
+    f.lemma(
+        "length_nil",
+        "forall (A : Type) (l : list A), length l = 0 -> l = nil",
+        "destruct l; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- discriminate H.",
+    )
+    f.lemma(
+        "length_updN",
+        "forall (A : Type) (l : list A) (i : nat) (v : A), "
+        "length (updN l i v) = length l",
+        "induction l; destruct i; simpl; intros; auto.\n"
+        "f_equal. apply IHl.",
+    )
+    f.hint_resolve("length_updN")
+
+    # ------------------------------------------------------------------
+    # map
+    # ------------------------------------------------------------------
+    f.lemma(
+        "map_cons",
+        "forall (A B : Type) (g : A -> B) (x : A) (l : list A), "
+        "map g (x :: l) = g x :: map g l",
+        "intros. reflexivity.",
+    )
+    f.lemma(
+        "map_length",
+        "forall (A B : Type) (g : A -> B) (l : list A), "
+        "length (map g l) = length l",
+        "induction l; simpl.\n"
+        "- reflexivity.\n"
+        "- rewrite IHl. reflexivity.",
+    )
+    f.lemma(
+        "map_app",
+        "forall (A B : Type) (g : A -> B) (l1 l2 : list A), "
+        "map g (l1 ++ l2) = map g l1 ++ map g l2",
+        "induction l1; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- rewrite IHl1. reflexivity.",
+    )
+    f.lemma(
+        "map_updN",
+        "forall (A B : Type) (g : A -> B) (l : list A) (i : nat) (v : A), "
+        "map g (updN l i v) = updN (map g l) i (g v)",
+        "induction l; destruct i; simpl; intros; auto.\n"
+        "rewrite IHl. reflexivity.",
+    )
+    f.hint_resolve("map_length", "map_app")
+
+    # ------------------------------------------------------------------
+    # rev
+    # ------------------------------------------------------------------
+    f.lemma(
+        "rev_app_distr",
+        "forall (A : Type) (l1 l2 : list A), "
+        "rev (l1 ++ l2) = rev l2 ++ rev l1",
+        "induction l1; simpl; intros.\n"
+        "- rewrite app_nil_r. reflexivity.\n"
+        "- rewrite IHl1. rewrite app_assoc. reflexivity.",
+    )
+    f.lemma(
+        "rev_involutive",
+        "forall (A : Type) (l : list A), rev (rev l) = l",
+        "induction l; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- rewrite rev_app_distr. simpl. rewrite IHl. reflexivity.",
+    )
+    f.lemma(
+        "rev_length",
+        "forall (A : Type) (l : list A), length (rev l) = length l",
+        "induction l; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- rewrite app_length. rewrite IHl. simpl. lia.",
+    )
+
+    # ------------------------------------------------------------------
+    # repeat
+    # ------------------------------------------------------------------
+    f.lemma(
+        "repeat_length",
+        "forall (A : Type) (x : A) (n : nat), length (repeat x n) = n",
+        "induction n; simpl.\n"
+        "- reflexivity.\n"
+        "- rewrite IHn. reflexivity.",
+    )
+    f.lemma(
+        "repeat_map",
+        "forall (A B : Type) (g : A -> B) (x : A) (n : nat), "
+        "map g (repeat x n) = repeat (g x) n",
+        "induction n; simpl.\n"
+        "- reflexivity.\n"
+        "- rewrite IHn. reflexivity.",
+    )
+    f.lemma(
+        "repeat_app",
+        "forall (A : Type) (x : A) (n m : nat), "
+        "repeat x (n + m) = repeat x n ++ repeat x m",
+        "induction n; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- rewrite IHn. reflexivity.",
+    )
+    f.hint_resolve("repeat_length", "repeat_map")
+
+    # ------------------------------------------------------------------
+    # firstn / skipn
+    # ------------------------------------------------------------------
+    f.lemma(
+        "firstn_nil",
+        "forall (A : Type) (l : list A) (n : nat), l = nil -> firstn n l = nil",
+        "intros. rewrite H. destruct n; reflexivity.",
+    )
+    f.lemma(
+        "firstn_length",
+        "forall (A : Type) (l : list A) (n : nat), "
+        "length (firstn n l) = min n (length l)",
+        "induction l; destruct n; simpl; intros; auto.\n"
+        "f_equal. apply IHl.",
+    )
+    f.lemma(
+        "firstn_oob",
+        "forall (A : Type) (l : list A) (n : nat), "
+        "length l <= n -> firstn n l = l",
+        "induction l; destruct n; simpl; intros; auto.\n"
+        "- inversion H.\n"
+        "- f_equal. apply IHl. lia.",
+    )
+    f.lemma(
+        "firstn_app",
+        "forall (A : Type) (l1 l2 : list A), "
+        "firstn (length l1) (l1 ++ l2) = l1",
+        "induction l1; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- rewrite IHl1. reflexivity.",
+    )
+    f.lemma(
+        "skipn_nil",
+        "forall (A : Type) (l : list A) (n : nat), l = nil -> skipn n l = nil",
+        "intros. rewrite H. destruct n; reflexivity.",
+    )
+    f.lemma(
+        "skipn_length",
+        "forall (A : Type) (l : list A) (n : nat), "
+        "length (skipn n l) = length l - n",
+        "induction l; destruct n; simpl; intros; auto.",
+    )
+    f.lemma(
+        "skipn_app",
+        "forall (A : Type) (l1 l2 : list A), "
+        "skipn (length l1) (l1 ++ l2) = l2",
+        "induction l1; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- apply IHl1.",
+    )
+    f.lemma(
+        "firstn_skipn",
+        "forall (A : Type) (n : nat) (l : list A), "
+        "firstn n l ++ skipn n l = l",
+        "induction n; destruct l; simpl; intros; auto.\n"
+        "rewrite IHn. reflexivity.",
+    )
+
+    # ------------------------------------------------------------------
+    # selN
+    # ------------------------------------------------------------------
+    f.lemma(
+        "selN_0_cons",
+        "forall (A : Type) (x def : A) (l : list A), "
+        "selN (x :: l) 0 def = x",
+        "intros. reflexivity.",
+    )
+    f.lemma(
+        "selN_repeat",
+        "forall (A : Type) (n i : nat) (x def : A), "
+        "i < n -> selN (repeat x n) i def = x",
+        "induction n; destruct i; simpl; intros; auto.\n"
+        "- exfalso. unfold lt in H. lia.\n"
+        "- exfalso. unfold lt in H. lia.\n"
+        "- apply IHn. unfold lt in *. lia.",
+    )
+    f.lemma(
+        "selN_updN_eq",
+        "forall (A : Type) (l : list A) (i : nat) (v def : A), "
+        "i < length l -> selN (updN l i v) i def = v",
+        "induction l; destruct i; simpl; intros; auto.\n"
+        "- exfalso. unfold lt in H. lia.\n"
+        "- exfalso. unfold lt in H. lia.\n"
+        "- apply IHl. unfold lt in *. lia.",
+    )
+    f.lemma(
+        "selN_updN_ne",
+        "forall (A : Type) (l : list A) (i j : nat) (v def : A), "
+        "i <> j -> selN (updN l i v) j def = selN l j def",
+        "induction l; destruct i; destruct j; simpl; intros; "
+        "auto; try congruence.\n"
+        "apply IHl. congruence.",
+    )
+    f.lemma(
+        "selN_app1",
+        "forall (A : Type) (l1 l2 : list A) (i : nat) (def : A), "
+        "i < length l1 -> selN (l1 ++ l2) i def = selN l1 i def",
+        "induction l1; destruct i; simpl; intros; auto.\n"
+        "- exfalso. unfold lt in H. lia.\n"
+        "- exfalso. unfold lt in H. lia.\n"
+        "- apply IHl1. unfold lt in *. lia.",
+    )
+
+    # ------------------------------------------------------------------
+    # In
+    # ------------------------------------------------------------------
+    f.lemma(
+        "in_eq",
+        "forall (A : Type) (x : A) (l : list A), In x (x :: l)",
+        "intros. simpl. left. reflexivity.",
+    )
+    f.lemma(
+        "in_cons",
+        "forall (A : Type) (a x : A) (l : list A), "
+        "In x l -> In x (a :: l)",
+        "intros. simpl. right. assumption.",
+    )
+    f.lemma(
+        "in_nil",
+        "forall (A : Type) (x : A), ~ In x nil",
+        "intros. intro H. simpl in H. assumption.",
+    )
+    f.lemma(
+        "in_app_or",
+        "forall (A : Type) (l1 l2 : list A) (x : A), "
+        "In x (l1 ++ l2) -> In x l1 \\/ In x l2",
+        "induction l1; simpl; intros.\n"
+        "- right. assumption.\n"
+        "- destruct H.\n"
+        "  + left. left. assumption.\n"
+        "  + apply IHl1 in H. destruct H.\n"
+        "    * left. right. assumption.\n"
+        "    * right. assumption.",
+    )
+    f.lemma(
+        "in_or_app",
+        "forall (A : Type) (l1 l2 : list A) (x : A), "
+        "In x l1 \\/ In x l2 -> In x (l1 ++ l2)",
+        "induction l1; simpl; intros.\n"
+        "- destruct H.\n"
+        "  + simpl in H. contradiction.\n"
+        "  + assumption.\n"
+        "- destruct H.\n"
+        "  + destruct H.\n"
+        "    * left. assumption.\n"
+        "    * right. apply IHl1. left. assumption.\n"
+        "  + right. apply IHl1. right. assumption.",
+    )
+    f.lemma(
+        "in_map",
+        "forall (A B : Type) (g : A -> B) (l : list A) (x : A), "
+        "In x l -> In (g x) (map g l)",
+        "induction l; simpl; intros.\n"
+        "- intro Hf. assumption.\n"
+        "- destruct H.\n"
+        "  + left. rewrite H. reflexivity.\n"
+        "  + right. apply IHl. assumption.",
+    )
+    f.hint_resolve("in_eq", "in_cons")
+
+    # ------------------------------------------------------------------
+    # incl
+    # ------------------------------------------------------------------
+    f.lemma(
+        "incl_refl",
+        "forall (A : Type) (l : list A), incl l l",
+        "intros. unfold incl. intros. assumption.",
+    )
+    f.lemma(
+        "incl_nil",
+        "forall (A : Type) (l : list A), incl nil l",
+        "intros. unfold incl. intros. simpl in H. contradiction.",
+    )
+    f.lemma(
+        "incl_tl",
+        "forall (A : Type) (a : A) (l1 l2 : list A), "
+        "incl l1 l2 -> incl l1 (a :: l2)",
+        "intros. unfold incl in *. intros. simpl. right. "
+        "apply H. assumption.",
+    )
+    f.lemma(
+        "incl_cons",
+        "forall (A : Type) (a : A) (l1 l2 : list A), "
+        "In a l2 -> incl l1 l2 -> incl (a :: l1) l2",
+        "intros. unfold incl in *. intros. simpl in H1. destruct H1.\n"
+        "- rewrite <- H1. assumption.\n"
+        "- apply H0. assumption.",
+    )
+    f.lemma(
+        "incl_cons_inv",
+        "forall (A : Type) (a : A) (l1 l2 : list A), "
+        "incl (a :: l1) l2 -> incl l1 l2",
+        "intros. unfold incl in *. intros. apply H. simpl. "
+        "right. assumption.",
+    )
+    f.lemma(
+        "incl_in",
+        "forall (A : Type) (l1 l2 : list A) (x : A), "
+        "incl l1 l2 -> In x l1 -> In x l2",
+        "intros. unfold incl in H. apply H. assumption.",
+    )
+    f.lemma(
+        "incl_appl",
+        "forall (A : Type) (l1 l2 l3 : list A), "
+        "incl l1 l2 -> incl l1 (l2 ++ l3)",
+        "intros. unfold incl in *. intros. apply in_or_app. "
+        "left. apply H. assumption.",
+    )
+    f.lemma(
+        "incl_appr",
+        "forall (A : Type) (l1 l2 l3 : list A), "
+        "incl l1 l3 -> incl l1 (l2 ++ l3)",
+        "intros. unfold incl in *. intros. apply in_or_app. "
+        "right. apply H. assumption.",
+    )
+    f.lemma(
+        "incl_app",
+        "forall (A : Type) (l1 l2 l3 : list A), "
+        "incl l1 l3 -> incl l2 l3 -> incl (l1 ++ l2) l3",
+        "intros. unfold incl in *. intros. apply in_app_or in H1. "
+        "destruct H1.\n"
+        "- apply H. assumption.\n"
+        "- apply H0. assumption.",
+    )
+    f.hint_resolve("incl_refl", "incl_nil", "incl_tl")
+
+    # Figure 2, Case A: the paper's example of an induction-heavy
+    # human proof that the LLM simplifies.
+    f.lemma(
+        "incl_tl_inv",
+        "forall (T : Type) (l1 l2 : list T) (a : T), "
+        "incl l1 (a :: l2) -> ~ In a l1 -> incl l1 l2",
+        "induction l1; simpl; intros.\n"
+        "- apply incl_nil.\n"
+        "- assert (In a (a0 :: l2)) as Ha.\n"
+        "  { apply H. simpl. left. reflexivity. }\n"
+        "  simpl in Ha. apply incl_cons.\n"
+        "  + destruct Ha.\n"
+        "    * exfalso. apply H0. left. rewrite Ha. reflexivity.\n"
+        "    * assumption.\n"
+        "  + eapply IHl1.\n"
+        "    * eapply incl_cons_inv. apply H.\n"
+        "    * intro Hin. apply H0. right. assumption.",
+    )
+
+    # ------------------------------------------------------------------
+    # Forall
+    # ------------------------------------------------------------------
+    f.lemma(
+        "Forall_inv",
+        "forall (A : Type) (P : A -> Prop) (x : A) (l : list A), "
+        "Forall P (x :: l) -> P x",
+        "intros. inversion H. assumption.",
+    )
+    f.lemma(
+        "Forall_inv_tail",
+        "forall (A : Type) (P : A -> Prop) (x : A) (l : list A), "
+        "Forall P (x :: l) -> Forall P l",
+        "intros. inversion H. assumption.",
+    )
+    f.lemma(
+        "Forall_app",
+        "forall (A : Type) (P : A -> Prop) (l1 l2 : list A), "
+        "Forall P l1 -> Forall P l2 -> Forall P (l1 ++ l2)",
+        "induction l1; simpl; intros; auto.\n"
+        "inversion H. constructor.\n"
+        "- assumption.\n"
+        "- apply IHl1.\n"
+        "  + assumption.\n"
+        "  + assumption.",
+    )
+    f.lemma(
+        "Forall_app_l",
+        "forall (A : Type) (P : A -> Prop) (l1 l2 : list A), "
+        "Forall P (l1 ++ l2) -> Forall P l1",
+        "induction l1; simpl; intros; auto.\n"
+        "inversion H. constructor.\n"
+        "- assumption.\n"
+        "- eapply IHl1. eauto.",
+    )
+    f.lemma(
+        "Forall_impl",
+        "forall (A : Type) (P Q : A -> Prop) (l : list A), "
+        "(forall x, P x -> Q x) -> Forall P l -> Forall Q l",
+        "induction l; simpl; intros; auto.\n"
+        "inversion H0. constructor.\n"
+        "- apply H. assumption.\n"
+        "- apply IHl.\n"
+        "  + assumption.\n"
+        "  + assumption.",
+    )
+    f.lemma(
+        "Forall_forall_in",
+        "forall (A : Type) (P : A -> Prop) (l : list A) (x : A), "
+        "Forall P l -> In x l -> P x",
+        "induction l; simpl; intros.\n"
+        "- contradiction.\n"
+        "- inversion H. destruct H0.\n"
+        "  + rewrite <- H0. assumption.\n"
+        "  + apply IHl.\n"
+        "    * assumption.\n"
+        "    * assumption.",
+    )
+    f.lemma(
+        "Forall_repeat",
+        "forall (A : Type) (P : A -> Prop) (x : A) (n : nat), "
+        "P x -> Forall P (repeat x n)",
+        "induction n; simpl; intros; auto.",
+    )
+
+    # ------------------------------------------------------------------
+    # NoDup
+    # ------------------------------------------------------------------
+    f.lemma(
+        "NoDup_cons_not_in",
+        "forall (A : Type) (x : A) (l : list A), "
+        "NoDup (x :: l) -> ~ In x l",
+        "intros. inversion H. assumption.",
+    )
+    f.lemma(
+        "NoDup_cons_inv",
+        "forall (A : Type) (x : A) (l : list A), "
+        "NoDup (x :: l) -> NoDup l",
+        "intros. inversion H. assumption.",
+    )
+    f.lemma(
+        "NoDup_app_l",
+        "forall (A : Type) (l1 l2 : list A), "
+        "NoDup (l1 ++ l2) -> NoDup l1",
+        "induction l1; simpl; intros.\n"
+        "- constructor.\n"
+        "- inversion H. constructor.\n"
+        "  + intro Hin. apply H0. apply in_or_app. left. assumption.\n"
+        "  + eapply IHl1. eauto.",
+    )
+    f.lemma(
+        "NoDup_repeat_1",
+        "forall (A : Type) (x : A), NoDup (repeat x 1)",
+        "intros. simpl. constructor.\n"
+        "- apply in_nil.\n"
+        "- constructor.",
+    )
+
+    return f.build()

@@ -1,0 +1,242 @@
+"""Prelude.v — core datatypes and functions every other file imports.
+
+Mirrors the slice of Coq's standard library FSCQ leans on: Peano
+naturals, booleans, polymorphic lists/options/pairs, the ``le``/``lt``
+order, and the basic structurally recursive functions (``app``,
+``length``, ``map``, ``filter``, ``firstn``, ``skipn``, ``repeat``,
+``selN``...).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder("Prelude", "Utilities", imports=())
+
+    # ------------------------------------------------------------------
+    # Datatypes
+    # ------------------------------------------------------------------
+    f.inductive(
+        "nat",
+        [("O", [], []), ("S", ["nat"], ["n"])],
+    )
+    f.inductive(
+        "bool",
+        [("true", [], []), ("false", [], [])],
+    )
+    f.inductive(
+        "list",
+        [("nil", [], []), ("cons", ["A", "list A"], ["a", "l"])],
+        tvars=("A",),
+    )
+    f.inductive(
+        "option",
+        [("Some", ["A"], ["a"]), ("None", [], [])],
+        tvars=("A",),
+    )
+    f.inductive(
+        "prod",
+        [("pair", ["A", "B"], ["a", "b"])],
+        tvars=("A", "B"),
+    )
+
+    # ------------------------------------------------------------------
+    # The order on nat
+    # ------------------------------------------------------------------
+    f.pred(
+        "le",
+        "nat -> nat -> Prop",
+        [
+            ("le_n", "forall (n : nat), le n n"),
+            ("le_S", "forall (n m : nat), le n m -> le n (S m)"),
+        ],
+    )
+    f.definition("lt", "(n m : nat)", "Prop", "S n <= m")
+    f.hint_constructors("le")
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    f.fixpoint(
+        "add",
+        "nat -> nat -> nat",
+        ["add 0 m = m", "add (S n) m = S (add n m)"],
+    )
+    f.fixpoint(
+        "sub",
+        "nat -> nat -> nat",
+        [
+            "sub 0 m = 0",
+            "sub (S n) 0 = S n",
+            "sub (S n) (S m) = sub n m",
+        ],
+    )
+    f.fixpoint(
+        "mult",
+        "nat -> nat -> nat",
+        ["mult 0 m = 0", "mult (S n) m = m + mult n m"],
+    )
+    f.fixpoint(
+        "beq_nat",
+        "nat -> nat -> bool",
+        [
+            "beq_nat 0 0 = true",
+            "beq_nat 0 (S m) = false",
+            "beq_nat (S n) 0 = false",
+            "beq_nat (S n) (S m) = beq_nat n m",
+        ],
+    )
+    f.fixpoint(
+        "min",
+        "nat -> nat -> nat",
+        [
+            "min 0 m = 0",
+            "min (S n) 0 = 0",
+            "min (S n) (S m) = S (min n m)",
+        ],
+    )
+    f.fixpoint(
+        "max",
+        "nat -> nat -> nat",
+        [
+            "max 0 m = m",
+            "max (S n) 0 = S n",
+            "max (S n) (S m) = S (max n m)",
+        ],
+    )
+
+    # ------------------------------------------------------------------
+    # Booleans
+    # ------------------------------------------------------------------
+    f.fixpoint(
+        "negb",
+        "bool -> bool",
+        ["negb true = false", "negb false = true"],
+    )
+    f.fixpoint(
+        "andb",
+        "bool -> bool -> bool",
+        ["andb true b = b", "andb false b = false"],
+    )
+    f.fixpoint(
+        "orb",
+        "bool -> bool -> bool",
+        ["orb true b = true", "orb false b = b"],
+    )
+
+    # ------------------------------------------------------------------
+    # Pairs
+    # ------------------------------------------------------------------
+    f.fixpoint("fst", "prod A B -> A", ["fst (pair a b) = a"], tvars=("A", "B"))
+    f.fixpoint("snd", "prod A B -> B", ["snd (pair a b) = b"], tvars=("A", "B"))
+
+    # ------------------------------------------------------------------
+    # Lists
+    # ------------------------------------------------------------------
+    f.fixpoint(
+        "app",
+        "list A -> list A -> list A",
+        ["app nil l = l", "app (x :: xs) l = x :: app xs l"],
+        tvars=("A",),
+    )
+    f.fixpoint(
+        "length",
+        "list A -> nat",
+        ["length nil = 0", "length (x :: xs) = S (length xs)"],
+        tvars=("A",),
+    )
+    f.fixpoint(
+        "rev",
+        "list A -> list A",
+        ["rev nil = nil", "rev (x :: xs) = rev xs ++ (x :: nil)"],
+        tvars=("A",),
+    )
+    f.fixpoint(
+        "map",
+        "(A -> B) -> list A -> list B",
+        ["map g nil = nil", "map g (x :: xs) = g x :: map g xs"],
+        tvars=("A", "B"),
+    )
+    f.fixpoint(
+        "In",
+        "A -> list A -> Prop",
+        ["In x nil = False", "In x (a :: l) = (a = x \\/ In x l)"],
+        tvars=("A",),
+    )
+    f.fixpoint(
+        "firstn",
+        "nat -> list A -> list A",
+        [
+            "firstn 0 l = nil",
+            "firstn (S n) nil = nil",
+            "firstn (S n) (x :: xs) = x :: firstn n xs",
+        ],
+        tvars=("A",),
+    )
+    f.fixpoint(
+        "skipn",
+        "nat -> list A -> list A",
+        [
+            "skipn 0 l = l",
+            "skipn (S n) nil = nil",
+            "skipn (S n) (x :: xs) = skipn n xs",
+        ],
+        tvars=("A",),
+    )
+    f.fixpoint(
+        "repeat",
+        "A -> nat -> list A",
+        ["repeat x 0 = nil", "repeat x (S n) = x :: repeat x n"],
+        tvars=("A",),
+    )
+    f.fixpoint(
+        "selN",
+        "list A -> nat -> A -> A",
+        [
+            "selN nil n def = def",
+            "selN (x :: xs) 0 def = x",
+            "selN (x :: xs) (S n) def = selN xs n def",
+        ],
+        tvars=("A",),
+    )
+    f.definition(
+        "incl",
+        "(A : Type) (l1 l2 : list A)",
+        "Prop",
+        "forall a, In a l1 -> In a l2",
+    )
+
+    # ------------------------------------------------------------------
+    # Inductive list predicates
+    # ------------------------------------------------------------------
+    f.pred(
+        "Forall",
+        "(A -> Prop) -> list A -> Prop",
+        [
+            ("Forall_nil", "forall (A : Type) (P : A -> Prop), Forall P nil"),
+            (
+                "Forall_cons",
+                "forall (A : Type) (P : A -> Prop) (x : A) (l : list A), "
+                "P x -> Forall P l -> Forall P (x :: l)",
+            ),
+        ],
+        tvars=("A",),
+    )
+    f.pred(
+        "NoDup",
+        "list A -> Prop",
+        [
+            ("NoDup_nil", "forall (A : Type), NoDup nil"),
+            (
+                "NoDup_cons",
+                "forall (A : Type) (x : A) (l : list A), "
+                "~ In x l -> NoDup l -> NoDup (x :: l)",
+            ),
+        ],
+        tvars=("A",),
+    )
+    f.hint_constructors("Forall", "NoDup")
+
+    return f.build()

@@ -1,0 +1,126 @@
+"""Rounding.v — block-size padding arithmetic (Utilities).
+
+FSCQ's ``Rounding.v`` proves ``divup``/``roundup`` facts used by the
+log's padding.  Our log pads to an even length; ``pad2``/``even``
+carry the same proof shapes (strengthened two-step inductions over a
+parity function) without general division.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "Rounding", "Utilities", imports=("Prelude", "ArithUtils")
+    )
+
+    f.fixpoint(
+        "even",
+        "nat -> bool",
+        [
+            "even 0 = true",
+            "even 1 = false",
+            "even (S (S n)) = even n",
+        ],
+    )
+    f.fixpoint(
+        "pad2",
+        "nat -> nat",
+        [
+            "pad2 0 = 0",
+            "pad2 1 = 1",
+            "pad2 (S (S n)) = pad2 n",
+        ],
+    )
+    f.definition("roundup2", "(n : nat)", "nat", "n + pad2 n")
+
+    f.lemma(
+        "pad2_le_1",
+        "forall n, pad2 n <= 1",
+        "assert (forall n, pad2 n <= 1 /\\ pad2 (S n) <= 1) as Hstr.\n"
+        "{ induction n; simpl.\n"
+        "  - split.\n"
+        "    + lia.\n"
+        "    + lia.\n"
+        "  - destruct IHn. split.\n"
+        "    + assumption.\n"
+        "    + assumption. }\n"
+        "intros. specialize (Hstr n). destruct Hstr. assumption.",
+    )
+    f.lemma(
+        "pad2_even",
+        "forall n, even n = true -> pad2 n = 0",
+        "assert (forall n, (even n = true -> pad2 n = 0) /\\ "
+        "(even (S n) = true -> pad2 (S n) = 0)) as Hstr.\n"
+        "{ induction n; simpl.\n"
+        "  - split.\n"
+        "    + intros. reflexivity.\n"
+        "    + intros. discriminate H.\n"
+        "  - destruct IHn. split.\n"
+        "    + assumption.\n"
+        "    + assumption. }\n"
+        "intros. specialize (Hstr n). destruct Hstr. "
+        "apply H0. assumption.",
+    )
+    f.lemma(
+        "even_roundup2",
+        "forall n, even (roundup2 n) = true",
+        "assert (forall n, even (n + pad2 n) = true /\\ "
+        "even (S n + pad2 (S n)) = true) as Hstr.\n"
+        "{ induction n; simpl.\n"
+        "  - split.\n"
+        "    + reflexivity.\n"
+        "    + reflexivity.\n"
+        "  - destruct IHn. split.\n"
+        "    + assumption.\n"
+        "    + assumption. }\n"
+        "intros. unfold roundup2. specialize (Hstr n). "
+        "destruct Hstr. assumption.",
+    )
+    f.lemma(
+        "roundup2_ge",
+        "forall n, n <= roundup2 n",
+        "intros. unfold roundup2. lia.",
+    )
+    f.lemma(
+        "roundup2_le_S",
+        "forall n, roundup2 n <= S n",
+        "intros. unfold roundup2. pose proof (pad2_le_1 n). lia.",
+    )
+    f.lemma(
+        "roundup2_0",
+        "roundup2 0 = 0",
+        "reflexivity.",
+    )
+    f.lemma(
+        "pad2_roundup2",
+        "forall n, pad2 (roundup2 n) = 0",
+        "intros. apply pad2_even. apply even_roundup2.",
+    )
+    f.lemma(
+        "roundup2_idempotent",
+        "forall n, roundup2 (roundup2 n) = roundup2 n",
+        "intros. pose proof (pad2_roundup2 n). "
+        "unfold roundup2 in *. lia.",
+    )
+    f.lemma(
+        "even_plus_even",
+        "forall n m, even n = true -> even m = true -> "
+        "even (n + m) = true",
+        "assert (forall n m, even m = true -> (even n = true -> "
+        "even (n + m) = true) /\\ (even (S n) = true -> "
+        "even (S n + m) = true)) as Hstr.\n"
+        "{ induction n; simpl; intros.\n"
+        "  - split.\n"
+        "    + intros. assumption.\n"
+        "    + intros. discriminate H0.\n"
+        "  - specialize (IHn m H). destruct IHn. split.\n"
+        "    + assumption.\n"
+        "    + simpl. assumption. }\n"
+        "intros. specialize (Hstr n m H0). destruct Hstr. "
+        "apply H1. assumption.",
+    )
+
+    return f.build()

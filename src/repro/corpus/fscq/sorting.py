@@ -1,0 +1,250 @@
+"""Sorting.v — insertion sort and the Sorted predicate (Utilities).
+
+Directory listings and allocator scans sort address lists; this file
+carries the sortedness substrate: a boolean order ``leb``, insertion
+sort (with the conditional encoded as the ``ins_if`` helper fixpoint —
+the kernel has no inline ``if``), the inductive ``Sorted`` predicate,
+and the classic correctness lemmas (length, membership, multiset
+count, and sortedness preservation).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder(
+        "Sorting",
+        "Utilities",
+        imports=("Prelude", "ArithUtils", "ListUtils", "ListPred"),
+    )
+
+    f.fixpoint(
+        "leb",
+        "nat -> nat -> bool",
+        [
+            "leb 0 m = true",
+            "leb (S n) 0 = false",
+            "leb (S n) (S m) = leb n m",
+        ],
+    )
+    f.fixpoint(
+        "bool_to_nat",
+        "bool -> nat",
+        ["bool_to_nat true = 1", "bool_to_nat false = 0"],
+    )
+    f.fixpoint(
+        "ins_if",
+        "bool -> nat -> nat -> list nat -> list nat -> list nat",
+        [
+            "ins_if true x y l rec = x :: y :: l",
+            "ins_if false x y l rec = y :: rec",
+        ],
+    )
+    f.fixpoint(
+        "insert",
+        "nat -> list nat -> list nat",
+        [
+            "insert x nil = x :: nil",
+            "insert x (y :: l) = ins_if (leb x y) x y l (insert x l)",
+        ],
+    )
+    f.fixpoint(
+        "isort",
+        "list nat -> list nat",
+        [
+            "isort nil = nil",
+            "isort (x :: l) = insert x (isort l)",
+        ],
+    )
+    f.fixpoint(
+        "count_nat",
+        "nat -> list nat -> nat",
+        [
+            "count_nat v nil = 0",
+            "count_nat v (x :: l) = "
+            "bool_to_nat (beq_nat v x) + count_nat v l",
+        ],
+    )
+    f.pred(
+        "Sorted",
+        "list nat -> Prop",
+        [
+            ("Sorted_nil", "Sorted nil"),
+            ("Sorted_one", "forall (x : nat), Sorted (x :: nil)"),
+            (
+                "Sorted_cons",
+                "forall (x y : nat) (l : list nat), "
+                "x <= y -> Sorted (y :: l) -> Sorted (x :: y :: l)",
+            ),
+        ],
+    )
+    f.hint_constructors("Sorted")
+
+    # ------------------------------------------------------------------
+    # The boolean order agrees with le.
+    # ------------------------------------------------------------------
+    f.lemma(
+        "leb_refl",
+        "forall n, leb n n = true",
+        "induction n; simpl; auto.",
+    )
+    f.lemma(
+        "leb_correct",
+        "forall n m, leb n m = true -> n <= m",
+        "induction n; destruct m; simpl; intros.\n"
+        "- apply le_n.\n"
+        "- apply le_0_n.\n"
+        "- discriminate H.\n"
+        "- apply le_n_S. apply IHn. assumption.",
+    )
+    f.lemma(
+        "leb_complete",
+        "forall n m, n <= m -> leb n m = true",
+        "induction n; destruct m; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- reflexivity.\n"
+        "- exfalso. lia.\n"
+        "- apply IHn. lia.",
+    )
+    f.lemma(
+        "leb_false_lt",
+        "forall n m, leb n m = false -> m < n",
+        "induction n; destruct m; simpl; intros.\n"
+        "- discriminate H.\n"
+        "- discriminate H.\n"
+        "- unfold lt. apply le_n_S. apply le_0_n.\n"
+        "- apply IHn in H. unfold lt in *. lia.",
+    )
+    f.lemma(
+        "leb_total",
+        "forall n m, leb n m = true \\/ leb m n = true",
+        "intros. destruct (leb n m) eqn:E.\n"
+        "- left. reflexivity.\n"
+        "- right. apply leb_false_lt in E. apply leb_complete. "
+        "unfold lt in E. lia.",
+    )
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+    f.lemma(
+        "insert_length",
+        "forall (x : nat) (l : list nat), "
+        "length (insert x l) = S (length l)",
+        "induction l; simpl.\n"
+        "- reflexivity.\n"
+        "- destruct (leb x a) eqn:E; simpl.\n"
+        "  + reflexivity.\n"
+        "  + rewrite IHl. reflexivity.",
+    )
+    f.lemma(
+        "insert_in_head",
+        "forall (x : nat) (l : list nat), In x (insert x l)",
+        "induction l; simpl.\n"
+        "- left. reflexivity.\n"
+        "- destruct (leb x a) eqn:E; simpl.\n"
+        "  + left. reflexivity.\n"
+        "  + right. assumption.",
+    )
+    f.lemma(
+        "insert_in_tail",
+        "forall (x v : nat) (l : list nat), "
+        "In v l -> In v (insert x l)",
+        "induction l; simpl; intros.\n"
+        "- contradiction.\n"
+        "- destruct (leb x a) eqn:E; simpl.\n"
+        "  + right. assumption.\n"
+        "  + destruct H.\n"
+        "    * left. assumption.\n"
+        "    * right. apply IHl. assumption.",
+    )
+    f.lemma(
+        "insert_count",
+        "forall (x v : nat) (l : list nat), "
+        "count_nat v (insert x l) = "
+        "bool_to_nat (beq_nat v x) + count_nat v l",
+        "induction l; simpl.\n"
+        "- reflexivity.\n"
+        "- destruct (leb x a) eqn:E; simpl.\n"
+        "  + reflexivity.\n"
+        "  + rewrite IHl. lia.",
+    )
+
+    # ------------------------------------------------------------------
+    # Sorted
+    # ------------------------------------------------------------------
+    f.lemma(
+        "sorted_tail",
+        "forall (x : nat) (l : list nat), "
+        "Sorted (x :: l) -> Sorted l",
+        "intros. inversion H.\n"
+        "- constructor.\n"
+        "- assumption.",
+    )
+    f.lemma(
+        "sorted_head_le",
+        "forall (x y : nat) (l : list nat), "
+        "Sorted (x :: y :: l) -> x <= y",
+        "intros. inversion H. assumption.",
+    )
+    f.lemma(
+        "insert_sorted",
+        "forall (x : nat) (l : list nat), "
+        "Sorted l -> Sorted (insert x l)",
+        "induction l; simpl; intros.\n"
+        "- constructor.\n"
+        "- destruct (leb x a) eqn:E; simpl.\n"
+        "  + constructor.\n"
+        "    * apply leb_correct. assumption.\n"
+        "    * assumption.\n"
+        "  + apply leb_false_lt in E. "
+        "assert (Sorted (insert x l)) as Hins.\n"
+        "    { apply IHl. eapply sorted_tail. apply H. }\n"
+        "    destruct l; simpl.\n"
+        "    * constructor.\n"
+        "      { unfold lt in E. lia. }\n"
+        "      { constructor. }\n"
+        "    * simpl in Hins. destruct (leb x a0) eqn:E2; simpl in *.\n"
+        "      { constructor.\n"
+        "        - unfold lt in E. lia.\n"
+        "        - assumption. }\n"
+        "      { constructor.\n"
+        "        - eapply sorted_head_le. apply H.\n"
+        "        - assumption. }",
+    )
+    f.lemma(
+        "isort_sorted",
+        "forall (l : list nat), Sorted (isort l)",
+        "induction l; simpl.\n"
+        "- constructor.\n"
+        "- apply insert_sorted. assumption.",
+    )
+    f.lemma(
+        "isort_length",
+        "forall (l : list nat), length (isort l) = length l",
+        "induction l; simpl.\n"
+        "- reflexivity.\n"
+        "- rewrite insert_length. rewrite IHl. reflexivity.",
+    )
+    f.lemma(
+        "isort_count",
+        "forall (v : nat) (l : list nat), "
+        "count_nat v (isort l) = count_nat v l",
+        "induction l; simpl.\n"
+        "- reflexivity.\n"
+        "- rewrite insert_count. rewrite IHl. reflexivity.",
+    )
+    f.lemma(
+        "isort_in",
+        "forall (v : nat) (l : list nat), "
+        "In v l -> In v (isort l)",
+        "induction l; simpl; intros.\n"
+        "- intro Hf. assumption.\n"
+        "- destruct H.\n"
+        "  + rewrite <- H. apply insert_in_head.\n"
+        "  + apply insert_in_tail. apply IHl. assumption.",
+    )
+
+    return f.build()

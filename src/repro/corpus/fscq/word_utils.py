@@ -1,0 +1,147 @@
+"""WordUtils.v — boolean, pair, and option helpers (Utilities).
+
+FSCQ's ``Word.v`` supplies machine-word facts; the reproduction's
+object language carries the same proof shapes through booleans,
+pairs, and options (case analysis + constructor reasoning).
+"""
+
+from __future__ import annotations
+
+from repro.corpus.model import FileBuilder, SourceFile
+
+
+def build() -> SourceFile:
+    f = FileBuilder("WordUtils", "Utilities", imports=("Prelude", "ListUtils"))
+
+    # Booleans -----------------------------------------------------------
+    f.lemma(
+        "negb_involutive",
+        "forall b, negb (negb b) = b",
+        "destruct b; reflexivity.",
+    )
+    f.lemma(
+        "negb_true_iff_false",
+        "forall b, negb b = true -> b = false",
+        "destruct b; simpl; intros.\n"
+        "- discriminate H.\n"
+        "- reflexivity.",
+    )
+    f.lemma(
+        "andb_comm",
+        "forall a b, andb a b = andb b a",
+        "destruct a; destruct b; reflexivity.",
+    )
+    f.lemma(
+        "andb_assoc",
+        "forall a b c, andb a (andb b c) = andb (andb a b) c",
+        "destruct a; destruct b; destruct c; reflexivity.",
+    )
+    f.lemma(
+        "andb_true_l",
+        "forall b, andb true b = b",
+        "intros. reflexivity.",
+    )
+    f.lemma(
+        "andb_true_r",
+        "forall b, andb b true = b",
+        "destruct b; reflexivity.",
+    )
+    f.lemma(
+        "andb_false_r",
+        "forall b, andb b false = false",
+        "destruct b; reflexivity.",
+    )
+    f.lemma(
+        "andb_true_elim_l",
+        "forall a b, andb a b = true -> a = true",
+        "destruct a; simpl; intros.\n"
+        "- reflexivity.\n"
+        "- discriminate H.",
+    )
+    f.lemma(
+        "andb_true_elim_r",
+        "forall a b, andb a b = true -> b = true",
+        "destruct a; simpl; intros.\n"
+        "- assumption.\n"
+        "- discriminate H.",
+    )
+    f.lemma(
+        "orb_comm",
+        "forall a b, orb a b = orb b a",
+        "destruct a; destruct b; reflexivity.",
+    )
+    f.lemma(
+        "orb_false_r",
+        "forall b, orb b false = b",
+        "destruct b; reflexivity.",
+    )
+    f.lemma(
+        "orb_true_l",
+        "forall b, orb true b = true",
+        "intros. reflexivity.",
+    )
+    f.lemma(
+        "bool_dec",
+        "forall (a b : bool), a = b \\/ a <> b",
+        "destruct a; destruct b.\n"
+        "- left. reflexivity.\n"
+        "- right. discriminate.\n"
+        "- right. discriminate.\n"
+        "- left. reflexivity.",
+    )
+
+    # Pairs --------------------------------------------------------------
+    f.lemma(
+        "surjective_pairing",
+        "forall (A B : Type) (p : prod A B), p = pair (fst p) (snd p)",
+        "destruct p. simpl. reflexivity.",
+    )
+    f.lemma(
+        "fst_pair",
+        "forall (A B : Type) (a : A) (b : B), fst (pair a b) = a",
+        "intros. reflexivity.",
+    )
+    f.lemma(
+        "snd_pair",
+        "forall (A B : Type) (a : A) (b : B), snd (pair a b) = b",
+        "intros. reflexivity.",
+    )
+    f.lemma(
+        "pair_eq_fst",
+        "forall (A B : Type) (a a' : A) (b b' : B), "
+        "pair a b = pair a' b' -> a = a'",
+        "intros. injection H as H1 H2. assumption.",
+    )
+    f.lemma(
+        "pair_eq_snd",
+        "forall (A B : Type) (a a' : A) (b b' : B), "
+        "pair a b = pair a' b' -> b = b'",
+        "intros. injection H as H1 H2. assumption.",
+    )
+    f.lemma(
+        "map_fst_pair_repeat",
+        "forall (A B : Type) (a : A) (b : B) (n : nat), "
+        "map fst (repeat (pair a b) n) = repeat a n",
+        "intros. rewrite repeat_map. simpl. reflexivity.",
+    )
+
+    # Options --------------------------------------------------------------
+    f.lemma(
+        "some_injective",
+        "forall (A : Type) (a b : A), Some a = Some b -> a = b",
+        "intros. injection H as H1. assumption.",
+    )
+    f.lemma(
+        "some_not_none",
+        "forall (A : Type) (a : A), Some a <> None",
+        "intros. discriminate.",
+    )
+    f.lemma(
+        "none_or_some",
+        "forall (A : Type) (o : option A), o = None \\/ exists a, o = Some a",
+        "destruct o.\n"
+        "- right. exists a. reflexivity.\n"
+        "- left. reflexivity.",
+    )
+
+    return f.build()

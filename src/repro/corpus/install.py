@@ -1,0 +1,282 @@
+"""Installer factories: turn corpus declaration texts into kernel
+declarations against a live environment.
+
+Each factory returns a closure ``(env) -> None`` executed by the
+loader in file order.  All parsing happens here, at install time,
+against the environment as it exists at that point in the project —
+exactly like ``coqc`` elaborating a file top to bottom.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CorpusError, ReproError, UnificationError
+from repro.kernel.definitions import Abbreviation, FixEquation, Fixpoint
+from repro.kernel.env import Environment, LemmaInfo
+from repro.kernel.inductives import (
+    DataConstructor,
+    Inductive,
+    InductivePred,
+    PredConstructor,
+)
+from repro.kernel.parser import Lexer, TermParser, parse_statement, parse_type
+from repro.kernel.signature import ConstInfo, ConstKind
+from repro.kernel.terms import App, Const, Eq, Term, Var, free_vars
+from repro.kernel.typecheck import elaborate_term
+from repro.kernel.types import TArrow, TCon, Type, apply_tsubst, unify_types
+
+__all__ = [
+    "opaque_type",
+    "opaque",
+    "inductive",
+    "pred",
+    "fixpoint",
+    "definition",
+    "axiom",
+    "lemma",
+    "hint_resolve",
+    "hint_constructors",
+]
+
+
+def opaque_type(name: str):
+    def install(env: Environment) -> None:
+        env.declare_type(name)
+
+    return install
+
+
+def opaque(name: str, ty_text: str, tvars: Tuple[str, ...]):
+    def install(env: Environment) -> None:
+        env.declare_opaque(name, parse_type(ty_text, tvars))
+
+    return install
+
+
+def inductive(
+    name: str,
+    ctors: Sequence[Tuple[str, Sequence[str], Sequence[str]]],
+    tvars: Tuple[str, ...],
+):
+    def install(env: Environment) -> None:
+        parsed = []
+        for ctor_name, arg_tys, hints in ctors:
+            arg_types = tuple(parse_type(t, tvars) for t in arg_tys)
+            parsed.append(
+                DataConstructor(ctor_name, arg_types, tuple(hints))
+            )
+        env.declare_inductive(Inductive(name, tvars, tuple(parsed)))
+
+    return install
+
+
+def pred(
+    name: str,
+    ty_text: str,
+    ctors: Sequence[Tuple[str, str]],
+    tvars: Tuple[str, ...],
+):
+    def install(env: Environment) -> None:
+        ty = parse_type(ty_text, tvars)
+        # The predicate constant must be visible while its own intro
+        # rules are elaborated (rules mention it in their conclusions).
+        env.signature.add(
+            ConstInfo(name=name, ty=ty, kind=ConstKind.INDUCTIVE_PRED)
+        )
+        rules = []
+        for rule_name, stmt_text in ctors:
+            statement = parse_statement(env, stmt_text, tvars)
+            rules.append(PredConstructor(rule_name, statement))
+        env.preds[name] = InductivePred(name, ty, tuple(rules))
+        for rule in rules:
+            env._add_lemma(LemmaInfo(rule.name, rule.statement, is_axiom=True))
+
+    return install
+
+
+def _arrow_args(ty: Type, count: int) -> Tuple[Tuple[Type, ...], Type]:
+    args: List[Type] = []
+    current = ty
+    for _ in range(count):
+        if not isinstance(current, TArrow):
+            raise CorpusError(f"type has fewer than {count} arguments: {ty}")
+        args.append(current.dom)
+        current = current.cod
+    return tuple(args), current
+
+
+def _pattern_fixup(env: Environment, raw: Term) -> Term:
+    """Resolve constructor names inside a parsed pattern."""
+    if isinstance(raw, Var):
+        if env.is_constructor(raw.name):
+            return Const(raw.name)
+        return raw
+    if isinstance(raw, Const):
+        return raw
+    if isinstance(raw, App):
+        from repro.kernel.terms import app as mk_app
+
+        fn = _pattern_fixup(env, raw.fn)
+        return mk_app(fn, *(_pattern_fixup(env, a) for a in raw.args))
+    raise CorpusError(f"unsupported pattern form: {raw!r}")
+
+
+def _pattern_var_types(
+    env: Environment, pattern: Term, expected: Type, out: Dict[str, Type]
+) -> None:
+    if isinstance(pattern, Var):
+        out[pattern.name] = expected
+        return
+    if isinstance(pattern, Const):
+        head, args = pattern, ()
+    elif isinstance(pattern, App) and isinstance(pattern.fn, Const):
+        head, args = pattern.fn, pattern.args
+    else:
+        raise CorpusError(f"unsupported pattern form: {pattern!r}")
+    info = env.signature.lookup(head.name)
+    from repro.kernel.types import instantiate_scheme
+
+    ctor_ty = instantiate_scheme(info.ty)
+    arg_types, result = _arrow_args(ctor_ty, len(args))
+    try:
+        tsubst = unify_types(result, expected)
+    except UnificationError as exc:
+        raise CorpusError(f"pattern type mismatch: {exc}") from exc
+    for arg, arg_ty in zip(args, arg_types):
+        _pattern_var_types(env, arg, apply_tsubst(tsubst, arg_ty), out)
+
+
+def fixpoint(
+    name: str,
+    ty_text: str,
+    equations: Sequence[str],
+    tvars: Tuple[str, ...],
+):
+    def install(env: Environment) -> None:
+        from repro.kernel.parser import parse_term
+
+        ty = parse_type(ty_text, tvars)
+        raw_eqs = []
+        arity: Optional[int] = None
+        for eq_text in equations:
+            raw = parse_term(eq_text, tvars)
+            if not isinstance(raw, Eq):
+                raise CorpusError(f"fixpoint equation is not '=': {eq_text}")
+            lhs = raw.lhs
+            if not (
+                isinstance(lhs, App)
+                and isinstance(lhs.fn, Var)
+                and lhs.fn.name == name
+            ):
+                raise CorpusError(
+                    f"equation head must be {name}: {eq_text}"
+                )
+            if arity is None:
+                arity = len(lhs.args)
+            elif arity != len(lhs.args):
+                raise CorpusError(f"inconsistent arity in {name}")
+            raw_eqs.append((lhs.args, raw.rhs))
+        if arity is None:
+            raise CorpusError(f"fixpoint {name} has no equations")
+        arg_types, result_ty = _arrow_args(ty, arity)
+
+        # Register the constant before elaborating right-hand sides so
+        # recursive calls resolve.
+        fix_placeholder = Fixpoint(name, arg_types, result_ty, ())
+        env.declare_fixpoint(fix_placeholder)
+
+        parsed_eqs = []
+        for raw_args, raw_rhs in raw_eqs:
+            patterns = tuple(_pattern_fixup(env, a) for a in raw_args)
+            ctx: Dict[str, Type] = {}
+            for pattern, arg_ty in zip(patterns, arg_types):
+                _pattern_var_types(env, pattern, arg_ty, ctx)
+            rhs = elaborate_term(env, raw_rhs, ctx, expected=result_ty)
+            parsed_eqs.append(FixEquation(patterns, rhs))
+        env.fixpoints[name] = Fixpoint(
+            name, arg_types, result_ty, tuple(parsed_eqs)
+        )
+
+    return install
+
+
+def _parse_binders(text: str, tvars: Tuple[str, ...]):
+    if not text.strip():
+        return []
+    lexer = Lexer(text + " ,")
+    parser = TermParser(lexer, set(tvars))
+    binders = parser._binders(stop=",")
+    return [(n, t) for n, t in binders]
+
+
+def definition(
+    name: str,
+    params_text: str,
+    result_ty_text: str,
+    body_text: str,
+    tvars: Tuple[str, ...],
+):
+    def install(env: Environment) -> None:
+        from repro.kernel.parser import parse_term
+
+        binders = _parse_binders(params_text, tvars)
+        params: List[Tuple[str, Type]] = []
+        all_tvars = list(tvars)
+        for binder_name, binder_ty in binders:
+            if binder_ty == TCon("Type"):
+                # A `(A : Type)` parameter is a type variable, not a
+                # term parameter (the kernel keeps polymorphism at the
+                # type level).
+                if binder_name not in all_tvars:
+                    all_tvars.append(binder_name)
+                continue
+            if binder_ty is None:
+                raise CorpusError(
+                    f"definition {name}: parameter {binder_name} needs a type"
+                )
+            params.append((binder_name, binder_ty))
+        result_ty = parse_type(result_ty_text, tuple(all_tvars))
+        raw_body = parse_term(body_text, tuple(all_tvars))
+        ctx = dict(params)
+        body = elaborate_term(env, raw_body, ctx, expected=result_ty)
+        env.declare_abbreviation(
+            Abbreviation(name, tuple(params), body, result_ty)
+        )
+
+    return install
+
+
+def axiom(name: str, statement_text: str):
+    def install(env: Environment) -> None:
+        env.add_axiom(name, parse_statement(env, statement_text))
+
+    return install
+
+
+def lemma(name: str, statement_text: str, proof_text: str):
+    def install(env: Environment) -> None:
+        from repro.tactics.script import run_script
+
+        statement = parse_statement(env, statement_text)
+        try:
+            run_script(env, statement, proof_text)
+        except ReproError as exc:
+            raise CorpusError(f"proof of {name} failed: {exc}") from exc
+        env.add_lemma(name, statement)
+
+    return install
+
+
+def hint_resolve(names: Sequence[str]):
+    def install(env: Environment) -> None:
+        env.hint_resolve_add(*names)
+
+    return install
+
+
+def hint_constructors(names: Sequence[str]):
+    def install(env: Environment) -> None:
+        env.hint_constructors_add(*names)
+
+    return install

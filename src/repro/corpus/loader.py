@@ -1,0 +1,232 @@
+"""Project assembly: load corpus files in dependency order.
+
+``load_project()`` plays the role of ``make`` over FSCQ's ``.v``
+files: it topologically orders the corpus files by their imports,
+installs every declaration into one shared environment, and — crucially
+— machine-checks every lemma's human proof along the way.  The result
+is a :class:`Project` the evaluation layer can query for theorems,
+contexts, and categories.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CorpusError
+from repro.kernel.env import Environment
+from repro.corpus.model import SourceFile, Theorem
+from repro.corpus.tokenizer import count_tokens
+
+__all__ = ["Project", "load_project", "FILE_MODULES"]
+
+# Corpus files in a valid dependency order (checked against imports).
+FILE_MODULES: Tuple[str, ...] = (
+    "repro.corpus.fscq.prelude",
+    "repro.corpus.fscq.arith_utils",
+    "repro.corpus.fscq.list_utils",
+    "repro.corpus.fscq.word_utils",
+    "repro.corpus.fscq.list_pred",
+    "repro.corpus.fscq.sorting",
+    "repro.corpus.fscq.rounding",
+    "repro.corpus.fscq.chl.pred",
+    "repro.corpus.fscq.chl.sep_star",
+    "repro.corpus.fscq.chl.sep_norm",
+    "repro.corpus.fscq.chl.hoare",
+    "repro.corpus.fscq.chl.crash",
+    "repro.corpus.fscq.chl.idempotence",
+    "repro.corpus.fscq.fs.addr_log",
+    "repro.corpus.fscq.fs.padded_log",
+    "repro.corpus.fscq.fs.log_replay",
+    "repro.corpus.fscq.fs.balloc",
+    "repro.corpus.fscq.fs.inode",
+    "repro.corpus.fscq.fs.bfile",
+    "repro.corpus.fscq.fs.txn",
+    "repro.corpus.fscq.fs.recover",
+    "repro.corpus.fscq.fs.dir_tree",
+    "repro.corpus.fscq.fs.dirname",
+    "repro.corpus.fscq.fs.super",
+)
+
+
+@dataclass
+class Project:
+    """A fully loaded, fully checked corpus."""
+
+    env: Environment
+    files: List[SourceFile]
+    theorems: List[Theorem]
+    # Declaration-order bookkeeping, used to reconstruct the
+    # environment "as of" a theorem (a prover must not see the theorem
+    # itself, later lemmas, or later hints — coqc order).
+    lemma_order: Dict[str, int] = field(default_factory=dict)
+    hint_events: List[Tuple[int, str, Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    theorem_cutoff: Dict[str, int] = field(default_factory=dict)
+    _by_name: Dict[str, Theorem] = field(default_factory=dict)
+    _env_cache: Dict[int, Environment] = field(default_factory=dict)
+
+    def theorem(self, name: str) -> Theorem:
+        thm = self._by_name.get(name)
+        if thm is None:
+            raise CorpusError(f"no theorem named {name}")
+        return thm
+
+    def file_named(self, name: str) -> SourceFile:
+        for f in self.files:
+            if f.name == name:
+                return f
+        raise CorpusError(f"no file named {name}")
+
+    def theorems_in(self, category: str) -> List[Theorem]:
+        return [t for t in self.theorems if t.category == category]
+
+    def env_for(self, theorem: Theorem) -> Environment:
+        """The environment as of ``theorem``'s position in the project.
+
+        Lemmas at or after the theorem (including the theorem itself)
+        and hints registered after it are invisible — the prover sees
+        exactly what a human proving it in place would.  Datatypes and
+        definitions are shared by reference (they are immutable during
+        evaluation).
+        """
+        cutoff = self.theorem_cutoff[theorem.name]
+        cached = self._env_cache.get(cutoff)
+        if cached is not None:
+            return cached
+        view = Environment()
+        view.signature = self.env.signature
+        view.inductives = self.env.inductives
+        view.preds = self.env.preds
+        view.abbreviations = self.env.abbreviations
+        view.fixpoints = self.env.fixpoints
+        view.opaque_types = self.env.opaque_types
+        view.lemmas = {
+            name: info
+            for name, info in self.env.lemmas.items()
+            if self.lemma_order.get(name, -1) < cutoff
+        }
+        for order, kind, names in self.hint_events:
+            if order >= cutoff:
+                continue
+            if kind == "resolve":
+                view.hint_resolve.extend(
+                    n for n in names if n not in view.hint_resolve
+                )
+            else:
+                view.hint_constructors.extend(
+                    n for n in names if n not in view.hint_constructors
+                )
+        self._env_cache[cutoff] = view
+        return view
+
+
+def _check_import_order(files: Sequence[SourceFile]) -> None:
+    seen = set()
+    for f in files:
+        for imp in f.imports:
+            if imp not in seen:
+                raise CorpusError(
+                    f"file {f.name} imports {imp} before it is loaded"
+                )
+        seen.add(f.name)
+
+
+_CACHE: Dict[Tuple[Tuple[str, ...], bool], Project] = {}
+
+
+def load_project(
+    modules: Optional[Sequence[str]] = None,
+    check_proofs: bool = True,
+    use_cache: bool = True,
+) -> Project:
+    """Build the corpus environment, verifying all proofs.
+
+    With ``check_proofs=False`` lemma statements are trusted and their
+    scripts are not replayed (used by fast unit tests; the full check
+    runs in ``tests/corpus``).
+    """
+    key = (tuple(modules) if modules is not None else FILE_MODULES, check_proofs)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    module_names = list(modules) if modules is not None else list(FILE_MODULES)
+    env = Environment()
+    files: List[SourceFile] = []
+    theorems: List[Theorem] = []
+    lemma_order: Dict[str, int] = {}
+    hint_events: List[Tuple[int, str, Tuple[str, ...]]] = []
+    theorem_cutoff: Dict[str, int] = {}
+    order = 0
+
+    for module_name in module_names:
+        module = importlib.import_module(module_name)
+        if not hasattr(module, "build"):
+            raise CorpusError(f"{module_name} has no build() entry point")
+        source_file: SourceFile = module.build()
+        files.append(source_file)
+        for index, decl in enumerate(source_file.declarations):
+            order += 1
+            before_lemmas = set(env.lemmas)
+            before_resolve = len(env.hint_resolve)
+            before_ctors = len(env.hint_constructors)
+            if decl.kind == "lemma" and not check_proofs:
+                # Trusted fast path: install the statement only.
+                from repro.kernel.parser import parse_statement
+
+                statement = parse_statement(env, decl.statement_text)
+                env.add_lemma(decl.name, statement)
+            else:
+                try:
+                    decl.install(env)
+                except CorpusError:
+                    raise
+                except Exception as exc:  # pragma: no cover - authoring aid
+                    raise CorpusError(
+                        f"{source_file.name}.{decl.name}: {exc}"
+                    ) from exc
+            for name in set(env.lemmas) - before_lemmas:
+                lemma_order[name] = order
+            if len(env.hint_resolve) > before_resolve:
+                hint_events.append(
+                    (order, "resolve", tuple(env.hint_resolve[before_resolve:]))
+                )
+            if len(env.hint_constructors) > before_ctors:
+                hint_events.append(
+                    (
+                        order,
+                        "ctors",
+                        tuple(env.hint_constructors[before_ctors:]),
+                    )
+                )
+            if decl.kind == "lemma":
+                assert decl.statement_text and decl.proof_text
+                theorem = Theorem(
+                    name=decl.name,
+                    file=source_file.name,
+                    category=source_file.category,
+                    index=index,
+                    statement_text=decl.statement_text,
+                    proof_text=decl.proof_text,
+                    statement=env.statement_of(decl.name),
+                    proof_tokens=count_tokens(decl.proof_text),
+                )
+                theorems.append(theorem)
+                theorem_cutoff[theorem.name] = order
+
+    _check_import_order(files)
+    project = Project(
+        env=env,
+        files=files,
+        theorems=theorems,
+        lemma_order=lemma_order,
+        hint_events=hint_events,
+        theorem_cutoff=theorem_cutoff,
+    )
+    for theorem in theorems:
+        project._by_name[theorem.name] = theorem
+    if use_cache:
+        _CACHE[key] = project
+    return project

@@ -1,0 +1,291 @@
+"""Corpus data model: declarations, source files, theorems, projects.
+
+The FSCQ-like benchmark is authored as Python modules, each describing
+one "Coq file" through a :class:`FileBuilder`.  Every declaration
+carries (a) Coq-style *source text* — this is what prompts show to the
+LLM — and (b) an *installer* that effects the declaration against the
+growing kernel environment when the project is loaded.
+
+Lemmas additionally carry their human proof script; the loader
+machine-checks every script (no proof is ever trusted), mirroring how
+``coqc`` would compile FSCQ file by file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CorpusError
+from repro.kernel.env import Environment
+from repro.kernel.terms import Term
+
+__all__ = ["Declaration", "Theorem", "SourceFile", "FileBuilder", "CATEGORIES"]
+
+CATEGORIES = ("Utilities", "CHL", "FileSystem")
+
+Installer = Callable[[Environment], None]
+
+
+@dataclass
+class Declaration:
+    """One source-level declaration inside a corpus file."""
+
+    kind: str  # inductive | pred | fixpoint | definition | axiom |
+    #            lemma | hint | opaque | opaque_type
+    name: str
+    source: str
+    install: Installer
+    # Lemmas only:
+    statement_text: Optional[str] = None
+    proof_text: Optional[str] = None
+
+
+@dataclass
+class Theorem:
+    """A provable corpus item (the benchmark unit of the paper)."""
+
+    name: str
+    file: str
+    category: str
+    index: int  # position within its file
+    statement_text: str
+    proof_text: str
+    statement: Optional[Term] = None  # filled by the loader
+    proof_tokens: int = 0  # filled by the loader
+
+    def qualified(self) -> str:
+        return f"{self.file}.{self.name}"
+
+
+@dataclass
+class SourceFile:
+    """One "Coq file" of the corpus."""
+
+    name: str
+    category: str
+    imports: Tuple[str, ...]
+    declarations: List[Declaration] = field(default_factory=list)
+
+    def render_header(self) -> str:
+        lines = [f"(* File: {self.name}.v *)"]
+        for imp in self.imports:
+            lines.append(f"Require Import {imp}.")
+        return "\n".join(lines)
+
+
+class FileBuilder:
+    """Fluent builder used by corpus modules to author one file.
+
+    The builder records declarations; nothing touches a kernel
+    environment until :meth:`repro.corpus.loader.load_project` runs the
+    installers in order.
+    """
+
+    def __init__(
+        self, name: str, category: str, imports: Sequence[str] = ()
+    ) -> None:
+        if category not in CATEGORIES:
+            raise CorpusError(f"unknown category: {category}")
+        self.file = SourceFile(name, category, tuple(imports))
+
+    # ------------------------------------------------------------------
+    # Declaration forms (all record source text + an installer thunk).
+    # The heavy lifting — parsing texts against the environment at
+    # install time — lives in repro.corpus.install.
+    # ------------------------------------------------------------------
+
+    def _add(self, decl: Declaration) -> None:
+        self.file.declarations.append(decl)
+
+    def opaque_type(self, name: str) -> None:
+        from repro.corpus import install as ins
+
+        self._add(
+            Declaration(
+                kind="opaque_type",
+                name=name,
+                source=f"Parameter {name} : Type.",
+                install=ins.opaque_type(name),
+            )
+        )
+
+    def opaque(self, name: str, ty_text: str, tvars: Sequence[str] = ()) -> None:
+        from repro.corpus import install as ins
+
+        self._add(
+            Declaration(
+                kind="opaque",
+                name=name,
+                source=f"Parameter {name} : {ty_text}.",
+                install=ins.opaque(name, ty_text, tuple(tvars)),
+            )
+        )
+
+    def inductive(
+        self,
+        name: str,
+        ctors: Sequence[Tuple[str, Sequence[str], Sequence[str]]],
+        tvars: Sequence[str] = (),
+    ) -> None:
+        """``ctors``: (ctor_name, arg_type_texts, arg_name_hints)."""
+        from repro.corpus import install as ins
+
+        params = "".join(f" ({v} : Type)" for v in tvars)
+        parts = []
+        for ctor_name, arg_tys, _ in ctors:
+            if arg_tys:
+                sig = " -> ".join(list(arg_tys) + [_applied(name, tvars)])
+            else:
+                sig = _applied(name, tvars)
+            parts.append(f"  | {ctor_name} : {sig}")
+        source = (
+            f"Inductive {name}{params} : Type :=\n" + "\n".join(parts) + "."
+        )
+        self._add(
+            Declaration(
+                kind="inductive",
+                name=name,
+                source=source,
+                install=ins.inductive(name, ctors, tuple(tvars)),
+            )
+        )
+
+    def pred(
+        self,
+        name: str,
+        ty_text: str,
+        ctors: Sequence[Tuple[str, str]],
+        tvars: Sequence[str] = (),
+    ) -> None:
+        """An inductive predicate; ``ctors``: (rule_name, statement)."""
+        from repro.corpus import install as ins
+
+        params = "".join(f" ({v} : Type)" for v in tvars)
+        parts = [f"  | {n} : {stmt}" for n, stmt in ctors]
+        source = (
+            f"Inductive {name}{params} : {ty_text} :=\n"
+            + "\n".join(parts)
+            + "."
+        )
+        self._add(
+            Declaration(
+                kind="pred",
+                name=name,
+                source=source,
+                install=ins.pred(name, ty_text, ctors, tuple(tvars)),
+            )
+        )
+
+    def fixpoint(
+        self,
+        name: str,
+        ty_text: str,
+        equations: Sequence[str],
+        tvars: Sequence[str] = (),
+    ) -> None:
+        """A recursive function given by ``lhs = rhs`` equation texts."""
+        from repro.corpus import install as ins
+
+        params = "".join(f" ({v} : Type)" for v in tvars)
+        body = "\n".join(f"  | {eq}" for eq in equations)
+        source = f"Fixpoint {name}{params} : {ty_text} :=\n{body}."
+        self._add(
+            Declaration(
+                kind="fixpoint",
+                name=name,
+                source=source,
+                install=ins.fixpoint(name, ty_text, equations, tuple(tvars)),
+            )
+        )
+
+    def definition(
+        self,
+        name: str,
+        params_text: str,
+        result_ty_text: str,
+        body_text: str,
+        tvars: Sequence[str] = (),
+    ) -> None:
+        """A transparent definition (unfoldable abbreviation)."""
+        from repro.corpus import install as ins
+
+        tv = "".join(f" ({v} : Type)" for v in tvars)
+        sep = " " if params_text else ""
+        source = (
+            f"Definition {name}{tv}{sep}{params_text} : "
+            f"{result_ty_text} := {body_text}."
+        )
+        self._add(
+            Declaration(
+                kind="definition",
+                name=name,
+                source=source,
+                install=ins.definition(
+                    name, params_text, result_ty_text, body_text, tuple(tvars)
+                ),
+            )
+        )
+
+    def axiom(self, name: str, statement_text: str) -> None:
+        from repro.corpus import install as ins
+
+        self._add(
+            Declaration(
+                kind="axiom",
+                name=name,
+                source=f"Axiom {name} : {statement_text}.",
+                install=ins.axiom(name, statement_text),
+                statement_text=statement_text,
+            )
+        )
+
+    def lemma(self, name: str, statement_text: str, proof_text: str) -> None:
+        from repro.corpus import install as ins
+
+        proof_block = proof_text.strip()
+        source = (
+            f"Lemma {name} : {statement_text}.\n"
+            f"Proof.\n  {proof_block}\nQed."
+        )
+        self._add(
+            Declaration(
+                kind="lemma",
+                name=name,
+                source=source,
+                install=ins.lemma(name, statement_text, proof_text),
+                statement_text=statement_text,
+                proof_text=proof_text,
+            )
+        )
+
+    def hint_resolve(self, *names: str) -> None:
+        from repro.corpus import install as ins
+
+        self._add(
+            Declaration(
+                kind="hint",
+                name=f"hint_resolve_{len(self.file.declarations)}",
+                source=f"Hint Resolve {' '.join(names)}.",
+                install=ins.hint_resolve(names),
+            )
+        )
+
+    def hint_constructors(self, *names: str) -> None:
+        from repro.corpus import install as ins
+
+        self._add(
+            Declaration(
+                kind="hint",
+                name=f"hint_ctors_{len(self.file.declarations)}",
+                source=f"Hint Constructors {' '.join(names)}.",
+                install=ins.hint_constructors(names),
+            )
+        )
+
+    def build(self) -> SourceFile:
+        return self.file
+
+
+def _applied(name: str, tvars: Sequence[str]) -> str:
+    return name if not tvars else f"{name} {' '.join(tvars)}"

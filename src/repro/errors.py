@@ -1,0 +1,73 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by the proof kernel, the tactic interpreter, the
+SerAPI-like session layer, and the corpus loader derives from
+:class:`ReproError`, so callers can catch one base class at API
+boundaries (e.g. the proof-search engine treats any ``ReproError``
+raised while executing a tactic as "tactic rejected by the checker").
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class KernelError(ReproError):
+    """An error inside the proof kernel (terms, types, environment)."""
+
+
+class ParseError(KernelError):
+    """The concrete-syntax parser rejected its input."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class TypeError_(KernelError):
+    """A term failed type inference / elaboration.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class UnificationError(KernelError):
+    """Two terms (or types) could not be unified."""
+
+
+class ReductionError(KernelError):
+    """Evaluation/normalization failed or exceeded its step budget."""
+
+
+class EnvironmentError_(KernelError):
+    """A name was missing from or duplicated in a global environment."""
+
+
+class TacticError(ReproError):
+    """A tactic could not be applied to the current proof state.
+
+    This is the "rejected by Coq" outcome in the paper's validity
+    criterion for LLM-generated tactics.
+    """
+
+
+class TacticTimeout(TacticError):
+    """A tactic exceeded the checker's wall-clock budget (paper: 5 s)."""
+
+
+class ScriptError(ReproError):
+    """A whole proof script failed (bad bullet structure, early Qed...)."""
+
+
+class SessionError(ReproError):
+    """Protocol misuse in the SerAPI-like session layer."""
+
+
+class CorpusError(ReproError):
+    """The benchmark corpus is malformed (bad imports, unproved lemma)."""
+
+
+class GenerationError(ReproError):
+    """The (simulated) LLM failed to produce candidates."""

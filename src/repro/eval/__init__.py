@@ -1,0 +1,50 @@
+"""The paper's experiments: Figure 1, Tables 1-2, Figure 2, §4.3."""
+
+from repro.eval.cases import CASE_LEMMAS, CaseStudy, render_case, run_case_studies
+from repro.eval.categories import CategoryCoverage, category_table
+from repro.eval.config import ALL_MODELS, LARGE_MODELS, SMALL_MODELS, ExperimentConfig
+from repro.eval.coverage import (
+    BIN_LABELS,
+    BinCoverage,
+    coverage_by_bin,
+    coverage_under,
+    overall_coverage,
+)
+from repro.eval.outcomes import OutcomeRow, outcome_row, table2_rows
+from repro.eval.report import render_figure1, render_table1, render_table2
+from repro.eval.runner import EvalRun, Runner, TheoremOutcome
+from repro.eval.similarity import (
+    levenshtein,
+    normalized_similarity,
+    random_pair_baseline,
+)
+
+__all__ = [
+    "CASE_LEMMAS",
+    "CaseStudy",
+    "render_case",
+    "run_case_studies",
+    "CategoryCoverage",
+    "category_table",
+    "ALL_MODELS",
+    "LARGE_MODELS",
+    "SMALL_MODELS",
+    "ExperimentConfig",
+    "BIN_LABELS",
+    "BinCoverage",
+    "coverage_by_bin",
+    "coverage_under",
+    "overall_coverage",
+    "OutcomeRow",
+    "outcome_row",
+    "table2_rows",
+    "render_figure1",
+    "render_table1",
+    "render_table2",
+    "EvalRun",
+    "Runner",
+    "TheoremOutcome",
+    "levenshtein",
+    "normalized_similarity",
+    "random_pair_baseline",
+]

@@ -1,0 +1,139 @@
+"""Figure 2: case studies comparing human and generated proofs.
+
+The paper's three examples live verbatim-in-spirit in the corpus:
+
+* Case A — ``incl_tl_inv`` (ListUtils): the human proof inducts
+  unnecessarily.
+* Case B — ``ndata_log_padded_log`` (PaddedLog): the human proof
+  expands many rewrites.
+* Case C — ``tree_name_distinct_head`` (DirTree): the human proof
+  re-applies lemmas redundantly.
+
+:func:`run_case_studies` searches for each with a hinted strong model
+and reports both proofs with token counts, machine-checking the
+generated one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.corpus.tokenizer import count_tokens
+from repro.eval.runner import Runner
+from repro.eval.similarity import normalized_similarity
+
+__all__ = ["CaseStudy", "CASE_LEMMAS", "run_case_studies", "render_case"]
+
+# (lemma, model) pairs as in Figure 2.
+CASE_LEMMAS = (
+    ("incl_tl_inv", "gpt-4o"),
+    ("ndata_log_padded_log", "gpt-4o"),
+    ("tree_name_distinct_head", "gemini-1.5-pro"),
+)
+
+# Curated dependency sets (the paper's §4.3 device: "we examined its
+# dependencies and included only the necessary definitions, lemmas,
+# and tactics in the prompt").  Figure 2's showcased generations come
+# from the appropriate-context regime.
+CASE_DEPENDENCIES = {
+    "incl_tl_inv": [
+        "In", "incl", "incl_nil", "incl_cons", "incl_cons_inv",
+        "incl_tl", "in_eq", "in_cons",
+    ],
+    "ndata_log_padded_log": [
+        "nonzero_addrs", "ndata_log", "padded_log", "pad2", "map_app",
+        "repeat_map", "nonzero_addrs_app", "nonzero_addrs_repeat_0",
+        "nonzero_addrs_app_zeros", "plus_0_r", "fst_pair",
+    ],
+    "tree_name_distinct_head": [
+        "dirtree", "tree_names_distinct", "Forall", "map_cons",
+        "Forall_inv", "NoDup_cons_inv",
+    ],
+}
+
+
+@dataclass
+class CaseStudy:
+    lemma: str
+    model: str
+    statement: str
+    human_proof: str
+    human_tokens: int
+    generated_proof: Optional[str]
+    generated_tokens: Optional[int]
+    similarity: Optional[float]
+    proved: bool
+
+
+def run_case_studies(runner: Runner) -> List[CaseStudy]:
+    """Search the three lemmas with the hinted models at full attention.
+
+    The paper presents Figure 2 as *selected successful* generations;
+    to reproduce the qualitative comparison we run the search with the
+    model's lucidity pinned to 1.0 (its best-case behaviour) and with
+    the §4.3 curated context for each lemma, which is the regime the
+    published examples came from.  Coverage numbers elsewhere never
+    use these overrides.
+    """
+    import dataclasses
+
+    from repro.core import SearchConfig
+    from repro.llm.models import SimulatedModel, get_model
+
+    studies: List[CaseStudy] = []
+    for lemma_name, model_name in CASE_LEMMAS:
+        theorem = runner.project.theorem(lemma_name)
+        base = get_model(model_name).profile
+        focused = SimulatedModel(
+            dataclasses.replace(
+                base, lucidity=1.0, hallucination_rate=0.05, temperature=0.5
+            )
+        )
+        outcome = runner.run_theorem(
+            theorem,
+            model_name,
+            hinted=True,
+            model_override=focused,
+            reduced_dependencies=CASE_DEPENDENCIES[lemma_name],
+            search_config=SearchConfig(width=16, fuel=256),
+        )
+        generated = outcome.generated_proof if outcome.proved else None
+        studies.append(
+            CaseStudy(
+                lemma=lemma_name,
+                model=model_name,
+                statement=theorem.statement_text,
+                human_proof=theorem.proof_text,
+                human_tokens=theorem.proof_tokens,
+                generated_proof=generated,
+                generated_tokens=count_tokens(generated) if generated else None,
+                similarity=(
+                    normalized_similarity(generated, theorem.proof_text)
+                    if generated
+                    else None
+                ),
+                proved=outcome.proved,
+            )
+        )
+    return studies
+
+
+def render_case(study: CaseStudy) -> str:
+    lines = [
+        f"=== {study.lemma}  [{study.model}] ===",
+        f"Lemma {study.lemma} : {study.statement}.",
+        "",
+        f"-- human proof ({study.human_tokens} tokens) --",
+        study.human_proof,
+        "",
+    ]
+    if study.generated_proof:
+        lines += [
+            f"-- generated proof ({study.generated_tokens} tokens, "
+            f"similarity {study.similarity:.3f}) --",
+            study.generated_proof,
+        ]
+    else:
+        lines.append("-- generated proof: (search failed) --")
+    return "\n".join(lines)

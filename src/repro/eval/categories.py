@@ -1,0 +1,54 @@
+"""Table 1: coverage by theorem category, actual vs expected.
+
+*Actual* coverage is the proved fraction within a category.
+*Expected* coverage is category-agnostic: for each theorem, look up
+the coverage of its human-proof-length bin over the *whole* run, then
+average within the category — the paper's control for the fact that
+File System lemmas simply have longer proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.corpus.model import CATEGORIES
+from repro.corpus.tokenizer import bin_of_length
+from repro.eval.coverage import coverage_by_bin
+from repro.eval.runner import TheoremOutcome
+
+__all__ = ["CategoryCoverage", "category_table"]
+
+
+@dataclass
+class CategoryCoverage:
+    category: str
+    total: int
+    actual: Optional[float]
+    expected: Optional[float]
+
+
+def category_table(
+    outcomes: Sequence[TheoremOutcome],
+) -> List[CategoryCoverage]:
+    bins = coverage_by_bin(outcomes)
+    bin_cov = [b.coverage for b in bins]
+    rows: List[CategoryCoverage] = []
+    for category in CATEGORIES:
+        subset = [o for o in outcomes if o.theorem.category == category]
+        if not subset:
+            rows.append(CategoryCoverage(category, 0, None, None))
+            continue
+        actual = sum(o.proved for o in subset) / len(subset)
+        expected_terms = []
+        for outcome in subset:
+            cov = bin_cov[bin_of_length(outcome.theorem.proof_tokens)]
+            if cov is not None:
+                expected_terms.append(cov)
+        expected = (
+            sum(expected_terms) / len(expected_terms)
+            if expected_terms
+            else None
+        )
+        rows.append(CategoryCoverage(category, len(subset), actual, expected))
+    return rows

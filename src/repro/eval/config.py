@@ -1,0 +1,33 @@
+"""Experiment configuration (defaults mirror the paper §4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.corpus.splits import DEFAULT_SEED
+
+__all__ = ["ExperimentConfig", "SMALL_MODELS", "LARGE_MODELS", "ALL_MODELS"]
+
+SMALL_MODELS: Tuple[str, ...] = ("gpt-4o-mini", "gemini-1.5-flash")
+LARGE_MODELS: Tuple[str, ...] = (
+    "gpt-4o",
+    "gemini-1.5-pro",
+    "gemini-1.5-pro-128k",
+)
+ALL_MODELS: Tuple[str, ...] = SMALL_MODELS + LARGE_MODELS
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs for one evaluation sweep."""
+
+    width: int = 8  # search width (Gemini's max outputs per query)
+    fuel: int = 128  # model-query limit (GPT-f's configuration)
+    tactic_timeout: float = 5.0  # seconds (paper's validity rule)
+    hint_fraction: float = 0.5  # random theorems whose proofs are hints
+    large_fraction: float = 0.5  # paper: 0.1 of a 10x larger corpus
+    seed: int = DEFAULT_SEED
+    max_theorems: Optional[int] = None  # cap for quick runs/benches
+    frontier: str = "best-first"
+    dedup_states: bool = True

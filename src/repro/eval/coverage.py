@@ -1,0 +1,54 @@
+"""Figure 1: proof coverage by human-proof token-length bins."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.corpus.tokenizer import LENGTH_BINS, bin_of_length
+from repro.eval.runner import EvalRun, TheoremOutcome
+
+__all__ = ["BinCoverage", "coverage_by_bin", "overall_coverage", "BIN_LABELS"]
+
+BIN_LABELS = tuple(
+    [f"<={edge}" for edge in LENGTH_BINS] + [f">{LENGTH_BINS[-1]}"]
+)
+
+
+@dataclass
+class BinCoverage:
+    label: str
+    total: int
+    proved: int
+
+    @property
+    def coverage(self) -> Optional[float]:
+        if self.total == 0:
+            return None
+        return self.proved / self.total
+
+
+def coverage_by_bin(outcomes: Sequence[TheoremOutcome]) -> List[BinCoverage]:
+    bins = [BinCoverage(label, 0, 0) for label in BIN_LABELS]
+    for outcome in outcomes:
+        index = bin_of_length(outcome.theorem.proof_tokens)
+        bins[index].total += 1
+        bins[index].proved += outcome.proved
+    return bins
+
+
+def overall_coverage(outcomes: Sequence[TheoremOutcome]) -> float:
+    if not outcomes:
+        return 0.0
+    return sum(o.proved for o in outcomes) / len(outcomes)
+
+
+def coverage_under(outcomes: Sequence[TheoremOutcome], tokens: int) -> float:
+    """Coverage restricted to theorems with human proofs < ``tokens``.
+
+    The paper's headline slice is < 64 tokens (~60 % of FSCQ).
+    """
+    subset = [o for o in outcomes if o.theorem.proof_tokens < tokens]
+    if not subset:
+        return 0.0
+    return sum(o.proved for o in subset) / len(subset)

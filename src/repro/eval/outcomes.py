@@ -1,0 +1,85 @@
+"""Table 2: outcome distribution and qualitative metrics.
+
+Per (model, vanilla→hint) pair: proved %, stuck %, fuelout %, the
+average normalized Levenshtein similarity of generated proofs to the
+human ones, and the average generated/human length ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core import Status
+from repro.eval.runner import EvalRun
+
+__all__ = ["OutcomeRow", "outcome_row", "table2_rows"]
+
+
+@dataclass
+class OutcomeRow:
+    model: str
+    proved: float
+    stuck: float
+    fuelout: float
+    similarity: Optional[float]
+    length_pct: Optional[float]
+
+    @staticmethod
+    def arrow(vanilla: "OutcomeRow", hinted: "OutcomeRow") -> dict:
+        """Paper-style "without → with hints" cell values."""
+
+        def pair(attr):
+            return (getattr(vanilla, attr), getattr(hinted, attr))
+
+        return {
+            "model": vanilla.model,
+            "proved": pair("proved"),
+            "stuck": pair("stuck"),
+            "fuelout": pair("fuelout"),
+            "similarity": pair("similarity"),
+            "length_pct": pair("length_pct"),
+        }
+
+
+def outcome_row(run: EvalRun) -> OutcomeRow:
+    proved = run.proved_fraction()
+    stuck = run.fraction_with_status(Status.STUCK)
+    fuelout = run.fraction_with_status(Status.FUELOUT)
+    similarities = [
+        o.similarity for o in run.outcomes if o.proved and o.similarity is not None
+    ]
+    lengths = [
+        o.length_ratio
+        for o in run.outcomes
+        if o.proved and o.length_ratio is not None
+    ]
+    return OutcomeRow(
+        model=run.model,
+        proved=proved,
+        stuck=stuck,
+        fuelout=fuelout,
+        similarity=sum(similarities) / len(similarities) if similarities else None,
+        length_pct=100.0 * sum(lengths) / len(lengths) if lengths else None,
+    )
+
+
+def table2_rows(
+    runs: Sequence[EvalRun],
+) -> List[dict]:
+    """Pair up vanilla/hinted runs per model, paper Table 2 style."""
+    by_key = {(run.model, run.hinted): run for run in runs}
+    rows = []
+    models = []
+    for run in runs:
+        if run.model not in models:
+            models.append(run.model)
+    for model in models:
+        vanilla = by_key.get((model, False))
+        hinted = by_key.get((model, True))
+        if vanilla is None or hinted is None:
+            continue
+        rows.append(
+            OutcomeRow.arrow(outcome_row(vanilla), outcome_row(hinted))
+        )
+    return rows

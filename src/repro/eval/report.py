@@ -1,0 +1,103 @@
+"""ASCII rendering of the paper's tables and figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.categories import CategoryCoverage
+from repro.eval.coverage import BIN_LABELS, BinCoverage
+
+__all__ = [
+    "render_figure1",
+    "render_table1",
+    "render_table2",
+    "fmt_pct",
+]
+
+
+def fmt_pct(value: Optional[float]) -> str:
+    if value is None:
+        return "   - "
+    return f"{100 * value:5.1f}%"
+
+
+def render_figure1(
+    series: Dict[str, List[BinCoverage]], title: str = "Figure 1"
+) -> str:
+    """Per-model coverage across human-proof token-length bins."""
+    lines = [title, ""]
+    header = f"{'model':28}" + "".join(f"{label:>8}" for label in BIN_LABELS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, bins in series.items():
+        cells = []
+        for b in bins:
+            cells.append(
+                f"{fmt_pct(b.coverage):>8}" if b.total else f"{'—':>8}"
+            )
+        lines.append(f"{name:28}" + "".join(cells))
+    # Bin populations, once.
+    any_bins = next(iter(series.values()))
+    lines.append(
+        f"{'(n per bin)':28}"
+        + "".join(f"{b.total:>8}" for b in any_bins)
+    )
+    return "\n".join(lines)
+
+
+def render_table1(
+    rows_by_model: Dict[str, List[CategoryCoverage]],
+    title: str = "Table 1",
+) -> str:
+    lines = [title, ""]
+    categories = [r.category for r in next(iter(rows_by_model.values()))]
+    header = f"{'model':24}" + "".join(f"{c:>22}" for c in categories)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for model, rows in rows_by_model.items():
+        cells = []
+        for row in rows:
+            cells.append(
+                f"{fmt_pct(row.actual)} / {fmt_pct(row.expected):>7}".rjust(22)
+            )
+        lines.append(f"{model:24}" + "".join(cells))
+    lines.append("(each cell: actual / expected coverage)")
+    return "\n".join(lines)
+
+
+def render_table2(rows: Sequence[dict], title: str = "Table 2") -> str:
+    lines = [title, ""]
+    header = (
+        f"{'model':24}{'proved':>16}{'stuck':>16}{'fuelout':>16}"
+        f"{'similarity':>16}{'length':>18}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    def arrow_pct(pair) -> str:
+        a, b = pair
+        return f"{100 * a:4.1f}%->{100 * b:4.1f}%"
+
+    def arrow_val(pair) -> str:
+        a, b = pair
+        if a is None or b is None:
+            return "-"
+        return f"{a:.3f}->{b:.3f}"
+
+    def arrow_len(pair) -> str:
+        a, b = pair
+        if a is None or b is None:
+            return "-"
+        return f"{a:5.1f}%->{b:5.1f}%"
+
+    for row in rows:
+        lines.append(
+            f"{row['model']:24}"
+            f"{arrow_pct(row['proved']):>16}"
+            f"{arrow_pct(row['stuck']):>16}"
+            f"{arrow_pct(row['fuelout']):>16}"
+            f"{arrow_val(row['similarity']):>16}"
+            f"{arrow_len(row['length_pct']):>18}"
+        )
+    lines.append("(each cell: without hints -> with hints)")
+    return "\n".join(lines)

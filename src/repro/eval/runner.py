@@ -1,0 +1,215 @@
+"""The experiment driver.
+
+Runs best-first search over (model × setting × theorem) cells and
+collects :class:`TheoremOutcome` records carrying everything the
+paper's tables and figures need: outcome status, the generated proof,
+its machine revalidation, similarity to the human proof, and length
+ratio.
+
+Every *proved* outcome is replayed from scratch through the script
+runner before it counts — a proof is never trusted on the search
+engine's say-so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.corpus.loader import Project, load_project
+from repro.corpus.model import Theorem
+from repro.corpus.splits import Splits, make_splits
+from repro.corpus.tokenizer import count_tokens
+from repro.core import BestFirstSearch, SearchConfig, Status
+from repro.errors import ReproError
+from repro.eval.config import ExperimentConfig
+from repro.eval.similarity import normalized_similarity
+from repro.llm import get_model
+from repro.prompting import PromptBuilder
+from repro.serapi import ProofChecker
+from repro.tactics.script import run_script
+
+__all__ = ["TheoremOutcome", "EvalRun", "Runner"]
+
+
+@dataclass
+class TheoremOutcome:
+    theorem: Theorem
+    model: str
+    hinted: bool
+    status: Status
+    queries: int
+    generated_proof: str = ""
+    revalidated: bool = False
+    similarity: Optional[float] = None
+    length_ratio: Optional[float] = None  # generated/human tokens
+
+    @property
+    def proved(self) -> bool:
+        return self.status is Status.PROVED and self.revalidated
+
+
+@dataclass
+class EvalRun:
+    """All outcomes of one (model, setting) sweep."""
+
+    model: str
+    hinted: bool
+    outcomes: List[TheoremOutcome] = field(default_factory=list)
+
+    def proved_fraction(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.proved for o in self.outcomes) / len(self.outcomes)
+
+    def fraction_with_status(self, status: Status) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.status is status for o in self.outcomes) / len(
+            self.outcomes
+        )
+
+
+class Runner:
+    """Evaluation entry point."""
+
+    def __init__(
+        self,
+        project: Optional[Project] = None,
+        config: Optional[ExperimentConfig] = None,
+    ) -> None:
+        self.project = project or load_project()
+        self.config = config or ExperimentConfig()
+        self.splits: Splits = make_splits(
+            self.project,
+            hint_fraction=self.config.hint_fraction,
+            large_fraction=self.config.large_fraction,
+            seed=self.config.seed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def theorems_for(self, model_name: str) -> List[Theorem]:
+        from repro.eval.config import LARGE_MODELS
+
+        theorems = (
+            self.splits.test_large
+            if model_name in LARGE_MODELS
+            else self.splits.test
+        )
+        if self.config.max_theorems is not None:
+            theorems = theorems[: self.config.max_theorems]
+        return theorems
+
+    def run_theorem(
+        self,
+        theorem: Theorem,
+        model_name: str,
+        hinted: bool,
+        reduced_dependencies: Optional[Sequence[str]] = None,
+        model_override=None,
+        search_config=None,
+    ) -> TheoremOutcome:
+        model = model_override if model_override is not None else get_model(
+            model_name
+        )
+        env = self.project.env_for(theorem)
+        checker = ProofChecker(env, tactic_timeout=self.config.tactic_timeout)
+        builder = PromptBuilder(
+            self.project,
+            theorem,
+            hint_names=self.splits.hint_names if hinted else None,
+            window_tokens=model.context_window,
+            reduced_dependencies=reduced_dependencies,
+        )
+        search = BestFirstSearch(
+            checker,
+            model,
+            search_config
+            or SearchConfig(
+                width=self.config.width,
+                fuel=self.config.fuel,
+                tactic_timeout=self.config.tactic_timeout,
+                frontier=self.config.frontier,
+                dedup_states=self.config.dedup_states,
+            ),
+        )
+        result = search.prove(theorem.name, theorem.statement, builder.build)
+        outcome = TheoremOutcome(
+            theorem=theorem,
+            model=model_name,
+            hinted=hinted,
+            status=result.status,
+            queries=result.stats.queries,
+        )
+        if result.proved:
+            proof_text = result.proof_text()
+            outcome.generated_proof = proof_text
+            try:
+                # Qed: replay the full script from scratch.
+                run_script(env, theorem.statement, proof_text)
+                outcome.revalidated = True
+            except ReproError:
+                outcome.revalidated = False
+            outcome.similarity = normalized_similarity(
+                proof_text, theorem.proof_text
+            )
+            human_tokens = max(1, count_tokens(theorem.proof_text))
+            outcome.length_ratio = count_tokens(proof_text) / human_tokens
+        return outcome
+
+    def run(
+        self,
+        model_name: str,
+        hinted: bool,
+        theorems: Optional[Sequence[Theorem]] = None,
+    ) -> EvalRun:
+        chosen = list(theorems) if theorems is not None else self.theorems_for(
+            model_name
+        )
+        run = EvalRun(model=model_name, hinted=hinted)
+        for theorem in chosen:
+            run.outcomes.append(self.run_theorem(theorem, model_name, hinted))
+        return run
+
+    # ------------------------------------------------------------------
+    # §4.3 probes
+    # ------------------------------------------------------------------
+
+    def run_reduced_context(
+        self,
+        theorem: Theorem,
+        model_name: str,
+        dependencies: Sequence[str],
+    ) -> TheoremOutcome:
+        """Hand-reduced-context rerun of a failed theorem (§4.3)."""
+        return self.run_theorem(
+            theorem, model_name, hinted=False, reduced_dependencies=dependencies
+        )
+
+    def run_whole_proof(
+        self, theorem: Theorem, attempts: int = 8
+    ) -> Dict[str, object]:
+        """o1-style whole-proof probe (§4.3): no search, one-shot scripts."""
+        from repro.kernel.goals import initial_state
+        from repro.llm.wholeproof import WholeProofModel
+
+        model = WholeProofModel()
+        env = self.project.env_for(theorem)
+        builder = PromptBuilder(self.project, theorem)
+        state = initial_state(env, theorem.statement)
+        prompt = builder.build(state, [])
+        scripts = model.generate(prompt, attempts)
+        successes = 0
+        for script in scripts:
+            try:
+                run_script(env, theorem.statement, script)
+                successes += 1
+            except ReproError:
+                pass
+        return {
+            "theorem": theorem.name,
+            "attempts": attempts,
+            "successes": successes,
+            "scripts": scripts,
+        }

@@ -1,0 +1,84 @@
+"""Proof similarity: normalized Levenshtein (paper §4.2).
+
+Similarity ranges over [0, 1]: 1 is an exact match, 0 complete
+dissimilarity — ``1 - distance / max(len_a, len_b)`` over
+whitespace-normalized proof text.  The paper reports that generated
+proofs average < 0.6 similarity to the human ones (max 0.683), versus
+0.360 for random pairs of unrelated FSCQ proofs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+__all__ = [
+    "levenshtein",
+    "normalized_similarity",
+    "normalize_proof",
+    "random_pair_baseline",
+]
+
+
+def normalize_proof(text: str) -> str:
+    """Collapse whitespace and strip bullets so layout doesn't count."""
+    tokens = []
+    for line in text.splitlines():
+        stripped = line.strip().lstrip("-+*{} \t")
+        if stripped:
+            tokens.append(stripped)
+    return " ".join(" ".join(tokens).split())
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic O(len(a)·len(b)) edit distance, two-row DP."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def normalized_similarity(generated: str, human: str) -> float:
+    """1 = identical, 0 = completely dissimilar."""
+    a = normalize_proof(generated)
+    b = normalize_proof(human)
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def random_pair_baseline(
+    proofs: Sequence[str], pairs: int = 200, seed: int = 0
+) -> float:
+    """Average similarity of random *unrelated* proof pairs.
+
+    The paper's floor reference: 0.360 on FSCQ.
+    """
+    rng = random.Random(seed)
+    usable = [p for p in proofs if p.strip()]
+    if len(usable) < 2:
+        return 0.0
+    total = 0.0
+    for _ in range(pairs):
+        a, b = rng.sample(usable, 2)
+        total += normalized_similarity(a, b)
+    return total / pairs

@@ -1,0 +1,37 @@
+"""The proof kernel: terms, types, environments, goals, and reduction.
+
+This package is the reproduction's stand-in for Coq itself (see
+DESIGN.md §2).  Public surface:
+
+* :mod:`repro.kernel.terms` / :mod:`repro.kernel.types` — ASTs.
+* :mod:`repro.kernel.env` — global environments (projects).
+* :mod:`repro.kernel.parser` / :mod:`repro.kernel.pretty` — concrete
+  syntax in and out.
+* :mod:`repro.kernel.goals` — sequents and proof states.
+* :mod:`repro.kernel.reduction` — ``simpl``/``unfold``/weak-head.
+* :mod:`repro.kernel.unify` — unification with metavariables.
+"""
+
+from repro.kernel.env import Environment, LemmaInfo
+from repro.kernel.goals import Goal, HypDecl, ProofState, VarDecl, initial_state
+from repro.kernel.parser import parse_statement, parse_term, parse_type
+from repro.kernel.pretty import pp_term, pp_type
+from repro.kernel.terms import Term
+from repro.kernel.types import Type
+
+__all__ = [
+    "Environment",
+    "LemmaInfo",
+    "Goal",
+    "HypDecl",
+    "VarDecl",
+    "ProofState",
+    "initial_state",
+    "parse_statement",
+    "parse_term",
+    "parse_type",
+    "pp_term",
+    "pp_type",
+    "Term",
+    "Type",
+]

@@ -1,0 +1,93 @@
+"""Defined constants: abbreviations and recursive fixpoints.
+
+Two definition forms, matching how they compute:
+
+* :class:`Abbreviation` — a transparent definition (Coq ``Definition``).
+  ``unfold name`` replaces the constant with its body and
+  beta-reduces; ``simpl`` ignores it unless the head must reduce.
+  Example: ``incl l1 l2 := forall a, In a l1 -> In a l2``.
+
+* :class:`Fixpoint` — a recursive definition given by pattern-matching
+  equations (Coq ``Fixpoint``).  ``simpl`` rewrites with an equation
+  when the scrutinized arguments are constructor-headed, which
+  guarantees termination on well-founded data.  Example::
+
+      app nil        l = l
+      app (cons x xs) l = cons x (app xs l)
+
+  Prop-valued fixpoints (``In``, ``disjoint``...) fit the same mould —
+  their right-hand sides are propositions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.kernel.terms import App, Const, Term, Var, free_vars
+from repro.kernel.types import Type
+
+__all__ = ["Abbreviation", "FixEquation", "Fixpoint"]
+
+
+@dataclass(frozen=True)
+class Abbreviation:
+    """A transparent non-recursive definition.
+
+    ``params`` are the formal parameters (name, type); ``body`` may
+    mention them as :class:`Var` nodes.  ``result_ty`` is the type of
+    the body, so the constant's signature type is
+    ``params -> result_ty``.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Type], ...]
+    body: Term
+    result_ty: Type
+
+
+@dataclass(frozen=True)
+class FixEquation:
+    """One pattern-matching equation of a fixpoint.
+
+    ``patterns`` has one entry per formal parameter.  Each entry is a
+    term built from constructors and variables (a linear pattern); a
+    bare :class:`Var` matches anything and binds it in ``rhs``.
+    """
+
+    patterns: Tuple[Term, ...]
+    rhs: Term
+
+    def pattern_vars(self) -> Tuple[str, ...]:
+        seen = []
+        for pat in self.patterns:
+            for name in sorted(free_vars(pat)):
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class Fixpoint:
+    """A recursive definition by equations.
+
+    ``arg_types``/``result_ty`` give the constant's signature;
+    ``equations`` are tried in order (first match wins), exactly like
+    Coq's compiled ``match``.
+    """
+
+    name: str
+    arg_types: Tuple[Type, ...]
+    result_ty: Type
+    equations: Tuple[FixEquation, ...]
+
+    def __post_init__(self) -> None:
+        for eq in self.equations:
+            if len(eq.patterns) != len(self.arg_types):
+                raise ValueError(
+                    f"fixpoint {self.name}: equation arity "
+                    f"{len(eq.patterns)} != {len(self.arg_types)}"
+                )
+
+    def arity(self) -> int:
+        return len(self.arg_types)

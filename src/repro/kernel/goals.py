@@ -1,0 +1,213 @@
+"""Goals and proof states.
+
+A :class:`Goal` is a Coq-style sequent: an ordered context of variable
+declarations (``x : nat``) and hypotheses (``H : P``) above a
+conclusion.  A :class:`ProofState` is the sequence of open goals (the
+first is focused) plus the metavariable store shared by all of them
+(``eapply`` can thread an existential through sibling goals, exactly
+as in Coq).
+
+States are immutable from the outside: the tactic runner clones the
+metavariable store before a tactic mutates it, so search-tree siblings
+never interfere — a requirement for best-first search, where many
+alternative expansions of one state coexist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import KernelError
+from repro.kernel.env import Environment
+from repro.kernel.pretty import pp_term, pp_type
+from repro.kernel.subst import alpha_key, fresh_name
+from repro.kernel.terms import Term, free_vars, metas_of
+from repro.kernel.types import Type
+from repro.kernel.unify import MetaStore
+
+__all__ = ["VarDecl", "HypDecl", "Decl", "Goal", "ProofState", "initial_state"]
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """A context variable declaration ``name : ty``."""
+
+    name: str
+    ty: Type
+
+    def render(self) -> str:
+        return f"{self.name} : {pp_type(self.ty)}"
+
+
+@dataclass(frozen=True)
+class HypDecl:
+    """A context hypothesis ``name : prop``."""
+
+    name: str
+    prop: Term
+
+    def render(self) -> str:
+        return f"{self.name} : {pp_term(self.prop)}"
+
+
+Decl = Union[VarDecl, HypDecl]
+
+
+@dataclass(frozen=True)
+class Goal:
+    """One sequent: context declarations above a conclusion."""
+
+    decls: Tuple[Decl, ...]
+    concl: Term
+
+    # -- context queries -------------------------------------------------
+
+    def names(self) -> List[str]:
+        return [d.name for d in self.decls]
+
+    def lookup(self, name: str) -> Optional[Decl]:
+        for decl in self.decls:
+            if decl.name == name:
+                return decl
+        return None
+
+    def hyp(self, name: str) -> HypDecl:
+        decl = self.lookup(name)
+        if not isinstance(decl, HypDecl):
+            raise KernelError(f"no hypothesis named {name}")
+        return decl
+
+    def var_types(self) -> Dict[str, Type]:
+        """Context for the elaborator: every declared name's type.
+
+        Hypotheses get no entry (they are proofs, not terms); variable
+        declarations map to their type.
+        """
+        return {d.name: d.ty for d in self.decls if isinstance(d, VarDecl)}
+
+    def fresh(self, base: str) -> str:
+        return fresh_name(base, set(self.names()))
+
+    # -- context updates (all return new goals) ---------------------------
+
+    def add(self, decl: Decl) -> "Goal":
+        if self.lookup(decl.name) is not None:
+            raise KernelError(f"name already used: {decl.name}")
+        return Goal(self.decls + (decl,), self.concl)
+
+    def with_concl(self, concl: Term) -> "Goal":
+        return Goal(self.decls, concl)
+
+    def replace_decl(self, name: str, decl: Decl) -> "Goal":
+        out = []
+        found = False
+        for d in self.decls:
+            if d.name == name:
+                out.append(decl)
+                found = True
+            else:
+                out.append(d)
+        if not found:
+            raise KernelError(f"no declaration named {name}")
+        return Goal(tuple(out), self.concl)
+
+    def remove_decl(self, name: str) -> "Goal":
+        out = [d for d in self.decls if d.name != name]
+        if len(out) == len(self.decls):
+            raise KernelError(f"no declaration named {name}")
+        return Goal(tuple(out), self.concl)
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """Coq-style goal display (context, bar, conclusion)."""
+        lines = [decl.render() for decl in self.decls]
+        lines.append("=" * 30)
+        lines.append(pp_term(self.concl))
+        return "\n".join(lines)
+
+    def key(self, store: MetaStore) -> str:
+        """Canonical identity of this goal, for duplicate detection."""
+        parts = []
+        for decl in self.decls:
+            if isinstance(decl, VarDecl):
+                parts.append(f"V:{decl.name}:{pp_type(decl.ty)}")
+            else:
+                parts.append(f"H:{decl.name}:{alpha_key(store.resolve(decl.prop))}")
+        parts.append("|-")
+        parts.append(alpha_key(store.resolve(self.concl)))
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class ProofState:
+    """All open goals plus the shared metavariable store.
+
+    The focused goal is ``goals[0]``.  The proof is complete when no
+    goals remain and every metavariable ever created has a solution
+    (Coq refuses ``Qed`` with unresolved existentials).
+    """
+
+    goals: Tuple[Goal, ...]
+    store: MetaStore
+
+    def focused(self) -> Goal:
+        if not self.goals:
+            raise KernelError("no goals remain")
+        return self.goals[0]
+
+    def is_complete(self) -> bool:
+        if self.goals:
+            return False
+        return all(
+            self.store.is_solved(uid) for uid in range(self.store.next_uid)
+        )
+
+    def num_goals(self) -> int:
+        return len(self.goals)
+
+    def replace_focused(self, new_goals: Sequence[Goal]) -> "ProofState":
+        """Replace the focused goal with ``new_goals`` (possibly none)."""
+        return ProofState(tuple(new_goals) + self.goals[1:], self.store)
+
+    def with_goals(self, goals: Sequence[Goal]) -> "ProofState":
+        return ProofState(tuple(goals), self.store)
+
+    def resolve(self, term: Term) -> Term:
+        return self.store.resolve(term)
+
+    def clone_store(self) -> "ProofState":
+        """A state whose store may be mutated without affecting siblings."""
+        clone = MetaStore(self.store.next_uid, dict(self.store.solutions))
+        return ProofState(self.goals, clone)
+
+    def key(self) -> str:
+        """Canonical identity of the whole state (paper: duplicate pruning)."""
+        return "\n---\n".join(goal.key(self.store) for goal in self.goals)
+
+    def render(self) -> str:
+        if not self.goals:
+            return "No more goals."
+        blocks = []
+        total = len(self.goals)
+        for i, goal in enumerate(self.goals):
+            header = f"goal {i + 1} of {total}:"
+            resolved = Goal(
+                tuple(
+                    HypDecl(d.name, self.store.resolve(d.prop))
+                    if isinstance(d, HypDecl)
+                    else d
+                    for d in goal.decls
+                ),
+                self.store.resolve(goal.concl),
+            )
+            blocks.append(f"{header}\n{resolved.render()}")
+        return "\n\n".join(blocks)
+
+
+def initial_state(env: Environment, statement: Term) -> ProofState:
+    """The starting proof state for a lemma ``statement``."""
+    del env  # reserved for future well-formedness checking
+    goal = Goal((), statement)
+    return ProofState((goal,), MetaStore())

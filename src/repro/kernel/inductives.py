@@ -1,0 +1,107 @@
+"""Inductive datatypes and inductive predicates.
+
+Two flavours mirror the two ways FSCQ (and Coq generally) uses
+``Inductive``:
+
+* :class:`Inductive` — a *datatype* (``nat``, ``list``, ``dirtree``).
+  Constructors carry argument types; the ``induction``/``destruct``
+  tactics consume these to build case subgoals, and an argument whose
+  type is the inductive itself yields an induction hypothesis.  As in
+  Coq's default scheme, recursion *nested under another type
+  constructor* (e.g. ``TreeDir : list (prod string dirtree) ->
+  dirtree``) does not get a hypothesis.
+
+* :class:`InductivePred` — an inductively defined *proposition*
+  (``Forall``, ``NoDup``, ``le``, ``tree_names_distinct``, the CHL
+  ``hoare`` rules).  Constructors are ordinary closed statements
+  (terms of type ``Prop``); the ``constructor`` tactic applies them
+  and ``inversion`` case-analyses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.kernel.terms import Term
+from repro.kernel.types import TCon, TVar, Type, arrows
+
+__all__ = ["DataConstructor", "Inductive", "PredConstructor", "InductivePred"]
+
+
+@dataclass(frozen=True)
+class DataConstructor:
+    """One constructor of an inductive datatype.
+
+    ``arg_types`` may mention the parent inductive (direct recursion)
+    and the datatype's type parameters as :class:`TVar` nodes.
+    ``arg_hints`` optionally suggests binder names for case subgoals
+    (e.g. ``('x', 'l')`` for ``cons``).
+    """
+
+    name: str
+    arg_types: Tuple[Type, ...] = ()
+    arg_hints: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.arg_hints and len(self.arg_hints) != len(self.arg_types):
+            raise ValueError(
+                f"constructor {self.name}: {len(self.arg_hints)} hints for "
+                f"{len(self.arg_types)} arguments"
+            )
+
+
+@dataclass(frozen=True)
+class Inductive:
+    """An inductive datatype declaration."""
+
+    name: str
+    params: Tuple[str, ...]  # type-parameter names, e.g. ('A',)
+    constructors: Tuple[DataConstructor, ...]
+
+    def applied(self) -> Type:
+        """The datatype applied to its own parameters, e.g. ``list A``."""
+        return TCon(self.name, tuple(TVar(p) for p in self.params))
+
+    def constructor_type(self, ctor: DataConstructor) -> Type:
+        """The (polymorphic) type of ``ctor`` as a signature constant."""
+        return arrows(*ctor.arg_types, self.applied())
+
+    def constructor_named(self, name: str) -> Optional[DataConstructor]:
+        for ctor in self.constructors:
+            if ctor.name == name:
+                return ctor
+        return None
+
+    def is_recursive_arg(self, arg_type: Type) -> bool:
+        """Does ``arg_type`` denote *direct* recursion into this type?"""
+        return isinstance(arg_type, TCon) and arg_type.name == self.name
+
+
+@dataclass(frozen=True)
+class PredConstructor:
+    """One introduction rule of an inductive predicate.
+
+    ``statement`` is a closed term, e.g. for ``Forall_cons``::
+
+        forall (P : A -> Prop) (x : A) (l : list A),
+          P x -> Forall P l -> Forall P (x :: l)
+    """
+
+    name: str
+    statement: Term
+
+
+@dataclass(frozen=True)
+class InductivePred:
+    """An inductively defined proposition."""
+
+    name: str
+    ty: Type  # e.g. (A -> Prop) -> list A -> Prop
+    constructors: Tuple[PredConstructor, ...]
+
+    def constructor_named(self, name: str) -> Optional[PredConstructor]:
+        for ctor in self.constructors:
+            if ctor.name == name:
+                return ctor
+        return None

@@ -1,0 +1,470 @@
+"""Parser for the kernel's Coq-like concrete syntax.
+
+``parse_term`` produces a *raw* term: every identifier is a
+:class:`Var`, the overloaded ``*`` becomes the placeholder constant
+``_star``, and equality carries no type.  Elaboration
+(:mod:`repro.kernel.typecheck`) resolves identifiers against the
+signature, disambiguates ``*`` (nat multiplication vs. CHL separating
+conjunction), and fills in types.  ``parse_statement`` runs both
+stages.
+
+The lexer is shared with the tactic-script parser
+(:mod:`repro.tactics.script`).
+
+Grammar sketch (loosest to tightest)::
+
+    term     := 'forall' binders ',' term | 'exists' binders ',' term
+              | 'fun' binders '=>' term | impl
+    impl     := or  ('->' impl)?                    -- right
+    or       := and ('\\/' or)?                     -- right
+    and      := not ('/\\' and)?                    -- right
+    not      := '~' not | cmp
+    cmp      := cons (('='|'<>'|'<='|'<'|'|->'|'=p=>') cons)?
+    cons     := add (('::'|'++') cons)?             -- right
+    add      := mul (('+'|'-') mul)*                -- left
+    mul      := appl ('*' appl)*                    -- right (see pretty)
+    appl     := atom atom+ | atom
+    atom     := ident | numeral | 'True' | 'False' | '(' term ')'
+
+Binder annotations of type ``Type`` declare *type variables* (used by
+polymorphic statements such as ``forall (T : Type) (l : list T), ...``)
+and produce no term-level binder, mirroring how the kernel treats
+polymorphism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import ParseError
+from repro.kernel.terms import (
+    And,
+    Const,
+    Eq,
+    Exists,
+    FALSE,
+    Forall,
+    Impl,
+    Lam,
+    Or,
+    TRUE,
+    Term,
+    Var,
+    app,
+    napp,
+    nat_lit,
+    neg,
+)
+from repro.kernel.types import PROP, TArrow, TCon, TVar, Type
+
+__all__ = ["Token", "Lexer", "TermParser", "parse_term", "parse_type", "parse_statement"]
+
+# Longest-match-first symbol table.
+_SYMBOLS = [
+    "=p=>",
+    "|->",
+    "->",
+    "=>",
+    "::",
+    "++",
+    "/\\",
+    "\\/",
+    "<>",
+    "<=",
+    ">=",
+    "||",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+    ":",
+    ".",
+    "=",
+    "<",
+    ">",
+    "~",
+    "+",
+    "-",
+    "*",
+    "|",
+    "!",
+    "@",
+    "?",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'num' | 'sym' | 'eof'
+    text: str
+    pos: int
+
+
+class Lexer:
+    """A simple maximal-munch lexer shared by term and tactic parsing."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = self._scan(text)
+        self.index = 0
+
+    @staticmethod
+    def _scan(text: str) -> List[Token]:
+        tokens: List[Token] = []
+        i = 0
+        n = len(text)
+        while i < n:
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+                continue
+            if ch == "(" and text.startswith("(*", i):
+                # Coq comment; nested comments supported.
+                depth = 1
+                i += 2
+                while i < n and depth:
+                    if text.startswith("(*", i):
+                        depth += 1
+                        i += 2
+                    elif text.startswith("*)", i):
+                        depth -= 1
+                        i += 2
+                    else:
+                        i += 1
+                continue
+            if ch.isalpha() or ch == "_":
+                start = i
+                while i < n and (text[i].isalnum() or text[i] in "_'"):
+                    i += 1
+                tokens.append(Token("ident", text[start:i], start))
+                continue
+            if ch.isdigit():
+                start = i
+                while i < n and text[i].isdigit():
+                    i += 1
+                tokens.append(Token("num", text[start:i], start))
+                continue
+            for sym in _SYMBOLS:
+                if text.startswith(sym, i):
+                    tokens.append(Token("sym", sym, i))
+                    i += len(sym)
+                    break
+            else:
+                raise ParseError(f"unexpected character {ch!r}", i)
+        tokens.append(Token("eof", "", n))
+        return tokens
+
+    def peek(self, ahead: int = 0) -> Token:
+        j = min(self.index + ahead, len(self.tokens) - 1)
+        return self.tokens[j]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.index]
+        if tok.kind != "eof":
+            self.index += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            wanted = text or kind
+            raise ParseError(f"expected {wanted!r}, got {tok.text!r}", tok.pos)
+        return tok
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def at_eof(self) -> bool:
+        return self.peek().kind == "eof"
+
+
+_CMP_OPS = {"=", "<>", "<=", "<", "=p=>"}
+_KEYWORDS = {"forall", "exists", "fun", "True", "False"}
+
+
+class TermParser:
+    def __init__(self, lexer: Lexer, type_vars: Set[str]) -> None:
+        self.lx = lexer
+        self.type_vars = set(type_vars)
+
+    # -- entry ---------------------------------------------------------
+
+    def term(self) -> Term:
+        tok = self.lx.peek()
+        if tok.kind == "ident" and tok.text == "forall":
+            self.lx.next()
+            return self._quantified(Forall)
+        if tok.kind == "ident" and tok.text == "exists":
+            self.lx.next()
+            return self._quantified(Exists)
+        if tok.kind == "ident" and tok.text == "fun":
+            self.lx.next()
+            binders = self._binders(stop="=>")
+            self.lx.expect("sym", "=>")
+            body = self.term()
+            for name, ty in reversed(binders):
+                body = Lam(name, ty, body)
+            return body
+        return self._impl()
+
+    def _quantified(self, cls) -> Term:
+        binders = self._binders(stop=",")
+        self.lx.expect("sym", ",")
+        body = self.term()
+        for name, ty in reversed(binders):
+            if ty == TCon("Type"):
+                # Type binder: registers a type variable, no term binder.
+                continue
+            body = cls(name, ty, body)
+        return body
+
+    def _binders(self, stop: str) -> List[Tuple[str, Optional[Type]]]:
+        """Parse binder groups until the stop symbol (not consumed)."""
+        binders: List[Tuple[str, Optional[Type]]] = []
+        while True:
+            tok = self.lx.peek()
+            if tok.kind == "sym" and tok.text == stop:
+                break
+            if tok.kind == "sym" and tok.text == "(":
+                self.lx.next()
+                names = [self.lx.expect("ident").text]
+                while self.lx.peek().kind == "ident":
+                    names.append(self.lx.next().text)
+                self.lx.expect("sym", ":")
+                ty = self.type_()
+                self.lx.expect("sym", ")")
+                self._register(names, ty, binders)
+            elif tok.kind == "ident":
+                names = [self.lx.next().text]
+                while self.lx.peek().kind == "ident":
+                    names.append(self.lx.next().text)
+                ty: Optional[Type] = None
+                if self.lx.accept("sym", ":"):
+                    ty = self.type_()
+                self._register(names, ty, binders)
+            else:
+                raise ParseError(f"bad binder at {tok.text!r}", tok.pos)
+        if not binders:
+            tok = self.lx.peek()
+            raise ParseError("empty binder list", tok.pos)
+        return binders
+
+    def _register(
+        self,
+        names: List[str],
+        ty: Optional[Type],
+        binders: List[Tuple[str, Optional[Type]]],
+    ) -> None:
+        for name in names:
+            if ty == TCon("Type"):
+                self.type_vars.add(name)
+            binders.append((name, ty))
+
+    # -- operator levels -------------------------------------------------
+
+    def _impl(self) -> Term:
+        lhs = self._or()
+        if self.lx.accept("sym", "->"):
+            rhs = self._impl_rhs()
+            return Impl(lhs, rhs)
+        return lhs
+
+    def _impl_rhs(self) -> Term:
+        # The right side of -> may itself be a quantifier.
+        tok = self.lx.peek()
+        if tok.kind == "ident" and tok.text in ("forall", "exists", "fun"):
+            return self.term()
+        return self._impl()
+
+    def _or(self) -> Term:
+        lhs = self._and()
+        if self.lx.accept("sym", "\\/"):
+            return Or(lhs, self._quant_or(self._or))
+        return lhs
+
+    def _and(self) -> Term:
+        lhs = self._not()
+        if self.lx.accept("sym", "/\\"):
+            return And(lhs, self._quant_or(self._and))
+        return lhs
+
+    def _quant_or(self, fallback):
+        # Quantifiers extend to the right of a connective, as in Coq's
+        # ``P \/ exists x, Q``.
+        tok = self.lx.peek()
+        if tok.kind == "ident" and tok.text in ("forall", "exists", "fun"):
+            return self.term()
+        return fallback()
+
+    def _not(self) -> Term:
+        if self.lx.accept("sym", "~"):
+            return neg(self._not())
+        return self._cmp()
+
+    def _cmp(self) -> Term:
+        lhs = self._cons()
+        tok = self.lx.peek()
+        if tok.kind == "sym" and tok.text in _CMP_OPS:
+            self.lx.next()
+            rhs = self._cons()
+            if tok.text == "=":
+                return Eq(None, lhs, rhs)
+            if tok.text == "<>":
+                return neg(Eq(None, lhs, rhs))
+            if tok.text == "<=":
+                return napp("le", lhs, rhs)
+            if tok.text == "<":
+                return napp("lt", lhs, rhs)
+            if tok.text == "=p=>":
+                return napp("pimpl", lhs, rhs)
+        return lhs
+
+    def _cons(self) -> Term:
+        lhs = self._add()
+        tok = self.lx.peek()
+        if tok.kind == "sym" and tok.text in ("::", "++"):
+            self.lx.next()
+            rhs = self._cons()
+            name = "cons" if tok.text == "::" else "app"
+            return napp(name, lhs, rhs)
+        return lhs
+
+    def _add(self) -> Term:
+        lhs = self._mul()
+        while True:
+            tok = self.lx.peek()
+            if tok.kind == "sym" and tok.text in ("+", "-"):
+                self.lx.next()
+                rhs = self._mul()
+                name = "add" if tok.text == "+" else "sub"
+                lhs = napp(name, lhs, rhs)
+            else:
+                return lhs
+
+    def _mul(self) -> Term:
+        lhs = self._ptsto()
+        if self.lx.accept("sym", "*"):
+            rhs = self._mul()
+            return napp("_star", lhs, rhs)
+        return lhs
+
+    def _ptsto(self) -> Term:
+        # ``|->`` binds tighter than ``*`` so that FSCQ-style
+        # ``F * a |-> v`` reads as ``F * (a |-> v)``.
+        lhs = self._appl()
+        if self.lx.accept("sym", "|->"):
+            rhs = self._appl()
+            return napp("ptsto", lhs, rhs)
+        return lhs
+
+    def _appl(self) -> Term:
+        head = self._atom()
+        args = []
+        while self._at_atom():
+            args.append(self._atom())
+        return app(head, *args) if args else head
+
+    def _at_atom(self) -> bool:
+        tok = self.lx.peek()
+        if tok.kind in ("num",):
+            return True
+        if tok.kind == "ident":
+            return tok.text not in ("forall", "exists", "fun")
+        return tok.kind == "sym" and tok.text == "("
+
+    def _atom(self) -> Term:
+        tok = self.lx.next()
+        if tok.kind == "num":
+            return nat_lit(int(tok.text))
+        if tok.kind == "ident":
+            if tok.text == "True":
+                return TRUE
+            if tok.text == "False":
+                return FALSE
+            if tok.text in ("forall", "exists", "fun"):
+                raise ParseError(f"{tok.text} not allowed here", tok.pos)
+            return Var(tok.text)
+        if tok.kind == "sym" and tok.text == "(":
+            inner = self.term()
+            self.lx.expect("sym", ")")
+            return inner
+        raise ParseError(f"unexpected token {tok.text!r}", tok.pos)
+
+    # -- types -----------------------------------------------------------
+
+    def type_(self) -> Type:
+        lhs = self._type_app()
+        if self.lx.accept("sym", "->"):
+            return TArrow(lhs, self.type_())
+        return lhs
+
+    def _type_app(self) -> Type:
+        head = self.lx.peek()
+        if head.kind == "sym" and head.text == "(":
+            self.lx.next()
+            inner = self.type_()
+            self.lx.expect("sym", ")")
+            # A parenthesized type can still head an application,
+            # but only constructors take arguments in our type language.
+            return inner
+        name = self.lx.expect("ident").text
+        args: List[Type] = []
+        while True:
+            tok = self.lx.peek()
+            if tok.kind == "ident" and tok.text not in ("forall", "exists", "fun"):
+                self.lx.next()
+                args.append(self._type_name(tok.text))
+            elif tok.kind == "sym" and tok.text == "(":
+                self.lx.next()
+                args.append(self.type_())
+                self.lx.expect("sym", ")")
+            else:
+                break
+        if not args:
+            return self._type_name(name)
+        return TCon(name, tuple(args))
+
+    def _type_name(self, name: str) -> Type:
+        if name in self.type_vars:
+            return TVar(name)
+        return TCon(name)
+
+
+def parse_term(
+    text: str,
+    type_vars: Tuple[str, ...] = (),
+) -> Term:
+    """Parse a raw (unelaborated) term from concrete syntax."""
+    lexer = Lexer(text)
+    parser = TermParser(lexer, set(type_vars))
+    term = parser.term()
+    if not lexer.at_eof():
+        tok = lexer.peek()
+        raise ParseError(f"trailing input at {tok.text!r}", tok.pos)
+    return term
+
+
+def parse_type(text: str, type_vars: Tuple[str, ...] = ()) -> Type:
+    """Parse a type from concrete syntax."""
+    lexer = Lexer(text)
+    parser = TermParser(lexer, set(type_vars))
+    ty = parser.type_()
+    if not lexer.at_eof():
+        tok = lexer.peek()
+        raise ParseError(f"trailing input at {tok.text!r}", tok.pos)
+    return ty
+
+
+def parse_statement(env, text: str, type_vars: Tuple[str, ...] = ()) -> Term:
+    """Parse *and elaborate* a closed statement against ``env``."""
+    from repro.kernel.typecheck import elaborate_statement
+
+    return elaborate_statement(env, parse_term(text, type_vars))

@@ -1,0 +1,179 @@
+"""Coq-style pretty printing of kernel terms and types.
+
+The output is designed to round-trip through
+:mod:`repro.kernel.parser`: ``parse_term(pp_term(t))`` is
+alpha-equivalent to ``t`` for all printable terms.  Prompts shown to
+the (simulated) LLM are produced here, so the concrete syntax
+intentionally mimics Coq's: ``::``, ``++``, ``/\\``, ``~``, ``|->``,
+``=p=>`` and decimal numerals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.kernel.terms import (
+    App,
+    And,
+    Const,
+    Eq,
+    Exists,
+    FalseP,
+    Forall,
+    Impl,
+    Lam,
+    Meta,
+    Or,
+    Term,
+    TrueP,
+    Var,
+    as_nat_lit,
+    is_neg,
+    neg_body,
+)
+from repro.kernel.types import TArrow, TCon, TVar, Type
+
+__all__ = ["pp_term", "pp_type", "INFIX_CONSTS"]
+
+# Precedence levels: higher binds tighter.
+_P_QUANT = 0
+_P_IMPL = 10
+_P_OR = 20
+_P_AND = 30
+_P_NOT = 40
+_P_CMP = 50
+_P_CONS = 60  # :: and ++ (right associative)
+_P_ADD = 70
+_P_MUL = 80
+_P_PTSTO = 90  # |-> binds tighter than * (FSCQ: F * a |-> v)
+_P_APP = 100
+_P_ATOM = 110
+
+# Constant name -> (symbol, precedence, associativity).
+INFIX_CONSTS = {
+    "cons": ("::", _P_CONS, "right"),
+    "app": ("++", _P_CONS, "right"),
+    "add": ("+", _P_ADD, "left"),
+    "sub": ("-", _P_ADD, "left"),
+    "mult": ("*", _P_MUL, "left"),
+    "sep_star": ("*", _P_MUL, "right"),
+    "le": ("<=", _P_CMP, "none"),
+    "lt": ("<", _P_CMP, "none"),
+    "pimpl": ("=p=>", _P_CMP, "none"),
+    "ptsto": ("|->", _P_PTSTO, "none"),
+}
+
+
+def pp_term(term: Term) -> str:
+    """Render ``term`` in Coq-like concrete syntax."""
+    return _pp(term, _P_QUANT)
+
+
+def _parens(text: str, level: int, context: int) -> str:
+    return f"({text})" if level < context else text
+
+
+def _pp(term: Term, context: int) -> str:
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Const):
+        lit = as_nat_lit(term)
+        if lit is not None:
+            return str(lit)
+        return term.name
+    if isinstance(term, Meta):
+        return f"?{term.hint}{term.uid}"
+    if isinstance(term, TrueP):
+        return "True"
+    if isinstance(term, FalseP):
+        return "False"
+    if is_neg(term):
+        body = _pp(neg_body(term), _P_NOT + 1)
+        return _parens(f"~ {body}", _P_NOT, context)
+    if isinstance(term, Impl):
+        text = f"{_pp(term.lhs, _P_IMPL + 1)} -> {_pp(term.rhs, _P_IMPL)}"
+        return _parens(text, _P_IMPL, context)
+    if isinstance(term, And):
+        text = f"{_pp(term.lhs, _P_AND + 1)} /\\ {_pp(term.rhs, _P_AND)}"
+        return _parens(text, _P_AND, context)
+    if isinstance(term, Or):
+        text = f"{_pp(term.lhs, _P_OR + 1)} \\/ {_pp(term.rhs, _P_OR)}"
+        return _parens(text, _P_OR, context)
+    if isinstance(term, Eq):
+        text = f"{_pp(term.lhs, _P_CMP + 1)} = {_pp(term.rhs, _P_CMP + 1)}"
+        return _parens(text, _P_CMP, context)
+    if isinstance(term, Forall):
+        return _parens(_pp_binder("forall", term), _P_QUANT, context)
+    if isinstance(term, Exists):
+        return _parens(_pp_binder("exists", term), _P_QUANT, context)
+    if isinstance(term, Lam):
+        binder = term.var if term.ty is None else f"({term.var} : {pp_type(term.ty)})"
+        text = f"fun {binder} => {_pp(term.body, _P_QUANT)}"
+        return _parens(text, _P_QUANT, context)
+    if isinstance(term, App):
+        lit = as_nat_lit(term)
+        if lit is not None:
+            return str(lit)
+        if isinstance(term.fn, Const) and len(term.args) == 2:
+            infix = INFIX_CONSTS.get(term.fn.name)
+            if infix is not None:
+                return _pp_infix(term.fn.name, term.args, infix, context)
+        fn_text = _pp(term.fn, _P_APP)
+        args_text = " ".join(_pp(a, _P_ATOM) for a in term.args)
+        return _parens(f"{fn_text} {args_text}", _P_APP, context)
+    raise AssertionError(f"unknown term node: {term!r}")
+
+
+def _pp_infix(
+    name: str,
+    args: Tuple[Term, ...],
+    spec: Tuple[str, int, str],
+    context: int,
+) -> str:
+    symbol, level, assoc = spec
+    left_ctx = level if assoc == "left" else level + 1
+    right_ctx = level if assoc == "right" else level + 1
+    text = f"{_pp(args[0], left_ctx)} {symbol} {_pp(args[1], right_ctx)}"
+    return _parens(text, level, context)
+
+
+def _pp_binder(keyword: str, term: Term) -> str:
+    """Fuse consecutive same-kind binders: ``forall (x y : nat) (l : ...)``."""
+    cls = type(term)
+    groups: list = []  # list of ([names], ty)
+    body = term
+    while isinstance(body, cls):
+        name, ty = body.var, body.ty
+        if groups and groups[-1][1] == ty and ty is not None:
+            groups[-1][0].append(name)
+        else:
+            groups.append(([name], ty))
+        body = body.body
+    rendered = []
+    for names, ty in groups:
+        joined = " ".join(names)
+        if ty is None:
+            rendered.append(joined)
+        else:
+            rendered.append(f"({joined} : {pp_type(ty)})")
+    return f"{keyword} {' '.join(rendered)}, {_pp(body, _P_QUANT)}"
+
+
+def pp_type(ty: Type) -> str:
+    """Render a type in concrete syntax."""
+    return _pp_ty(ty, 0)
+
+
+def _pp_ty(ty: Type, context: int) -> str:
+    if isinstance(ty, TVar):
+        return ty.name.lstrip("?")
+    if isinstance(ty, TCon):
+        if not ty.args:
+            return ty.name
+        args = " ".join(_pp_ty(a, 2) for a in ty.args)
+        text = f"{ty.name} {args}"
+        return f"({text})" if context >= 2 else text
+    if isinstance(ty, TArrow):
+        text = f"{_pp_ty(ty.dom, 1)} -> {_pp_ty(ty.cod, 0)}"
+        return f"({text})" if context >= 1 else text
+    raise AssertionError(f"unknown type node: {ty!r}")

@@ -1,0 +1,357 @@
+"""Reduction: ``simpl``, weak-head normalization, and ``unfold``.
+
+The kernel's computation rules are:
+
+* **beta** — ``(fun x => b) a`` reduces to ``b[x := a]``.
+* **iota** — a fully applied :class:`~repro.kernel.definitions.Fixpoint`
+  reduces by its first *matching* pattern equation.  An equation
+  requiring a constructor where the argument is not constructor-headed
+  *blocks* reduction (first-match semantics, like a compiled ``match``).
+* **delta** — an :class:`~repro.kernel.definitions.Abbreviation`
+  unfolds to its body.  ``simpl`` never performs delta (matching Coq,
+  where ``simpl`` does not unfold ``Definition``s like ``incl``);
+  ``unfold`` and weak-head normalization do.
+
+All entry points are *step-budgeted*: on budget exhaustion they return
+the partially reduced term rather than raising, so a pathological
+``simpl`` degrades gracefully (the tactic-level wall-clock timeout is
+the paper's 5 s validity criterion; the budget keeps single reductions
+finite well before that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.kernel.definitions import Abbreviation, FixEquation, Fixpoint
+from repro.kernel.env import Environment
+from repro.kernel.subst import subst_vars
+from repro.kernel.terms import (
+    App,
+    And,
+    Const,
+    Eq,
+    Exists,
+    FalseP,
+    Forall,
+    Impl,
+    Lam,
+    Meta,
+    Or,
+    Term,
+    TrueP,
+    Var,
+    app,
+)
+
+__all__ = ["Budget", "simpl", "whnf", "unfold", "make_whnf"]
+
+DEFAULT_BUDGET = 20_000
+
+
+@dataclass
+class Budget:
+    """A mutable step counter shared across one reduction call tree."""
+
+    remaining: int = DEFAULT_BUDGET
+
+    def spend(self) -> bool:
+        """Consume one step; False when exhausted."""
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+class _Blocked(Exception):
+    """Internal: the subject is not constructor-headed — reduction is
+    stuck (a compiled ``match`` would be stuck here too)."""
+
+
+class _Clash(Exception):
+    """Internal: the subject exposes a *different* constructor — this
+    equation definitely does not apply; try the next one."""
+
+
+def _match_pattern(
+    env: Environment,
+    pattern: Term,
+    subject: Term,
+    binding: Dict[str, Term],
+    budget: Budget,
+    reduce_arg: bool,
+) -> Term:
+    """Match ``pattern`` against ``subject``.
+
+    Returns the (possibly weak-head-reduced) subject actually matched.
+    Raises :class:`_Clash` on a definite constructor mismatch and
+    :class:`_Blocked` when the subject cannot expose a constructor at
+    all.  Variables bind into ``binding``.
+    """
+    if isinstance(pattern, Var):
+        binding[pattern.name] = subject
+        return subject
+    # Pattern is a constructor application (or bare constructor).
+    if reduce_arg:
+        subject = whnf(env, subject, budget)
+    pat_head, pat_args = _decompose(pattern)
+    subj_head, subj_args = _decompose(subject)
+    if not isinstance(pat_head, Const):
+        raise _Blocked()
+    if not (
+        isinstance(subj_head, Const) and env.is_constructor(subj_head.name)
+    ):
+        raise _Blocked()
+    if pat_head.name != subj_head.name or len(pat_args) != len(subj_args):
+        raise _Clash()
+    matched_args: List[Term] = []
+    for pat_arg, subj_arg in zip(pat_args, subj_args):
+        matched_args.append(
+            _match_pattern(env, pat_arg, subj_arg, binding, budget, reduce_arg)
+        )
+    return app(subj_head, *matched_args)
+
+
+def _decompose(term: Term) -> Tuple[Term, Tuple[Term, ...]]:
+    if isinstance(term, App):
+        return term.fn, term.args
+    return term, ()
+
+
+def _try_iota(
+    env: Environment,
+    fix: Fixpoint,
+    args: Tuple[Term, ...],
+    budget: Budget,
+    reduce_args: bool,
+) -> Optional[Tuple[Term, Tuple[Term, ...]]]:
+    """Try the fixpoint's equations; return (rhs, extra_args) on success.
+
+    ``extra_args`` are arguments beyond the fixpoint's arity (possible
+    when the result type is itself a function).  Returns ``None`` when
+    reduction is blocked.
+    """
+    arity = fix.arity()
+    if len(args) < arity:
+        return None
+    eq_args, extra = args[:arity], args[arity:]
+    current = list(eq_args)
+    for equation in fix.equations:
+        binding: Dict[str, Term] = {}
+        matched: List[Term] = []
+        try:
+            for i, (pat, subj) in enumerate(zip(equation.patterns, current)):
+                matched.append(
+                    _match_pattern(env, pat, subj, binding, budget, reduce_args)
+                )
+                current[i] = matched[i]
+            rhs = subst_vars(equation.rhs, binding)
+            return rhs, extra
+        except _Clash:
+            continue  # definite mismatch: try the next equation
+        except _Blocked:
+            # First-match semantics: a blocked equation stops the whole
+            # reduction (a compiled match would be stuck here too).
+            return None
+    return None
+
+
+def whnf(env: Environment, term: Term, budget: Optional[Budget] = None) -> Term:
+    """Weak-head normal form: beta + iota + delta at the head only."""
+    if budget is None:
+        budget = Budget()
+    while budget.spend():
+        head, args = _decompose(term)
+        # beta
+        if isinstance(head, Lam) and args:
+            body = subst_vars(head.body, {head.var: args[0]})
+            term = app(body, *args[1:])
+            continue
+        if not isinstance(head, Const):
+            return term
+        fix = env.fixpoints.get(head.name)
+        if fix is not None:
+            result = _try_iota(env, fix, args, budget, reduce_args=True)
+            if result is None:
+                return term
+            rhs, extra = result
+            term = app(rhs, *extra) if extra else rhs
+            continue
+        abbr = env.abbreviations.get(head.name)
+        if abbr is not None and len(args) >= len(abbr.params):
+            n = len(abbr.params)
+            binding = {name: arg for (name, _), arg in zip(abbr.params, args[:n])}
+            body = subst_vars(abbr.body, binding)
+            term = app(body, *args[n:])
+            continue
+        return term
+    return term
+
+
+def make_whnf(env: Environment):
+    """A unary weak-head reducer bound to ``env`` (for the unifier)."""
+
+    def reducer(term: Term) -> Term:
+        return whnf(env, term, Budget(2_000))
+
+    return reducer
+
+
+def simpl(env: Environment, term: Term, budget: Optional[Budget] = None) -> Term:
+    """Full bottom-up normalization by beta + iota (no delta).
+
+    Matches Coq's ``simpl`` closely enough for this corpus: recursive
+    functions compute on constructor-headed data, but transparent
+    ``Definition``s stay folded until ``unfold``.
+    """
+    if budget is None:
+        budget = Budget()
+    return _simpl(env, term, budget)
+
+
+def _simpl(env: Environment, term: Term, budget: Budget) -> Term:
+    if not budget.spend():
+        return term
+    if isinstance(term, (Var, Const, TrueP, FalseP, Meta)):
+        return term
+    if isinstance(term, App):
+        fn = _simpl(env, term.fn, budget)
+        args = tuple(_simpl(env, a, budget) for a in term.args)
+        reduced = _head_step(env, fn, args, budget)
+        if reduced is not None:
+            return _simpl(env, reduced, budget)
+        return app(fn, *args)
+    if isinstance(term, Lam):
+        return Lam(term.var, term.ty, _simpl(env, term.body, budget))
+    if isinstance(term, Forall):
+        return Forall(term.var, term.ty, _simpl(env, term.body, budget))
+    if isinstance(term, Exists):
+        return Exists(term.var, term.ty, _simpl(env, term.body, budget))
+    if isinstance(term, Impl):
+        return Impl(_simpl(env, term.lhs, budget), _simpl(env, term.rhs, budget))
+    if isinstance(term, And):
+        return And(_simpl(env, term.lhs, budget), _simpl(env, term.rhs, budget))
+    if isinstance(term, Or):
+        return Or(_simpl(env, term.lhs, budget), _simpl(env, term.rhs, budget))
+    if isinstance(term, Eq):
+        return Eq(term.ty, _simpl(env, term.lhs, budget), _simpl(env, term.rhs, budget))
+    raise AssertionError(f"unknown term node: {term!r}")
+
+
+def _head_step(
+    env: Environment,
+    fn: Term,
+    args: Tuple[Term, ...],
+    budget: Budget,
+) -> Optional[Term]:
+    """One beta or iota step at an application head, or ``None``."""
+    if isinstance(fn, Lam) and args:
+        body = subst_vars(fn.body, {fn.var: args[0]})
+        return app(body, *args[1:])
+    if isinstance(fn, Const):
+        fix = env.fixpoints.get(fn.name)
+        if fix is not None:
+            # Arguments are already simplified; do not re-reduce them.
+            result = _try_iota(env, fix, args, budget, reduce_args=False)
+            if result is not None:
+                rhs, extra = result
+                return app(rhs, *extra) if extra else rhs
+    return None
+
+
+def unfold(
+    env: Environment,
+    term: Term,
+    names: Iterable[str],
+    budget: Optional[Budget] = None,
+) -> Term:
+    """Delta-unfold the given constants everywhere, then beta-reduce.
+
+    Abbreviations are replaced by their bodies (eta-expanding partial
+    applications); fixpoint names additionally get iota steps at
+    positions where their arguments already expose constructors.
+    """
+    if budget is None:
+        budget = Budget()
+    name_set = set(names)
+    previous = None
+    current = term
+    while previous != current and budget.spend():
+        previous = current
+        current = _unfold_pass(env, current, name_set, budget)
+    return current
+
+
+def _unfold_pass(
+    env: Environment, term: Term, names: set, budget: Budget
+) -> Term:
+    if isinstance(term, Const) and term.name in names:
+        abbr = env.abbreviations.get(term.name)
+        if abbr is not None:
+            return _abbr_as_lambda(abbr)
+        return term
+    if isinstance(term, (Var, Const, TrueP, FalseP, Meta)):
+        return term
+    if isinstance(term, App):
+        fn = term.fn
+        args = tuple(_unfold_pass(env, a, names, budget) for a in term.args)
+        if isinstance(fn, Const) and fn.name in names:
+            abbr = env.abbreviations.get(fn.name)
+            if abbr is not None:
+                n = len(abbr.params)
+                if len(args) >= n:
+                    binding = {
+                        name: arg
+                        for (name, _), arg in zip(abbr.params, args[:n])
+                    }
+                    body = subst_vars(abbr.body, binding)
+                    return app(body, *args[n:])
+                return app(_abbr_as_lambda(abbr), *args)
+            fix = env.fixpoints.get(fn.name)
+            if fix is not None:
+                result = _try_iota(env, fix, args, budget, reduce_args=False)
+                if result is not None:
+                    rhs, extra = result
+                    return app(rhs, *extra) if extra else rhs
+            return app(fn, *args)
+        fn = _unfold_pass(env, fn, names, budget)
+        reduced = _head_step(env, fn, args, budget)
+        if reduced is not None:
+            return reduced
+        return app(fn, *args)
+    if isinstance(term, Lam):
+        return Lam(term.var, term.ty, _unfold_pass(env, term.body, names, budget))
+    if isinstance(term, Forall):
+        return Forall(term.var, term.ty, _unfold_pass(env, term.body, names, budget))
+    if isinstance(term, Exists):
+        return Exists(term.var, term.ty, _unfold_pass(env, term.body, names, budget))
+    if isinstance(term, Impl):
+        return Impl(
+            _unfold_pass(env, term.lhs, names, budget),
+            _unfold_pass(env, term.rhs, names, budget),
+        )
+    if isinstance(term, And):
+        return And(
+            _unfold_pass(env, term.lhs, names, budget),
+            _unfold_pass(env, term.rhs, names, budget),
+        )
+    if isinstance(term, Or):
+        return Or(
+            _unfold_pass(env, term.lhs, names, budget),
+            _unfold_pass(env, term.rhs, names, budget),
+        )
+    if isinstance(term, Eq):
+        return Eq(
+            term.ty,
+            _unfold_pass(env, term.lhs, names, budget),
+            _unfold_pass(env, term.rhs, names, budget),
+        )
+    raise AssertionError(f"unknown term node: {term!r}")
+
+
+def _abbr_as_lambda(abbr: Abbreviation) -> Term:
+    body = abbr.body
+    for name, ty in reversed(abbr.params):
+        body = Lam(name, ty, body)
+    return body

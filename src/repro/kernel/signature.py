@@ -1,0 +1,73 @@
+"""The constant signature: what every global name means and its type.
+
+A :class:`Signature` maps constant names to :class:`ConstInfo`
+records.  The environment (:mod:`repro.kernel.env`) populates it from
+inductive declarations, definitions, and opaque declarations; the
+typechecker and unifier consult it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.errors import EnvironmentError_
+from repro.kernel.types import Type
+
+__all__ = ["ConstKind", "ConstInfo", "Signature"]
+
+
+class ConstKind(enum.Enum):
+    """What sort of global a constant name refers to."""
+
+    CONSTRUCTOR = "constructor"  # data constructor (injective, disjoint)
+    FIXPOINT = "fixpoint"  # recursive definition (iota-reduces)
+    ABBREVIATION = "abbreviation"  # transparent definition (delta-unfolds)
+    OPAQUE = "opaque"  # declared constant with no computation rules
+    INDUCTIVE_PRED = "inductive_pred"  # inductively defined proposition
+
+
+@dataclass(frozen=True)
+class ConstInfo:
+    """Signature entry for one constant."""
+
+    name: str
+    ty: Type
+    kind: ConstKind
+    parent: Optional[str] = None  # owning inductive for constructors
+
+
+class Signature:
+    """A name -> :class:`ConstInfo` table with duplicate detection."""
+
+    def __init__(self) -> None:
+        self._table: Dict[str, ConstInfo] = {}
+
+    def add(self, info: ConstInfo) -> None:
+        if info.name in self._table:
+            raise EnvironmentError_(f"duplicate constant: {info.name}")
+        self._table[info.name] = info
+
+    def lookup(self, name: str) -> ConstInfo:
+        info = self._table.get(name)
+        if info is None:
+            raise EnvironmentError_(f"unknown constant: {name}")
+        return info
+
+    def get(self, name: str) -> Optional[ConstInfo]:
+        return self._table.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._table
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._table)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def copy(self) -> "Signature":
+        clone = Signature()
+        clone._table = dict(self._table)
+        return clone

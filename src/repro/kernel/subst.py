@@ -1,0 +1,259 @@
+"""Substitution and alpha-equivalence on kernel terms.
+
+Three related operations live here:
+
+* :func:`subst_var` — capture-avoiding substitution of a term for a
+  free variable.
+* :func:`subst_metas` — instantiation of metavariables from a solution
+  map (metavariables are never bound, so no capture can occur through
+  them, but the *replacement* may mention variables that a binder in
+  the target would capture; we rename binders away from those too).
+* :func:`alpha_eq` / :func:`alpha_key` — alpha-equivalence test and a
+  canonical string key used for duplicate-proof-state detection in the
+  best-first search (the paper prunes tactics that recreate an already
+  visited state).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Set, Tuple
+
+from repro.kernel.terms import (
+    App,
+    And,
+    Const,
+    Eq,
+    Exists,
+    FalseP,
+    Forall,
+    Impl,
+    Lam,
+    Meta,
+    Or,
+    Term,
+    TrueP,
+    Var,
+    app,
+    free_vars,
+)
+
+__all__ = [
+    "fresh_name",
+    "rename_bound",
+    "subst_var",
+    "subst_vars",
+    "subst_metas",
+    "alpha_eq",
+    "alpha_key",
+]
+
+
+def fresh_name(base: str, taken: Set[str]) -> str:
+    """A variant of ``base`` not in ``taken`` (``x``, ``x0``, ``x1``...)."""
+    if base not in taken:
+        return base
+    stem = base.rstrip("0123456789") or base
+    index = 0
+    while True:
+        candidate = f"{stem}{index}"
+        if candidate not in taken:
+            return candidate
+        index += 1
+
+
+def _binder_cls(term: Term):
+    return type(term)
+
+
+def rename_bound(term: Term, old: str, new: str) -> Term:
+    """Rename the binder variable of a binder node (caller checks kind)."""
+    if isinstance(term, (Lam, Forall, Exists)):
+        body = subst_var(term.body, old, Var(new))
+        return _binder_cls(term)(new, term.ty, body)
+    raise ValueError(f"not a binder: {term!r}")
+
+
+def subst_var(term: Term, name: str, replacement: Term) -> Term:
+    """Capture-avoiding ``term[name := replacement]``."""
+    return subst_vars(term, {name: replacement})
+
+
+def subst_vars(term: Term, mapping: Mapping[str, Term]) -> Term:
+    """Simultaneous capture-avoiding substitution."""
+    if not mapping:
+        return term
+    danger: Set[str] = set()
+    for value in mapping.values():
+        danger |= free_vars(value)
+    return _subst(term, dict(mapping), danger)
+
+
+def _subst(term: Term, mapping: Dict[str, Term], danger: Set[str]) -> Term:
+    if isinstance(term, Var):
+        return mapping.get(term.name, term)
+    if isinstance(term, (Const, TrueP, FalseP, Meta)):
+        return term
+    if isinstance(term, App):
+        fn = _subst(term.fn, mapping, danger)
+        args = tuple(_subst(a, mapping, danger) for a in term.args)
+        return app(fn, *args)
+    if isinstance(term, (Lam, Forall, Exists)):
+        var = term.var
+        body = term.body
+        inner = {k: v for k, v in mapping.items() if k != var}
+        if not inner:
+            return term
+        if var in danger:
+            taken = danger | set(inner) | free_vars(body)
+            new_var = fresh_name(var, taken)
+            body = subst_var(body, var, Var(new_var))
+            var = new_var
+        return _binder_cls(term)(var, term.ty, _subst(body, inner, danger))
+    if isinstance(term, (Impl, And, Or)):
+        return _binder_cls(term)(
+            _subst(term.lhs, mapping, danger), _subst(term.rhs, mapping, danger)
+        )
+    if isinstance(term, Eq):
+        return Eq(term.ty, _subst(term.lhs, mapping, danger), _subst(term.rhs, mapping, danger))
+    raise AssertionError(f"unknown term node: {term!r}")
+
+
+def subst_metas(term: Term, solutions: Mapping[int, Term]) -> Term:
+    """Replace solved metavariables by their solutions, transitively."""
+    if not solutions:
+        return term
+    return _subst_metas(term, solutions)
+
+
+def _subst_metas(term: Term, solutions: Mapping[int, Term]) -> Term:
+    if isinstance(term, Meta):
+        solution = solutions.get(term.uid)
+        if solution is None:
+            return term
+        return _subst_metas(solution, solutions)
+    if isinstance(term, (Var, Const, TrueP, FalseP)):
+        return term
+    if isinstance(term, App):
+        fn = _subst_metas(term.fn, solutions)
+        args = tuple(_subst_metas(a, solutions) for a in term.args)
+        return app(fn, *args)
+    if isinstance(term, (Lam, Forall, Exists)):
+        return _binder_cls(term)(term.var, term.ty, _subst_metas(term.body, solutions))
+    if isinstance(term, (Impl, And, Or)):
+        return _binder_cls(term)(
+            _subst_metas(term.lhs, solutions), _subst_metas(term.rhs, solutions)
+        )
+    if isinstance(term, Eq):
+        return Eq(term.ty, _subst_metas(term.lhs, solutions), _subst_metas(term.rhs, solutions))
+    raise AssertionError(f"unknown term node: {term!r}")
+
+
+def alpha_eq(t1: Term, t2: Term) -> bool:
+    """Alpha-equivalence (binder names are irrelevant)."""
+    return _alpha_eq(t1, t2, {}, {}, 0)
+
+
+def _alpha_eq(
+    t1: Term,
+    t2: Term,
+    env1: Dict[str, int],
+    env2: Dict[str, int],
+    depth: int,
+) -> bool:
+    if isinstance(t1, Var) and isinstance(t2, Var):
+        i1 = env1.get(t1.name)
+        i2 = env2.get(t2.name)
+        if i1 is None and i2 is None:
+            return t1.name == t2.name
+        return i1 == i2
+    if type(t1) is not type(t2):
+        return False
+    if isinstance(t1, Const):
+        return t1.name == t2.name  # type: ignore[union-attr]
+    if isinstance(t1, (TrueP, FalseP)):
+        return True
+    if isinstance(t1, Meta):
+        return t1.uid == t2.uid  # type: ignore[union-attr]
+    if isinstance(t1, App):
+        assert isinstance(t2, App)
+        if len(t1.args) != len(t2.args):
+            return False
+        if not _alpha_eq(t1.fn, t2.fn, env1, env2, depth):
+            return False
+        return all(
+            _alpha_eq(a, b, env1, env2, depth)
+            for a, b in zip(t1.args, t2.args)
+        )
+    if isinstance(t1, (Lam, Forall, Exists)):
+        assert isinstance(t2, (Lam, Forall, Exists))
+        new1 = dict(env1)
+        new2 = dict(env2)
+        new1[t1.var] = depth
+        new2[t2.var] = depth
+        return _alpha_eq(t1.body, t2.body, new1, new2, depth + 1)
+    if isinstance(t1, (Impl, And, Or)):
+        assert isinstance(t2, (Impl, And, Or))
+        return _alpha_eq(t1.lhs, t2.lhs, env1, env2, depth) and _alpha_eq(
+            t1.rhs, t2.rhs, env1, env2, depth
+        )
+    if isinstance(t1, Eq):
+        assert isinstance(t2, Eq)
+        return _alpha_eq(t1.lhs, t2.lhs, env1, env2, depth) and _alpha_eq(
+            t1.rhs, t2.rhs, env1, env2, depth
+        )
+    raise AssertionError(f"unknown term node: {t1!r}")
+
+
+def alpha_key(term: Term) -> str:
+    """A canonical string for ``term`` modulo bound-variable names.
+
+    Two terms produce the same key iff they are alpha-equivalent
+    (free variables and constants compare by name, binders by de
+    Bruijn level).  Used to build duplicate-proof-state keys.
+    """
+    parts: list = []
+    _alpha_key(term, {}, 0, parts)
+    return "".join(parts)
+
+
+def _alpha_key(term: Term, env: Dict[str, int], depth: int, parts: list) -> None:
+    if isinstance(term, Var):
+        level = env.get(term.name)
+        if level is None:
+            parts.append(f"v:{term.name};")
+        else:
+            parts.append(f"b:{level};")
+    elif isinstance(term, Const):
+        parts.append(f"c:{term.name};")
+    elif isinstance(term, TrueP):
+        parts.append("T;")
+    elif isinstance(term, FalseP):
+        parts.append("F;")
+    elif isinstance(term, Meta):
+        parts.append(f"m:{term.uid};")
+    elif isinstance(term, App):
+        parts.append(f"a{len(term.args)}(")
+        _alpha_key(term.fn, env, depth, parts)
+        for arg in term.args:
+            _alpha_key(arg, env, depth, parts)
+        parts.append(")")
+    elif isinstance(term, (Lam, Forall, Exists)):
+        tag = {"Lam": "L", "Forall": "A", "Exists": "E"}[type(term).__name__]
+        inner = dict(env)
+        inner[term.var] = depth
+        parts.append(f"{tag}(")
+        _alpha_key(term.body, inner, depth + 1, parts)
+        parts.append(")")
+    elif isinstance(term, (Impl, And, Or)):
+        tag = {"Impl": "I", "And": "&", "Or": "|"}[type(term).__name__]
+        parts.append(f"{tag}(")
+        _alpha_key(term.lhs, env, depth, parts)
+        _alpha_key(term.rhs, env, depth, parts)
+        parts.append(")")
+    elif isinstance(term, Eq):
+        parts.append("=(")
+        _alpha_key(term.lhs, env, depth, parts)
+        _alpha_key(term.rhs, env, depth, parts)
+        parts.append(")")
+    else:
+        raise AssertionError(f"unknown term node: {term!r}")

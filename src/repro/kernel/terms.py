@@ -1,0 +1,357 @@
+"""Term AST for the proof kernel.
+
+Terms cover both the *object* language (natural numbers, lists, file
+system trees...) and the *proposition* language (equality, connectives,
+quantifiers).  Propositions are terms of type ``Prop``; this mirrors
+Coq, where ``Prop`` is just another sort.
+
+Design notes
+------------
+
+* Variables are **named** (no de Bruijn indices).  Substitution is
+  capture-avoiding (:mod:`repro.kernel.subst`) and duplicate-state
+  detection uses an alpha-canonical rendering, so names are purely
+  cosmetic.
+* Negation ``~ P`` is *not* a node: the parser produces
+  ``Impl(P, FALSE)`` exactly as Coq unfolds ``not``.  The pretty
+  printer recognizes the pattern and prints ``~ P``.
+* ``Meta`` nodes are unification variables.  They appear when a lemma
+  is instantiated by ``apply``/``eapply`` and in goals produced by
+  ``eapply``; they are resolved through the proof state's metavariable
+  store.
+* Numerals are Peano terms (``S (S O)``); the pretty printer renders
+  them back as decimal literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.kernel.types import Type
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "App",
+    "Lam",
+    "Forall",
+    "Exists",
+    "Impl",
+    "And",
+    "Or",
+    "Eq",
+    "TrueP",
+    "FalseP",
+    "TRUE",
+    "FALSE",
+    "Meta",
+    "app",
+    "napp",
+    "neg",
+    "is_neg",
+    "neg_body",
+    "conj",
+    "impl_chain",
+    "foralls",
+    "strip_foralls",
+    "strip_impls",
+    "nat_lit",
+    "as_nat_lit",
+    "free_vars",
+    "subterms",
+    "head_const",
+    "metas_of",
+]
+
+
+class Term:
+    """Abstract base class of all term nodes."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        # Deferred import: pretty needs terms.
+        from repro.kernel.pretty import pp_term
+
+        return pp_term(self)
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A term variable (bound by a quantifier/lambda, or a context var)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A reference to a signature constant (constructor or function)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """Application of ``fn`` to one or more arguments."""
+
+    fn: Term
+    args: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.args:
+            raise ValueError("App requires at least one argument")
+        if isinstance(self.fn, App):
+            raise ValueError("App must be flattened; use terms.app()")
+
+
+@dataclass(frozen=True)
+class Lam(Term):
+    """An anonymous function ``fun (v : ty) => body``."""
+
+    var: str
+    ty: Optional[Type]
+    body: Term
+
+
+@dataclass(frozen=True)
+class Forall(Term):
+    """Universal quantification ``forall (v : ty), body``."""
+
+    var: str
+    ty: Optional[Type]
+    body: Term
+
+
+@dataclass(frozen=True)
+class Exists(Term):
+    """Existential quantification ``exists (v : ty), body``."""
+
+    var: str
+    ty: Optional[Type]
+    body: Term
+
+
+@dataclass(frozen=True)
+class Impl(Term):
+    """Implication ``lhs -> rhs`` (non-dependent product)."""
+
+    lhs: Term
+    rhs: Term
+
+
+@dataclass(frozen=True)
+class And(Term):
+    """Conjunction ``lhs /\\ rhs``."""
+
+    lhs: Term
+    rhs: Term
+
+
+@dataclass(frozen=True)
+class Or(Term):
+    """Disjunction ``lhs \\/ rhs``."""
+
+    lhs: Term
+    rhs: Term
+
+
+@dataclass(frozen=True)
+class Eq(Term):
+    """Propositional equality ``lhs = rhs`` at type ``ty``.
+
+    ``ty`` is ``None`` until elaboration fills it in.
+    """
+
+    ty: Optional[Type]
+    lhs: Term
+    rhs: Term
+
+
+@dataclass(frozen=True)
+class TrueP(Term):
+    """The trivially true proposition."""
+
+
+@dataclass(frozen=True)
+class FalseP(Term):
+    """The absurd proposition."""
+
+
+TRUE = TrueP()
+FALSE = FalseP()
+
+
+@dataclass(frozen=True)
+class Meta(Term):
+    """A unification (existential) variable, e.g. introduced by apply."""
+
+    uid: int
+    hint: str = "?"
+
+
+def app(fn: Term, *args: Term) -> Term:
+    """Apply ``fn`` to ``args``, flattening nested applications."""
+    if not args:
+        return fn
+    if isinstance(fn, App):
+        return App(fn.fn, fn.args + tuple(args))
+    return App(fn, tuple(args))
+
+
+def napp(name: str, *args: Term) -> Term:
+    """Apply the constant ``name`` to ``args`` (``napp('S', x)``)."""
+    return app(Const(name), *args)
+
+
+def neg(body: Term) -> Term:
+    """Negation, encoded as ``body -> False`` (Coq's ``not``)."""
+    return Impl(body, FALSE)
+
+
+def is_neg(term: Term) -> bool:
+    """True when ``term`` is an encoded negation ``P -> False``."""
+    return isinstance(term, Impl) and isinstance(term.rhs, FalseP)
+
+
+def neg_body(term: Term) -> Term:
+    """The ``P`` of an encoded negation ``P -> False``."""
+    if not is_neg(term):
+        raise ValueError(f"not a negation: {term!r}")
+    assert isinstance(term, Impl)
+    return term.lhs
+
+
+def conj(*parts: Term) -> Term:
+    """Right-nested conjunction of one or more propositions."""
+    if not parts:
+        return TRUE
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = And(part, result)
+    return result
+
+
+def impl_chain(premises: Tuple[Term, ...], conclusion: Term) -> Term:
+    """Build ``P1 -> ... -> Pn -> conclusion``."""
+    result = conclusion
+    for prem in reversed(premises):
+        result = Impl(prem, result)
+    return result
+
+
+def foralls(binders: Tuple[Tuple[str, Optional[Type]], ...], body: Term) -> Term:
+    """Wrap ``body`` in universal quantifiers for each ``(name, ty)``."""
+    result = body
+    for name, ty in reversed(binders):
+        result = Forall(name, ty, result)
+    return result
+
+
+def strip_foralls(term: Term) -> Tuple[Tuple[Tuple[str, Optional[Type]], ...], Term]:
+    """Split leading universal quantifiers off ``term``."""
+    binders = []
+    while isinstance(term, Forall):
+        binders.append((term.var, term.ty))
+        term = term.body
+    return tuple(binders), term
+
+
+def strip_impls(term: Term) -> Tuple[Tuple[Term, ...], Term]:
+    """Split leading implications off ``term`` (premises, conclusion)."""
+    premises = []
+    while isinstance(term, Impl):
+        premises.append(term.lhs)
+        term = term.rhs
+    return tuple(premises), term
+
+
+def nat_lit(n: int) -> Term:
+    """The Peano numeral for ``n``: ``S (S (... O))``."""
+    if n < 0:
+        raise ValueError("nat_lit requires a non-negative integer")
+    result: Term = Const("O")
+    for _ in range(n):
+        result = App(Const("S"), (result,))
+    return result
+
+
+def as_nat_lit(term: Term) -> Optional[int]:
+    """Inverse of :func:`nat_lit`; ``None`` if not a closed numeral."""
+    count = 0
+    while True:
+        if isinstance(term, Const) and term.name == "O":
+            return count
+        if (
+            isinstance(term, App)
+            and isinstance(term.fn, Const)
+            and term.fn.name == "S"
+            and len(term.args) == 1
+        ):
+            count += 1
+            term = term.args[0]
+            continue
+        return None
+
+
+def free_vars(term: Term, bound: Optional[Set[str]] = None) -> Set[str]:
+    """The free term-variable names of ``term``."""
+    bound = bound or set()
+    out: Set[str] = set()
+    _free_vars(term, frozenset(bound), out)
+    return out
+
+
+def _free_vars(term: Term, bound: frozenset, out: Set[str]) -> None:
+    if isinstance(term, Var):
+        if term.name not in bound:
+            out.add(term.name)
+    elif isinstance(term, App):
+        _free_vars(term.fn, bound, out)
+        for arg in term.args:
+            _free_vars(arg, bound, out)
+    elif isinstance(term, (Lam, Forall, Exists)):
+        _free_vars(term.body, bound | {term.var}, out)
+    elif isinstance(term, (Impl, And, Or)):
+        _free_vars(term.lhs, bound, out)
+        _free_vars(term.rhs, bound, out)
+    elif isinstance(term, Eq):
+        _free_vars(term.lhs, bound, out)
+        _free_vars(term.rhs, bound, out)
+    # Var-free leaves: Const, TrueP, FalseP, Meta.
+
+
+def subterms(term: Term) -> Iterator[Term]:
+    """Yield ``term`` and all of its subterms, pre-order."""
+    yield term
+    if isinstance(term, App):
+        yield from subterms(term.fn)
+        for arg in term.args:
+            yield from subterms(arg)
+    elif isinstance(term, (Lam, Forall, Exists)):
+        yield from subterms(term.body)
+    elif isinstance(term, (Impl, And, Or)):
+        yield from subterms(term.lhs)
+        yield from subterms(term.rhs)
+    elif isinstance(term, Eq):
+        yield from subterms(term.lhs)
+        yield from subterms(term.rhs)
+
+
+def head_const(term: Term) -> Optional[str]:
+    """The name of the head constant of ``term``, if any."""
+    if isinstance(term, Const):
+        return term.name
+    if isinstance(term, App) and isinstance(term.fn, Const):
+        return term.fn.name
+    return None
+
+
+def metas_of(term: Term) -> Set[int]:
+    """The uids of all metavariables occurring in ``term``."""
+    out: Set[int] = set()
+    for sub in subterms(term):
+        if isinstance(sub, Meta):
+            out.add(sub.uid)
+    return out

@@ -1,0 +1,214 @@
+"""Type inference and elaboration of raw parsed terms.
+
+Elaboration performs, in one inference pass plus a zonking pass:
+
+* **name resolution** — a :class:`Var` that is not bound by a binder or
+  by the goal context is resolved against the signature and becomes a
+  :class:`Const`; unknown names are errors.
+* **overload resolution** — the parser's placeholder ``_star`` becomes
+  ``mult`` (nat) or ``sep_star`` (CHL predicates) according to the
+  inferred operand type.
+* **type filling** — unannotated binders get inferred types, and
+  :class:`Eq` nodes get their equality type; both matter later (e.g.
+  ``induction`` consults the binder type to pick case analysis rules).
+
+Types left underdetermined stay as type variables, giving polymorphic
+statements (``forall (T : Type) ...``) their expected meaning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import TypeError_, UnificationError
+from repro.kernel.env import Environment
+from repro.kernel.terms import (
+    App,
+    And,
+    Const,
+    Eq,
+    Exists,
+    FalseP,
+    Forall,
+    Impl,
+    Lam,
+    Meta,
+    Or,
+    Term,
+    TrueP,
+    Var,
+    app,
+)
+from repro.kernel.types import (
+    NAT,
+    PROP,
+    TArrow,
+    TCon,
+    Type,
+    apply_tsubst,
+    fresh_tvar,
+    instantiate_scheme,
+    unify_types,
+)
+
+__all__ = ["elaborate_statement", "elaborate_term", "infer_type"]
+
+_PRED = TCon("pred")
+
+
+class _Inferencer:
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.tsubst: Dict[str, Type] = {}
+
+    # -- unification helpers ----------------------------------------------
+
+    def unify(self, t1: Type, t2: Type, where: str) -> None:
+        try:
+            self.tsubst = unify_types(t1, t2, self.tsubst)
+        except UnificationError as exc:
+            raise TypeError_(f"{where}: {exc}") from exc
+
+    def resolve(self, ty: Type) -> Type:
+        return apply_tsubst(self.tsubst, ty)
+
+    # -- inference ----------------------------------------------------------
+
+    def infer(self, term: Term, ctx: Mapping[str, Type]) -> Tuple[Term, Type]:
+        if isinstance(term, Var):
+            bound = ctx.get(term.name)
+            if bound is not None:
+                return term, bound
+            info = self.env.signature.get(term.name)
+            if info is not None:
+                return Const(term.name), instantiate_scheme(info.ty)
+            raise TypeError_(f"unknown identifier: {term.name}")
+        if isinstance(term, Const):
+            info = self.env.signature.get(term.name)
+            if info is None:
+                raise TypeError_(f"unknown constant: {term.name}")
+            return term, instantiate_scheme(info.ty)
+        if isinstance(term, Meta):
+            raise TypeError_("metavariable in elaborated input")
+        if isinstance(term, TrueP) or isinstance(term, FalseP):
+            return term, PROP
+        if isinstance(term, App):
+            return self._infer_app(term, ctx)
+        if isinstance(term, Lam):
+            binder_ty = term.ty if term.ty is not None else fresh_tvar(term.var)
+            inner = dict(ctx)
+            inner[term.var] = binder_ty
+            body, body_ty = self.infer(term.body, inner)
+            return Lam(term.var, binder_ty, body), TArrow(binder_ty, body_ty)
+        if isinstance(term, (Forall, Exists)):
+            binder_ty = term.ty if term.ty is not None else fresh_tvar(term.var)
+            inner = dict(ctx)
+            inner[term.var] = binder_ty
+            body, body_ty = self.infer(term.body, inner)
+            self.unify(body_ty, PROP, f"body of {type(term).__name__.lower()}")
+            cls = type(term)
+            return cls(term.var, binder_ty, body), PROP
+        if isinstance(term, (Impl, And, Or)):
+            lhs, lhs_ty = self.infer(term.lhs, ctx)
+            rhs, rhs_ty = self.infer(term.rhs, ctx)
+            self.unify(lhs_ty, PROP, "connective operand")
+            self.unify(rhs_ty, PROP, "connective operand")
+            return type(term)(lhs, rhs), PROP
+        if isinstance(term, Eq):
+            lhs, lhs_ty = self.infer(term.lhs, ctx)
+            rhs, rhs_ty = self.infer(term.rhs, ctx)
+            self.unify(lhs_ty, rhs_ty, "equality")
+            eq_ty = term.ty if term.ty is not None else lhs_ty
+            if term.ty is not None:
+                self.unify(term.ty, lhs_ty, "equality annotation")
+            return Eq(eq_ty, lhs, rhs), PROP
+        raise AssertionError(f"unknown term node: {term!r}")
+
+    def _infer_app(
+        self, term: App, ctx: Mapping[str, Type]
+    ) -> Tuple[Term, Type]:
+        # Resolve the parser's overloaded ``_star``.
+        if (
+            isinstance(term.fn, Var) and term.fn.name == "_star"
+        ) or (isinstance(term.fn, Const) and term.fn.name == "_star"):
+            if len(term.args) != 2:
+                raise TypeError_("_star expects exactly two arguments")
+            lhs, lhs_ty = self.infer(term.args[0], ctx)
+            rhs, rhs_ty = self.infer(term.args[1], ctx)
+            resolved = self.resolve(lhs_ty)
+            if resolved == _PRED or self.resolve(rhs_ty) == _PRED:
+                name = "sep_star"
+                operand = _PRED
+                result: Type = _PRED
+            else:
+                name = "mult"
+                operand = NAT
+                result = NAT
+            if name == "sep_star" and "sep_star" not in self.env.signature:
+                raise TypeError_("sep_star is not declared in this scope")
+            self.unify(lhs_ty, operand, f"left operand of {name}")
+            self.unify(rhs_ty, operand, f"right operand of {name}")
+            return app(Const(name), lhs, rhs), result
+
+        fn, fn_ty = self.infer(term.fn, ctx)
+        args = []
+        result_ty = fn_ty
+        for i, arg in enumerate(term.args):
+            arg_elab, arg_ty = self.infer(arg, ctx)
+            result_resolved = self.resolve(result_ty)
+            if isinstance(result_resolved, TArrow):
+                self.unify(arg_ty, result_resolved.dom, f"argument {i + 1}")
+                result_ty = result_resolved.cod
+            else:
+                dom = fresh_tvar("d")
+                cod = fresh_tvar("c")
+                self.unify(result_ty, TArrow(dom, cod), f"application head")
+                self.unify(arg_ty, dom, f"argument {i + 1}")
+                result_ty = cod
+            args.append(arg_elab)
+        return app(fn, *args), result_ty
+
+    # -- zonking ------------------------------------------------------------
+
+    def zonk(self, term: Term) -> Term:
+        if isinstance(term, (Var, Const, TrueP, FalseP, Meta)):
+            return term
+        if isinstance(term, App):
+            return app(self.zonk(term.fn), *(self.zonk(a) for a in term.args))
+        if isinstance(term, (Lam, Forall, Exists)):
+            ty = self.resolve(term.ty) if term.ty is not None else None
+            return type(term)(term.var, ty, self.zonk(term.body))
+        if isinstance(term, (Impl, And, Or)):
+            return type(term)(self.zonk(term.lhs), self.zonk(term.rhs))
+        if isinstance(term, Eq):
+            ty = self.resolve(term.ty) if term.ty is not None else None
+            return Eq(ty, self.zonk(term.lhs), self.zonk(term.rhs))
+        raise AssertionError(f"unknown term node: {term!r}")
+
+
+def elaborate_statement(env: Environment, raw: Term) -> Term:
+    """Elaborate a closed proposition (lemma/axiom statement)."""
+    return elaborate_term(env, raw, {}, expected=PROP)
+
+
+def elaborate_term(
+    env: Environment,
+    raw: Term,
+    ctx: Mapping[str, Type],
+    expected: Optional[Type] = None,
+) -> Term:
+    """Elaborate ``raw`` in a goal context mapping names to types."""
+    inf = _Inferencer(env)
+    term, ty = inf.infer(raw, ctx)
+    if expected is not None:
+        inf.unify(ty, expected, "statement")
+    return inf.zonk(term)
+
+
+def infer_type(
+    env: Environment, raw: Term, ctx: Mapping[str, Type]
+) -> Tuple[Term, Type]:
+    """Elaborate ``raw`` and report its inferred type."""
+    inf = _Inferencer(env)
+    term, ty = inf.infer(raw, ctx)
+    return inf.zonk(term), inf.resolve(ty)

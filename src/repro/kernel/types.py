@@ -1,0 +1,235 @@
+"""Simple polymorphic types for the proof kernel.
+
+The kernel's logic is polymorphic first-order logic with inductive
+datatypes, so its type language is deliberately small:
+
+* :class:`TCon` — a type constructor applied to argument types
+  (``nat``, ``bool``, ``list T``, ``prod A B``...).  ``Prop`` is the
+  type of propositions and is represented as the nullary constructor
+  ``TCon('Prop')``.
+* :class:`TVar` — a type variable, used both for polymorphic constants
+  in the signature (``cons : A -> list A -> list A``) and during type
+  inference.
+* :class:`TArrow` — function types, needed for higher-order constants
+  such as ``map : (A -> B) -> list A -> list B`` and for predicates
+  passed as arguments (``Forall : (A -> Prop) -> list A -> Prop``).
+
+Types are immutable; all operations return new values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import UnificationError
+
+__all__ = [
+    "Type",
+    "TVar",
+    "TCon",
+    "TArrow",
+    "PROP",
+    "NAT",
+    "BOOL",
+    "tlist",
+    "tprod",
+    "toption",
+    "arrows",
+    "type_vars",
+    "apply_tsubst",
+    "unify_types",
+    "instantiate_scheme",
+    "fresh_tvar",
+]
+
+
+class Type:
+    """Abstract base class of kernel types."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TVar(Type):
+    """A type variable such as ``A`` in a polymorphic signature entry."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TCon(Type):
+    """A type constructor applied to zero or more argument types."""
+
+    name: str
+    args: Tuple[Type, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        parts = " ".join(_atom_str(a) for a in self.args)
+        return f"{self.name} {parts}"
+
+
+@dataclass(frozen=True)
+class TArrow(Type):
+    """The function type ``dom -> cod``."""
+
+    dom: Type
+    cod: Type
+
+    def __str__(self) -> str:
+        return f"{_atom_str(self.dom)} -> {self.cod}"
+
+
+def _atom_str(ty: Type) -> str:
+    """Render ``ty``, parenthesizing anything that is not atomic."""
+    text = str(ty)
+    needs_parens = isinstance(ty, TArrow) or (
+        isinstance(ty, TCon) and ty.args
+    )
+    return f"({text})" if needs_parens else text
+
+
+PROP = TCon("Prop")
+NAT = TCon("nat")
+BOOL = TCon("bool")
+
+
+def tlist(elem: Type) -> Type:
+    """The type ``list elem``."""
+    return TCon("list", (elem,))
+
+
+def tprod(a: Type, b: Type) -> Type:
+    """The type ``prod a b`` of pairs."""
+    return TCon("prod", (a, b))
+
+
+def toption(elem: Type) -> Type:
+    """The type ``option elem``."""
+    return TCon("option", (elem,))
+
+
+def arrows(*types: Type) -> Type:
+    """Right-fold ``types`` into a curried arrow type.
+
+    ``arrows(a, b, c)`` is ``a -> b -> c``.
+    """
+    if not types:
+        raise ValueError("arrows() requires at least one type")
+    result = types[-1]
+    for ty in reversed(types[:-1]):
+        result = TArrow(ty, result)
+    return result
+
+
+def type_vars(ty: Type) -> Iterator[str]:
+    """Yield the names of type variables occurring in ``ty`` (with dups)."""
+    if isinstance(ty, TVar):
+        yield ty.name
+    elif isinstance(ty, TCon):
+        for arg in ty.args:
+            yield from type_vars(arg)
+    elif isinstance(ty, TArrow):
+        yield from type_vars(ty.dom)
+        yield from type_vars(ty.cod)
+
+
+TSubst = Dict[str, Type]
+
+
+def apply_tsubst(subst: TSubst, ty: Type) -> Type:
+    """Apply a type substitution to ``ty`` (idempotent closure)."""
+    if isinstance(ty, TVar):
+        replacement = subst.get(ty.name)
+        if replacement is None:
+            return ty
+        # Chase chains so callers may build substitutions incrementally.
+        return apply_tsubst(subst, replacement) if replacement != ty else ty
+    if isinstance(ty, TCon):
+        if not ty.args:
+            return ty
+        return TCon(ty.name, tuple(apply_tsubst(subst, a) for a in ty.args))
+    if isinstance(ty, TArrow):
+        return TArrow(apply_tsubst(subst, ty.dom), apply_tsubst(subst, ty.cod))
+    raise AssertionError(f"unknown type node: {ty!r}")
+
+
+def _occurs(name: str, ty: Type, subst: TSubst) -> bool:
+    ty = apply_tsubst(subst, ty)
+    if isinstance(ty, TVar):
+        return ty.name == name
+    if isinstance(ty, TCon):
+        return any(_occurs(name, a, subst) for a in ty.args)
+    if isinstance(ty, TArrow):
+        return _occurs(name, ty.dom, subst) or _occurs(name, ty.cod, subst)
+    return False
+
+
+def unify_types(t1: Type, t2: Type, subst: Optional[TSubst] = None) -> TSubst:
+    """Unify two types, extending and returning ``subst``.
+
+    Raises :class:`UnificationError` when the types clash.  The input
+    substitution is not mutated on failure.
+    """
+    if subst is None:
+        subst = {}
+    working = dict(subst)
+    _unify_into(t1, t2, working)
+    return working
+
+
+def _unify_into(t1: Type, t2: Type, subst: TSubst) -> None:
+    t1 = apply_tsubst(subst, t1)
+    t2 = apply_tsubst(subst, t2)
+    if isinstance(t1, TVar):
+        if isinstance(t2, TVar) and t2.name == t1.name:
+            return
+        if _occurs(t1.name, t2, subst):
+            raise UnificationError(f"occurs check: {t1} in {t2}")
+        subst[t1.name] = t2
+        return
+    if isinstance(t2, TVar):
+        _unify_into(t2, t1, subst)
+        return
+    if isinstance(t1, TCon) and isinstance(t2, TCon):
+        if t1.name != t2.name or len(t1.args) != len(t2.args):
+            raise UnificationError(f"type clash: {t1} vs {t2}")
+        for a, b in zip(t1.args, t2.args):
+            _unify_into(a, b, subst)
+        return
+    if isinstance(t1, TArrow) and isinstance(t2, TArrow):
+        _unify_into(t1.dom, t2.dom, subst)
+        _unify_into(t1.cod, t2.cod, subst)
+        return
+    raise UnificationError(f"type clash: {t1} vs {t2}")
+
+
+_FRESH_COUNTER = [0]
+
+
+def fresh_tvar(hint: str = "t") -> TVar:
+    """Return a globally fresh type variable (for inference)."""
+    _FRESH_COUNTER[0] += 1
+    return TVar(f"?{hint}{_FRESH_COUNTER[0]}")
+
+
+def instantiate_scheme(ty: Type) -> Type:
+    """Replace every type variable in ``ty`` with a fresh one.
+
+    Signature entries are implicitly universally quantified over their
+    type variables; each *use* of a constant gets fresh copies so
+    independent applications do not interfere during inference.
+    """
+    mapping: Dict[str, Type] = {}
+    for name in type_vars(ty):
+        if name not in mapping:
+            mapping[name] = fresh_tvar(name.strip("?"))
+    return apply_tsubst(mapping, ty)

@@ -1,0 +1,241 @@
+"""First-order unification with metavariables.
+
+Used by ``apply``/``eapply`` (unify a lemma's conclusion with the
+goal), ``rewrite`` (match an equation's left-hand side against
+subterms), ``inversion`` (match constructor conclusions against a
+hypothesis), and ``auto``/``eauto``.
+
+Scope discipline: when unification descends under binders, both
+binders are renamed to a shared canonical name (``%0``, ``%1``, ...).
+A metavariable may never be solved by a term mentioning such a name —
+that would smuggle a bound variable out of its scope.
+
+Conversion: on a rigid/rigid head clash the unifier can consult an
+optional ``whnf`` callback (weak-head normalization from
+:mod:`repro.kernel.reduction`) and retry, approximating Coq's
+unification-up-to-conversion in a controlled way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import UnificationError
+from repro.kernel.subst import subst_metas, subst_var
+from repro.kernel.terms import (
+    App,
+    And,
+    Const,
+    Eq,
+    Exists,
+    FalseP,
+    Forall,
+    Impl,
+    Lam,
+    Meta,
+    Or,
+    Term,
+    TrueP,
+    Var,
+    metas_of,
+)
+
+__all__ = ["MetaStore", "unify", "match_term"]
+
+Reducer = Callable[[Term], Term]
+
+
+@dataclass
+class MetaStore:
+    """Allocates metavariables and records their solutions."""
+
+    next_uid: int = 0
+    solutions: Dict[int, Term] = field(default_factory=dict)
+
+    def fresh(self, hint: str = "?") -> Meta:
+        meta = Meta(self.next_uid, hint)
+        self.next_uid += 1
+        return meta
+
+    def solve(self, uid: int, term: Term) -> None:
+        if uid in self.solutions:
+            raise UnificationError(f"metavariable ?{uid} already solved")
+        self.solutions[uid] = term
+
+    def resolve(self, term: Term) -> Term:
+        """Substitute all currently known solutions into ``term``."""
+        return subst_metas(term, self.solutions)
+
+    def is_solved(self, uid: int) -> bool:
+        return uid in self.solutions
+
+    def snapshot(self) -> Tuple[int, Dict[int, Term]]:
+        """Capture both solutions *and* the uid counter.
+
+        Restoring the counter matters for the Qed completeness check:
+        metavariables allocated by failed/abandoned attempts must not
+        linger as "unresolved existentials"."""
+        return (self.next_uid, dict(self.solutions))
+
+    def restore(self, snap: Tuple[int, Dict[int, Term]]) -> None:
+        self.next_uid, self.solutions = snap[0], dict(snap[1])
+
+
+def _canonical(level: int) -> str:
+    # '%' cannot appear in parsed identifiers, so no user name collides.
+    return f"%{level}"
+
+
+def unify(
+    t1: Term,
+    t2: Term,
+    store: MetaStore,
+    whnf: Optional[Reducer] = None,
+) -> None:
+    """Unify ``t1`` with ``t2``, extending ``store`` with solutions.
+
+    Raises :class:`UnificationError` on failure; on failure the store
+    is rolled back to its state at entry.
+    """
+    snap = store.snapshot()
+    try:
+        _unify(t1, t2, store, 0, whnf)
+    except UnificationError:
+        store.restore(snap)
+        raise
+
+
+def match_term(
+    pattern: Term,
+    subject: Term,
+    store: MetaStore,
+    whnf: Optional[Reducer] = None,
+) -> None:
+    """One-sided unification: only ``pattern``'s metas may be solved.
+
+    The caller guarantees ``subject`` contains no unsolved metas (goal
+    terms normally do not, except under ``eapply``; rewrite callers
+    resolve first).
+    """
+    unify(pattern, subject, store, whnf)
+
+
+def _unify(
+    t1: Term,
+    t2: Term,
+    store: MetaStore,
+    depth: int,
+    whnf: Optional[Reducer],
+) -> None:
+    t1 = store.resolve(t1)
+    t2 = store.resolve(t2)
+
+    if isinstance(t1, Meta):
+        _solve_meta(t1, t2, store, depth)
+        return
+    if isinstance(t2, Meta):
+        _solve_meta(t2, t1, store, depth)
+        return
+
+    if isinstance(t1, Var) and isinstance(t2, Var):
+        if t1.name == t2.name:
+            return
+        raise UnificationError(f"variable clash: {t1.name} vs {t2.name}")
+
+    if isinstance(t1, Const) and isinstance(t2, Const):
+        if t1.name == t2.name:
+            return
+        _retry_whnf(t1, t2, store, depth, whnf)
+        return
+
+    if isinstance(t1, (TrueP, FalseP)) and type(t1) is type(t2):
+        return
+
+    if isinstance(t1, App) and isinstance(t2, App):
+        if len(t1.args) == len(t2.args):
+            try:
+                _attempt(t1.fn, t2.fn, t1.args, t2.args, store, depth, whnf)
+                return
+            except UnificationError:
+                _retry_whnf(t1, t2, store, depth, whnf)
+                return
+        _retry_whnf(t1, t2, store, depth, whnf)
+        return
+
+    if isinstance(t1, (Lam, Forall, Exists)) and type(t1) is type(t2):
+        fresh = _canonical(depth)
+        body1 = subst_var(t1.body, t1.var, Var(fresh))
+        body2 = subst_var(t2.body, t2.var, Var(fresh))  # type: ignore[union-attr]
+        _unify(body1, body2, store, depth + 1, whnf)
+        return
+
+    if isinstance(t1, (Impl, And, Or)) and type(t1) is type(t2):
+        _unify(t1.lhs, t2.lhs, store, depth, whnf)  # type: ignore[union-attr]
+        _unify(t1.rhs, t2.rhs, store, depth, whnf)  # type: ignore[union-attr]
+        return
+
+    if isinstance(t1, Eq) and isinstance(t2, Eq):
+        _unify(t1.lhs, t2.lhs, store, depth, whnf)
+        _unify(t1.rhs, t2.rhs, store, depth, whnf)
+        return
+
+    _retry_whnf(t1, t2, store, depth, whnf)
+
+
+def _attempt(
+    fn1: Term,
+    fn2: Term,
+    args1: Tuple[Term, ...],
+    args2: Tuple[Term, ...],
+    store: MetaStore,
+    depth: int,
+    whnf: Optional[Reducer],
+) -> None:
+    snap = store.snapshot()
+    try:
+        _unify(fn1, fn2, store, depth, whnf)
+        for a, b in zip(args1, args2):
+            _unify(a, b, store, depth, whnf)
+    except UnificationError:
+        store.restore(snap)
+        raise
+
+
+def _retry_whnf(
+    t1: Term,
+    t2: Term,
+    store: MetaStore,
+    depth: int,
+    whnf: Optional[Reducer],
+) -> None:
+    """Last resort: weak-head normalize both sides and compare again."""
+    if whnf is not None:
+        r1 = whnf(t1)
+        r2 = whnf(t2)
+        if (r1, r2) != (t1, t2):
+            # Progress was made, so retrying (with the reducer still
+            # available for deeper positions) terminates: reduction is
+            # step-bounded and each retry requires fresh progress.
+            _unify(r1, r2, store, depth, whnf)
+            return
+    raise UnificationError(f"cannot unify {t1} with {t2}")
+
+
+def _solve_meta(meta: Meta, value: Term, store: MetaStore, depth: int) -> None:
+    value = store.resolve(value)
+    if isinstance(value, Meta) and value.uid == meta.uid:
+        return
+    if meta.uid in metas_of(value):
+        raise UnificationError(f"occurs check: ?{meta.uid}")
+    if _mentions_canonical(value):
+        raise UnificationError(
+            f"scope violation: ?{meta.uid} would capture a bound variable"
+        )
+    store.solve(meta.uid, value)
+
+
+def _mentions_canonical(term: Term) -> bool:
+    from repro.kernel.terms import free_vars
+
+    return any(name.startswith("%") for name in free_vars(term))

@@ -1,0 +1,190 @@
+"""Goal-directed tactic proposals (the model's "reasoning").
+
+Given the structured prompt view, propose plausible next tactics with
+base weights.  This encodes what a competent Coq user gleans from goal
+shape alone: introduce products, split conjunctions, induct on the
+right variable, rewrite with equations whose left side occurs, try the
+decision procedures on arithmetic goals, and so on.
+
+The proposals are *suggestions*, not proofs — the checker rejects the
+bad ones, exactly as in the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.kernel.terms import (
+    And,
+    App,
+    Const,
+    Eq,
+    Exists,
+    FalseP,
+    Forall,
+    Impl,
+    Or,
+    Term,
+    Var,
+    head_const,
+    is_neg,
+)
+from repro.llm.promptview import HypView, PromptView, idents
+
+__all__ = ["Proposal", "propose"]
+
+_ARITH_TOKENS = {"S", "add", "sub", "mult", "le", "lt", "min", "max"}
+_ARITH_CHARS = ("+", "-", "<=", "<", " S ")
+
+
+@dataclass
+class Proposal:
+    tactic: str
+    weight: float
+    source: str  # 'structure' | 'retrieval' | 'hint' | 'fallback'
+
+
+def _head_name(term: Optional[Term]) -> Optional[str]:
+    if term is None:
+        return None
+    if isinstance(term, (Var, Const)):
+        return getattr(term, "name", None)
+    if isinstance(term, App):
+        fn = term.fn
+        return getattr(fn, "name", None)
+    return None
+
+
+def _add(out: List[Proposal], tactic: str, weight: float, source: str) -> None:
+    for existing in out:
+        if existing.tactic == tactic:
+            existing.weight = max(existing.weight, weight)
+            return
+    out.append(Proposal(tactic, weight, source))
+
+
+def propose(view: PromptView) -> List[Proposal]:
+    """Structure-driven proposals for the focused goal."""
+    out: List[Proposal] = []
+    goal = view.goal_term
+    goal_tokens = idents(view.goal_text)
+
+    # ------------------------------------------------------------------
+    # Conclusion shape.
+    # ------------------------------------------------------------------
+    if isinstance(goal, Forall):
+        _add(out, "intros", 3.0, "structure")
+        # Induction before intros generalizes the IH (the FSCQ style).
+        for var, ty in _leading_binders(goal):
+            if ty is not None:
+                _add(out, f"induction {var}", 1.6, "structure")
+                break
+    if isinstance(goal, Impl) and not is_neg(goal):
+        _add(out, "intros", 3.0, "structure")
+    if goal is not None and is_neg(goal):
+        _add(out, "intro", 1.6, "structure")
+        _add(out, "discriminate", 1.0, "structure")
+        _add(out, "congruence", 0.9, "structure")
+    if isinstance(goal, And):
+        _add(out, "split", 3.0, "structure")
+    if isinstance(goal, Or):
+        _add(out, "left", 1.2, "structure")
+        _add(out, "right", 1.2, "structure")
+    if isinstance(goal, Exists):
+        _add(out, "eexists", 1.0, "structure")
+        for hyp in view.hyps:
+            if hyp.is_var:
+                _add(out, f"exists {hyp.name}", 0.7, "structure")
+
+    if isinstance(goal, Eq):
+        _add(out, "reflexivity", 2.2, "structure")
+        _add(out, "simpl", 1.6, "structure")
+        lhs_head = _head_name(goal.lhs)
+        rhs_head = _head_name(goal.rhs)
+        if lhs_head is not None and lhs_head == rhs_head:
+            _add(out, "f_equal", 1.4, "structure")
+        _add(out, "congruence", 0.7, "structure")
+
+    # Arithmetic goals: the omega/lia reflex.
+    if view.goal_text and (
+        any(ch in view.goal_text for ch in _ARITH_CHARS)
+        or goal_tokens & _ARITH_TOKENS
+    ):
+        _add(out, "lia", 1.8, "structure")
+
+    # Induction / destruct on context variables that occur in the goal.
+    for hyp in view.hyps:
+        if hyp.is_var and hyp.name in goal_tokens:
+            inductivey = any(
+                t in hyp.text for t in ("list", "nat", "dirtree", "prog", "bool")
+            )
+            if inductivey:
+                _add(out, f"induction {hyp.name}", 1.5, "structure")
+                _add(out, f"destruct {hyp.name}", 0.9, "structure")
+
+    # ------------------------------------------------------------------
+    # Hypothesis-driven moves.
+    # ------------------------------------------------------------------
+    subst_useful = False
+    for hyp in view.hyps:
+        if hyp.is_var:
+            continue
+        term = hyp.term
+        if hyp.text == view.goal_text:
+            _add(out, "assumption", 3.0, "structure")
+        if isinstance(term, Eq):
+            _add(out, f"rewrite {hyp.name}", 1.6, "structure")
+            _add(out, f"rewrite <- {hyp.name}", 0.8, "structure")
+            if isinstance(term.lhs, Var) or isinstance(term.rhs, Var):
+                subst_useful = True
+            _add(out, f"inversion {hyp.name}", 0.5, "structure")
+            _add(out, f"discriminate {hyp.name}", 0.5, "structure")
+        if hyp.name.startswith("IH"):
+            _add(out, f"rewrite {hyp.name}", 2.2, "structure")
+            _add(out, f"apply {hyp.name}", 1.8, "structure")
+            _add(out, f"eapply {hyp.name}", 1.0, "structure")
+        if isinstance(term, (And, Or, Exists)):
+            _add(out, f"destruct {hyp.name}", 2.0, "structure")
+        if isinstance(term, FalseP):
+            _add(out, "contradiction", 3.0, "structure")
+        head = _head_name(term)
+        if head is not None and head in view.inductive_preds:
+            _add(out, f"inversion {hyp.name}", 1.8, "structure")
+            _add(out, f"apply {hyp.name}", 0.8, "structure")
+        if head is not None and head in view.fixpoints:
+            _add(out, f"simpl in {hyp.name}", 0.9, "structure")
+        # Forward chaining: hypothesis conclusion matches the goal head.
+        if isinstance(term, (Forall, Impl)) and not is_neg(term):
+            _add(out, f"apply {hyp.name}", 1.4, "structure")
+            _add(out, f"eapply {hyp.name}", 0.8, "structure")
+    if subst_useful:
+        _add(out, "subst", 1.4, "structure")
+
+    # Goal headed by an inductive predicate: introduction rules.
+    goal_head = _head_name(goal)
+    if goal_head is not None and goal_head in view.inductive_preds:
+        _add(out, "constructor", 2.0, "structure")
+        _add(out, "econstructor", 1.0, "structure")
+    if goal is not None and not isinstance(goal, (Forall, Impl)):
+        _add(out, "auto", 1.6, "structure")
+        _add(out, "eauto", 1.2, "structure")
+
+    # Unfold definitions that appear in the goal.
+    unfoldable = [d for d in view.definitions if d in goal_tokens]
+    for name in unfoldable[:2]:
+        _add(out, f"unfold {name}", 1.5, "structure")
+    if unfoldable and view.hyps:
+        _add(out, f"unfold {unfoldable[0]} in *", 0.6, "structure")
+
+    # Fallbacks a model reaches for when nothing is obvious.
+    _add(out, "simpl", 0.6, "fallback")
+    _add(out, "intuition", 0.5, "fallback")
+    _add(out, "auto", 0.5, "fallback")
+    return out
+
+
+def _leading_binders(term: Term):
+    while isinstance(term, Forall):
+        yield term.var, term.ty
+        term = term.body

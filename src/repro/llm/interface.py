@@ -1,0 +1,40 @@
+"""The tactic-generator interface.
+
+A generator is anything that maps a *prompt string* to ``k`` candidate
+next tactics with log-probabilities — the exact contract the paper's
+best-first search has with GPT-4o/Gemini.  Simulated models live in
+:mod:`repro.llm.models`; the search engine depends only on this
+protocol, so a real API-backed model could be dropped in unchanged.
+
+The prompt string is the **only** channel: simulated models never see
+kernel objects, the environment, or the corpus — anything they know,
+they parsed out of the prompt text, which is what makes the hint and
+context-window experiments meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol
+
+__all__ = ["Candidate", "TacticGenerator"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One predicted next tactic."""
+
+    tactic: str
+    log_prob: float
+
+
+class TacticGenerator(Protocol):
+    """Protocol for next-tactic prediction models."""
+
+    name: str
+    context_window: int  # in (simulated) tokens
+    provides_log_probs: bool
+
+    def generate(self, prompt: str, k: int) -> List[Candidate]:
+        """Up to ``k`` candidates, best first, with log-probabilities."""
+        ...

@@ -1,0 +1,111 @@
+"""Capability profiles for the simulated models.
+
+Each profile calibrates one of the paper's five model configurations.
+The knobs:
+
+* ``skill`` — fidelity of the ranking: low skill adds more noise to
+  proposal weights, burying good tactics below junk.
+* ``retrieval_strength`` — how well the model exploits statements and
+  hint proofs present in its context (hints help ∝ this).
+* ``hallucination_rate`` — probability that a candidate slot is a
+  corrupted variant (misspelled lemma, wrong hypothesis name...),
+  which the checker then rejects.
+* ``temperature`` — sampling spread over the proposal distribution.
+* ``context_window`` — in simulated tokens.  Real windows are scaled
+  by 1/16 (paper's FSCQ context overflows 128k; our scaled corpus
+  overflows the scaled window the same way): 128k → 8k, 1M → 64k.
+
+Numbers are calibrated against the paper's Tables 1-2 and Figure 1;
+EXPERIMENTS.md records the resulting paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ModelProfile", "PROFILES", "WINDOW_SCALE"]
+
+WINDOW_SCALE = 16  # real tokens per simulated token
+
+_128K = 128_000 // WINDOW_SCALE
+_1M = 1_000_000 // WINDOW_SCALE
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    name: str
+    context_window: int
+    skill: float
+    retrieval_strength: float
+    hallucination_rate: float
+    temperature: float
+    # Probability that the model reads the goal correctly at a given
+    # step.  A non-lucid step emits generic babble, most of which the
+    # checker rejects — this is what makes weak models' searches die
+    # "stuck" quickly (paper Table 2: stuck >> fuelout, mini ~90%).
+    lucidity: float = 1.0
+    # Hints anchor the model: visible proofs of similar theorems raise
+    # effective lucidity by this factor (capped at 1.0).
+    hint_lucidity_boost: float = 1.5
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: window={self.context_window} sim-tokens, "
+            f"skill={self.skill}, retrieval={self.retrieval_strength}, "
+            f"hallucination={self.hallucination_rate}"
+        )
+
+
+PROFILES = {
+    "gpt-4o-mini": ModelProfile(
+        name="gpt-4o-mini",
+        context_window=_128K,
+        skill=0.30,
+        retrieval_strength=0.45,
+        hallucination_rate=0.45,
+        temperature=1.6,
+        lucidity=0.015,
+        hint_lucidity_boost=2.8,
+    ),
+    "gpt-4o": ModelProfile(
+        name="gpt-4o",
+        context_window=_128K,
+        skill=0.95,
+        retrieval_strength=1.0,
+        hallucination_rate=0.10,
+        temperature=0.7,
+        lucidity=0.30,
+        hint_lucidity_boost=2.2,
+    ),
+    "gemini-1.5-flash": ModelProfile(
+        name="gemini-1.5-flash",
+        context_window=_1M,
+        skill=0.42,
+        retrieval_strength=0.60,
+        hallucination_rate=0.35,
+        temperature=1.3,
+        lucidity=0.03,
+        hint_lucidity_boost=3.0,
+    ),
+    "gemini-1.5-pro": ModelProfile(
+        name="gemini-1.5-pro",
+        context_window=_1M,
+        skill=0.62,
+        retrieval_strength=0.85,
+        hallucination_rate=0.22,
+        temperature=1.0,
+        lucidity=0.10,
+        hint_lucidity_boost=2.6,
+    ),
+    # The paper's Figure 1b probe: same model, truncated window.
+    "gemini-1.5-pro-128k": ModelProfile(
+        name="gemini-1.5-pro-128k",
+        context_window=_128K,
+        skill=0.62,
+        retrieval_strength=0.85,
+        hallucination_rate=0.22,
+        temperature=1.0,
+        lucidity=0.10,
+        hint_lucidity_boost=2.6,
+    ),
+}

@@ -1,0 +1,173 @@
+"""Retrieval-based proposals (the model's "memory of the context").
+
+Two mechanisms, both operating purely on the prompt text:
+
+* **lemma retrieval** — statements visible in the context whose
+  conclusions resemble the current goal become ``apply``/``rewrite``
+  candidates.  This is how context selection affects coverage: a
+  truncated window that dropped the relevant lemma cannot propose it.
+
+* **hint mimicry** — in the hint setting, human proofs of similar
+  theorems are visible.  The model replays their opening tactics and
+  the step aligned with the current proof depth, and absorbs their
+  tactic-head statistics as priors.  This is the mechanism behind the
+  paper's finding that hints substantially improve coverage.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Dict, List, Optional, Set
+
+from repro.llm.heuristics import Proposal, _add
+from repro.llm.promptview import LemmaView, PromptView, idents
+
+__all__ = ["retrieve", "hint_proposals", "hint_head_priors"]
+
+_STOP = {
+    "forall",
+    "exists",
+    "fun",
+    "Type",
+    "Prop",
+    "nat",
+    "list",
+    "bool",
+    "prod",
+    "option",
+    "True",
+    "False",
+}
+
+
+def _signature_tokens(text: str) -> Set[str]:
+    return {t for t in idents(text) if t not in _STOP and len(t) > 1}
+
+
+def _similarity(a: Set[str], b: Set[str]) -> float:
+    if not a or not b:
+        return 0.0
+    inter = len(a & b)
+    union = len(a | b)
+    return inter / union
+
+
+def retrieve(view: PromptView, strength: float) -> List[Proposal]:
+    """Lemma-application proposals from context statements."""
+    out: List[Proposal] = []
+    goal_tokens = _signature_tokens(view.goal_text)
+    if not goal_tokens:
+        return out
+    scored = []
+    for lemma in view.lemmas.values():
+        concl_tokens = _signature_tokens(lemma.conclusion) - lemma.binders
+        sim = _similarity(goal_tokens, concl_tokens)
+        # Equations whose left-hand constants all occur in the goal are
+        # prime rewrite candidates even when overall overlap is small
+        # (e.g. ``map_app`` against a goal full of ``map`` chains).
+        if lemma.is_equation:
+            first = lemma.conclusion.split("=")[0]
+            lhs_tokens = _signature_tokens(first) - lemma.binders
+            if lhs_tokens and lhs_tokens <= goal_tokens:
+                sim += 0.35
+            elif lhs_tokens & goal_tokens:
+                sim += 0.10
+        if sim > 0.0:
+            scored.append((sim, lemma))
+    scored.sort(key=lambda pair: (-pair[0], pair[1].name))
+    for sim, lemma in scored[:20]:
+        base = strength * (0.8 + 2.4 * sim)
+        _add(out, f"apply {lemma.name}", base, "retrieval")
+        if "->" in lemma.statement:
+            _add(out, f"eapply {lemma.name}", 0.6 * base, "retrieval")
+        if lemma.is_equation:
+            _add(out, f"rewrite {lemma.name}", 1.1 * base, "retrieval")
+            _add(out, f"rewrite <- {lemma.name}", 0.4 * base, "retrieval")
+        # Forward use against a matching hypothesis.
+        for hyp in view.hyps:
+            if hyp.is_var:
+                continue
+            if _similarity(_signature_tokens(hyp.text), concl_tokens) > 0.4:
+                _add(
+                    out,
+                    f"apply {lemma.name} in {hyp.name}",
+                    0.4 * base,
+                    "retrieval",
+                )
+                break
+    return out
+
+
+_SENTENCE_RE = re.compile(r"[^.;]+[.]")
+
+
+def _proof_steps(proof: str) -> List[str]:
+    """Split a hint proof into tactic sentences (bullets dropped)."""
+    steps: List[str] = []
+    for raw in _SENTENCE_RE.findall(proof):
+        text = raw.strip().lstrip("-+*{} \t\n")
+        if text.endswith("."):
+            text = text[:-1]
+        text = text.strip()
+        if text:
+            steps.append(text)
+    return steps
+
+
+def hint_proposals(view: PromptView, strength: float) -> List[Proposal]:
+    """Mimic the proofs of similar hinted theorems."""
+    out: List[Proposal] = []
+    hinted = view.hinted_lemmas()
+    if not hinted:
+        return out
+    goal_tokens = _signature_tokens(view.theorem_statement or view.goal_text)
+    now_tokens = _signature_tokens(view.goal_text)
+    scored = []
+    for lemma in hinted:
+        sim = max(
+            _similarity(
+                goal_tokens, _signature_tokens(lemma.statement) - lemma.binders
+            ),
+            _similarity(
+                now_tokens, _signature_tokens(lemma.conclusion) - lemma.binders
+            ),
+        )
+        if sim > 0.05:
+            scored.append((sim, lemma))
+    scored.sort(key=lambda pair: (-pair[0], pair[1].name))
+    depth = len(view.steps)
+    for sim, lemma in scored[:4]:
+        assert lemma.proof is not None
+        steps = _proof_steps(lemma.proof)
+        if not steps:
+            continue
+        base = strength * (0.8 + 3.0 * sim)
+        # Replay the whole proof, weighting steps near the current
+        # depth highest (a model reading a similar proof tracks where
+        # it is in it, imperfectly).
+        for k, step in enumerate(steps):
+            decay = 1.0 / (1.0 + abs(k - depth))
+            _add(out, step, base * max(decay, 0.25), "hint")
+    return out
+
+
+def hint_head_priors(view: PromptView) -> Dict[str, float]:
+    """Tactic-head frequencies across all visible hint proofs.
+
+    Used as a mild prior: models pick up the house style (FSCQ proofs
+    lean on ``eauto``/``omega``-like closers) from the provided
+    context, which is why hints help even on dissimilar theorems.
+    """
+    counts: Counter = Counter()
+    total = 0
+    for lemma in view.hinted_lemmas():
+        assert lemma.proof is not None
+        for step in _proof_steps(lemma.proof):
+            head = step.split()[0] if step.split() else ""
+            if head:
+                counts[head] += 1
+                total += 1
+    if not total:
+        return {}
+    return {head: count / total for head, count in counts.items()}

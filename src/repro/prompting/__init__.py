@@ -1,0 +1,15 @@
+"""Prompt construction: proof context, hints, truncation."""
+
+from repro.prompting.context import context_for, reduced_context_for, strip_proof
+from repro.prompting.prompt import GOAL_HEADER, PromptBuilder, THEOREM_HEADER
+from repro.prompting.truncation import truncate_to_window
+
+__all__ = [
+    "context_for",
+    "reduced_context_for",
+    "strip_proof",
+    "PromptBuilder",
+    "GOAL_HEADER",
+    "THEOREM_HEADER",
+    "truncate_to_window",
+]

@@ -1,0 +1,93 @@
+"""Extended proof-context extraction.
+
+The paper's key departure from GPT-f: instead of showing the model
+only the active goals, the prompt carries *project context* —
+"definitions, theorem statements, and proof steps in the current file
+and imported files up to (but not beyond) the active proof goals".
+
+:func:`context_for` walks the theorem's file and its transitive
+imports in load order and renders each declaration's source text.  In
+the *vanilla* setting lemma proofs are omitted (statements only); in
+the *hint* setting the proofs of the theorems in the hint split are
+included verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.corpus.loader import Project
+from repro.corpus.model import Declaration, SourceFile, Theorem
+
+__all__ = ["context_for", "strip_proof", "reduced_context_for"]
+
+
+def strip_proof(decl: Declaration) -> str:
+    """A lemma's source with the proof body elided (vanilla setting)."""
+    if decl.kind != "lemma":
+        return decl.source
+    assert decl.statement_text is not None
+    return f"Lemma {decl.name} : {decl.statement_text}.\nProof. (* ... *) Qed."
+
+
+def _import_closure(project: Project, file_name: str) -> List[SourceFile]:
+    """Files visible from ``file_name``, in project load order."""
+    visible: Set[str] = set()
+    by_name = {f.name: f for f in project.files}
+
+    def visit(name: str) -> None:
+        if name in visible:
+            return
+        visible.add(name)
+        for imp in by_name[name].imports:
+            visit(imp)
+
+    visit(file_name)
+    return [f for f in project.files if f.name in visible]
+
+
+def context_for(
+    project: Project,
+    theorem: Theorem,
+    hint_names: Optional[Set[str]] = None,
+) -> str:
+    """The proof context shown to the model for ``theorem``.
+
+    ``hint_names`` is the set of theorem names whose human proofs are
+    revealed (the paper's hint setting: a random, fixed 50 %);
+    ``None`` means the vanilla setting (no proofs at all).
+    """
+    hint_names = hint_names or set()
+    chunks: List[str] = []
+    for source_file in _import_closure(project, theorem.file):
+        chunks.append(source_file.render_header())
+        for index, decl in enumerate(source_file.declarations):
+            if source_file.name == theorem.file and index >= theorem.index:
+                break  # never reveal anything at or past the active goal
+            if decl.kind == "lemma" and decl.name not in hint_names:
+                chunks.append(strip_proof(decl))
+            else:
+                chunks.append(decl.source)
+    return "\n\n".join(chunks)
+
+
+def reduced_context_for(
+    project: Project,
+    theorem: Theorem,
+    dependency_names: Sequence[str],
+) -> str:
+    """A hand-reduced context: only the named dependencies.
+
+    Reproduces the paper's §4.3 probe, where manually including only
+    the necessary definitions and lemmas let models finish proofs they
+    otherwise failed.
+    """
+    wanted = set(dependency_names)
+    chunks: List[str] = []
+    for source_file in _import_closure(project, theorem.file):
+        for index, decl in enumerate(source_file.declarations):
+            if source_file.name == theorem.file and index >= theorem.index:
+                break
+            if decl.name in wanted:
+                chunks.append(decl.source)
+    return "\n\n".join(chunks)

@@ -1,0 +1,38 @@
+"""Context-window truncation.
+
+When a prompt exceeds the model's context window, the paper keeps
+"the portions closer to the next tactic" — i.e. the *end* of the
+prompt (the current file's recent declarations and the active goal)
+survives; the distant beginning is dropped.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.tokenizer import count_tokens, tokenize
+
+__all__ = ["truncate_to_window"]
+
+_MARKER = "(* ...context truncated... *)\n"
+
+
+def truncate_to_window(prompt: str, window_tokens: int) -> str:
+    """Keep the trailing ``window_tokens`` tokens of ``prompt``.
+
+    Truncation happens at line granularity so declarations are not cut
+    mid-identifier; the kept suffix is prefixed with a marker, as a
+    real serving stack would signal an elided prefix.
+    """
+    if count_tokens(prompt) <= window_tokens:
+        return prompt
+    lines = prompt.splitlines(keepends=True)
+    kept: list = []
+    total = 0
+    for line in reversed(lines):
+        line_tokens = count_tokens(line)
+        if total + line_tokens > window_tokens and kept:
+            break
+        kept.append(line)
+        total += line_tokens
+        if total >= window_tokens:
+            break
+    return _MARKER + "".join(reversed(kept))

@@ -1,0 +1,14 @@
+"""The SerAPI-like machine interface over the proof kernel.
+
+* :mod:`repro.serapi.sexp` — s-expression reader/printer.
+* :mod:`repro.serapi.session` — stateful proof document (STM analogue).
+* :mod:`repro.serapi.protocol` — Add/Exec/Query/Cancel command server.
+* :mod:`repro.serapi.checker` — the tactic-validity checker the
+  best-first search drives (valid / rejected / duplicate / timeout).
+"""
+
+from repro.serapi.checker import CheckResult, ProofChecker, Verdict
+from repro.serapi.protocol import SerapiServer
+from repro.serapi.session import Session
+
+__all__ = ["CheckResult", "ProofChecker", "Verdict", "SerapiServer", "Session"]

@@ -1,0 +1,117 @@
+"""The proof checker facade the search engine drives.
+
+This is the reproduction of the paper's "custom Coq proof checker"
+built on the STM + SerAPI: given a proof state and a candidate tactic
+string, classify it as valid (returning the new state) or invalid for
+one of the paper's three reasons:
+
+* ``rejected`` — parse error or tactic failure ("rejected by Coq");
+* ``duplicate`` — the resulting proof state was already encountered in
+  this search tree;
+* ``timeout`` — execution exceeded the budget (paper: 5 seconds).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from repro.errors import ParseError, ReproError, TacticError, TacticTimeout
+from repro.kernel.env import Environment
+from repro.kernel.goals import ProofState, initial_state
+from repro.kernel.parser import parse_statement
+from repro.kernel.terms import Term
+from repro.tactics.base import run_tactic
+from repro.tactics.parse import parse_tactic
+
+__all__ = ["Verdict", "CheckResult", "ProofChecker"]
+
+DEFAULT_TACTIC_TIMEOUT = 5.0  # seconds, as in the paper
+
+
+class Verdict(enum.Enum):
+    VALID = "valid"
+    REJECTED = "rejected"
+    DUPLICATE = "duplicate"
+    TIMEOUT = "timeout"
+
+
+@dataclass
+class CheckResult:
+    verdict: Verdict
+    state: Optional[ProofState] = None  # set when VALID
+    message: str = ""
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict is Verdict.VALID
+
+
+class ProofChecker:
+    """Validates candidate tactics against proof states."""
+
+    def __init__(
+        self,
+        env: Environment,
+        tactic_timeout: float = DEFAULT_TACTIC_TIMEOUT,
+    ) -> None:
+        self.env = env
+        self.tactic_timeout = tactic_timeout
+
+    def start(self, statement: Term) -> ProofState:
+        return initial_state(self.env, statement)
+
+    def start_text(self, statement_text: str) -> ProofState:
+        return self.start(parse_statement(self.env, statement_text))
+
+    def state_key(self, state: ProofState) -> str:
+        return state.key()
+
+    def check(
+        self,
+        state: ProofState,
+        tactic_text: str,
+        seen_keys: Optional[Set[str]] = None,
+    ) -> CheckResult:
+        """Validate ``tactic_text`` against ``state``.
+
+        ``seen_keys`` is the set of proof-state keys already in the
+        search tree; reaching one of them makes the tactic invalid
+        (the paper's duplicate-state rule).
+        """
+        started = time.monotonic()
+        try:
+            node = parse_tactic(tactic_text)
+        except ParseError as exc:
+            return CheckResult(Verdict.REJECTED, message=f"parse: {exc}")
+        try:
+            new_state = run_tactic(
+                self.env, state, node, timeout=self.tactic_timeout
+            )
+        except TacticTimeout as exc:
+            return CheckResult(
+                Verdict.TIMEOUT,
+                message=str(exc),
+                elapsed=time.monotonic() - started,
+            )
+        except (TacticError, ReproError) as exc:
+            return CheckResult(
+                Verdict.REJECTED,
+                message=str(exc),
+                elapsed=time.monotonic() - started,
+            )
+        elapsed = time.monotonic() - started
+        if elapsed > self.tactic_timeout:
+            return CheckResult(Verdict.TIMEOUT, message="slow tactic", elapsed=elapsed)
+        if seen_keys is not None:
+            key = new_state.key()
+            if key in seen_keys:
+                return CheckResult(
+                    Verdict.DUPLICATE,
+                    message="proof state already in the search tree",
+                    elapsed=elapsed,
+                )
+        return CheckResult(Verdict.VALID, state=new_state, elapsed=elapsed)

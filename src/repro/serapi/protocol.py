@@ -1,0 +1,88 @@
+"""The SerAPI-like wire protocol.
+
+Commands mirror SerAPI's surface: ``(Add (...))``, ``(Exec sid)``,
+``(Cancel sid)``, ``(Query Goals)``; every command produces a list of
+answer s-expressions ending in ``(Answer tag Completed)``.  This layer
+exists so that the checker the search engine drives has the same
+machine-friendly seam the paper built on SerAPI — and it is exercised
+directly by the protocol tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ReproError, SessionError
+from repro.kernel.env import Environment
+from repro.serapi.session import Session
+from repro.serapi.sexp import Sexp, dumps, loads
+
+__all__ = ["SerapiServer"]
+
+
+class SerapiServer:
+    """Dispatches textual s-expression commands against one session."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.session: Optional[Session] = None
+        self._tag = 0
+
+    # ------------------------------------------------------------------
+
+    def handle_text(self, line: str) -> List[str]:
+        """Process one command line; returns rendered answers."""
+        return [dumps(a) for a in self.handle(loads(line))]
+
+    def handle(self, command: Sexp) -> List[Sexp]:
+        self._tag += 1
+        tag = str(self._tag)
+        try:
+            answers = self._dispatch(command)
+        except ReproError as exc:
+            return [
+                ["Answer", tag, ["CoqExn", str(exc)]],
+                ["Answer", tag, "Completed"],
+            ]
+        return [["Answer", tag, a] for a in answers] + [
+            ["Answer", tag, "Completed"]
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, command: Sexp) -> List[Sexp]:
+        if not isinstance(command, list) or not command:
+            raise SessionError("malformed command")
+        head = command[0]
+        if head == "NewDoc":
+            # (NewDoc "statement text")
+            if len(command) != 2 or not isinstance(command[1], str):
+                raise SessionError("NewDoc expects a statement string")
+            self.session = Session.for_goal_text(self.env, command[1])
+            return [["Added", "0"]]
+        if self.session is None:
+            raise SessionError("no document; send NewDoc first")
+        if head == "Add":
+            if len(command) != 2 or not isinstance(command[1], str):
+                raise SessionError("Add expects a sentence string")
+            sid = self.session.add(command[1])
+            return [["Added", str(sid)]]
+        if head == "Exec":
+            if len(command) != 2 or not isinstance(command[1], str):
+                raise SessionError("Exec expects a sid")
+            self.session.exec(int(command[1]))
+            return [["Executed", str(self.session.current_state().num_goals())]]
+        if head == "Cancel":
+            if len(command) != 2 or not isinstance(command[1], str):
+                raise SessionError("Cancel expects a sid")
+            self.session.cancel(int(command[1]))
+            return [["Cancelled"]]
+        if head == "Query":
+            if len(command) == 2 and command[1] == "Goals":
+                return [["ObjList", [["CoqString", self.session.goals_text()]]]]
+            if len(command) == 2 and command[1] == "Completed":
+                return [
+                    ["Completed", "true" if self.session.is_complete() else "false"]
+                ]
+            raise SessionError("unknown query")
+        raise SessionError(f"unknown command: {head}")

@@ -1,0 +1,113 @@
+"""A stateful proof-document session (Coq STM analogue).
+
+The session holds a growing document of *sentences* (tactic or
+command texts), each assigned a state id, exactly like Coq's state
+transition machine that SerAPI drives.  Sentences can be added,
+executed, and cancelled; cancellation rolls the proof state back, the
+operation proof search relies on to explore branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SessionError, TacticError
+from repro.kernel.env import Environment
+from repro.kernel.goals import ProofState, initial_state
+from repro.kernel.parser import parse_statement
+from repro.kernel.terms import Term
+from repro.tactics.base import run_tactic
+from repro.tactics.parse import parse_tactic
+
+__all__ = ["SentenceStatus", "Sentence", "Session"]
+
+
+@dataclass
+class Sentence:
+    sid: int
+    text: str
+    status: str = "added"  # added | executed | failed | cancelled
+    error: Optional[str] = None
+
+
+class Session:
+    """One interactive proof attempt over an environment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        statement: Term,
+        tactic_timeout: Optional[float] = None,
+    ) -> None:
+        self.env = env
+        self.statement = statement
+        self.tactic_timeout = tactic_timeout
+        self._sentences: List[Sentence] = []
+        self._states: Dict[int, ProofState] = {0: initial_state(env, statement)}
+        self._tip = 0
+        self._next_sid = 1
+
+    @classmethod
+    def for_goal_text(
+        cls, env: Environment, statement_text: str, **kwargs
+    ) -> "Session":
+        return cls(env, parse_statement(env, statement_text), **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def add(self, text: str) -> int:
+        """Add a sentence after the current tip; returns its sid."""
+        sid = self._next_sid
+        self._next_sid += 1
+        self._sentences.append(Sentence(sid, text))
+        return sid
+
+    def exec(self, sid: int) -> ProofState:
+        """Execute all added sentences up to and including ``sid``."""
+        for sentence in self._sentences:
+            if sentence.sid > sid:
+                break
+            if sentence.status in ("executed", "cancelled"):
+                continue
+            state = self._states[self._tip]
+            try:
+                node = parse_tactic(sentence.text)
+                new_state = run_tactic(
+                    self.env, state, node, timeout=self.tactic_timeout
+                )
+            except Exception as exc:
+                sentence.status = "failed"
+                sentence.error = str(exc)
+                raise TacticError(f"sentence {sid}: {exc}") from exc
+            sentence.status = "executed"
+            self._states[sentence.sid] = new_state
+            self._tip = sentence.sid
+        return self._states[self._tip]
+
+    def cancel(self, sid: int) -> None:
+        """Cancel ``sid`` and everything after it; roll the tip back."""
+        found = False
+        for sentence in self._sentences:
+            if sentence.sid >= sid:
+                found = True
+                sentence.status = "cancelled"
+                self._states.pop(sentence.sid, None)
+        if not found:
+            raise SessionError(f"no sentence with sid {sid}")
+        self._sentences = [s for s in self._sentences if s.sid < sid]
+        self._tip = max(self._states)
+
+    # ------------------------------------------------------------------
+
+    def current_state(self) -> ProofState:
+        return self._states[self._tip]
+
+    def goals_text(self) -> str:
+        return self.current_state().render()
+
+    def is_complete(self) -> bool:
+        return self.current_state().is_complete()
+
+    def sentences(self) -> List[Sentence]:
+        return list(self._sentences)

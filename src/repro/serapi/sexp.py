@@ -1,0 +1,86 @@
+"""S-expressions for the SerAPI-like protocol.
+
+SerAPI talks s-expressions; so does our machine-facing layer.  The
+representation is minimal: an atom is a Python ``str``; a list is a
+Python ``list``.  Atoms are quoted on output whenever they contain
+whitespace, parentheses, or quotes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.errors import ParseError
+
+__all__ = ["Sexp", "dumps", "loads"]
+
+Sexp = Union[str, List["Sexp"]]
+
+_SPECIAL = set(' \t\n()"')
+
+
+def _needs_quoting(atom: str) -> bool:
+    return atom == "" or any(ch in _SPECIAL for ch in atom)
+
+
+def dumps(value: Sexp) -> str:
+    """Render an s-expression to text."""
+    if isinstance(value, str):
+        if _needs_quoting(value):
+            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        return value
+    return "(" + " ".join(dumps(item) for item in value) + ")"
+
+
+def loads(text: str) -> Sexp:
+    """Parse one s-expression from text."""
+    value, index = _parse(text, 0)
+    index = _skip_ws(text, index)
+    if index != len(text):
+        raise ParseError(f"trailing s-expression input at {index}", index)
+    return value
+
+
+def _skip_ws(text: str, i: int) -> int:
+    while i < len(text) and text[i].isspace():
+        i += 1
+    return i
+
+
+def _parse(text: str, i: int):
+    i = _skip_ws(text, i)
+    if i >= len(text):
+        raise ParseError("unexpected end of s-expression", i)
+    ch = text[i]
+    if ch == "(":
+        items: List[Sexp] = []
+        i += 1
+        while True:
+            i = _skip_ws(text, i)
+            if i >= len(text):
+                raise ParseError("unclosed s-expression list", i)
+            if text[i] == ")":
+                return items, i + 1
+            item, i = _parse(text, i)
+            items.append(item)
+    if ch == '"':
+        out = []
+        i += 1
+        while i < len(text):
+            ch = text[i]
+            if ch == "\\" and i + 1 < len(text):
+                out.append(text[i + 1])
+                i += 2
+                continue
+            if ch == '"':
+                return "".join(out), i + 1
+            out.append(ch)
+            i += 1
+        raise ParseError("unclosed string atom", i)
+    if ch == ")":
+        raise ParseError("unexpected ')'", i)
+    start = i
+    while i < len(text) and not text[i].isspace() and text[i] not in "()\"":
+        i += 1
+    return text[start:i], i

@@ -1,0 +1,39 @@
+"""The tactic interpreter.
+
+Importing this package registers every executor.  Public surface:
+
+* :func:`repro.tactics.parse.parse_tactic` — text to AST.
+* :func:`repro.tactics.base.run_tactic` — run one tactic on a state.
+* :func:`repro.tactics.script.run_script` — check a whole proof.
+"""
+
+from repro.tactics import (  # noqa: F401  (imported for executor registration)
+    apply_,
+    auto_,
+    combinators,
+    congruence_,
+    destruct_,
+    discriminate_,
+    induction_,
+    intro,
+    inversion_,
+    lia,
+    logic_,
+    reflexivity_,
+    rewrite_,
+    simpl_,
+    structural,
+    subst_,
+)
+from repro.tactics.base import TacticNode, run_tactic
+from repro.tactics.parse import parse_tactic
+from repro.tactics.script import run_script, script_tactics, split_sentences
+
+__all__ = [
+    "TacticNode",
+    "run_tactic",
+    "parse_tactic",
+    "run_script",
+    "script_tactics",
+    "split_sentences",
+]

@@ -1,0 +1,457 @@
+"""Tactic AST node definitions.
+
+One frozen dataclass per tactic form.  ``render()`` reproduces the
+concrete syntax, so search transcripts and generated proofs print
+exactly what a Coq user would write.  Executors live in the sibling
+modules and are registered per node class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.kernel.terms import Term
+from repro.tactics.base import TacticNode
+
+__all__ = [
+    "Intro",
+    "Intros",
+    "Apply",
+    "Exact",
+    "Assumption",
+    "Reflexivity",
+    "Symmetry",
+    "FEqual",
+    "Rewrite",
+    "RewriteSource",
+    "Simpl",
+    "Unfold",
+    "Fold",
+    "Induction",
+    "Destruct",
+    "Inversion",
+    "Constructor",
+    "Split",
+    "Left",
+    "Right",
+    "ExistsTac",
+    "EExists",
+    "Subst",
+    "Exfalso",
+    "Contradiction",
+    "Discriminate",
+    "Injection",
+    "Specialize",
+    "PoseProof",
+    "Assert",
+    "Revert",
+    "Clear",
+    "Auto",
+    "Trivial",
+    "Intuition",
+    "Lia",
+    "Congruence",
+    "Seq",
+    "Try",
+    "Repeat",
+    "OrElse",
+    "Idtac",
+    "Fail",
+]
+
+
+def _render_in(hyp: Optional[str]) -> str:
+    if hyp is None:
+        return ""
+    if hyp == "*":
+        return " in *"
+    return f" in {hyp}"
+
+
+@dataclass(frozen=True)
+class Intro(TacticNode):
+    name: Optional[str] = None
+
+    def render(self) -> str:
+        return f"intro {self.name}" if self.name else "intro"
+
+
+@dataclass(frozen=True)
+class Intros(TacticNode):
+    names: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        if not self.names:
+            return "intros"
+        return "intros " + " ".join(self.names)
+
+
+@dataclass(frozen=True)
+class Apply(TacticNode):
+    name: str
+    existential: bool = False  # eapply
+    in_hyp: Optional[str] = None
+
+    def render(self) -> str:
+        head = "eapply" if self.existential else "apply"
+        return f"{head} {self.name}{_render_in(self.in_hyp)}"
+
+
+@dataclass(frozen=True)
+class Exact(TacticNode):
+    name: str
+
+    def render(self) -> str:
+        return f"exact {self.name}"
+
+
+@dataclass(frozen=True)
+class Assumption(TacticNode):
+    def render(self) -> str:
+        return "assumption"
+
+
+@dataclass(frozen=True)
+class Reflexivity(TacticNode):
+    def render(self) -> str:
+        return "reflexivity"
+
+
+@dataclass(frozen=True)
+class Symmetry(TacticNode):
+    in_hyp: Optional[str] = None
+
+    def render(self) -> str:
+        return f"symmetry{_render_in(self.in_hyp)}"
+
+
+@dataclass(frozen=True)
+class FEqual(TacticNode):
+    def render(self) -> str:
+        return "f_equal"
+
+
+@dataclass(frozen=True)
+class RewriteSource(TacticNode):
+    """One arrow-oriented rewrite source (within a rewrite tactic)."""
+
+    name: str
+    backwards: bool = False
+
+    def render(self) -> str:
+        return ("<- " if self.backwards else "") + self.name
+
+
+@dataclass(frozen=True)
+class Rewrite(TacticNode):
+    sources: Tuple[RewriteSource, ...]
+    in_hyp: Optional[str] = None
+    by_tac: Optional[TacticNode] = None
+    setoid: bool = False
+
+    def render(self) -> str:
+        head = "setoid_rewrite" if self.setoid else "rewrite"
+        body = ", ".join(s.render() for s in self.sources)
+        text = f"{head} {body}{_render_in(self.in_hyp)}"
+        if self.by_tac is not None:
+            text += f" by {self.by_tac.render()}"
+        return text
+
+
+@dataclass(frozen=True)
+class Simpl(TacticNode):
+    in_hyp: Optional[str] = None
+
+    def render(self) -> str:
+        return f"simpl{_render_in(self.in_hyp)}"
+
+
+@dataclass(frozen=True)
+class Unfold(TacticNode):
+    names: Tuple[str, ...]
+    in_hyp: Optional[str] = None
+
+    def render(self) -> str:
+        return f"unfold {', '.join(self.names)}{_render_in(self.in_hyp)}"
+
+
+@dataclass(frozen=True)
+class Fold(TacticNode):
+    names: Tuple[str, ...]
+
+    def render(self) -> str:
+        return f"fold {', '.join(self.names)}"
+
+
+@dataclass(frozen=True)
+class Induction(TacticNode):
+    var: str
+
+    def render(self) -> str:
+        return f"induction {self.var}"
+
+
+@dataclass(frozen=True)
+class Destruct(TacticNode):
+    target: str  # variable or hypothesis name
+    raw_term: Optional[Term] = None  # for destructing a compound term
+    pattern: Optional[str] = None  # raw "as" pattern text
+    eqn: Optional[str] = None  # "eqn:E" equation hypothesis name
+
+    def render(self) -> str:
+        from repro.kernel.pretty import pp_term
+
+        target = (
+            f"({pp_term(self.raw_term)})" if self.raw_term is not None else self.target
+        )
+        suffix = f" as {self.pattern}" if self.pattern else ""
+        if self.eqn:
+            suffix += f" eqn:{self.eqn}"
+        return f"destruct {target}{suffix}"
+
+
+@dataclass(frozen=True)
+class Inversion(TacticNode):
+    hyp: str
+
+    def render(self) -> str:
+        return f"inversion {self.hyp}"
+
+
+@dataclass(frozen=True)
+class Constructor(TacticNode):
+    existential: bool = False
+
+    def render(self) -> str:
+        return "econstructor" if self.existential else "constructor"
+
+
+@dataclass(frozen=True)
+class Split(TacticNode):
+    def render(self) -> str:
+        return "split"
+
+
+@dataclass(frozen=True)
+class Left(TacticNode):
+    def render(self) -> str:
+        return "left"
+
+
+@dataclass(frozen=True)
+class Right(TacticNode):
+    def render(self) -> str:
+        return "right"
+
+
+@dataclass(frozen=True)
+class ExistsTac(TacticNode):
+    witness: Term
+
+    def render(self) -> str:
+        from repro.kernel.pretty import pp_term
+
+        return f"exists {pp_term(self.witness)}"
+
+
+@dataclass(frozen=True)
+class EExists(TacticNode):
+    def render(self) -> str:
+        return "eexists"
+
+
+@dataclass(frozen=True)
+class Subst(TacticNode):
+    names: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        if not self.names:
+            return "subst"
+        return "subst " + " ".join(self.names)
+
+
+@dataclass(frozen=True)
+class Exfalso(TacticNode):
+    def render(self) -> str:
+        return "exfalso"
+
+
+@dataclass(frozen=True)
+class Contradiction(TacticNode):
+    def render(self) -> str:
+        return "contradiction"
+
+
+@dataclass(frozen=True)
+class Discriminate(TacticNode):
+    hyp: Optional[str] = None
+
+    def render(self) -> str:
+        return f"discriminate {self.hyp}" if self.hyp else "discriminate"
+
+
+@dataclass(frozen=True)
+class Injection(TacticNode):
+    hyp: str
+    as_names: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        suffix = f" as {' '.join(self.as_names)}" if self.as_names else ""
+        return f"injection {self.hyp}{suffix}"
+
+
+@dataclass(frozen=True)
+class Specialize(TacticNode):
+    hyp: str
+    args: Tuple[Term, ...]
+
+    def render(self) -> str:
+        from repro.kernel.pretty import pp_term
+
+        parts = " ".join(_atom(pp_term(a)) for a in self.args)
+        return f"specialize ({self.hyp} {parts})"
+
+
+def _atom(text: str) -> str:
+    return f"({text})" if " " in text else text
+
+
+@dataclass(frozen=True)
+class PoseProof(TacticNode):
+    name: str
+    args: Tuple[Term, ...] = ()
+    as_name: Optional[str] = None
+
+    def render(self) -> str:
+        from repro.kernel.pretty import pp_term
+
+        inner = self.name
+        if self.args:
+            inner += " " + " ".join(_atom(pp_term(a)) for a in self.args)
+            inner = f"({inner})"
+        suffix = f" as {self.as_name}" if self.as_name else ""
+        return f"pose proof {inner}{suffix}"
+
+
+@dataclass(frozen=True)
+class Assert(TacticNode):
+    prop: Term
+    name: Optional[str] = None
+
+    def render(self) -> str:
+        from repro.kernel.pretty import pp_term
+
+        if self.name:
+            return f"assert ({self.name} : {pp_term(self.prop)})"
+        return f"assert ({pp_term(self.prop)})"
+
+
+@dataclass(frozen=True)
+class Revert(TacticNode):
+    names: Tuple[str, ...]
+
+    def render(self) -> str:
+        return "revert " + " ".join(self.names)
+
+
+@dataclass(frozen=True)
+class Clear(TacticNode):
+    names: Tuple[str, ...]
+
+    def render(self) -> str:
+        return "clear " + " ".join(self.names)
+
+
+@dataclass(frozen=True)
+class Auto(TacticNode):
+    depth: Optional[int] = None
+    existential: bool = False  # eauto
+    using: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        head = "eauto" if self.existential else "auto"
+        if self.depth is not None:
+            head += f" {self.depth}"
+        if self.using:
+            head += " using " + ", ".join(self.using)
+        return head
+
+
+@dataclass(frozen=True)
+class Trivial(TacticNode):
+    def render(self) -> str:
+        return "trivial"
+
+
+@dataclass(frozen=True)
+class Intuition(TacticNode):
+    def render(self) -> str:
+        return "intuition"
+
+
+@dataclass(frozen=True)
+class Lia(TacticNode):
+    legacy_name: bool = False  # rendered as omega (FSCQ-era Coq)
+
+    def render(self) -> str:
+        return "omega" if self.legacy_name else "lia"
+
+
+@dataclass(frozen=True)
+class Congruence(TacticNode):
+    def render(self) -> str:
+        return "congruence"
+
+
+@dataclass(frozen=True)
+class Seq(TacticNode):
+    first: TacticNode
+    second: TacticNode
+
+    def render(self) -> str:
+        return f"{self.first.render()}; {self.second.render()}"
+
+
+@dataclass(frozen=True)
+class Try(TacticNode):
+    body: TacticNode
+
+    def render(self) -> str:
+        return f"try {_wrap(self.body)}"
+
+
+@dataclass(frozen=True)
+class Repeat(TacticNode):
+    body: TacticNode
+
+    def render(self) -> str:
+        return f"repeat {_wrap(self.body)}"
+
+
+@dataclass(frozen=True)
+class OrElse(TacticNode):
+    first: TacticNode
+    second: TacticNode
+
+    def render(self) -> str:
+        return f"{_wrap(self.first)} || {_wrap(self.second)}"
+
+
+@dataclass(frozen=True)
+class Idtac(TacticNode):
+    def render(self) -> str:
+        return "idtac"
+
+
+@dataclass(frozen=True)
+class Fail(TacticNode):
+    def render(self) -> str:
+        return "fail"
+
+
+def _wrap(node: TacticNode) -> str:
+    text = node.render()
+    if isinstance(node, (Seq, OrElse)):
+        return f"({text})"
+    return text

@@ -1,0 +1,121 @@
+"""Tactic framework: AST base class, registry, and the runner.
+
+Every tactic is a frozen dataclass (its AST node) plus an *executor*
+function registered against that class.  The runner:
+
+* clones the proof state's metavariable store first, so failed or
+  alternative tactic applications never corrupt sibling states in the
+  search tree;
+* converts any kernel-level failure (:class:`KernelError`,
+  :class:`UnificationError`, ...) into :class:`TacticError` — the
+  "rejected by Coq" outcome of the paper's validity check;
+* enforces a wall-clock deadline when the caller provides one (the
+  paper invalidates tactics that run for more than 5 seconds).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Type as PyType
+
+from repro.errors import KernelError, ReproError, TacticError, TacticTimeout
+from repro.kernel.env import Environment
+from repro.kernel.goals import ProofState
+
+__all__ = ["TacticNode", "executor", "run_tactic", "Deadline", "check_deadline"]
+
+
+class TacticNode:
+    """Base class of all tactic AST nodes."""
+
+    __slots__ = ()
+
+    def render(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+Executor = Callable[[Environment, ProofState, "TacticNode"], ProofState]
+
+_REGISTRY: Dict[PyType, Executor] = {}
+
+
+def executor(node_cls: PyType):
+    """Class decorator registering ``fn`` as the executor for ``node_cls``."""
+
+    def wrap(fn: Executor) -> Executor:
+        if node_cls in _REGISTRY:
+            raise ValueError(f"duplicate executor for {node_cls.__name__}")
+        _REGISTRY[node_cls] = fn
+        return fn
+
+    return wrap
+
+
+@dataclass
+class Deadline:
+    """A wall-clock deadline shared across one tactic execution."""
+
+    expires_at: float
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        return cls(time.monotonic() + seconds)
+
+    def expired(self) -> bool:
+        return time.monotonic() > self.expires_at
+
+
+_ACTIVE_DEADLINE: list = []
+
+
+def check_deadline() -> None:
+    """Raise :class:`TacticTimeout` if the active deadline has passed.
+
+    Long-running executors (``auto``, ``repeat``, ``lia``) call this in
+    their inner loops.
+    """
+    if _ACTIVE_DEADLINE and _ACTIVE_DEADLINE[-1].expired():
+        raise TacticTimeout("tactic exceeded its time budget")
+
+
+def run_tactic(
+    env: Environment,
+    state: ProofState,
+    node: TacticNode,
+    timeout: Optional[float] = None,
+) -> ProofState:
+    """Execute one tactic, returning the new proof state.
+
+    Raises :class:`TacticError` when the tactic is rejected and
+    :class:`TacticTimeout` when it exceeds ``timeout`` seconds.
+    """
+    if not state.goals:
+        raise TacticError("no goals remain")
+    fn = _REGISTRY.get(type(node))
+    if fn is None:
+        raise TacticError(f"unknown tactic: {node.render()}")
+    working = state.clone_store()
+    if timeout is not None:
+        _ACTIVE_DEADLINE.append(Deadline.after(timeout))
+    try:
+        return fn(env, working, node)
+    except TacticError:
+        raise
+    except ReproError as exc:
+        raise TacticError(f"{node.render()}: {exc}") from exc
+    finally:
+        if timeout is not None:
+            _ACTIVE_DEADLINE.pop()
+
+
+def dispatch(env: Environment, state: ProofState, node: TacticNode) -> ProofState:
+    """Run a sub-tactic *without* recloning (for combinators/auto)."""
+    fn = _REGISTRY.get(type(node))
+    if fn is None:
+        raise TacticError(f"unknown tactic: {node.render()}")
+    check_deadline()
+    return fn(env, state, node)

@@ -1,0 +1,132 @@
+"""Ltac-style combinators: ``;``, ``try``, ``repeat``, ``||``."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import TacticError, TacticTimeout
+from repro.kernel.env import Environment
+from repro.kernel.goals import Goal, ProofState
+from repro.tactics.ast import Fail, Idtac, OrElse, Repeat, Seq, Try
+from repro.tactics.base import TacticNode, check_deadline, dispatch, executor
+
+_MAX_REPEAT = 200
+
+
+def _apply_to_generated(
+    env: Environment,
+    before_rest: int,
+    state: ProofState,
+    tac: TacticNode,
+) -> ProofState:
+    """Apply ``tac`` once to every goal the previous step generated.
+
+    ``before_rest`` is how many trailing goals predate the previous
+    step (they are not touched, matching Coq's ``t1; t2``).
+    """
+    generated = list(state.goals[: state.num_goals() - before_rest])
+    rest = state.goals[state.num_goals() - before_rest :]
+    done: List[Goal] = []
+    store = state.store
+    for goal in generated:
+        check_deadline()
+        sub = ProofState((goal,), store)
+        out = dispatch(env, sub, tac)
+        done.extend(out.goals)
+        store = out.store
+    return ProofState(tuple(done) + rest, store)
+
+
+@executor(Seq)
+def run_seq(env: Environment, state: ProofState, node: Seq) -> ProofState:
+    rest = state.num_goals() - 1
+    mid = dispatch(env, state, node.first)
+    return _apply_to_generated(env, rest, mid, node.second)
+
+
+@executor(Try)
+def run_try(env: Environment, state: ProofState, node: Try) -> ProofState:
+    snapshot = state.store.snapshot()
+    try:
+        return dispatch(env, state, node.body)
+    except TacticTimeout:
+        raise
+    except TacticError:
+        state.store.restore(snapshot)
+        return state
+
+
+@executor(OrElse)
+def run_orelse(env: Environment, state: ProofState, node: OrElse) -> ProofState:
+    snapshot = state.store.snapshot()
+    try:
+        return dispatch(env, state, node.first)
+    except TacticTimeout:
+        raise
+    except TacticError:
+        state.store.restore(snapshot)
+        return dispatch(env, state, node.second)
+
+
+@executor(Repeat)
+def run_repeat(env: Environment, state: ProofState, node: Repeat) -> ProofState:
+    """``repeat t``: apply until failure or no progress, recursing into
+    generated subgoals."""
+    rest = state.num_goals() - 1
+    current = state
+    for _ in range(_MAX_REPEAT):
+        check_deadline()
+        snapshot = current.store.snapshot()
+        before_key = current.key()
+        try:
+            nxt = _apply_once_everywhere(env, rest, current, node.body)
+        except TacticTimeout:
+            raise
+        except TacticError:
+            current.store.restore(snapshot)
+            return current
+        if nxt.key() == before_key:
+            return nxt
+        current = nxt
+    raise TacticError("repeat: iteration limit exceeded")
+
+
+def _apply_once_everywhere(
+    env: Environment, rest: int, state: ProofState, tac: TacticNode
+) -> ProofState:
+    """One sweep of ``tac`` over all non-rest goals; goals where the
+    tactic fails are kept as-is.  Fails only if no goal accepts it."""
+    generated = list(state.goals[: state.num_goals() - rest])
+    tail = state.goals[state.num_goals() - rest :]
+    if not generated:
+        raise TacticError("repeat: no goals")
+    done: List[Goal] = []
+    store = state.store
+    any_applied = False
+    for goal in generated:
+        check_deadline()
+        sub = ProofState((goal,), store)
+        snapshot = store.snapshot()
+        try:
+            out = dispatch(env, sub, tac)
+            done.extend(out.goals)
+            store = out.store
+            any_applied = True
+        except TacticTimeout:
+            raise
+        except TacticError:
+            store.restore(snapshot)
+            done.append(goal)
+    if not any_applied:
+        raise TacticError("repeat: tactic never applied")
+    return ProofState(tuple(done) + tail, store)
+
+
+@executor(Idtac)
+def run_idtac(env: Environment, state: ProofState, node: Idtac) -> ProofState:
+    return state
+
+
+@executor(Fail)
+def run_fail(env: Environment, state: ProofState, node: Fail) -> ProofState:
+    raise TacticError("fail")

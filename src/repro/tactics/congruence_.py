@@ -1,0 +1,174 @@
+"""``congruence``: ground equational reasoning with constructor rules.
+
+Congruence closure over the hypotheses' ground equations, extended
+with the two constructor facts Coq's ``congruence`` knows:
+
+* disjointness — merging two classes whose representatives are headed
+  by *different* constructors is a contradiction;
+* injectivity — merging two applications of the *same* constructor
+  merges their arguments.
+
+The goal is provable when (a) it is an equality already in the
+closure, (b) it is a disequality whose assumption would contradict the
+closure, or (c) the hypotheses alone are contradictory (a clash or a
+violated disequality).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TacticError
+from repro.kernel.env import Environment
+from repro.kernel.goals import HypDecl, ProofState
+from repro.kernel.subst import alpha_key
+from repro.kernel.terms import (
+    App,
+    Eq,
+    FalseP,
+    Term,
+    head_const,
+    is_neg,
+    neg_body,
+    subterms,
+)
+from repro.tactics.ast import Congruence
+from repro.tactics.base import check_deadline, executor
+from repro.tactics.induction_ import resolved_goal
+
+
+class _Closure:
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.parent: Dict[str, str] = {}
+        self.terms: Dict[str, Term] = {}
+        self.contradiction = False
+
+    def _register(self, term: Term) -> str:
+        key = alpha_key(term)
+        if key not in self.parent:
+            self.parent[key] = key
+            self.terms[key] = term
+            if isinstance(term, App):
+                self._register(term.fn)
+                for arg in term.args:
+                    self._register(arg)
+        return key
+
+    def find(self, key: str) -> str:
+        while self.parent[key] != key:
+            self.parent[key] = self.parent[self.parent[key]]
+            key = self.parent[key]
+        return key
+
+    def union(self, k1: str, k2: str) -> None:
+        r1, r2 = self.find(k1), self.find(k2)
+        if r1 != r2:
+            self.parent[r1] = r2
+
+    def same(self, t1: Term, t2: Term) -> bool:
+        return self.find(self._register(t1)) == self.find(self._register(t2))
+
+    def merge(self, t1: Term, t2: Term) -> None:
+        self.union(self._register(t1), self._register(t2))
+
+    def _ctor_of(self, term: Term) -> Optional[str]:
+        name = head_const(term)
+        if name is not None and self.env.is_constructor(name):
+            return name
+        return None
+
+    def saturate(self) -> None:
+        """Fixpoint of congruence, injectivity, and disjointness."""
+        for _ in range(200):
+            check_deadline()
+            changed = False
+            keys = list(self.terms)
+            apps = [k for k in keys if isinstance(self.terms[k], App)]
+            # Congruence: equal heads and pairwise-equal args => equal.
+            for i, ka in enumerate(apps):
+                ta = self.terms[ka]
+                for kb in apps[i + 1 :]:
+                    tb = self.terms[kb]
+                    if self.find(ka) == self.find(kb):
+                        continue
+                    assert isinstance(ta, App) and isinstance(tb, App)
+                    if len(ta.args) != len(tb.args):
+                        continue
+                    if not self.same(ta.fn, tb.fn):
+                        continue
+                    if all(self.same(a, b) for a, b in zip(ta.args, tb.args)):
+                        self.union(ka, kb)
+                        changed = True
+            # Constructor rules across each equivalence class.
+            classes: Dict[str, List[str]] = {}
+            for key in keys:
+                classes.setdefault(self.find(key), []).append(key)
+            for members in classes.values():
+                ctor_members = [
+                    k for k in members if self._ctor_of(self.terms[k])
+                ]
+                for i, ka in enumerate(ctor_members):
+                    for kb in ctor_members[i + 1 :]:
+                        ta, tb = self.terms[ka], self.terms[kb]
+                        ca, cb = self._ctor_of(ta), self._ctor_of(tb)
+                        if ca != cb:
+                            self.contradiction = True
+                            return
+                        args_a = ta.args if isinstance(ta, App) else ()
+                        args_b = tb.args if isinstance(tb, App) else ()
+                        if len(args_a) != len(args_b):
+                            self.contradiction = True
+                            return
+                        for a, b in zip(args_a, args_b):
+                            if not self.same(a, b):
+                                self.merge(a, b)
+                                changed = True
+            if not changed:
+                return
+        raise TacticError("congruence: closure did not converge")
+
+
+@executor(Congruence)
+def run_congruence(env: Environment, state: ProofState, node: Congruence) -> ProofState:
+    goal = resolved_goal(state, state.focused())
+    closure = _Closure(env)
+    disequalities: List[Tuple[Term, Term]] = []
+
+    for decl in goal.decls:
+        if not isinstance(decl, HypDecl):
+            continue
+        prop = decl.prop
+        if isinstance(prop, FalseP):
+            return state.replace_focused([])
+        if isinstance(prop, Eq):
+            closure.merge(prop.lhs, prop.rhs)
+        elif is_neg(prop) and isinstance(neg_body(prop), Eq):
+            eq = neg_body(prop)
+            assert isinstance(eq, Eq)
+            # Register both sides now so saturation covers them.
+            closure._register(eq.lhs)
+            closure._register(eq.rhs)
+            disequalities.append((eq.lhs, eq.rhs))
+
+    concl = goal.concl
+    target: Optional[Tuple[Term, Term]] = None
+    if isinstance(concl, Eq):
+        closure._register(concl.lhs)
+        closure._register(concl.rhs)
+        target = (concl.lhs, concl.rhs)
+    elif is_neg(concl) and isinstance(neg_body(concl), Eq):
+        # Prove a <> b by assuming a = b and deriving a contradiction.
+        eq = neg_body(concl)
+        assert isinstance(eq, Eq)
+        closure.merge(eq.lhs, eq.rhs)
+
+    closure.saturate()
+    if closure.contradiction:
+        return state.replace_focused([])
+    for lhs, rhs in disequalities:
+        if closure.same(lhs, rhs):
+            return state.replace_focused([])
+    if target is not None and closure.same(*target):
+        return state.replace_focused([])
+    raise TacticError("congruence: cannot prove the goal")

@@ -1,0 +1,171 @@
+"""``destruct``: case analysis on variables, hypotheses, and terms."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import TacticError
+from repro.kernel.env import Environment
+from repro.kernel.goals import Goal, HypDecl, ProofState, VarDecl
+from repro.kernel.subst import alpha_eq, fresh_name, subst_var
+from repro.kernel.terms import (
+    And,
+    App,
+    Const,
+    Eq,
+    Exists,
+    FalseP,
+    Impl,
+    Or,
+    Term,
+    TrueP,
+    Var,
+    app,
+)
+from repro.kernel.types import TCon
+from repro.tactics.ast import Destruct
+from repro.tactics.base import executor
+from repro.tactics.common import fresh_hyp_names, infer_in_goal
+from repro.tactics.induction_ import (
+    arg_name_hint,
+    instantiated_constructors,
+    resolved_goal,
+    split_variable,
+)
+from repro.tactics.rewrite_ import _replace_all
+
+
+def _parse_pattern(pattern: Optional[str]) -> Optional[List[List[str]]]:
+    """``"[A | B]"`` -> ``[['A'], ['B']]``; ``"[x H]"`` -> ``[['x','H']]``."""
+    if pattern is None:
+        return None
+    inner = pattern.strip()
+    if inner.startswith("["):
+        inner = inner[1:]
+    if inner.endswith("]"):
+        inner = inner[:-1]
+    return [branch.split() for branch in inner.split("|")]
+
+
+def _destruct_hyp(
+    env: Environment,
+    state: ProofState,
+    goal: Goal,
+    hyp: HypDecl,
+    pattern: Optional[str],
+) -> ProofState:
+    prop = state.resolve(hyp.prop)
+    branches = _parse_pattern(pattern)
+
+    if isinstance(prop, FalseP):
+        return state.replace_focused([])
+    if isinstance(prop, TrueP):
+        return state.replace_focused([goal.remove_decl(hyp.name)])
+    if isinstance(prop, And):
+        names = (
+            branches[0]
+            if branches and len(branches[0]) == 2
+            else fresh_hyp_names(goal.remove_decl(hyp.name), 2)
+        )
+        base = goal.remove_decl(hyp.name)
+        new_goal = base.add(HypDecl(names[0], prop.lhs)).add(
+            HypDecl(names[1], prop.rhs)
+        )
+        return state.replace_focused([new_goal])
+    if isinstance(prop, Or):
+        base = goal.remove_decl(hyp.name)
+        if branches and len(branches) == 2:
+            left_name = branches[0][0] if branches[0] else hyp.name
+            right_name = branches[1][0] if branches[1] else hyp.name
+        else:
+            left_name = right_name = hyp.name
+        left_goal = base.add(HypDecl(left_name, prop.lhs))
+        right_goal = base.add(HypDecl(right_name, prop.rhs))
+        return state.replace_focused([left_goal, right_goal])
+    if isinstance(prop, Exists):
+        base = goal.remove_decl(hyp.name)
+        taken = set(base.names())
+        if branches and len(branches[0]) == 2:
+            var_name, hyp_name = branches[0]
+        else:
+            var_name = fresh_name(prop.var, taken)
+            hyp_name = hyp.name
+        if prop.ty is None:
+            raise TacticError("destruct: existential binder type unknown")
+        body = subst_var(prop.body, prop.var, Var(var_name))
+        new_goal = base.add(VarDecl(var_name, prop.ty)).add(
+            HypDecl(hyp_name, body)
+        )
+        return state.replace_focused([new_goal])
+    raise TacticError(
+        f"destruct: cannot decompose {hyp.name} (try inversion for "
+        "inductive predicates)"
+    )
+
+
+def _destruct_term(
+    env: Environment,
+    state: ProofState,
+    goal: Goal,
+    raw: Term,
+    eqn: Optional[str] = None,
+) -> ProofState:
+    term, ty = infer_in_goal(env, goal, raw)
+    if not isinstance(ty, TCon):
+        raise TacticError(f"destruct: cannot case split on type {ty}")
+    ind = env.inductive_for_type(ty)
+    if ind is None:
+        raise TacticError(f"destruct: {ty} is not an inductive datatype")
+    cases: List[Goal] = []
+    for ctor, arg_types in instantiated_constructors(env, ind, ty):
+        taken = set(goal.names())
+        arg_vars = []
+        arg_decls = []
+        for i, arg_ty in enumerate(arg_types):
+            hint = (
+                ctor.arg_hints[i]
+                if i < len(ctor.arg_hints)
+                else arg_name_hint(arg_ty)
+            )
+            name = fresh_name(hint, taken)
+            taken.add(name)
+            arg_decls.append(VarDecl(name, arg_ty))
+            arg_vars.append(Var(name))
+        instance = app(Const(ctor.name), *arg_vars)
+        concl = _replace_all(goal.concl, term, instance)
+        # Substitute in hypotheses as well (like Coq's
+        # ``destruct ... eqn:E; rewrite E in *`` idiom), so facts about
+        # the scrutinee specialize to each case.
+        decls = tuple(
+            HypDecl(d.name, _replace_all(d.prop, term, instance))
+            if isinstance(d, HypDecl)
+            else d
+            for d in goal.decls
+        )
+        decls = decls + tuple(arg_decls)
+        if eqn is not None:
+            if any(d.name == eqn for d in decls):
+                raise TacticError(f"destruct: name already used: {eqn}")
+            decls = decls + (HypDecl(eqn, Eq(None, term, instance)),)
+        cases.append(Goal(decls, concl))
+    return state.replace_focused(cases)
+
+
+@executor(Destruct)
+def run_destruct(env: Environment, state: ProofState, node: Destruct) -> ProofState:
+    goal = resolved_goal(state, state.focused())
+    if node.raw_term is not None:
+        return _destruct_term(env, state, goal, node.raw_term, node.eqn)
+    decl = goal.lookup(node.target)
+    if isinstance(decl, HypDecl):
+        return _destruct_hyp(env, state, goal, decl, node.pattern)
+    if isinstance(decl, VarDecl):
+        cases = split_variable(env, goal, node.target, with_ih=False)
+        return state.replace_focused(cases)
+    # Coq also destructs a quantified variable after auto-intro.
+    from repro.tactics.induction_ import intro_up_to
+
+    state = intro_up_to(env, state, node.target)
+    goal = resolved_goal(state, state.focused())
+    cases = split_variable(env, goal, node.target, with_ih=False)
+    return state.replace_focused(cases)

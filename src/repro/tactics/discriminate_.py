@@ -1,0 +1,101 @@
+"""``discriminate`` and ``injection``: constructor disjointness and
+injectivity."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TacticError
+from repro.kernel.env import Environment
+from repro.kernel.goals import HypDecl, ProofState
+from repro.kernel.reduction import whnf
+from repro.kernel.terms import App, Eq, Term, head_const, is_neg, neg_body
+from repro.tactics.ast import Discriminate, Injection, Intro
+from repro.tactics.base import dispatch, executor
+from repro.tactics.common import fresh_hyp_names
+from repro.tactics.induction_ import resolved_goal
+
+
+def _ctor_heads_clash(env: Environment, eq: Eq) -> bool:
+    lhs = head_const(eq.lhs)
+    rhs = head_const(eq.rhs)
+    return (
+        lhs is not None
+        and rhs is not None
+        and env.is_constructor(lhs)
+        and env.is_constructor(rhs)
+        and lhs != rhs
+    )
+
+
+def _find_clashing_hyp(env: Environment, state: ProofState) -> Optional[str]:
+    goal = resolved_goal(state, state.focused())
+    for decl in goal.decls:
+        if isinstance(decl, HypDecl):
+            prop = decl.prop
+            if not isinstance(prop, Eq):
+                prop = whnf(env, prop)
+            if isinstance(prop, Eq) and _ctor_heads_clash(env, prop):
+                return decl.name
+    return None
+
+
+@executor(Discriminate)
+def run_discriminate(
+    env: Environment, state: ProofState, node: Discriminate
+) -> ProofState:
+    goal = resolved_goal(state, state.focused())
+    # Goal form ``a <> b``: introduce and discriminate the equation.
+    if node.hyp is None and is_neg(goal.concl):
+        state = dispatch(env, state, Intro())
+        return run_discriminate(env, state, Discriminate())
+    if node.hyp is not None:
+        hyp = goal.hyp(node.hyp)
+        prop = hyp.prop
+        if not isinstance(prop, Eq):
+            prop = whnf(env, prop)
+        if isinstance(prop, Eq) and _ctor_heads_clash(env, prop):
+            return state.replace_focused([])
+        raise TacticError(
+            f"discriminate: {node.hyp} is not a clashing constructor equality"
+        )
+    name = _find_clashing_hyp(env, state)
+    if name is None:
+        raise TacticError("discriminate: no discriminable hypothesis")
+    return state.replace_focused([])
+
+
+@executor(Injection)
+def run_injection(env: Environment, state: ProofState, node: Injection) -> ProofState:
+    goal = resolved_goal(state, state.focused())
+    hyp = goal.hyp(node.hyp)
+    prop = hyp.prop
+    if not isinstance(prop, Eq):
+        prop = whnf(env, prop)
+    if not isinstance(prop, Eq):
+        raise TacticError(f"injection: {node.hyp} is not an equality")
+    lhs_head = head_const(prop.lhs)
+    rhs_head = head_const(prop.rhs)
+    if (
+        lhs_head is None
+        or lhs_head != rhs_head
+        or not env.is_constructor(lhs_head)
+        or not isinstance(prop.lhs, App)
+        or not isinstance(prop.rhs, App)
+        or len(prop.lhs.args) != len(prop.rhs.args)
+    ):
+        raise TacticError(
+            f"injection: {node.hyp} is not a same-constructor equality"
+        )
+    pairs = list(zip(prop.lhs.args, prop.rhs.args))
+    if node.as_names and len(node.as_names) != len(pairs):
+        raise TacticError(
+            f"injection: expected {len(pairs)} names, got {len(node.as_names)}"
+        )
+    names = list(node.as_names) or fresh_hyp_names(goal, len(pairs))
+    new_goal = goal
+    for name, (a, b) in zip(names, pairs):
+        if new_goal.lookup(name) is not None:
+            raise TacticError(f"injection: name already used: {name}")
+        new_goal = new_goal.add(HypDecl(name, Eq(None, a, b)))
+    return state.replace_focused([new_goal])

@@ -1,0 +1,161 @@
+"""``induction``: structural induction on a context variable.
+
+Mirrors Coq's behaviour:
+
+* if the variable is still universally quantified in the conclusion,
+  leading binders are introduced up to (and including) it first;
+* hypotheses depending on the variable are automatically generalized
+  (reverted into the conclusion), so the induction hypothesis
+  quantifies over them;
+* one subgoal per constructor, with constructor arguments added to the
+  context and an induction hypothesis for each *directly* recursive
+  argument (nested recursion — e.g. through ``list`` — gets none,
+  matching Coq's default scheme).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TacticError, UnificationError
+from repro.kernel.env import Environment
+from repro.kernel.goals import Goal, HypDecl, ProofState, VarDecl
+from repro.kernel.inductives import DataConstructor, Inductive
+from repro.kernel.subst import fresh_name, subst_var
+from repro.kernel.terms import Const, Impl, Term, Var, app, free_vars
+from repro.kernel.types import TCon, Type, apply_tsubst, unify_types
+from repro.tactics.ast import Induction
+from repro.tactics.base import executor
+from repro.tactics.intro import intro_one
+
+_TYPE_NAME_HINTS = {
+    "nat": "n",
+    "bool": "b",
+    "list": "l",
+    "option": "o",
+    "prod": "p",
+    "string": "s",
+    "dirtree": "t",
+}
+
+
+def arg_name_hint(ty: Type, fallback: str = "x") -> str:
+    if isinstance(ty, TCon):
+        return _TYPE_NAME_HINTS.get(ty.name, fallback)
+    return fallback
+
+
+def instantiated_constructors(
+    env: Environment, ind: Inductive, actual: Type
+) -> List[Tuple[DataConstructor, Tuple[Type, ...]]]:
+    """Constructor list with argument types instantiated at ``actual``."""
+    try:
+        tsubst = unify_types(ind.applied(), actual)
+    except UnificationError as exc:
+        raise TacticError(f"cannot instantiate {ind.name} at {actual}") from exc
+    out = []
+    for ctor in ind.constructors:
+        arg_types = tuple(apply_tsubst(tsubst, t) for t in ctor.arg_types)
+        out.append((ctor, arg_types))
+    return out
+
+
+def split_variable(
+    env: Environment,
+    goal: Goal,
+    var: str,
+    with_ih: bool,
+    ih_base: Optional[str] = None,
+) -> List[Goal]:
+    """Case-split (and optionally induct on) context variable ``var``."""
+    decl = goal.lookup(var)
+    if decl is None:
+        raise TacticError(f"no variable named {var}")
+    if not isinstance(decl, VarDecl):
+        raise TacticError(f"{var} is a hypothesis, not a variable")
+    ind = env.inductive_for_type(decl.ty)
+    if ind is None:
+        raise TacticError(f"{var} : {decl.ty} is not an inductive datatype")
+
+    # For induction, hypotheses that mention the variable are
+    # generalized into the motive (Coq does this automatically so the
+    # IH quantifies over them).  For destruct there is no IH: the
+    # variable is simply replaced by each constructor form everywhere,
+    # so dependent hypotheses stay in place (substituted per case).
+    reverted: List[HypDecl] = []
+    kept: List = []
+    for d in goal.decls:
+        if d.name == var:
+            continue
+        if with_ih and isinstance(d, HypDecl) and var in free_vars(d.prop):
+            reverted.append(d)
+        else:
+            kept.append(d)
+    motive = goal.concl
+    for hyp in reversed(reverted):
+        motive = Impl(hyp.prop, motive)
+
+    cases: List[Goal] = []
+    for ctor, arg_types in instantiated_constructors(env, ind, decl.ty):
+        taken = {d.name for d in kept}
+        arg_decls: List[VarDecl] = []
+        ih_decls: List[HypDecl] = []
+        arg_vars: List[Term] = []
+        for i, arg_ty in enumerate(arg_types):
+            hint = (
+                ctor.arg_hints[i]
+                if i < len(ctor.arg_hints)
+                else arg_name_hint(arg_ty)
+            )
+            name = fresh_name(hint, taken)
+            taken.add(name)
+            arg_decls.append(VarDecl(name, arg_ty))
+            arg_vars.append(Var(name))
+            if with_ih and ind.is_recursive_arg(arg_ty):
+                ih_name = fresh_name(f"IH{ih_base or var}", taken)
+                taken.add(ih_name)
+                ih_decls.append(
+                    HypDecl(ih_name, subst_var(motive, var, Var(name)))
+                )
+        instance = app(Const(ctor.name), *arg_vars)
+        concl = subst_var(motive, var, instance)
+        case_decls = tuple(
+            HypDecl(d.name, subst_var(d.prop, var, instance))
+            if isinstance(d, HypDecl)
+            else d
+            for d in kept
+        )
+        cases.append(Goal(case_decls + tuple(arg_decls) + tuple(ih_decls), concl))
+    return cases
+
+
+def intro_up_to(env: Environment, state: ProofState, var: str) -> ProofState:
+    """Introduce leading binders until ``var`` enters the context."""
+    from repro.kernel.terms import Forall
+
+    for _ in range(64):
+        goal = state.focused()
+        if goal.lookup(var) is not None:
+            return state
+        concl = state.resolve(goal.concl)
+        if not isinstance(concl, Forall):
+            raise TacticError(f"no quantified variable named {var}")
+        state = intro_one(env, state, None, allow_whnf=False)
+    raise TacticError(f"no quantified variable named {var}")
+
+
+def resolved_goal(state: ProofState, goal: Goal) -> Goal:
+    """The goal with all metavariable solutions substituted in."""
+    decls = tuple(
+        HypDecl(d.name, state.resolve(d.prop)) if isinstance(d, HypDecl) else d
+        for d in goal.decls
+    )
+    return Goal(decls, state.resolve(goal.concl))
+
+
+@executor(Induction)
+def run_induction(env: Environment, state: ProofState, node: Induction) -> ProofState:
+    state = intro_up_to(env, state, node.var)
+    goal = resolved_goal(state, state.focused())
+    cases = split_variable(env, goal, node.var, with_ih=True, ih_base=node.var)
+    return state.replace_focused(cases)

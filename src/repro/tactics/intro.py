@@ -1,0 +1,67 @@
+"""``intro`` / ``intros``: move products into the context."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TacticError
+from repro.kernel.env import Environment
+from repro.kernel.goals import HypDecl, ProofState, VarDecl
+from repro.kernel.reduction import whnf
+from repro.kernel.subst import subst_var
+from repro.kernel.terms import Forall, Impl, Term, Var
+from repro.tactics.ast import Intro, Intros
+from repro.tactics.base import executor
+
+
+def intro_one(
+    env: Environment,
+    state: ProofState,
+    name: Optional[str],
+    allow_whnf: bool = True,
+) -> ProofState:
+    """Introduce exactly one product; raises when there is none."""
+    goal = state.focused()
+    concl = state.resolve(goal.concl)
+    if not isinstance(concl, (Forall, Impl)) and allow_whnf:
+        concl = whnf(env, concl)
+    if isinstance(concl, Forall):
+        if concl.ty is None:
+            raise TacticError("cannot introduce: binder type unknown")
+        if name is not None and goal.lookup(name) is not None:
+            raise TacticError(f"name already used: {name}")
+        fresh = name or goal.fresh(concl.var)
+        body = subst_var(concl.body, concl.var, Var(fresh))
+        new_goal = goal.add(VarDecl(fresh, concl.ty)).with_concl(body)
+        return state.replace_focused([new_goal])
+    if isinstance(concl, Impl):
+        if name is not None and goal.lookup(name) is not None:
+            raise TacticError(f"name already used: {name}")
+        fresh = name or goal.fresh("H")
+        new_goal = goal.add(HypDecl(fresh, concl.lhs)).with_concl(concl.rhs)
+        return state.replace_focused([new_goal])
+    raise TacticError("nothing to introduce")
+
+
+@executor(Intro)
+def run_intro(env: Environment, state: ProofState, node: Intro) -> ProofState:
+    return intro_one(env, state, node.name)
+
+
+@executor(Intros)
+def run_intros(env: Environment, state: ProofState, node: Intros) -> ProofState:
+    if node.names:
+        for name in node.names:
+            state = intro_one(env, state, name)
+        return state
+    # Bare ``intros``: as many as possible, never failing (Coq no-op OK).
+    # Stops at a negation: ``~ P`` is ``not P`` in Coq — a constant, not
+    # a product — even though the kernel encodes it as ``P -> False``.
+    from repro.kernel.terms import is_neg
+
+    while True:
+        goal = state.focused()
+        concl = state.resolve(goal.concl)
+        if not isinstance(concl, (Forall, Impl)) or is_neg(concl):
+            return state
+        state = intro_one(env, state, None, allow_whnf=False)

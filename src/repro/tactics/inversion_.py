@@ -1,0 +1,239 @@
+"""``inversion``: case analysis on a derivation, with equation solving.
+
+For a hypothesis ``H : P t1 .. tn`` where ``P`` is an inductive
+predicate, each constructor whose conclusion could have produced ``H``
+yields a subgoal containing the constructor's premises plus the
+equations relating constructor arguments to ``t1..tn``.  Equations are
+simplified in the Coq style:
+
+* constructor clash (``S x = 0``) — the case is impossible and is
+  dropped (this is how ``inversion`` closes goals outright);
+* injectivity (``S x = S y``) — split into argument equations;
+* solved variables (``x = t``, ``x`` not in ``t``) — substituted
+  throughout the goal;
+* anything else stays as an equation hypothesis.
+
+``inversion`` also handles the primitive connectives (``/\\``,
+``\\/``, ``exists``, ``False``, ``=``) so proofs may invert any
+hypothesis, as in Coq.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TacticError
+from repro.kernel.env import Environment
+from repro.kernel.goals import Goal, HypDecl, ProofState, VarDecl
+from repro.kernel.subst import fresh_name, subst_var
+from repro.kernel.terms import (
+    And,
+    App,
+    Const,
+    Eq,
+    Exists,
+    FalseP,
+    Forall,
+    Impl,
+    Or,
+    Term,
+    TrueP,
+    Var,
+    free_vars,
+    head_const,
+    strip_foralls,
+    strip_impls,
+)
+from repro.kernel.types import Type
+from repro.tactics.ast import Inversion
+from repro.tactics.base import executor
+from repro.tactics.induction_ import resolved_goal
+
+__all__ = ["run_inversion"]
+
+
+def _ctor_head(env: Environment, term: Term) -> Optional[str]:
+    name = head_const(term)
+    if name is not None and env.is_constructor(name):
+        return name
+    return None
+
+
+class _Case:
+    """A candidate inversion case being simplified."""
+
+    def __init__(
+        self,
+        goal: Goal,
+        new_vars: List[VarDecl],
+        premises: List[Term],
+        equations: List[Tuple[Term, Term]],
+    ) -> None:
+        self.decls: List = list(goal.decls) + list(new_vars)
+        self.premises = list(premises)
+        self.equations = list(equations)
+        self.leftover: List[Tuple[Term, Term]] = []
+        self.concl = goal.concl
+
+    def substitute(self, name: str, value: Term) -> None:
+        self.decls = [
+            HypDecl(d.name, subst_var(d.prop, name, value))
+            if isinstance(d, HypDecl)
+            else d
+            for d in self.decls
+            if d.name != name
+        ]
+        self.premises = [subst_var(p, name, value) for p in self.premises]
+        self.equations = [
+            (subst_var(a, name, value), subst_var(b, name, value))
+            for a, b in self.equations
+        ]
+        self.leftover = [
+            (subst_var(a, name, value), subst_var(b, name, value))
+            for a, b in self.leftover
+        ]
+        self.concl = subst_var(self.concl, name, value)
+
+    def is_var_decl(self, name: str) -> bool:
+        return any(isinstance(d, VarDecl) and d.name == name for d in self.decls)
+
+
+def _simplify(env: Environment, case: _Case) -> bool:
+    """Solve the case's equations; False when the case is impossible."""
+    steps = 0
+    while case.equations:
+        steps += 1
+        if steps > 500:
+            raise TacticError("inversion: equation solving diverged")
+        lhs, rhs = case.equations.pop(0)
+        if lhs == rhs:
+            continue
+        lhs_ctor = _ctor_head(env, lhs)
+        rhs_ctor = _ctor_head(env, rhs)
+        if lhs_ctor and rhs_ctor:
+            if lhs_ctor != rhs_ctor:
+                return False  # constructor clash: impossible case
+            lhs_args = lhs.args if isinstance(lhs, App) else ()
+            rhs_args = rhs.args if isinstance(rhs, App) else ()
+            if len(lhs_args) != len(rhs_args):
+                return False
+            case.equations.extend(zip(lhs_args, rhs_args))
+            continue
+        solved = False
+        for a, b in ((lhs, rhs), (rhs, lhs)):
+            if isinstance(a, Var) and case.is_var_decl(a.name):
+                if a.name not in free_vars(b):
+                    case.substitute(a.name, b)
+                    solved = True
+                    break
+                if _ctor_head(env, b) is not None:
+                    return False  # x = C(.. x ..): cyclic, impossible
+        if not solved:
+            case.leftover.append((lhs, rhs))
+    return True
+
+
+def _finish_case(case: _Case, eq_ty: Optional[Type] = None) -> Goal:
+    decls = list(case.decls)
+    taken = {d.name for d in decls}
+
+    def fresh(base: str) -> str:
+        name = fresh_name(base if base not in taken else "H", taken)
+        if name in taken:  # pragma: no cover - fresh_name guarantees
+            raise AssertionError
+        taken.add(name)
+        return name
+
+    for premise in case.premises:
+        decls.append(HypDecl(fresh("H"), premise))
+    for lhs, rhs in case.leftover:
+        decls.append(HypDecl(fresh("H"), Eq(eq_ty, lhs, rhs)))
+    return Goal(tuple(decls), case.concl)
+
+
+def _invert_pred(
+    env: Environment, state: ProofState, goal: Goal, prop: Term
+) -> ProofState:
+    pred_name = head_const(prop)
+    pred = env.preds.get(pred_name) if pred_name else None
+    if pred is None:
+        raise TacticError("inversion: not an inductive hypothesis")
+    hyp_args = prop.args if isinstance(prop, App) else ()
+
+    subgoals: List[Goal] = []
+    for ctor in pred.constructors:
+        binders, rest = strip_foralls(ctor.statement)
+        premises, conclusion = strip_impls(rest)
+        if head_const(conclusion) != pred_name:
+            raise TacticError(
+                f"inversion: malformed constructor {ctor.name}"
+            )
+        ctor_args = conclusion.args if isinstance(conclusion, App) else ()
+        if len(ctor_args) != len(hyp_args):
+            continue
+        # Freshen the constructor's universally bound variables as new
+        # context variables.
+        taken = set(goal.names())
+        renaming: Dict[str, Term] = {}
+        new_vars: List[VarDecl] = []
+        for name, ty in binders:
+            fresh = fresh_name(name, taken)
+            taken.add(fresh)
+            renaming[name] = Var(fresh)
+            if ty is None:
+                raise TacticError(
+                    f"inversion: untyped binder in {ctor.name}"
+                )
+            new_vars.append(VarDecl(fresh, ty))
+        from repro.kernel.subst import subst_vars
+
+        premises = [subst_vars(p, renaming) for p in premises]
+        ctor_args = tuple(subst_vars(a, renaming) for a in ctor_args)
+        equations = list(zip(ctor_args, hyp_args))
+        case = _Case(goal, new_vars, premises, equations)
+        if _simplify(env, case):
+            subgoals.append(_finish_case(case))
+    return state.replace_focused(subgoals)
+
+
+@executor(Inversion)
+def run_inversion(env: Environment, state: ProofState, node: Inversion) -> ProofState:
+    goal = resolved_goal(state, state.focused())
+    hyp = goal.hyp(node.hyp)
+    prop = hyp.prop
+
+    if isinstance(prop, FalseP):
+        return state.replace_focused([])
+    if isinstance(prop, TrueP):
+        return state.replace_focused([goal])
+    if isinstance(prop, And):
+        taken = set(goal.names())
+        n1 = fresh_name("H", taken)
+        taken.add(n1)
+        n2 = fresh_name("H", taken)
+        new_goal = goal.add(HypDecl(n1, prop.lhs)).add(HypDecl(n2, prop.rhs))
+        return state.replace_focused([new_goal])
+    if isinstance(prop, Or):
+        taken = set(goal.names())
+        n1 = fresh_name("H", taken)
+        left = goal.add(HypDecl(n1, prop.lhs))
+        right = goal.add(HypDecl(n1, prop.rhs))
+        return state.replace_focused([left, right])
+    if isinstance(prop, Exists):
+        taken = set(goal.names())
+        var_name = fresh_name(prop.var, taken)
+        taken.add(var_name)
+        hyp_name = fresh_name("H", taken)
+        if prop.ty is None:
+            raise TacticError("inversion: existential binder type unknown")
+        body = subst_var(prop.body, prop.var, Var(var_name))
+        new_goal = goal.add(VarDecl(var_name, prop.ty)).add(
+            HypDecl(hyp_name, body)
+        )
+        return state.replace_focused([new_goal])
+    if isinstance(prop, Eq):
+        case = _Case(goal, [], [], [(prop.lhs, prop.rhs)])
+        if not _simplify(env, case):
+            return state.replace_focused([])
+        return state.replace_focused([_finish_case(case, prop.ty)])
+    return _invert_pred(env, state, goal, prop)

@@ -1,0 +1,290 @@
+"""``lia`` / ``omega``: linear arithmetic over ``nat``.
+
+A self-contained decision procedure in the spirit of Coq's ``lia``:
+
+1. Hypotheses and the (negated) goal are translated to integer linear
+   constraints ``sum(c_i * x_i) + k <= 0``.  Every ``nat`` atom also
+   contributes ``x >= 0``.
+2. Truncated subtraction and disequalities are handled by *case
+   splitting* into a small DNF (``a - b`` splits on ``a >= b``;
+   ``a <> b`` splits into ``a < b`` or ``a > b``).
+3. Each conjunctive branch is refuted by Fourier–Motzkin elimination
+   with gcd tightening (integer rounding of single-variable bounds).
+
+Rational-infeasibility refutation is sound for the integers (ℤ ⊆ ℚ);
+the gcd tightening recovers many integer-only refutations.  The
+procedure is therefore sound and only *incomplete* the way a budgeted
+``lia`` is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TacticError
+from repro.kernel.env import Environment
+from repro.kernel.goals import Goal, HypDecl, ProofState
+from repro.kernel.reduction import simpl
+from repro.kernel.subst import alpha_key
+from repro.kernel.terms import (
+    App,
+    Const,
+    Eq,
+    FalseP,
+    Term,
+    Var,
+    as_nat_lit,
+    head_const,
+    is_neg,
+    neg_body,
+)
+from repro.kernel.types import NAT, TCon
+from repro.tactics.ast import Lia
+from repro.tactics.base import check_deadline, executor
+from repro.tactics.induction_ import resolved_goal
+
+_MAX_BRANCHES = 64
+
+# A linear expression: mapping atom-key -> coefficient, plus constant.
+Linear = Tuple[Dict[str, int], int]
+# A constraint is linear <= 0 over integers.
+Constraint = Dict[str, int]  # includes special key "" for the constant
+
+
+def _lin(const: int = 0, **_: int) -> Linear:
+    return {}, const
+
+
+def _add(a: Linear, b: Linear, scale: int = 1) -> Linear:
+    coeffs = dict(a[0])
+    for key, val in b[0].items():
+        coeffs[key] = coeffs.get(key, 0) + scale * val
+        if coeffs[key] == 0:
+            del coeffs[key]
+    return coeffs, a[1] + scale * b[1]
+
+
+def _scale(a: Linear, k: int) -> Linear:
+    return {key: k * val for key, val in a[0].items() if k * val != 0}, k * a[1]
+
+
+class _Translator:
+    """Translates nat terms/props into branched linear constraints."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.atoms: Dict[str, Term] = {}
+        # Each branch is a list of constraints (linear <= 0).
+        self.branches: List[List[Linear]] = [[]]
+
+    # -- branching ---------------------------------------------------------
+
+    def _branch(self, alternatives: List[List[Linear]]) -> None:
+        """Cross-product the current DNF with the given alternatives."""
+        new_branches = []
+        for branch in self.branches:
+            for alt in alternatives:
+                new_branches.append(branch + alt)
+        if len(new_branches) > _MAX_BRANCHES:
+            raise TacticError("lia: case split too large")
+        self.branches = new_branches
+
+    def add_constraint(self, linear: Linear) -> None:
+        for branch in self.branches:
+            branch.append(linear)
+
+    # -- atoms ---------------------------------------------------------------
+
+    def atom(self, term: Term) -> Linear:
+        key = alpha_key(term)
+        if key not in self.atoms:
+            self.atoms[key] = term
+            # nat atoms are non-negative: -x <= 0.
+            self.add_constraint(({key: -1}, 0))
+        return {key: 1}, 0
+
+    # -- terms ----------------------------------------------------------------
+
+    def term(self, term: Term) -> Linear:
+        lit = as_nat_lit(term)
+        if lit is not None:
+            return _lin(lit)
+        head = head_const(term)
+        args = term.args if isinstance(term, App) else ()
+        if head == "S" and len(args) == 1:
+            return _add(self.term(args[0]), _lin(1))
+        if head == "add" and len(args) == 2:
+            return _add(self.term(args[0]), self.term(args[1]))
+        if head == "mult" and len(args) == 2:
+            left = self.term(args[0])
+            right = self.term(args[1])
+            if not left[0]:
+                return _scale(right, left[1])
+            if not right[0]:
+                return _scale(left, right[1])
+            return self.atom(term)
+        if head == "sub" and len(args) == 2:
+            return self._truncated_sub(term, args[0], args[1])
+        return self.atom(term)
+
+    def _truncated_sub(self, term: Term, a: Term, b: Term) -> Linear:
+        """``a - b`` on nat: split on ``a >= b``."""
+        result = self.atom(term)  # fresh variable d = a - b
+        la = self.term(a)
+        lb = self.term(b)
+        d_minus = _add(result, la, -1)  # d - a
+        # Branch 1: a >= b  =>  b - a <= 0, d = a - b
+        #   (d - a + b <= 0 and a - b - d <= 0)
+        ge_branch = [
+            _add(lb, la, -1),
+            _add(d_minus, lb),
+            _add(_scale(_add(d_minus, lb), -1), _lin(0)),
+        ]
+        # Branch 2: a < b  =>  a - b + 1 <= 0, d = 0
+        lt_branch = [
+            _add(_add(la, lb, -1), _lin(1)),
+            result,  # d <= 0 (with d >= 0 it pins d = 0)
+        ]
+        self._branch([ge_branch, lt_branch])
+        return result
+
+    # -- propositions -----------------------------------------------------------
+
+    def prop(self, prop: Term, positive: bool) -> bool:
+        """Add ``prop`` (or its negation) as constraints.
+
+        Returns False when the proposition is not arithmetic.
+        """
+        if is_neg(prop):
+            return self.prop(neg_body(prop), not positive)
+        head = head_const(prop)
+        args = prop.args if isinstance(prop, App) else ()
+        if head in ("le", "lt") and len(args) == 2:
+            la = self.term(args[0])
+            lb = self.term(args[1])
+            offset = 1 if head == "lt" else 0
+            if positive:
+                # a (+1) - b <= 0
+                self.add_constraint(_add(_add(la, lb, -1), _lin(offset)))
+            else:
+                # ¬(a (+offset) <= b)  =>  b + 1 - a - offset <= 0
+                self.add_constraint(
+                    _add(_add(lb, la, -1), _lin(1 - offset))
+                )
+            return True
+        if isinstance(prop, Eq):
+            if not self._is_nat_eq(prop):
+                return False
+            la = self.term(prop.lhs)
+            lb = self.term(prop.rhs)
+            diff = _add(la, lb, -1)
+            if positive:
+                self.add_constraint(diff)
+                self.add_constraint(_scale(diff, -1))
+            else:
+                # a <> b: a < b or b < a.
+                self._branch(
+                    [
+                        [_add(diff, _lin(1))],
+                        [_add(_scale(diff, -1), _lin(1))],
+                    ]
+                )
+            return True
+        return False
+
+    def _is_nat_eq(self, eq: Eq) -> bool:
+        if eq.ty == NAT:
+            return True
+        if isinstance(eq.ty, TCon) and eq.ty != NAT:
+            return False
+        # Untyped or type-variable-typed equality: inspect the sides.
+        # Untyped equality: accept when either side looks arithmetic.
+        for side in (eq.lhs, eq.rhs):
+            if as_nat_lit(side) is not None:
+                return True
+            if head_const(side) in ("S", "add", "sub", "mult"):
+                return True
+        return False
+
+
+def _normalize(linear: Linear) -> Optional[Linear]:
+    """gcd-tighten ``linear <= 0``; None when trivially satisfiable."""
+    coeffs, const = linear
+    coeffs = {k: v for k, v in coeffs.items() if v != 0}
+    if not coeffs:
+        return ({}, const) if const > 0 else None
+    g = 0
+    for v in coeffs.values():
+        g = math.gcd(g, abs(v))
+    if g > 1:
+        coeffs = {k: v // g for k, v in coeffs.items()}
+        const = -((-const) // g)  # exact integer ceil(const / g)
+    return coeffs, const
+
+
+def _infeasible(constraints: List[Linear]) -> bool:
+    """Fourier–Motzkin refutation of a conjunction of ``linear <= 0``."""
+    work: List[Linear] = []
+    for c in constraints:
+        n = _normalize(c)
+        if n is None:
+            continue
+        if not n[0]:
+            return True  # 0 <= -const with const > 0: contradiction
+        work.append(n)
+
+    variables = sorted({v for coeffs, _ in work for v in coeffs})
+    for var in variables:
+        check_deadline()
+        uppers = [c for c in work if c[0].get(var, 0) > 0]
+        lowers = [c for c in work if c[0].get(var, 0) < 0]
+        others = [c for c in work if c[0].get(var, 0) == 0]
+        new: List[Linear] = others
+        for up in uppers:
+            for lo in lowers:
+                a = up[0][var]
+                b = -lo[0][var]
+                combined = _add(_scale(up, b), _scale(lo, a))
+                combined[0].pop(var, None)
+                n = _normalize(combined)
+                if n is None:
+                    continue
+                if not n[0]:
+                    return True
+                new.append(n)
+        if len(new) > 2000:
+            return False  # give up rather than blow up
+        work = new
+    return False
+
+
+@executor(Lia)
+def run_lia(env: Environment, state: ProofState, node: Lia) -> ProofState:
+    goal = resolved_goal(state, state.focused())
+    translator = _Translator(env)
+
+    used_any = False
+    for decl in goal.decls:
+        if isinstance(decl, HypDecl):
+            prop = simpl(env, decl.prop)
+            if isinstance(prop, FalseP):
+                return state.replace_focused([])
+            if translator.prop(prop, positive=True):
+                used_any = True
+
+    concl = simpl(env, goal.concl)
+    if isinstance(concl, FalseP):
+        if not used_any:
+            raise TacticError("lia: no arithmetic hypotheses")
+    else:
+        if not translator.prop(concl, positive=False):
+            raise TacticError("lia: goal is not linear arithmetic")
+
+    for branch in translator.branches:
+        check_deadline()
+        if not _infeasible(branch):
+            raise TacticError("lia: cannot prove the goal")
+    return state.replace_focused([])

@@ -1,0 +1,157 @@
+"""Logical-connective tactics: split, left/right, exists, exfalso..."""
+
+from __future__ import annotations
+
+from repro.errors import TacticError, UnificationError
+from repro.kernel.env import Environment
+from repro.kernel.goals import HypDecl, ProofState
+from repro.kernel.reduction import make_whnf, whnf
+from repro.kernel.subst import alpha_eq, subst_var
+from repro.kernel.terms import (
+    And,
+    Exists,
+    FalseP,
+    Or,
+    Term,
+    TrueP,
+    head_const,
+    is_neg,
+    neg_body,
+)
+from repro.kernel.unify import unify
+from repro.tactics.ast import (
+    Constructor,
+    EExists,
+    Exfalso,
+    Contradiction,
+    ExistsTac,
+    Left,
+    Right,
+    Split,
+)
+from repro.tactics.base import executor
+from repro.tactics.common import apply_statement, elaborate_in_goal
+
+
+def _conn_concl(env: Environment, state: ProofState) -> Term:
+    """The focused conclusion, weak-head normalized to expose connectives."""
+    concl = state.resolve(state.focused().concl)
+    if not isinstance(concl, (And, Or, Exists, TrueP, FalseP)):
+        concl = whnf(env, concl)
+    return concl
+
+
+@executor(Split)
+def run_split(env: Environment, state: ProofState, node: Split) -> ProofState:
+    goal = state.focused()
+    concl = _conn_concl(env, state)
+    if not isinstance(concl, And):
+        raise TacticError("split: goal is not a conjunction")
+    return state.replace_focused(
+        [goal.with_concl(concl.lhs), goal.with_concl(concl.rhs)]
+    )
+
+
+@executor(Left)
+def run_left(env: Environment, state: ProofState, node: Left) -> ProofState:
+    goal = state.focused()
+    concl = _conn_concl(env, state)
+    if not isinstance(concl, Or):
+        raise TacticError("left: goal is not a disjunction")
+    return state.replace_focused([goal.with_concl(concl.lhs)])
+
+
+@executor(Right)
+def run_right(env: Environment, state: ProofState, node: Right) -> ProofState:
+    goal = state.focused()
+    concl = _conn_concl(env, state)
+    if not isinstance(concl, Or):
+        raise TacticError("right: goal is not a disjunction")
+    return state.replace_focused([goal.with_concl(concl.rhs)])
+
+
+@executor(ExistsTac)
+def run_exists(env: Environment, state: ProofState, node: ExistsTac) -> ProofState:
+    goal = state.focused()
+    concl = _conn_concl(env, state)
+    if not isinstance(concl, Exists):
+        raise TacticError("exists: goal is not an existential")
+    witness = elaborate_in_goal(env, goal, node.witness, expected=concl.ty)
+    body = subst_var(concl.body, concl.var, witness)
+    return state.replace_focused([goal.with_concl(body)])
+
+
+@executor(EExists)
+def run_eexists(env: Environment, state: ProofState, node: EExists) -> ProofState:
+    goal = state.focused()
+    concl = _conn_concl(env, state)
+    if not isinstance(concl, Exists):
+        raise TacticError("eexists: goal is not an existential")
+    meta = state.store.fresh(concl.var)
+    body = subst_var(concl.body, concl.var, meta)
+    return state.replace_focused([goal.with_concl(body)])
+
+
+@executor(Exfalso)
+def run_exfalso(env: Environment, state: ProofState, node: Exfalso) -> ProofState:
+    goal = state.focused()
+    return state.replace_focused([goal.with_concl(FalseP())])
+
+
+@executor(Contradiction)
+def run_contradiction(
+    env: Environment, state: ProofState, node: Contradiction
+) -> ProofState:
+    goal = state.focused()
+    hyps = [d for d in goal.decls if isinstance(d, HypDecl)]
+    for hyp in hyps:
+        prop = state.resolve(hyp.prop)
+        if not isinstance(prop, FalseP):
+            # Up to conversion: e.g. ``In x nil`` reduces to False.
+            prop = whnf(env, prop)
+        if isinstance(prop, FalseP):
+            return state.replace_focused([])
+    for hyp in hyps:
+        prop = state.resolve(hyp.prop)
+        if is_neg(prop):
+            body = neg_body(prop)
+            for other in hyps:
+                other_prop = state.resolve(other.prop)
+                if alpha_eq(other_prop, body):
+                    return state.replace_focused([])
+    raise TacticError("contradiction: no contradictory hypotheses")
+
+
+@executor(Constructor)
+def run_constructor(
+    env: Environment, state: ProofState, node: Constructor
+) -> ProofState:
+    goal = state.focused()
+    concl = _conn_concl(env, state)
+    if isinstance(concl, TrueP):
+        return state.replace_focused([])
+    if isinstance(concl, And):
+        return run_split(env, state, Split())
+    if isinstance(concl, Or):
+        # Coq tries constructors in order: left first, then right.
+        try:
+            return run_left(env, state, Left())
+        except TacticError:
+            return run_right(env, state, Right())
+    pred_name = head_const(concl)
+    pred = env.preds.get(pred_name) if pred_name else None
+    if pred is None:
+        raise TacticError("constructor: goal is not an inductive proposition")
+    last_error = None
+    for ctor in pred.constructors:
+        try:
+            return apply_statement(
+                env,
+                state.clone_store(),
+                ctor.statement,
+                allow_metas=node.existential,
+                label=node.render(),
+            )
+        except TacticError as exc:
+            last_error = exc
+    raise TacticError(f"constructor: no constructor applies ({last_error})")

@@ -1,0 +1,95 @@
+"""``reflexivity`` / ``symmetry`` / ``f_equal``."""
+
+from __future__ import annotations
+
+from repro.errors import TacticError, UnificationError
+from repro.kernel.env import Environment
+from repro.kernel.goals import HypDecl, ProofState
+from repro.kernel.reduction import make_whnf, simpl
+from repro.kernel.subst import alpha_eq
+from repro.kernel.terms import App, Const, Eq, Term
+from repro.kernel.unify import unify
+from repro.tactics.ast import FEqual, Reflexivity, Symmetry
+from repro.tactics.base import executor
+
+
+def _as_eq(env: Environment, state: ProofState, term: Term):
+    """View ``term`` as an equality-like relation (Eq or pimpl)."""
+    term = state.resolve(term)
+    if isinstance(term, Eq):
+        return "eq", term.lhs, term.rhs, term.ty
+    if (
+        isinstance(term, App)
+        and isinstance(term.fn, Const)
+        and term.fn.name == "pimpl"
+        and len(term.args) == 2
+        and env.statement_of("pimpl_refl") is not None
+    ):
+        return "pimpl", term.args[0], term.args[1], None
+    return None
+
+
+@executor(Reflexivity)
+def run_reflexivity(
+    env: Environment, state: ProofState, node: Reflexivity
+) -> ProofState:
+    goal = state.focused()
+    view = _as_eq(env, state, goal.concl)
+    if view is None:
+        raise TacticError("reflexivity: goal is not an equality")
+    _, lhs, rhs, _ = view
+    if alpha_eq(lhs, rhs):
+        return state.replace_focused([])
+    # Up-to-conversion: compare normal forms, then try unification with
+    # weak-head reduction (also solves metas introduced by eapply).
+    if alpha_eq(simpl(env, lhs), simpl(env, rhs)):
+        return state.replace_focused([])
+    snap = state.store.snapshot()
+    try:
+        unify(lhs, rhs, state.store, make_whnf(env))
+        return state.replace_focused([])
+    except UnificationError:
+        state.store.restore(snap)
+    raise TacticError("reflexivity: sides are not convertible")
+
+
+@executor(Symmetry)
+def run_symmetry(env: Environment, state: ProofState, node: Symmetry) -> ProofState:
+    goal = state.focused()
+    if node.in_hyp is None:
+        view = _as_eq(env, state, goal.concl)
+        if view is None or view[0] != "eq":
+            raise TacticError("symmetry: goal is not an equality")
+        _, lhs, rhs, ty = view
+        return state.replace_focused([goal.with_concl(Eq(ty, rhs, lhs))])
+    hyp = goal.hyp(node.in_hyp)
+    view = _as_eq(env, state, hyp.prop)
+    if view is None or view[0] != "eq":
+        raise TacticError(f"symmetry: {node.in_hyp} is not an equality")
+    _, lhs, rhs, ty = view
+    new_goal = goal.replace_decl(
+        node.in_hyp, HypDecl(node.in_hyp, Eq(ty, rhs, lhs))
+    )
+    return state.replace_focused([new_goal])
+
+
+@executor(FEqual)
+def run_f_equal(env: Environment, state: ProofState, node: FEqual) -> ProofState:
+    goal = state.focused()
+    concl = state.resolve(goal.concl)
+    if not isinstance(concl, Eq):
+        raise TacticError("f_equal: goal is not an equality")
+    lhs, rhs = concl.lhs, concl.rhs
+    if (
+        not isinstance(lhs, App)
+        or not isinstance(rhs, App)
+        or not alpha_eq(lhs.fn, rhs.fn)
+        or len(lhs.args) != len(rhs.args)
+    ):
+        raise TacticError("f_equal: heads do not match")
+    new_goals = []
+    for a, b in zip(lhs.args, rhs.args):
+        if alpha_eq(a, b):
+            continue  # Coq discharges syntactically equal arguments.
+        new_goals.append(goal.with_concl(Eq(None, a, b)))
+    return state.replace_focused(new_goals)

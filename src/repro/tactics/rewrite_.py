@@ -1,0 +1,164 @@
+"""``rewrite`` (and ``setoid_rewrite``): equational rewriting.
+
+Semantics follow Coq's ``rewrite``:
+
+* the first binder-free subterm matching the equation's left side
+  (pre-order, leftmost-outermost) selects the instance;
+* *all* occurrences of that instance are replaced;
+* rewriting never reaches under binders (Coq needs ``setoid_rewrite``
+  with a proper ``Proper`` instance for that; we accept the keyword as
+  an alias but keep plain-rewrite semantics);
+* conditional equations (``P -> lhs = rhs``) emit side goals, solved
+  eagerly by the ``by`` tactic when present.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import TacticError, UnificationError
+from repro.kernel.env import Environment
+from repro.kernel.goals import Goal, HypDecl, ProofState
+from repro.kernel.reduction import make_whnf
+from repro.kernel.subst import alpha_eq
+from repro.kernel.terms import (
+    App,
+    And,
+    Eq,
+    Exists,
+    Forall,
+    Impl,
+    Lam,
+    Or,
+    Term,
+    app,
+    metas_of,
+)
+from repro.kernel.unify import unify
+from repro.tactics.ast import Rewrite, RewriteSource
+from repro.tactics.base import dispatch, executor
+from repro.tactics.common import instantiate_statement, statement_of_name
+
+
+def _positions(term: Term):
+    """Yield binder-free subterms, pre-order (outermost first).
+
+    Connective nodes themselves are not rewriteable instances (an
+    equation's sides are object-level terms, not propositions), but we
+    descend through them.
+    """
+    if not isinstance(term, (Impl, And, Or, Eq)):
+        yield term
+    if isinstance(term, App):
+        yield from _positions(term.fn)
+        for arg in term.args:
+            yield from _positions(arg)
+    elif isinstance(term, (Impl, And, Or)):
+        yield from _positions(term.lhs)
+        yield from _positions(term.rhs)
+    elif isinstance(term, Eq):
+        yield from _positions(term.lhs)
+        yield from _positions(term.rhs)
+    # Forall/Exists/Lam bodies are not rewriteable positions.
+
+
+def _replace_all(term: Term, instance: Term, replacement: Term) -> Term:
+    if alpha_eq(term, instance):
+        return replacement
+    if isinstance(term, App):
+        fn = _replace_all(term.fn, instance, replacement)
+        args = tuple(_replace_all(a, instance, replacement) for a in term.args)
+        return app(fn, *args)
+    if isinstance(term, (Impl, And, Or)):
+        return type(term)(
+            _replace_all(term.lhs, instance, replacement),
+            _replace_all(term.rhs, instance, replacement),
+        )
+    if isinstance(term, Eq):
+        return Eq(
+            term.ty,
+            _replace_all(term.lhs, instance, replacement),
+            _replace_all(term.rhs, instance, replacement),
+        )
+    return term
+
+
+def rewrite_once(
+    env: Environment,
+    state: ProofState,
+    source: RewriteSource,
+    in_hyp: Optional[str],
+    label: str,
+) -> Tuple[ProofState, int]:
+    """Apply one rewrite source; returns (state, number of side goals)."""
+    goal = state.focused()
+    _, statement = statement_of_name(env, goal, source.name)
+    store = state.store
+    _, premises, core = instantiate_statement(statement, store)
+    core = store.resolve(core)
+    if not isinstance(core, Eq):
+        raise TacticError(f"{label}: {source.name} is not an equation")
+    pattern, replacement = (
+        (core.rhs, core.lhs) if source.backwards else (core.lhs, core.rhs)
+    )
+    if in_hyp is None:
+        target = state.resolve(goal.concl)
+    else:
+        target = state.resolve(goal.hyp(in_hyp).prop)
+
+    whnf = make_whnf(env)
+    matched = False
+    for sub in _positions(target):
+        snap = store.snapshot()
+        try:
+            unify(store.resolve(pattern), sub, store, whnf)
+            matched = True
+            break
+        except UnificationError:
+            store.restore(snap)
+    if not matched:
+        raise TacticError(f"{label}: found no subterm matching {source.name}")
+
+    instance = store.resolve(pattern)
+    new_subterm = store.resolve(replacement)
+    if metas_of(instance) or metas_of(new_subterm):
+        raise TacticError(f"{label}: unable to infer a complete instance")
+    side_props: List[Term] = []
+    for premise in premises:
+        resolved = store.resolve(premise)
+        if metas_of(resolved):
+            raise TacticError(f"{label}: side condition has unresolved variables")
+        side_props.append(resolved)
+
+    new_target = _replace_all(target, instance, new_subterm)
+    if in_hyp is None:
+        new_goal = goal.with_concl(new_target)
+    else:
+        new_goal = goal.replace_decl(in_hyp, HypDecl(in_hyp, new_target))
+    side_goals = [new_goal.with_concl(p) if in_hyp else goal.with_concl(p) for p in side_props]
+    return state.replace_focused([new_goal] + side_goals), len(side_goals)
+
+
+@executor(Rewrite)
+def run_rewrite(env: Environment, state: ProofState, node: Rewrite) -> ProofState:
+    total_sides = 0
+    for source in node.sources:
+        state, sides = rewrite_once(env, state, source, node.in_hyp, node.render())
+        total_sides += sides
+    if total_sides == 0:
+        return state
+    if node.by_tac is None:
+        return state
+    # Solve side goals with the ``by`` tactic; each must close fully.
+    main = state.goals[0]
+    sides = list(state.goals[1 : 1 + total_sides])
+    rest = state.goals[1 + total_sides :]
+    for side in sides:
+        sub_state = ProofState((side,), state.store)
+        solved = dispatch(env, sub_state, node.by_tac)
+        if solved.goals:
+            raise TacticError(
+                f"{node.render()}: 'by' tactic left side condition open"
+            )
+        state = ProofState(state.goals, solved.store)
+    return ProofState((main,) + rest, state.store)

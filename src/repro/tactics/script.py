@@ -1,0 +1,245 @@
+"""Whole proof scripts: sentence splitting, bullets, and Qed checking.
+
+A script is the text between ``Proof.`` and ``Qed.`` (both optional
+here).  The runner reproduces Coq's sentence/bullet discipline:
+
+* sentences end at ``.``;
+* a bullet (``-``, ``+``, ``*``, ``--``, ...) focuses the first open
+  goal; a repeated bullet of the same shape requires the previous
+  focused goal to be finished;
+* ``Qed`` succeeds only when no goal (focused or deferred) remains and
+  all existentials are resolved.
+
+:func:`run_script` is what the corpus loader uses to machine-check
+every "human" proof, and what the evaluation uses to validate complete
+LLM-generated proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ParseError, ReproError, ScriptError, TacticError
+from repro.kernel.env import Environment
+from repro.kernel.goals import Goal, ProofState, initial_state
+from repro.kernel.parser import Lexer, Token
+from repro.kernel.terms import Term
+from repro.kernel.unify import MetaStore
+from repro.tactics.base import TacticNode, run_tactic
+from repro.tactics.parse import parse_tactic
+
+__all__ = ["Sentence", "split_sentences", "run_script", "script_tactics"]
+
+_BULLET_CHARS = {"-", "+", "*"}
+
+
+@dataclass(frozen=True)
+class Sentence:
+    """One script sentence: an optional bullet/brace and/or a tactic.
+
+    ``bullet`` may be a bullet run (``-``, ``+``, ``*``, ``--``...) or a
+    focusing brace (``{`` / ``}``), which Coq treats as anonymous
+    focus/unfocus markers."""
+
+    bullet: Optional[str]
+    tactic_text: Optional[str]
+
+
+def _strip_wrappers(text: str) -> str:
+    text = text.strip()
+    if text.startswith("Proof."):
+        text = text[len("Proof.") :]
+    elif text.startswith("Proof"):
+        text = text[len("Proof") :].lstrip(".")
+    for ending in ("Qed.", "Qed", "Defined.", "Defined"):
+        if text.rstrip().endswith(ending):
+            text = text.rstrip()[: -len(ending)]
+            break
+    return text.strip()
+
+
+def split_sentences(script: str) -> List[Sentence]:
+    """Split a proof script into bullet/tactic sentences."""
+    text = _strip_wrappers(script)
+    if not text:
+        return []
+    lexer = Lexer(text)
+    tokens = lexer.tokens
+    sentences: List[Sentence] = []
+    i = 0
+    while i < len(tokens) and tokens[i].kind != "eof":
+        # Braces are standalone focus markers (no trailing period).
+        tok = tokens[i]
+        if tok.kind == "sym" and tok.text in ("{", "}"):
+            sentences.append(Sentence(tok.text, None))
+            i += 1
+            continue
+        # Bullets: a run of identical adjacent bullet symbols.
+        bullet = None
+        if tok.kind == "sym" and tok.text in _BULLET_CHARS:
+            bullet_char = tok.text
+            run = tok.text
+            j = i + 1
+            pos = tok.pos + 1
+            while (
+                j < len(tokens)
+                and tokens[j].kind == "sym"
+                and tokens[j].text == bullet_char
+                and tokens[j].pos == pos
+            ):
+                run += bullet_char
+                pos += 1
+                j += 1
+            bullet = run
+            i = j
+            nxt = tokens[i] if i < len(tokens) else None
+            if (
+                nxt is not None
+                and nxt.kind == "sym"
+                and nxt.text in _BULLET_CHARS
+            ):
+                # Consecutive bullets ("- - auto."): emit this one as a
+                # bullet-only sentence; the next loop handles the rest.
+                sentences.append(Sentence(bullet, None))
+                continue
+        # Tactic text: up to the next '.' at top level.
+        start = i
+        depth = 0
+        while i < len(tokens) and tokens[i].kind != "eof":
+            t = tokens[i]
+            if t.kind == "sym" and t.text == "(":
+                depth += 1
+            elif t.kind == "sym" and t.text == ")":
+                depth -= 1
+            elif t.kind == "sym" and t.text == "." and depth == 0:
+                break
+            i += 1
+        if i >= len(tokens) or tokens[i].kind == "eof":
+            if start < i:
+                raise ScriptError("script does not end with a period")
+            if bullet is not None:
+                sentences.append(Sentence(bullet, None))
+            break
+        if start == i:
+            # Bullet immediately followed by a period is malformed.
+            if bullet is None:
+                raise ScriptError("empty sentence")
+            sentences.append(Sentence(bullet, None))
+            i += 1
+            continue
+        chunk = text[tokens[start].pos : tokens[i].pos]
+        sentences.append(Sentence(bullet, chunk.strip()))
+        i += 1  # skip the period
+    return sentences
+
+
+@dataclass
+class _Frame:
+    bullet: str
+    deferred: Tuple[Goal, ...]
+
+
+@dataclass
+class ScriptResult:
+    """Outcome of running a script to completion."""
+
+    state: ProofState
+    tactics: List[TacticNode] = field(default_factory=list)
+
+
+def run_script(
+    env: Environment,
+    statement: Term,
+    script: str,
+    timeout: Optional[float] = None,
+) -> ScriptResult:
+    """Run ``script`` against ``statement``; raise ScriptError unless it
+    fully proves the goal."""
+    state = initial_state(env, statement)
+    visible: Tuple[Goal, ...] = state.goals
+    store: MetaStore = state.store
+    stack: List[_Frame] = []
+    executed: List[TacticNode] = []
+
+    def fail(message: str) -> ScriptError:
+        return ScriptError(message)
+
+    for sentence in split_sentences(script):
+        if sentence.bullet == "{":
+            if not visible:
+                raise fail("{: no goals to focus")
+            stack.append(_Frame("{", visible[1:]))
+            visible = (visible[0],)
+        elif sentence.bullet == "}":
+            if visible:
+                raise fail("}: the focused goal is not finished")
+            if not stack or stack[-1].bullet != "{":
+                raise fail("}: no matching {")
+            visible = stack.pop().deferred
+        elif sentence.bullet is not None:
+            bullet = sentence.bullet
+            if stack and stack[-1].bullet == bullet:
+                if visible:
+                    raise fail(
+                        f"bullet {bullet}: previous goal not finished"
+                    )
+                deferred = stack[-1].deferred
+                if not deferred:
+                    raise fail(f"bullet {bullet}: no goals left to focus")
+                visible = (deferred[0],)
+                stack[-1] = _Frame(bullet, deferred[1:])
+            else:
+                if not visible:
+                    raise fail(f"bullet {bullet}: no goals to focus")
+                stack.append(_Frame(bullet, visible[1:]))
+                visible = (visible[0],)
+        if sentence.tactic_text is None:
+            continue
+        try:
+            node = parse_tactic(sentence.tactic_text)
+        except ParseError as exc:
+            raise fail(f"parse error in {sentence.tactic_text!r}: {exc}")
+        if not visible:
+            raise fail(f"no goals for tactic {sentence.tactic_text!r}")
+        try:
+            result = run_tactic(
+                env, ProofState(visible, store), node, timeout=timeout
+            )
+        except TacticError as exc:
+            raise fail(f"tactic {sentence.tactic_text!r} failed: {exc}")
+        visible = result.goals
+        store = result.store
+        executed.append(node)
+        # Auto-close finished bullet frames (braces close explicitly).
+        while (
+            not visible
+            and stack
+            and stack[-1].bullet != "{"
+            and not stack[-1].deferred
+        ):
+            stack.pop()
+
+    # Unwind: any remaining deferred goals flow back into scope.
+    while stack:
+        frame = stack.pop()
+        if frame.bullet == "{":
+            raise fail("unclosed { at end of proof")
+        if visible or frame.deferred:
+            remaining = len(visible) + len(frame.deferred)
+            raise fail(f"proof incomplete: {remaining} goal(s) in bullet scope")
+    final = ProofState(visible, store)
+    if not final.is_complete():
+        raise fail(
+            f"proof incomplete: {final.num_goals()} open goal(s)"
+            if final.goals
+            else "proof incomplete: unresolved existentials"
+        )
+    return ScriptResult(final, executed)
+
+
+def script_tactics(script: str) -> List[str]:
+    """The tactic sentences of a script, without bullets."""
+    return [
+        s.tactic_text for s in split_sentences(script) if s.tactic_text
+    ]

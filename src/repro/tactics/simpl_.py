@@ -1,0 +1,93 @@
+"""``simpl`` / ``unfold`` / ``fold``: reduction tactics."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import TacticError
+from repro.kernel.env import Environment
+from repro.kernel.goals import Goal, HypDecl, ProofState
+from repro.kernel.reduction import simpl, unfold
+from repro.kernel.terms import Term
+from repro.tactics.ast import Fold, Simpl, Unfold
+from repro.tactics.base import executor
+
+
+def _apply_reduction(
+    state: ProofState,
+    in_hyp: Optional[str],
+    reduce: Callable[[Term], Term],
+) -> ProofState:
+    goal = state.focused()
+    if in_hyp is None:
+        new_goal = goal.with_concl(reduce(state.resolve(goal.concl)))
+        return state.replace_focused([new_goal])
+    if in_hyp == "*":
+        decls = tuple(
+            HypDecl(d.name, reduce(state.resolve(d.prop)))
+            if isinstance(d, HypDecl)
+            else d
+            for d in goal.decls
+        )
+        new_goal = Goal(decls, reduce(state.resolve(goal.concl)))
+        return state.replace_focused([new_goal])
+    hyp = goal.hyp(in_hyp)
+    new_goal = goal.replace_decl(
+        in_hyp, HypDecl(in_hyp, reduce(state.resolve(hyp.prop)))
+    )
+    return state.replace_focused([new_goal])
+
+
+@executor(Simpl)
+def run_simpl(env: Environment, state: ProofState, node: Simpl) -> ProofState:
+    return _apply_reduction(state, node.in_hyp, lambda t: simpl(env, t))
+
+
+@executor(Unfold)
+def run_unfold(env: Environment, state: ProofState, node: Unfold) -> ProofState:
+    for name in node.names:
+        if (
+            name not in env.abbreviations
+            and name not in env.fixpoints
+        ):
+            raise TacticError(f"unfold: {name} is not a defined constant")
+    return _apply_reduction(
+        state, node.in_hyp, lambda t: unfold(env, t, node.names)
+    )
+
+
+@executor(Fold)
+def run_fold(env: Environment, state: ProofState, node: Fold) -> ProofState:
+    """``fold f``: replace f's unfolded body by the folded constant.
+
+    Only abbreviations are foldable; the body (with parameters as
+    metavariable-free patterns) is matched syntactically.
+    """
+    from repro.kernel.subst import alpha_eq
+    from repro.kernel.terms import App, Const, app
+    from repro.kernel.unify import MetaStore, unify
+    from repro.errors import UnificationError
+    from repro.kernel.subst import subst_vars
+    from repro.tactics.rewrite_ import _positions, _replace_all
+
+    goal = state.focused()
+    concl = state.resolve(goal.concl)
+    for name in node.names:
+        abbr = env.abbreviations.get(name)
+        if abbr is None:
+            raise TacticError(f"fold: {name} is not a definition")
+        store = MetaStore()
+        metas = {p: store.fresh(p) for p, _ in abbr.params}
+        pattern = subst_vars(abbr.body, dict(metas))
+        for sub in _positions(concl):
+            snap = store.snapshot()
+            try:
+                unify(pattern, sub, store)
+            except UnificationError:
+                store.restore(snap)
+                continue
+            args = [store.resolve(metas[p]) for p, _ in abbr.params]
+            folded = app(Const(name), *args)
+            concl = _replace_all(concl, store.resolve(pattern), folded)
+            break
+    return state.replace_focused([goal.with_concl(concl)])

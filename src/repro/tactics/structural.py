@@ -1,0 +1,147 @@
+"""Context-management tactics: assert, revert, clear, pose proof,
+specialize."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import TacticError, UnificationError
+from repro.kernel.env import Environment
+from repro.kernel.goals import HypDecl, ProofState, VarDecl
+from repro.kernel.reduction import make_whnf
+from repro.kernel.subst import subst_var
+from repro.kernel.terms import Forall as ForallTerm
+from repro.kernel.terms import Impl, Meta, Term, Var, free_vars, metas_of
+from repro.kernel.typecheck import elaborate_term
+from repro.kernel.types import PROP
+from repro.kernel.unify import unify
+from repro.tactics.ast import Assert, Clear, PoseProof, Revert, Specialize
+from repro.tactics.base import executor
+from repro.tactics.common import (
+    elaborate_in_goal,
+    fresh_hyp_names,
+    statement_of_name,
+)
+
+
+@executor(Assert)
+def run_assert(env: Environment, state: ProofState, node: Assert) -> ProofState:
+    goal = state.focused()
+    prop = elaborate_in_goal(env, goal, node.prop, expected=PROP)
+    name = node.name or fresh_hyp_names(goal, 1)[0]
+    if goal.lookup(name) is not None:
+        raise TacticError(f"assert: name already used: {name}")
+    prove_it = goal.with_concl(prop)
+    use_it = goal.add(HypDecl(name, prop))
+    return state.replace_focused([prove_it, use_it])
+
+
+@executor(Revert)
+def run_revert(env: Environment, state: ProofState, node: Revert) -> ProofState:
+    goal = state.focused()
+    concl = state.resolve(goal.concl)
+    # Process right-to-left so earlier names end up outermost.
+    for name in reversed(node.names):
+        decl = goal.lookup(name)
+        if decl is None:
+            raise TacticError(f"revert: no declaration named {name}")
+        for other in goal.decls:
+            if other.name == name or not isinstance(other, HypDecl):
+                continue
+            if name in free_vars(other.prop):
+                raise TacticError(
+                    f"revert: {name} is used by hypothesis {other.name}"
+                )
+        if isinstance(decl, HypDecl):
+            concl = Impl(state.resolve(decl.prop), concl)
+        else:
+            concl = ForallTerm(decl.name, decl.ty, concl)
+        goal = goal.remove_decl(name)
+    return state.replace_focused([goal.with_concl(concl)])
+
+
+@executor(Clear)
+def run_clear(env: Environment, state: ProofState, node: Clear) -> ProofState:
+    goal = state.focused()
+    for name in node.names:
+        decl = goal.lookup(name)
+        if decl is None:
+            raise TacticError(f"clear: no declaration named {name}")
+        if name in free_vars(goal.concl):
+            raise TacticError(f"clear: {name} is used in the conclusion")
+        for other in goal.decls:
+            if other.name == name:
+                continue
+            if isinstance(other, HypDecl) and name in free_vars(other.prop):
+                raise TacticError(f"clear: {name} is used by {other.name}")
+        goal = goal.remove_decl(name)
+    return state.replace_focused([goal])
+
+
+def _specialize_statement(
+    env: Environment,
+    state: ProofState,
+    statement: Term,
+    args,
+    label: str,
+) -> Term:
+    """Instantiate a universal statement with explicit arguments."""
+    goal = state.focused()
+    current = state.resolve(statement)
+    whnf = make_whnf(env)
+    for raw in args:
+        current = state.resolve(current)
+        if not isinstance(current, (ForallTerm, Impl)):
+            # Unfold transparent heads (e.g. ``incl``) like Coq does.
+            current = whnf(current)
+        if isinstance(current, ForallTerm):
+            value = elaborate_in_goal(env, goal, raw, expected=current.ty)
+            current = subst_var(current.body, current.var, value)
+            continue
+        if isinstance(current, Impl):
+            # The argument must name a proof of the premise.
+            if not isinstance(raw, Var):
+                raise TacticError(
+                    f"{label}: expected a hypothesis name for premise"
+                )
+            _, arg_stmt = statement_of_name(env, goal, raw.name)
+            arg_stmt = state.resolve(arg_stmt)
+            try:
+                unify(current.lhs, arg_stmt, state.store, whnf)
+            except UnificationError as exc:
+                raise TacticError(f"{label}: {exc}") from exc
+            current = current.rhs
+            continue
+        raise TacticError(f"{label}: too many arguments")
+    resolved = state.resolve(current)
+    if metas_of(resolved):
+        raise TacticError(f"{label}: cannot infer instantiation")
+    return resolved
+
+
+@executor(Specialize)
+def run_specialize(
+    env: Environment, state: ProofState, node: Specialize
+) -> ProofState:
+    goal = state.focused()
+    decl = goal.lookup(node.hyp)
+    if not isinstance(decl, HypDecl):
+        raise TacticError(f"specialize: no hypothesis named {node.hyp}")
+    new_prop = _specialize_statement(
+        env, state, decl.prop, node.args, node.render()
+    )
+    new_goal = goal.replace_decl(node.hyp, HypDecl(node.hyp, new_prop))
+    return state.replace_focused([new_goal])
+
+
+@executor(PoseProof)
+def run_pose_proof(
+    env: Environment, state: ProofState, node: PoseProof
+) -> ProofState:
+    goal = state.focused()
+    _, statement = statement_of_name(env, goal, node.name)
+    prop = _specialize_statement(env, state, statement, node.args, node.render())
+    name = node.as_name or fresh_hyp_names(goal, 1)[0]
+    if goal.lookup(name) is not None:
+        raise TacticError(f"pose proof: name already used: {name}")
+    return state.replace_focused([goal.add(HypDecl(name, prop))])

@@ -1,0 +1,72 @@
+"""``subst``: eliminate variable-defining equations from the context."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import TacticError
+from repro.kernel.env import Environment
+from repro.kernel.goals import Goal, HypDecl, ProofState, VarDecl
+from repro.kernel.subst import subst_var
+from repro.kernel.terms import Eq, Term, Var, free_vars
+from repro.tactics.ast import Subst
+from repro.tactics.base import executor
+from repro.tactics.induction_ import resolved_goal
+
+
+def _substitutable(
+    goal: Goal, hyp: HypDecl, only: Optional[Tuple[str, ...]]
+) -> Optional[Tuple[str, Term]]:
+    """If ``hyp`` is ``x = t`` (or ``t = x``) with eliminable ``x``."""
+    prop = hyp.prop
+    if not isinstance(prop, Eq):
+        return None
+    for var_side, other in ((prop.lhs, prop.rhs), (prop.rhs, prop.lhs)):
+        if not isinstance(var_side, Var):
+            continue
+        name = var_side.name
+        if only is not None and name not in only:
+            continue
+        decl = goal.lookup(name)
+        if not isinstance(decl, VarDecl):
+            continue
+        if name in free_vars(other):
+            continue
+        return name, other
+    return None
+
+
+def _eliminate(goal: Goal, hyp_name: str, var: str, value: Term) -> Goal:
+    decls = []
+    for d in goal.decls:
+        if d.name == hyp_name or d.name == var:
+            continue
+        if isinstance(d, HypDecl):
+            decls.append(HypDecl(d.name, subst_var(d.prop, var, value)))
+        else:
+            decls.append(d)
+    return Goal(tuple(decls), subst_var(goal.concl, var, value))
+
+
+@executor(Subst)
+def run_subst(env: Environment, state: ProofState, node: Subst) -> ProofState:
+    goal = resolved_goal(state, state.focused())
+    only = node.names if node.names else None
+    changed = True
+    performed = 0
+    while changed:
+        changed = False
+        for decl in goal.decls:
+            if not isinstance(decl, HypDecl):
+                continue
+            found = _substitutable(goal, decl, only)
+            if found is None:
+                continue
+            var, value = found
+            goal = _eliminate(goal, decl.name, var, value)
+            performed += 1
+            changed = True
+            break
+    if only is not None and performed == 0:
+        raise TacticError(f"subst: no equation defines {' '.join(only)}")
+    return state.replace_focused([goal])

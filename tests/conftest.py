@@ -1,0 +1,48 @@
+"""Shared fixtures: the corpus project is loaded once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.loader import load_project
+
+
+@pytest.fixture(scope="session")
+def project():
+    """The full corpus, with every human proof machine-checked."""
+    return load_project()
+
+
+@pytest.fixture(scope="session")
+def env(project):
+    return project.env
+
+
+@pytest.fixture()
+def prove(env):
+    """Helper: assert a statement is provable by a script in ``env``."""
+    from repro.kernel.parser import parse_statement
+    from repro.tactics.script import run_script
+
+    def _prove(statement_text: str, script: str):
+        statement = parse_statement(env, statement_text)
+        return run_script(env, statement, script)
+
+    return _prove
+
+
+@pytest.fixture()
+def fails(env):
+    """Helper: assert a script does NOT prove a statement."""
+    import pytest as _pytest
+
+    from repro.errors import ReproError
+    from repro.kernel.parser import parse_statement
+    from repro.tactics.script import run_script
+
+    def _fails(statement_text: str, script: str):
+        statement = parse_statement(env, statement_text)
+        with _pytest.raises(ReproError):
+            run_script(env, statement, script)
+
+    return _fails

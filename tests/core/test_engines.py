@@ -1,0 +1,133 @@
+"""The alternative search engines: MCTS and Rango-style linear."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    LinearConfig,
+    LinearSearch,
+    MCTSConfig,
+    MCTSSearch,
+    Status,
+)
+from repro.errors import GenerationError
+from repro.llm import Candidate
+from repro.llm.models import SimulatedModel, get_model
+from repro.prompting import PromptBuilder
+from repro.serapi import ProofChecker
+from repro.tactics.script import run_script
+
+
+class _ScriptedModel:
+    name = "scripted"
+    context_window = 10**9
+    provides_log_probs = True
+
+    def __init__(self, rounds):
+        self.rounds = list(rounds)
+        self.calls = 0
+
+    def generate(self, prompt, k):
+        index = min(self.calls, len(self.rounds) - 1)
+        self.calls += 1
+        return [
+            Candidate(t, -float(i + 1))
+            for i, t in enumerate(self.rounds[index][:k])
+        ]
+
+
+def _setup(project, name, model):
+    theorem = project.theorem(name)
+    env = project.env_for(theorem)
+    return (
+        theorem,
+        env,
+        ProofChecker(env),
+        PromptBuilder(project, theorem),
+    )
+
+
+@pytest.mark.parametrize("engine_cls,config", [
+    (MCTSSearch, MCTSConfig(fuel=32)),
+    (LinearSearch, LinearConfig(fuel=32)),
+])
+class TestEngines:
+    def test_scripted_proof(self, project, engine_cls, config):
+        model = _ScriptedModel([["intros"], ["reflexivity", "auto"]])
+        theorem, env, checker, builder = _setup(project, "plus_0_l", model)
+        result = engine_cls(checker, model, config).prove(
+            theorem.name, theorem.statement, builder.build
+        )
+        assert result.status is Status.PROVED
+        run_script(env, theorem.statement, result.proof_text())
+
+    def test_stuck_on_garbage(self, project, engine_cls, config):
+        model = _ScriptedModel([["nonsense", "discriminate"]])
+        theorem, env, checker, builder = _setup(project, "plus_0_l", model)
+        result = engine_cls(checker, model, config).prove(
+            theorem.name, theorem.statement, builder.build
+        )
+        assert result.status is Status.STUCK
+
+    def test_fuelout(self, project, engine_cls, config):
+        model = _ScriptedModel([["assert (0 = 0)"]])
+        theorem, env, checker, builder = _setup(project, "plus_comm", model)
+        small = dataclasses.replace(config, fuel=3)
+        result = engine_cls(checker, model, small).prove(
+            theorem.name, theorem.statement, builder.build
+        )
+        assert result.status is Status.FUELOUT
+        assert result.stats.queries == 3
+
+    def test_rejects_wholeproof_model(self, project, engine_cls, config):
+        from repro.llm import WholeProofModel
+
+        with pytest.raises(GenerationError):
+            engine_cls(ProofChecker(project.env), WholeProofModel(), config)
+
+    def test_real_model_deterministic(self, project, engine_cls, config):
+        model = SimulatedModel(
+            dataclasses.replace(get_model("gpt-4o").profile, lucidity=1.0)
+        )
+        theorem, env, checker, builder = _setup(project, "Forall_inv", model)
+        engine = engine_cls(checker, model, config)
+        r1 = engine.prove(theorem.name, theorem.statement, builder.build)
+        r2 = engine.prove(theorem.name, theorem.statement, builder.build)
+        assert r1.status == r2.status
+        assert r1.tactics == r2.tactics
+        if r1.proved:
+            run_script(env, theorem.statement, r1.proof_text())
+
+
+class TestLinearBacktracking:
+    def test_backtracks_to_spare_candidate(self, project):
+        # First pick leads to a dead end ("split" is invalid on an Eq
+        # goal after intros? use a path: intros then a dead assert);
+        # the spare candidate closes the proof.
+        model = _ScriptedModel(
+            [
+                ["intros"],
+                ["assert (1 = 1)", "reflexivity"],
+                ["fail"],  # dead end after the assert path
+            ]
+        )
+        theorem, env, checker, builder = _setup(project, "plus_0_l", model)
+        result = LinearSearch(
+            checker, model, LinearConfig(fuel=16)
+        ).prove(theorem.name, theorem.statement, builder.build)
+        assert result.status is Status.PROVED
+        run_script(env, theorem.statement, result.proof_text())
+
+
+class TestMCTSInternals:
+    def test_exploration_visits_accumulate(self, project):
+        model = _ScriptedModel(
+            [["intros"], ["assert (0 = 0)", "assert (1 = 1)"], ["auto"]]
+        )
+        theorem, env, checker, builder = _setup(project, "plus_comm", model)
+        result = MCTSSearch(
+            checker, model, MCTSConfig(fuel=6)
+        ).prove(theorem.name, theorem.statement, builder.build)
+        assert result.stats.queries <= 6
+        assert result.stats.nodes_expanded >= 2

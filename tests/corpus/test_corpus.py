@@ -1,0 +1,132 @@
+"""The benchmark corpus: every proof checks; structure is sane."""
+
+import collections
+
+import pytest
+
+from repro.corpus.loader import FILE_MODULES, load_project
+from repro.corpus.model import CATEGORIES
+from repro.corpus.splits import make_splits
+from repro.corpus.tokenizer import bin_of_length, count_tokens, tokenize
+
+
+class TestAllProofsCheck:
+    """Loading the project machine-checks all 300+ human proofs."""
+
+    def test_project_loads_with_proofs_checked(self, project):
+        assert len(project.theorems) >= 300
+
+    def test_every_category_populated(self, project):
+        counts = collections.Counter(t.category for t in project.theorems)
+        for category in CATEGORIES:
+            assert counts[category] >= 50, counts
+
+    def test_figure2_lemmas_present(self, project):
+        for name in (
+            "incl_tl_inv",
+            "ndata_log_padded_log",
+            "tree_name_distinct_head",
+        ):
+            theorem = project.theorem(name)
+            assert theorem.statement is not None
+
+    def test_unique_names(self, project):
+        names = [t.name for t in project.theorems]
+        assert len(names) == len(set(names))
+
+    def test_length_bins_populated(self, project):
+        bins = collections.Counter(
+            bin_of_length(t.proof_tokens) for t in project.theorems
+        )
+        assert bins[0] > 0  # <=16
+        assert bins[2] > 0  # <=64
+        assert bins[3] > 0  # <=128
+        assert bins[6] > 0  # >512 (no model ever proves these)
+
+
+class TestEnvRestriction:
+    def test_theorem_invisible_to_itself(self, project):
+        theorem = project.theorem("plus_comm")
+        env = project.env_for(theorem)
+        assert env.statement_of("plus_comm") is None
+        assert env.statement_of("plus_0_r") is not None  # earlier lemma
+
+    def test_later_lemmas_invisible(self, project):
+        theorem = project.theorem("plus_0_r")
+        env = project.env_for(theorem)
+        assert env.statement_of("ndata_log_padded_log") is None
+
+    def test_later_hints_invisible(self, project):
+        first = project.theorems[0]
+        env = project.env_for(first)
+        assert len(env.hint_resolve) <= len(project.env.hint_resolve)
+
+    def test_cannot_prove_by_own_hint(self, project):
+        # Regression: `auto` once proved hinted theorems circularly.
+        from repro.errors import ReproError
+        from repro.tactics.script import run_script
+
+        theorem = project.theorem("plus_0_r")
+        env = project.env_for(theorem)
+        with pytest.raises(ReproError):
+            run_script(env, theorem.statement, "auto.")
+
+
+class TestImports:
+    def test_import_closure_is_ordered(self, project):
+        seen = set()
+        for source_file in project.files:
+            for imp in source_file.imports:
+                assert imp in seen
+            seen.add(source_file.name)
+
+    def test_all_modules_loaded(self, project):
+        assert len(project.files) == len(FILE_MODULES)
+
+
+class TestSplits:
+    def test_split_deterministic(self, project):
+        s1 = make_splits(project)
+        s2 = make_splits(project)
+        assert s1.hint_names == s2.hint_names
+        assert [t.name for t in s1.test_large] == [
+            t.name for t in s2.test_large
+        ]
+
+    def test_split_disjoint(self, project):
+        splits = make_splits(project)
+        for theorem in splits.test:
+            assert theorem.name not in splits.hint_names
+
+    def test_large_subset_of_small(self, project):
+        splits = make_splits(project)
+        small = {t.name for t in splits.test}
+        assert {t.name for t in splits.test_large} <= small
+
+    def test_fraction_roughly_half(self, project):
+        splits = make_splits(project)
+        assert abs(len(splits.hint_names) - len(project.theorems) / 2) <= 1
+
+
+class TestTokenizer:
+    def test_punctuation_counts(self):
+        assert count_tokens("intros.") >= 2
+
+    def test_long_identifiers_split(self):
+        short = count_tokens("auto")
+        long = count_tokens("tree_names_distinct_subtree_lemma")
+        assert long > short * 3
+
+    def test_monotone_under_concat(self):
+        a, b = "intros. simpl.", "reflexivity."
+        assert count_tokens(a + " " + b) <= count_tokens(a) + count_tokens(b) + 1
+
+    def test_bin_edges(self):
+        assert bin_of_length(10) == 0
+        assert bin_of_length(16) == 0
+        assert bin_of_length(17) == 1
+        assert bin_of_length(512) == 5
+        assert bin_of_length(513) == 6
+
+    def test_tokenize_no_empties(self):
+        assert all(tokenize("rewrite IHn. reflexivity."))

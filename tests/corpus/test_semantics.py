@@ -1,0 +1,143 @@
+"""Cross-validate corpus fixpoints against executable Python models.
+
+The corpus functions (``replay``, ``count_free``, ``find_free``,
+``pad2``...) are definitions inside the kernel's term language; these
+property tests evaluate them by reduction and compare against plain
+Python implementations — the strongest evidence that the file-system
+substrate means what it claims.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.parser import parse_term
+from repro.kernel.reduction import simpl, unfold
+from repro.kernel.terms import as_nat_lit, head_const
+from repro.kernel.typecheck import elaborate_term
+
+
+def _nat_list(values):
+    text = "nil"
+    for v in reversed(values):
+        text = f"({v} :: {text})"
+    return text
+
+
+def _bool_list(values):
+    text = "nil"
+    for v in reversed(values):
+        text = f"({'true' if v else 'false'} :: {text})"
+    return text
+
+
+def _entry_list(entries):
+    text = "nil"
+    for a, _ in reversed(entries):
+        text = f"(pair {a} v0 :: {text})"
+    return text
+
+
+def _eval_nat(env, text):
+    term = elaborate_term(env, parse_term(text), {})
+    return as_nat_lit(simpl(env, term))
+
+
+class TestBalloc:
+    @given(st.lists(st.booleans(), max_size=7))
+    @settings(max_examples=40)
+    def test_count_free(self, env, bits):
+        got = _eval_nat(env, f"count_free {_bool_list(bits)}")
+        assert got == sum(1 for b in bits if not b)
+
+    @given(st.lists(st.booleans(), max_size=7))
+    @settings(max_examples=40)
+    def test_find_free(self, env, bits):
+        term = elaborate_term(
+            env, parse_term(f"find_free {_bool_list(bits)}"), {}
+        )
+        result = simpl(env, term)
+        expected = next((i for i, b in enumerate(bits) if not b), None)
+        if expected is None:
+            assert head_const(result) == "None"
+        else:
+            assert head_const(result) == "Some"
+            assert as_nat_lit(result.args[0]) == expected
+
+
+class TestLogReplay:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.just(0)), max_size=5
+        ),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=30)
+    def test_replay_length(self, env, entries, disk_len):
+        disk = _nat_list([0] * disk_len)
+        # Disk cells hold valu; reuse v0 everywhere via the entry list,
+        # and check only the length (values are opaque).
+        text = (
+            f"length (replay {_entry_list(entries)} "
+            f"(repeat v0 {disk_len}))"
+        )
+        assert _eval_nat(env, text) == disk_len
+
+    @given(st.lists(st.integers(0, 9), max_size=6))
+    @settings(max_examples=40)
+    def test_ndata_log_counts_nonzero(self, env, addrs):
+        entries = [(a, 0) for a in addrs]
+        term = elaborate_term(
+            env, parse_term(f"ndata_log {_entry_list(entries)}"), {}
+        )
+        value = as_nat_lit(simpl(env, unfold(env, term, ["ndata_log"])))
+        assert value == sum(1 for a in addrs if a > 0)
+
+
+class TestRounding:
+    @given(st.integers(0, 16))
+    @settings(max_examples=20)
+    def test_pad2_parity(self, env, n):
+        assert _eval_nat(env, f"pad2 {n}") == n % 2
+
+    @given(st.integers(0, 16))
+    @settings(max_examples=20)
+    def test_even_matches_python(self, env, n):
+        term = elaborate_term(env, parse_term(f"even {n}"), {})
+        result = simpl(env, term)
+        assert head_const(result) == ("true" if n % 2 == 0 else "false")
+
+
+class TestPaddedLog:
+    @given(st.lists(st.integers(0, 5), max_size=5))
+    @settings(max_examples=30)
+    def test_padded_log_length_even(self, env, addrs):
+        entries = [(a, 0) for a in addrs]
+        text = f"length (padded_log {_entry_list(entries)})"
+        term = elaborate_term(env, parse_term(text), {})
+        value = as_nat_lit(simpl(env, unfold(env, term, ["padded_log"])))
+        n = len(addrs)
+        assert value == n + (n % 2)
+
+
+class TestDirTree:
+    def test_tree_inum_computes(self, env):
+        assert _eval_nat(env, "tree_inum (TreeDir 7 nil)") == 7
+        assert _eval_nat(env, "tree_inum (TreeFile 3 nil)") == 3
+
+    def test_is_file(self, env):
+        term = elaborate_term(env, parse_term("is_file (TreeFile 1 nil)"), {})
+        assert head_const(simpl(env, term)) == "true"
+
+
+class TestSuper:
+    @given(st.integers(0, 10), st.integers(0, 10))
+    @settings(max_examples=30)
+    def test_sb_accounting(self, env, total, used):
+        def run(text):
+            term = elaborate_term(env, parse_term(text), {})
+            opened = unfold(env, term, ["sb_used", "sb_alloc", "sb_free"])
+            return as_nat_lit(simpl(env, opened))
+
+        assert run(f"sb_used (sb_alloc (pair {total} {used}))") == used + 1
+        assert run(f"sb_used (sb_free (pair {total} {used}))") == max(
+            0, used - 1
+        )

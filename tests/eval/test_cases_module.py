@@ -1,0 +1,66 @@
+"""The Figure-2 case-study module and its curated dependencies."""
+
+import pytest
+
+from repro.eval.cases import CASE_DEPENDENCIES, CASE_LEMMAS, render_case
+from repro.eval.cases import CaseStudy
+
+
+class TestCaseConfiguration:
+    def test_case_lemmas_exist(self, project):
+        for lemma_name, _model in CASE_LEMMAS:
+            assert project.theorem(lemma_name) is not None
+
+    def test_dependencies_exist_and_precede(self, project):
+        """Every curated dependency is a real, *earlier* declaration."""
+        for lemma_name, deps in CASE_DEPENDENCIES.items():
+            theorem = project.theorem(lemma_name)
+            env = project.env_for(theorem)
+            for dep in deps:
+                visible = (
+                    env.statement_of(dep) is not None
+                    or dep in env.signature
+                    or dep in env.preds
+                    or dep in env.inductives
+                    or dep in env.abbreviations
+                    or dep in env.fixpoints
+                )
+                assert visible, f"{lemma_name}: dependency {dep} not visible"
+
+    def test_models_are_paper_models(self):
+        from repro.llm import PROFILES
+
+        for _lemma, model in CASE_LEMMAS:
+            assert model in PROFILES
+
+
+class TestRenderCase:
+    def test_render_success(self):
+        study = CaseStudy(
+            lemma="l",
+            model="m",
+            statement="0 = 0",
+            human_proof="reflexivity.",
+            human_tokens=3,
+            generated_proof="auto.",
+            generated_tokens=2,
+            similarity=0.5,
+            proved=True,
+        )
+        text = render_case(study)
+        assert "human proof (3 tokens)" in text
+        assert "generated proof (2 tokens" in text
+
+    def test_render_failure(self):
+        study = CaseStudy(
+            lemma="l",
+            model="m",
+            statement="0 = 0",
+            human_proof="reflexivity.",
+            human_tokens=3,
+            generated_proof=None,
+            generated_tokens=None,
+            similarity=None,
+            proved=False,
+        )
+        assert "search failed" in render_case(study)

@@ -1,0 +1,184 @@
+"""The evaluation layer: similarity, coverage, tables, runner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Status
+from repro.corpus.model import Theorem
+from repro.eval import (
+    ExperimentConfig,
+    Runner,
+    category_table,
+    coverage_by_bin,
+    coverage_under,
+    levenshtein,
+    normalized_similarity,
+    outcome_row,
+    overall_coverage,
+    random_pair_baseline,
+    render_figure1,
+    render_table1,
+    render_table2,
+    table2_rows,
+)
+from repro.eval.runner import EvalRun, TheoremOutcome
+
+
+class TestLevenshtein:
+    def test_known_distance(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_identity(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+
+    @given(st.text(max_size=18), st.text(max_size=18))
+    @settings(max_examples=60)
+    def test_symmetric(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(st.text(max_size=12), st.text(max_size=12), st.text(max_size=12))
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(st.text(max_size=18), st.text(max_size=18))
+    @settings(max_examples=60)
+    def test_similarity_in_unit_interval(self, a, b):
+        sim = normalized_similarity(a, b)
+        assert 0.0 <= sim <= 1.0
+
+    def test_exact_match_is_one(self):
+        assert normalized_similarity("intros. auto.", "intros.  auto.") == 1.0
+
+    def test_random_baseline_between_0_and_1(self, project):
+        proofs = [t.proof_text for t in project.theorems[:40]]
+        baseline = random_pair_baseline(proofs, pairs=50)
+        assert 0.0 < baseline < 1.0
+
+
+def _fake_outcome(tokens, category, proved, status=None):
+    theorem = Theorem(
+        name=f"t{tokens}_{category}_{proved}",
+        file="F",
+        category=category,
+        index=0,
+        statement_text="s",
+        proof_text="p",
+        proof_tokens=tokens,
+    )
+    return TheoremOutcome(
+        theorem=theorem,
+        model="m",
+        hinted=False,
+        status=status or (Status.PROVED if proved else Status.STUCK),
+        queries=1,
+        revalidated=proved,
+        similarity=0.5 if proved else None,
+        length_ratio=1.0 if proved else None,
+    )
+
+
+class TestCoverage:
+    def test_bins(self):
+        outcomes = [
+            _fake_outcome(10, "Utilities", True),
+            _fake_outcome(10, "Utilities", False),
+            _fake_outcome(600, "CHL", False),
+        ]
+        bins = coverage_by_bin(outcomes)
+        assert bins[0].total == 2 and bins[0].proved == 1
+        assert bins[6].total == 1 and bins[6].coverage == 0.0
+        assert overall_coverage(outcomes) == pytest.approx(1 / 3)
+        assert coverage_under(outcomes, 64) == pytest.approx(0.5)
+
+    def test_expected_vs_actual(self):
+        outcomes = [
+            _fake_outcome(10, "Utilities", True),
+            _fake_outcome(10, "Utilities", True),
+            _fake_outcome(10, "FileSystem", False),
+            _fake_outcome(10, "FileSystem", False),
+        ]
+        rows = {r.category: r for r in category_table(outcomes)}
+        # Same-bin theorems: expected coverage equalizes at 0.5.
+        assert rows["Utilities"].actual == 1.0
+        assert rows["Utilities"].expected == pytest.approx(0.5)
+        assert rows["FileSystem"].actual == 0.0
+        assert rows["FileSystem"].expected == pytest.approx(0.5)
+
+
+class TestTables:
+    def test_outcome_row(self):
+        run = EvalRun(
+            model="m",
+            hinted=False,
+            outcomes=[
+                _fake_outcome(10, "CHL", True),
+                _fake_outcome(10, "CHL", False, Status.STUCK),
+                _fake_outcome(10, "CHL", False, Status.FUELOUT),
+            ],
+        )
+        row = outcome_row(run)
+        assert row.proved == pytest.approx(1 / 3)
+        assert row.stuck == pytest.approx(1 / 3)
+        assert row.fuelout == pytest.approx(1 / 3)
+        assert row.similarity == 0.5
+
+    def test_table2_pairs_runs(self):
+        vanilla = EvalRun("m", False, [_fake_outcome(10, "CHL", False)])
+        hinted = EvalRun("m", True, [_fake_outcome(10, "CHL", True)])
+        rows = table2_rows([vanilla, hinted])
+        assert len(rows) == 1
+        assert rows[0]["proved"] == (0.0, 1.0)
+
+    def test_renderers_produce_text(self):
+        outcomes = [_fake_outcome(10, "Utilities", True)]
+        fig = render_figure1({"m": coverage_by_bin(outcomes)})
+        assert "<=16" in fig
+        t1 = render_table1({"m": category_table(outcomes)})
+        assert "Utilities" in t1
+        vanilla = EvalRun("m", False, outcomes)
+        hinted = EvalRun("m", True, outcomes)
+        t2 = render_table2(table2_rows([vanilla, hinted]))
+        assert "proved" in t2
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def runner(self, project):
+        return Runner(project, ExperimentConfig(max_theorems=6, fuel=24))
+
+    def test_run_theorem_revalidates(self, runner, project):
+        outcome = runner.run_theorem(
+            project.theorem("app_nil_l"), "gpt-4o", hinted=False
+        )
+        assert outcome.status is Status.PROVED
+        assert outcome.revalidated
+        assert 0.0 <= outcome.similarity <= 1.0
+
+    def test_large_models_get_subsample(self, runner):
+        small = runner.splits.test
+        large = runner.splits.test_large
+        assert len(large) < len(small)
+
+    def test_run_sweep(self, runner):
+        run = runner.run("gemini-1.5-flash", hinted=False)
+        assert len(run.outcomes) == 6
+        assert 0.0 <= run.proved_fraction() <= 1.0
+
+    def test_reduced_context_probe(self, runner, project):
+        outcome = runner.run_reduced_context(
+            project.theorem("in_cons"), "gpt-4o-mini", ["In", "in_eq"]
+        )
+        assert outcome.status in (
+            Status.PROVED,
+            Status.STUCK,
+            Status.FUELOUT,
+        )
+
+    def test_whole_proof_probe(self, runner, project):
+        report = runner.run_whole_proof(project.theorem("plus_comm"), 4)
+        assert report["attempts"] == 4
+        assert 0 <= report["successes"] <= 4

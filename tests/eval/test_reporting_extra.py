@@ -1,0 +1,73 @@
+"""Transcript, cost metering, and CLI plumbing."""
+
+import pytest
+
+from repro.core.transcript import CandidateEvent, ExpansionEvent, Transcript
+from repro.llm.cost import UsageMeter
+
+
+class TestTranscript:
+    def test_summary_renders(self):
+        transcript = Transcript("thm", "model")
+        event = ExpansionEvent(node_depth=0, node_score=0.0, goal_preview="g")
+        event.candidates.append(
+            CandidateEvent("intros", -0.5, "valid")
+        )
+        transcript.record(event)
+        text = transcript.summary()
+        assert "thm" in text and "intros" in text and "valid" in text
+
+
+class TestUsageMeter:
+    def test_accumulates_and_resets(self):
+        meter = UsageMeter()
+        meter.record_query("some prompt text", 8)
+        meter.record_output("intros")
+        snap = meter.snapshot()
+        assert snap["queries"] == 1
+        assert snap["prompt_tokens"] > 0
+        assert snap["output_tokens"] > 0
+        meter.reset()
+        assert meter.snapshot()["queries"] == 0
+
+    def test_model_meters_usage(self, project):
+        from repro.kernel.goals import initial_state
+        from repro.llm import get_model
+        from repro.prompting import PromptBuilder
+
+        model = get_model("gemini-1.5-flash")
+        model.usage.reset()
+        theorem = project.theorems[0]
+        builder = PromptBuilder(project, theorem)
+        state = initial_state(project.env_for(theorem), theorem.statement)
+        model.generate(builder.build(state, []), 4)
+        assert model.usage.queries == 1
+        assert model.usage.prompt_tokens > 100
+
+
+class TestCli:
+    def test_show(self, capsys):
+        from repro.cli import main
+
+        assert main(["--fast", "show", "plus_comm"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma plus_comm" in out and "Qed." in out
+
+    def test_list_category(self, capsys):
+        from repro.cli import main
+
+        assert main(["--fast", "list", "--category", "CHL"]) == 0
+        out = capsys.readouterr().out
+        assert "pimpl_sep_star_l" in out
+        assert "plus_comm" not in out
+
+    def test_prove_trivial(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["--fast", "prove", "app_nil_l", "--model", "gpt-4o",
+             "--fuel", "32"]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "queries" in out

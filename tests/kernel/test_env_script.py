@@ -1,0 +1,128 @@
+"""Environment discipline and proof-script (bullet/brace) semantics."""
+
+import pytest
+
+from repro.errors import EnvironmentError_, ScriptError
+from repro.kernel.definitions import Abbreviation
+from repro.kernel.env import Environment
+from repro.kernel.inductives import DataConstructor, Inductive
+from repro.kernel.terms import TRUE
+from repro.kernel.types import NAT, PROP
+from repro.tactics.script import Sentence, split_sentences
+
+
+class TestEnvironment:
+    def test_duplicate_inductive_rejected(self):
+        env = Environment()
+        ind = Inductive("t", (), (DataConstructor("mk"),))
+        env.declare_inductive(ind)
+        with pytest.raises(EnvironmentError_):
+            env.declare_inductive(ind)
+
+    def test_duplicate_constructor_rejected(self):
+        env = Environment()
+        env.declare_inductive(Inductive("t", (), (DataConstructor("mk"),)))
+        with pytest.raises(EnvironmentError_):
+            env.declare_inductive(
+                Inductive("u", (), (DataConstructor("mk"),))
+            )
+
+    def test_lemma_cannot_shadow_constant(self):
+        env = Environment()
+        env.declare_opaque("c", NAT)
+        with pytest.raises(EnvironmentError_):
+            env.add_lemma("c", TRUE)
+
+    def test_duplicate_lemma_rejected(self):
+        env = Environment()
+        env.add_lemma("l", TRUE)
+        with pytest.raises(EnvironmentError_):
+            env.add_axiom("l", TRUE)
+
+    def test_hint_for_unknown_lemma_rejected(self):
+        env = Environment()
+        with pytest.raises(EnvironmentError_):
+            env.hint_resolve_add("ghost")
+
+    def test_auto_hints_order(self):
+        env = Environment()
+        env.add_lemma("a", TRUE)
+        env.add_lemma("b", TRUE)
+        env.hint_resolve_add("b", "a")
+        assert [n for n, _ in env.auto_hints()] == ["b", "a"]
+
+    def test_abbreviation_signature_type(self):
+        env = Environment()
+        env.declare_abbreviation(
+            Abbreviation("always", (("x", NAT),), TRUE, PROP)
+        )
+        info = env.signature.lookup("always")
+        assert str(info.ty) == "nat -> Prop"
+
+
+class TestSentenceSplitting:
+    def test_plain(self):
+        assert split_sentences("intros. auto.") == [
+            Sentence(None, "intros"),
+            Sentence(None, "auto"),
+        ]
+
+    def test_strips_proof_qed(self):
+        sentences = split_sentences("Proof.\n intros. auto.\nQed.")
+        assert [s.tactic_text for s in sentences] == ["intros", "auto"]
+
+    def test_bullets_attach(self):
+        sentences = split_sentences("split.\n- auto.\n- auto.")
+        assert sentences[1].bullet == "-"
+        assert sentences[1].tactic_text == "auto"
+
+    def test_bullet_runs(self):
+        sentences = split_sentences("x.\n-- auto.")
+        assert sentences[1].bullet == "--"
+
+    def test_spaced_dashes_are_not_a_run(self):
+        sentences = split_sentences("x.\n- - auto.")
+        # '- -' is two separate bullets, not '--'.
+        assert sentences[1].bullet == "-"
+        assert sentences[2].bullet == "-"
+
+    def test_braces_are_markers(self):
+        sentences = split_sentences("assert (0 = 0).\n{ auto. }\nauto.")
+        kinds = [s.bullet for s in sentences]
+        assert "{" in kinds and "}" in kinds
+
+    def test_period_inside_parens_not_a_split(self):
+        # Periods only end sentences at top level; none appear nested
+        # in practice, but unbalanced input must error, not hang.
+        with pytest.raises(ScriptError):
+            split_sentences("intros")  # no terminating period
+
+
+class TestBulletDiscipline:
+    def test_wrong_order_fails(self, fails):
+        fails(
+            "0 = 0 /\\ 1 = 1",
+            "split.\n- reflexivity.\nreflexivity.\n- reflexivity.",
+        )
+
+    def test_unclosed_brace_fails(self, fails):
+        fails("0 = 0", "{ reflexivity.")
+
+    def test_close_without_open_fails(self, fails):
+        fails("0 = 0", "reflexivity. }")
+
+    def test_nested_bullets(self, prove):
+        prove(
+            "(0 = 0 /\\ 1 = 1) /\\ 2 = 2",
+            "split.\n"
+            "- split.\n"
+            "  + reflexivity.\n"
+            "  + reflexivity.\n"
+            "- reflexivity.",
+        )
+
+    def test_brace_then_bullet(self, prove):
+        prove(
+            "0 = 0 /\\ 1 = 1",
+            "split.\n{ reflexivity. }\n{ reflexivity. }",
+        )

@@ -1,0 +1,115 @@
+"""Reduction (simpl / whnf / unfold) against executable semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.parser import parse_term
+from repro.kernel.reduction import Budget, simpl, unfold, whnf
+from repro.kernel.terms import as_nat_lit, nat_lit, napp
+from repro.kernel.typecheck import elaborate_term
+
+
+def _eval_nat(env, text: str):
+    """Elaborate and fully simplify a closed nat expression."""
+    term = elaborate_term(env, parse_term(text), {})
+    return as_nat_lit(simpl(env, term))
+
+
+class TestArithmetic:
+    @given(st.integers(0, 12), st.integers(0, 12))
+    def test_add(self, env, a, b):
+        assert _eval_nat(env, f"{a} + {b}") == a + b
+
+    @given(st.integers(0, 12), st.integers(0, 12))
+    def test_sub_truncated(self, env, a, b):
+        assert _eval_nat(env, f"{a} - {b}") == max(0, a - b)
+
+    @given(st.integers(0, 8), st.integers(0, 8))
+    def test_mult(self, env, a, b):
+        assert _eval_nat(env, f"{a} * {b}") == a * b
+
+    @given(st.integers(0, 10), st.integers(0, 10))
+    def test_min_max(self, env, a, b):
+        assert _eval_nat(env, f"min {a} {b}") == min(a, b)
+        assert _eval_nat(env, f"max {a} {b}") == max(a, b)
+
+
+def _nat_list(values):
+    text = "nil"
+    for v in reversed(values):
+        text = f"({v} :: {text})"
+    return text
+
+
+class TestLists:
+    @given(st.lists(st.integers(0, 5), max_size=5),
+           st.lists(st.integers(0, 5), max_size=5))
+    def test_app_length(self, env, xs, ys):
+        text = f"length ({_nat_list(xs)} ++ {_nat_list(ys)})"
+        assert _eval_nat(env, text) == len(xs) + len(ys)
+
+    @given(st.lists(st.integers(0, 5), max_size=5), st.integers(0, 6))
+    def test_firstn(self, env, xs, n):
+        text = f"length (firstn {n} {_nat_list(xs)})"
+        assert _eval_nat(env, text) == min(n, len(xs))
+
+    @given(st.lists(st.integers(0, 5), max_size=5), st.integers(0, 6))
+    def test_skipn(self, env, xs, n):
+        text = f"length (skipn {n} {_nat_list(xs)})"
+        assert _eval_nat(env, text) == max(0, len(xs) - n)
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=5),
+           st.integers(0, 4), st.integers(0, 5))
+    def test_seln_updn(self, env, xs, i, v):
+        i = i % len(xs)
+        text = f"selN (updN {_nat_list(xs)} {i} {v}) {i} 9"
+        assert _eval_nat(env, text) == v
+
+    @given(st.lists(st.integers(0, 9), max_size=6))
+    def test_nonzero_addrs(self, env, xs):
+        assert _eval_nat(env, f"nonzero_addrs {_nat_list(xs)}") == sum(
+            1 for x in xs if x > 0
+        )
+
+
+class TestWhnf:
+    def test_head_only(self, env):
+        term = elaborate_term(env, parse_term("1 + (1 + 1)"), {})
+        result = whnf(env, term)
+        # Weak head: outer S exposed, inner addition untouched.
+        assert str(result).startswith("S")
+
+    def test_stuck_on_var(self, env):
+        from repro.kernel.types import NAT
+        term = elaborate_term(env, parse_term("n + 0"), {"n": NAT})
+        assert whnf(env, term) == term
+
+
+class TestUnfold:
+    def test_abbreviation(self, env):
+        from repro.kernel.types import NAT
+        term = elaborate_term(env, parse_term("lt a b"), {"a": NAT, "b": NAT})
+        result = unfold(env, term, ["lt"])
+        assert str(result) == "S a <= b"
+
+    def test_unfold_missing_name_still_iota_reduces(self, env):
+        term = elaborate_term(env, parse_term("0 + 0"), {})
+        # unfold normalizes touched positions by beta/iota even when
+        # the named constant never occurs.
+        assert as_nat_lit(unfold(env, term, ["lt"])) == 0
+
+
+class TestBudget:
+    def test_budget_exhausts_gracefully(self, env):
+        term = elaborate_term(env, parse_term("7 * 7"), {})
+        result = simpl(env, term, Budget(remaining=5))
+        # Partially reduced, but no exception.
+        assert result is not None
+
+    def test_roundup2_semantics(self, env):
+        for n in range(10):
+            term = elaborate_term(env, parse_term(f"roundup2 {n}"), {})
+            # roundup2 is an abbreviation: simpl alone keeps it folded
+            # (Coq behaviour); delta-unfold first.
+            value = as_nat_lit(simpl(env, unfold(env, term, ["roundup2"])))
+            assert value == n + (n % 2)

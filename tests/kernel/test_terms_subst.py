@@ -1,0 +1,146 @@
+"""Terms, substitution, and alpha-equivalence."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.subst import alpha_eq, alpha_key, fresh_name, subst_var
+from repro.kernel.terms import (
+    And,
+    App,
+    Const,
+    Eq,
+    FALSE,
+    Forall,
+    Impl,
+    Or,
+    Var,
+    app,
+    as_nat_lit,
+    free_vars,
+    head_const,
+    impl_chain,
+    is_neg,
+    nat_lit,
+    neg,
+    neg_body,
+    strip_foralls,
+    strip_impls,
+    subterms,
+)
+from repro.kernel.types import NAT
+
+
+class TestNumerals:
+    @given(st.integers(0, 60))
+    def test_nat_lit_roundtrip(self, n):
+        assert as_nat_lit(nat_lit(n)) == n
+
+    def test_not_a_literal(self):
+        assert as_nat_lit(Var("x")) is None
+        assert as_nat_lit(app(Const("S"), Var("x"))) is None
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            nat_lit(-1)
+
+
+class TestNeg:
+    def test_roundtrip(self):
+        p = Var("P")
+        assert is_neg(neg(p))
+        assert neg_body(neg(p)) == p
+
+    def test_plain_impl_is_not_neg(self):
+        assert not is_neg(Impl(Var("P"), Var("Q")))
+
+
+class TestChains:
+    def test_impl_chain(self):
+        t = impl_chain((Var("A"), Var("B")), Var("C"))
+        premises, concl = strip_impls(t)
+        assert premises == (Var("A"), Var("B"))
+        assert concl == Var("C")
+
+    def test_strip_foralls(self):
+        t = Forall("x", NAT, Forall("y", NAT, Var("x")))
+        binders, body = strip_foralls(t)
+        assert [name for name, _ in binders] == ["x", "y"]
+        assert body == Var("x")
+
+
+class TestFreeVars:
+    def test_binder_shadows(self):
+        t = Forall("x", NAT, app(Const("f"), Var("x"), Var("y")))
+        assert free_vars(t) == {"y"}
+
+    def test_app_flattening(self):
+        t = app(app(Const("f"), Var("x")), Var("y"))
+        assert isinstance(t, App)
+        assert t.args == (Var("x"), Var("y"))
+
+    def test_head_const(self):
+        assert head_const(app(Const("f"), Var("x"))) == "f"
+        assert head_const(Const("c")) == "c"
+        assert head_const(Var("x")) is None
+
+
+class TestSubstitution:
+    def test_basic(self):
+        t = app(Const("f"), Var("x"))
+        assert subst_var(t, "x", nat_lit(0)) == app(Const("f"), nat_lit(0))
+
+    def test_no_capture(self):
+        # (forall y, x = y)[x := y]  must rename the binder.
+        t = Forall("y", NAT, Eq(NAT, Var("x"), Var("y")))
+        result = subst_var(t, "x", Var("y"))
+        assert isinstance(result, Forall)
+        assert result.var != "y"
+        assert free_vars(result) == {"y"}
+
+    def test_shadowed_not_substituted(self):
+        t = Forall("x", NAT, Var("x"))
+        assert subst_var(t, "x", nat_lit(3)) == t
+
+
+class TestAlpha:
+    def test_alpha_eq_renamed(self):
+        t1 = Forall("x", NAT, Eq(NAT, Var("x"), Var("x")))
+        t2 = Forall("z", NAT, Eq(NAT, Var("z"), Var("z")))
+        assert alpha_eq(t1, t2)
+        assert alpha_key(t1) == alpha_key(t2)
+
+    def test_alpha_neq_free(self):
+        assert not alpha_eq(Var("x"), Var("y"))
+
+    def test_shadowing_depth(self):
+        # forall x, forall x, x  ==  forall a, forall b, b
+        t1 = Forall("x", NAT, Forall("x", NAT, Var("x")))
+        t2 = Forall("a", NAT, Forall("b", NAT, Var("b")))
+        t3 = Forall("a", NAT, Forall("b", NAT, Var("a")))
+        assert alpha_eq(t1, t2)
+        assert not alpha_eq(t1, t3)
+        assert alpha_key(t1) == alpha_key(t2)
+        assert alpha_key(t1) != alpha_key(t3)
+
+    def test_connectives_distinguished(self):
+        a, b = Var("a"), Var("b")
+        assert alpha_key(And(a, b)) != alpha_key(Or(a, b))
+        assert alpha_key(And(a, b)) != alpha_key(Impl(a, b))
+
+
+class TestFreshName:
+    def test_not_taken(self):
+        assert fresh_name("x", set()) == "x"
+
+    def test_increments(self):
+        assert fresh_name("x", {"x"}) == "x0"
+        assert fresh_name("x", {"x", "x0"}) == "x1"
+
+
+class TestSubterms:
+    def test_counts(self):
+        t = Eq(NAT, app(Const("f"), Var("x")), Var("y"))
+        names = [s for s in subterms(t)]
+        assert Var("x") in names
+        assert Var("y") in names
+        assert Const("f") in names

@@ -1,0 +1,125 @@
+"""Unit tests for the kernel type language."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnificationError
+from repro.kernel.types import (
+    NAT,
+    PROP,
+    TArrow,
+    TCon,
+    TVar,
+    apply_tsubst,
+    arrows,
+    instantiate_scheme,
+    tlist,
+    tprod,
+    type_vars,
+    unify_types,
+)
+
+
+class TestConstruction:
+    def test_arrows_right_assoc(self):
+        ty = arrows(NAT, NAT, PROP)
+        assert ty == TArrow(NAT, TArrow(NAT, PROP))
+
+    def test_arrows_single(self):
+        assert arrows(NAT) == NAT
+
+    def test_arrows_empty_rejected(self):
+        with pytest.raises(ValueError):
+            arrows()
+
+    def test_tlist(self):
+        assert tlist(NAT) == TCon("list", (NAT,))
+
+    def test_str_nested(self):
+        assert str(tlist(tprod(NAT, NAT))) == "list (prod nat nat)"
+
+    def test_str_arrow_domain_parens(self):
+        ty = TArrow(TArrow(TVar("A"), PROP), PROP)
+        assert str(ty) == "(A -> Prop) -> Prop"
+
+
+class TestTypeVars:
+    def test_collects_all(self):
+        ty = arrows(TVar("A"), tlist(TVar("B")), TVar("A"))
+        assert set(type_vars(ty)) == {"A", "B"}
+
+    def test_instantiate_scheme_freshens(self):
+        ty = arrows(TVar("A"), TVar("A"))
+        inst = instantiate_scheme(ty)
+        assert isinstance(inst, TArrow)
+        assert inst.dom == inst.cod  # same variable stays shared
+        assert inst.dom != TVar("A")  # but is fresh
+
+
+class TestUnification:
+    def test_unify_var(self):
+        subst = unify_types(TVar("A"), NAT)
+        assert apply_tsubst(subst, TVar("A")) == NAT
+
+    def test_unify_nested(self):
+        subst = unify_types(tlist(TVar("A")), tlist(NAT))
+        assert apply_tsubst(subst, TVar("A")) == NAT
+
+    def test_unify_arrow(self):
+        subst = unify_types(
+            TArrow(TVar("A"), TVar("B")), TArrow(NAT, PROP)
+        )
+        assert apply_tsubst(subst, TVar("A")) == NAT
+        assert apply_tsubst(subst, TVar("B")) == PROP
+
+    def test_clash(self):
+        with pytest.raises(UnificationError):
+            unify_types(NAT, PROP)
+
+    def test_occurs_check(self):
+        with pytest.raises(UnificationError):
+            unify_types(TVar("A"), tlist(TVar("A")))
+
+    def test_failure_preserves_input_subst(self):
+        subst = {"B": NAT}
+        with pytest.raises(UnificationError):
+            unify_types(NAT, PROP, subst)
+        assert subst == {"B": NAT}
+
+
+@st.composite
+def simple_types(draw, depth=2):
+    if depth == 0:
+        return draw(
+            st.sampled_from([NAT, PROP, TCon("bool"), TVar("A"), TVar("B")])
+        )
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return draw(simple_types(depth=0))
+    if kind == 1:
+        return tlist(draw(simple_types(depth=depth - 1)))
+    return TArrow(
+        draw(simple_types(depth=depth - 1)),
+        draw(simple_types(depth=depth - 1)),
+    )
+
+
+class TestProperties:
+    @given(simple_types())
+    def test_unify_reflexive(self, ty):
+        # Any type unifies with itself without constraining anything new
+        # beyond identity.
+        subst = unify_types(ty, ty)
+        assert apply_tsubst(subst, ty) == apply_tsubst(subst, ty)
+
+    @given(simple_types(), simple_types())
+    def test_unify_symmetric(self, t1, t2):
+        try:
+            s1 = unify_types(t1, t2)
+        except UnificationError:
+            with pytest.raises(UnificationError):
+                unify_types(t2, t1)
+            return
+        s2 = unify_types(t2, t1)
+        assert apply_tsubst(s1, t1) == apply_tsubst(s1, t2)
+        assert apply_tsubst(s2, t1) == apply_tsubst(s2, t2)

@@ -1,0 +1,95 @@
+"""Context extraction, prompt assembly, truncation."""
+
+import pytest
+
+from repro.corpus.splits import make_splits
+from repro.corpus.tokenizer import count_tokens
+from repro.kernel.goals import initial_state
+from repro.prompting import (
+    GOAL_HEADER,
+    PromptBuilder,
+    context_for,
+    reduced_context_for,
+    strip_proof,
+    truncate_to_window,
+)
+
+
+class TestContext:
+    def test_never_reveals_future(self, project):
+        theorem = project.theorem("plus_comm")
+        context = context_for(project, theorem)
+        assert "plus_comm" not in context  # the theorem itself is hidden
+        assert "plus_0_r" in context  # earlier lemma statement shown
+        assert "mult_comm" not in context  # later lemma hidden
+
+    def test_vanilla_hides_proofs(self, project):
+        theorem = project.theorem("plus_comm")
+        context = context_for(project, theorem)
+        assert "(* ... *)" in context
+        assert "induction n; simpl" not in context
+
+    def test_hints_reveal_selected_proofs(self, project):
+        theorem = project.theorem("plus_comm")
+        context = context_for(project, theorem, hint_names={"plus_0_r"})
+        assert "rewrite IHn" in context  # plus_0_r's proof body
+
+    def test_import_closure_only(self, project):
+        theorem = project.theorem("plus_comm")  # ArithUtils
+        context = context_for(project, theorem)
+        assert "sep_star" not in context  # CHL not imported there
+
+    def test_reduced_context(self, project):
+        theorem = project.theorem("plus_comm")
+        context = reduced_context_for(
+            project, theorem, ["plus_0_r", "plus_n_Sm"]
+        )
+        assert "plus_0_r" in context
+        assert "le_trans" not in context
+
+    def test_strip_proof_keeps_statement(self, project):
+        decl = next(
+            d
+            for f in project.files
+            for d in f.declarations
+            if d.kind == "lemma"
+        )
+        stripped = strip_proof(decl)
+        assert decl.statement_text in stripped
+        assert "Qed." in stripped
+
+
+class TestPromptBuilder:
+    def test_layout(self, project):
+        theorem = project.theorem("rev_involutive")
+        builder = PromptBuilder(project, theorem)
+        state = initial_state(project.env_for(theorem), theorem.statement)
+        prompt = builder.build(state, ["intros"])
+        assert prompt.index(GOAL_HEADER) > prompt.index("Current theorem")
+        assert "intros." in prompt
+        assert prompt.rstrip().endswith("(* Next tactic? *)")
+
+    def test_window_truncates(self, project):
+        theorem = project.theorem("sb_ok_used_bound")
+        builder = PromptBuilder(project, theorem, window_tokens=1000)
+        state = initial_state(project.env_for(theorem), theorem.statement)
+        prompt = builder.build(state, [])
+        assert count_tokens(prompt) <= 1100  # line-granular slack
+        assert GOAL_HEADER in prompt  # the tail always survives
+
+
+class TestTruncation:
+    def test_noop_when_fits(self):
+        assert truncate_to_window("short text", 100) == "short text"
+
+    def test_keeps_the_end(self):
+        text = "\n".join(f"line {i}" for i in range(200))
+        out = truncate_to_window(text, 50)
+        assert "line 199" in out
+        assert "line 0" not in out
+        assert out.startswith("(* ...context truncated... *)")
+
+    def test_respects_budget(self):
+        text = "\n".join("word " * 10 for _ in range(100))
+        out = truncate_to_window(text, 60)
+        assert count_tokens(out) <= 75

@@ -1,0 +1,131 @@
+"""The SerAPI-like layer: sexp, session, protocol, checker."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParseError, TacticError
+from repro.serapi import ProofChecker, SerapiServer, Session, Verdict
+from repro.serapi.sexp import dumps, loads
+
+
+class TestSexp:
+    def test_roundtrip_simple(self):
+        assert loads("(a b (c d))") == ["a", "b", ["c", "d"]]
+
+    def test_quoting(self):
+        value = ["Add", 'intros. simpl "quoted" \\ done']
+        assert loads(dumps(value)) == value
+
+    def test_empty_list(self):
+        assert loads("()") == []
+
+    def test_unclosed_fails(self):
+        with pytest.raises(ParseError):
+            loads("(a b")
+
+    sexps = st.recursive(
+        st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            max_size=12,
+        ),
+        lambda children: st.lists(children, max_size=4),
+        max_leaves=12,
+    )
+
+    @given(sexps)
+    def test_roundtrip_property(self, value):
+        assert loads(dumps(value)) == value
+
+
+class TestSession:
+    def test_exec_and_complete(self, env):
+        session = Session.for_goal_text(env, "forall n, n + 0 = n")
+        sid = session.add("induction n; simpl; auto")
+        session.exec(sid)
+        sid2 = session.add("rewrite IHn. reflexivity")
+        with pytest.raises(TacticError):
+            session.exec(sid2)  # two sentences in one add is invalid
+        session.cancel(sid2)
+        sid3 = session.add("rewrite IHn")
+        sid4 = session.add("reflexivity")
+        session.exec(sid4)
+        assert session.is_complete()
+
+    def test_cancel_rolls_back(self, env):
+        session = Session.for_goal_text(env, "forall n, n = n")
+        sid = session.add("intros")
+        session.exec(sid)
+        before = session.goals_text()
+        sid2 = session.add("reflexivity")
+        session.exec(sid2)
+        session.cancel(sid2)
+        assert session.goals_text() == before
+
+    def test_failed_sentence_reports(self, env):
+        session = Session.for_goal_text(env, "forall n, n = n")
+        sid = session.add("discriminate")
+        with pytest.raises(TacticError):
+            session.exec(sid)
+        assert session.sentences()[0].status == "failed"
+
+
+class TestProtocol:
+    def test_full_exchange(self, env):
+        server = SerapiServer(env)
+        out = server.handle_text('(NewDoc "forall n, n <= n")')
+        assert "Added" in out[0]
+        server.handle_text('(Add "intros")')
+        server.handle_text('(Exec 1)')
+        answers = server.handle_text("(Query Goals)")
+        assert "n : nat" in answers[0]
+        server.handle_text('(Add "apply le_n")')
+        server.handle_text("(Exec 2)")
+        answers = server.handle_text("(Query Completed)")
+        assert "true" in answers[0]
+
+    def test_error_becomes_coqexn(self, env):
+        server = SerapiServer(env)
+        server.handle_text('(NewDoc "forall n, n <= n")')
+        server.handle_text('(Add "discriminate")')
+        answers = server.handle_text("(Exec 1)")
+        assert any("CoqExn" in a for a in answers)
+
+    def test_command_without_doc(self, env):
+        server = SerapiServer(env)
+        answers = server.handle_text('(Add "intros")')
+        assert any("CoqExn" in a for a in answers)
+
+
+class TestChecker:
+    def test_valid(self, env):
+        checker = ProofChecker(env)
+        state = checker.start_text("forall n, n = n")
+        result = checker.check(state, "intros")
+        assert result.verdict is Verdict.VALID
+
+    def test_rejected_parse(self, env):
+        checker = ProofChecker(env)
+        state = checker.start_text("forall n, n = n")
+        assert (
+            checker.check(state, "frobnicate the goal").verdict
+            is Verdict.REJECTED
+        )
+
+    def test_rejected_tactic(self, env):
+        checker = ProofChecker(env)
+        state = checker.start_text("forall n, n = n")
+        assert checker.check(state, "discriminate").verdict is Verdict.REJECTED
+
+    def test_duplicate_detection(self, env):
+        checker = ProofChecker(env)
+        state = checker.start_text("forall n m, n + m = m + n")
+        seen = {state.key()}
+        # auto cannot close this; it no-ops back to the same state.
+        result = checker.check(state, "auto", seen_keys=seen)
+        assert result.verdict is Verdict.DUPLICATE
+
+    def test_proves(self, env):
+        checker = ProofChecker(env)
+        state = checker.start_text("forall n, n = n")
+        result = checker.check(state, "intros; reflexivity")
+        assert result.ok and result.state.is_complete()

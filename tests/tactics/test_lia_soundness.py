@@ -1,0 +1,117 @@
+"""Soundness of the lia decision procedure, by brute force.
+
+For randomly generated linear claims over small naturals, whenever
+``lia`` proves the universally quantified statement, exhaustive
+evaluation over a finite grid must agree.  (The converse — lia proving
+everything true — is completeness, which a budgeted lia does not
+promise; we separately spot-check that plainly false claims are
+rejected.)
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.kernel.parser import parse_statement
+from repro.tactics.script import run_script
+
+GRID = range(0, 5)
+
+
+@st.composite
+def linear_atoms(draw):
+    """(python_predicate, coq_text) pairs over variables a, b."""
+    c1 = draw(st.integers(0, 3))
+    c2 = draw(st.integers(0, 3))
+    k = draw(st.integers(0, 4))
+    op = draw(st.sampled_from(["<=", "<", "="]))
+    lhs_text = f"{c1} * a + {c2} * b"
+    rhs_text = f"a + {k}" if draw(st.booleans()) else f"{k}"
+    use_a = rhs_text.startswith("a")
+
+    def lhs(a, b):
+        return c1 * a + c2 * b
+
+    def rhs(a, b):
+        return (a + k) if use_a else k
+
+    if op == "<=":
+        return (lambda a, b: lhs(a, b) <= rhs(a, b)), f"{lhs_text} <= {rhs_text}"
+    if op == "<":
+        return (lambda a, b: lhs(a, b) < rhs(a, b)), f"{lhs_text} < {rhs_text}"
+    return (lambda a, b: lhs(a, b) == rhs(a, b)), f"{lhs_text} = {rhs_text}"
+
+
+class TestLiaSoundness:
+    @given(linear_atoms(), linear_atoms())
+    @settings(max_examples=60, deadline=None)
+    def test_implication_claims(self, env, atom1, atom2):
+        pred1, text1 = atom1
+        pred2, text2 = atom2
+        statement = f"forall a b, ({text1}) -> ({text2})"
+        try:
+            run_script(
+                env, parse_statement(env, statement), "intros. lia."
+            )
+            proved = True
+        except ReproError:
+            proved = False
+        if proved:
+            for a in GRID:
+                for b in GRID:
+                    if pred1(a, b):
+                        assert pred2(a, b), (
+                            f"lia proved a falsehood: {statement} "
+                            f"at a={a}, b={b}"
+                        )
+
+    @given(linear_atoms())
+    @settings(max_examples=40, deadline=None)
+    def test_unconditional_claims(self, env, atom):
+        pred, text = atom
+        statement = f"forall a b, {text}"
+        try:
+            run_script(env, parse_statement(env, statement), "intros. lia.")
+            proved = True
+        except ReproError:
+            proved = False
+        if proved:
+            for a in GRID:
+                for b in GRID:
+                    assert pred(a, b), f"lia proved a falsehood: {statement}"
+
+
+class TestLiaRejectsFalsehoods:
+    @pytest.mark.parametrize(
+        "statement",
+        [
+            "forall a, a < a",
+            "forall a b, a + b = a",
+            "forall a, a <= 3",
+            "forall a b, a <= b",
+            "forall a, 1 <= a",
+        ],
+    )
+    def test_rejected(self, env, fails, statement):
+        fails(statement, "intros. lia.")
+
+
+class TestLiaSubtraction:
+    """Truncated subtraction is the classic lia-on-nat trap."""
+
+    @given(st.integers(0, 6), st.integers(0, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_ground_sub_facts(self, env, a, b):
+        value = max(0, a - b)
+        run_script(
+            env,
+            parse_statement(env, f"{a} - {b} = {value}"),
+            "lia.",
+        )
+
+    def test_sub_not_overapproximated(self, env, fails):
+        # False on nat (take a=0, b=1): a - b + b = a fails truncation.
+        fails("forall a b, a - b + b = a", "intros. lia.")
+
+    def test_sub_conditional_identity(self, prove):
+        prove("forall a b, b <= a -> a - b + b = a", "intros. lia.")

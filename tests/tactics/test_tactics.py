@@ -1,0 +1,361 @@
+"""Per-tactic behaviour, driven through whole proof scripts.
+
+Each test proves (or refutes provability of) a small statement in the
+full corpus environment; `prove`/`fails` fixtures come from conftest.
+"""
+
+import pytest
+
+
+class TestIntro:
+    def test_intros_names(self, prove):
+        prove("forall n m, n = m -> n = m", "intros a b Hab. assumption.")
+
+    def test_intros_bare_stops_at_neg(self, prove):
+        prove(
+            "forall n, ~ S n = 0",
+            "intros. intro H. discriminate H.",
+        )
+
+    def test_intro_through_definition(self, prove):
+        # `intro` unfolds `incl` to expose the product.
+        prove(
+            "forall (T : Type) (l : list T), incl l l",
+            "intros. intro x. intros H. assumption.",
+        )
+
+    def test_intros_duplicate_name_fails(self, fails):
+        fails("forall n m, n + m = m + n", "intros x x. lia.")
+
+
+class TestApply:
+    def test_apply_lemma(self, prove):
+        prove("forall n, 0 <= S n", "intros. apply le_0_n.")
+
+    def test_apply_hypothesis_chain(self, prove):
+        prove(
+            "forall (P Q : Prop), (P -> Q) -> P -> Q",
+            "intros P Q H HP. apply H. assumption.",
+        )
+
+    def test_apply_needs_eapply(self, fails):
+        fails(
+            "forall n p, n <= p -> n <= p",
+            "intros. apply le_trans. assumption.",
+        )
+
+    def test_eapply_with_metas(self, prove):
+        prove(
+            "forall n m p, n <= m -> m <= p -> n <= p",
+            "intros. eapply le_trans.\n- apply H.\n- assumption.",
+        )
+
+    def test_apply_in_forward(self, prove):
+        prove(
+            "forall n m, beq_nat n m = true -> n = m",
+            "intros. apply beq_nat_true in H. assumption.",
+        )
+
+    def test_apply_unknown_name(self, fails):
+        fails("forall n, n = n", "apply no_such_lemma.")
+
+    def test_exact(self, prove):
+        prove("forall (P : Prop), P -> P", "intros P H. exact H.")
+
+
+class TestRewrite:
+    def test_forward(self, prove):
+        prove(
+            "forall n m, n = m -> n + 0 = m",
+            "intros. rewrite plus_0_r. assumption.",
+        )
+
+    def test_backward(self, prove):
+        prove(
+            "forall n m, n = m -> m = n + 0",
+            "intros. rewrite plus_0_r. rewrite H. reflexivity.",
+        )
+
+    def test_rewrite_in_hyp(self, prove):
+        prove(
+            "forall n m, n + 0 = m -> n = m",
+            "intros. rewrite plus_0_r in H. assumption.",
+        )
+
+    def test_rewrite_arrow_back(self, prove):
+        prove(
+            "forall n m, n + S m = S (n + m)",
+            "intros. rewrite <- plus_n_Sm. reflexivity.",
+        )
+
+    def test_conditional_rewrite_by(self, prove):
+        prove(
+            "forall (T : Type) (l : list T), firstn (length l) l = l",
+            "intros. rewrite firstn_oob by lia. reflexivity.",
+        )
+
+    def test_no_match_fails(self, fails):
+        fails("forall n, n = n", "rewrite app_nil_r. reflexivity.")
+
+    def test_never_rewrites_under_binders(self, fails):
+        # The only occurrence is under a forall: plain rewrite fails.
+        fails(
+            "forall m, (forall n, n + 0 = n) -> forall n, n + 0 = n",
+            "intros m H. rewrite plus_0_r in H. apply H.",
+        )
+
+
+class TestInductionDestruct:
+    def test_induction_generalizes(self, prove):
+        # The IH must quantify over m (induction before intros).
+        prove(
+            "forall n m, n + S m = S (n + m)",
+            "induction n; simpl; intros.\n"
+            "- reflexivity.\n"
+            "- rewrite IHn. reflexivity.",
+        )
+
+    def test_induction_on_hyp_fails(self, fails):
+        fails("forall n, n <= n -> n <= n", "intros. induction H. auto.")
+
+    def test_destruct_nat(self, prove):
+        prove(
+            "forall n, n = 0 \\/ (exists m, n = S m)",
+            "destruct n.\n"
+            "- left. reflexivity.\n"
+            "- right. exists n. reflexivity.",
+        )
+
+    def test_destruct_conj_pattern(self, prove):
+        prove(
+            "forall (P Q : Prop), P /\\ Q -> Q",
+            "intros P Q H. destruct H as [HP HQ]. assumption.",
+        )
+
+    def test_destruct_disj_pattern(self, prove):
+        prove(
+            "forall (P : Prop), P \\/ P -> P",
+            "intros P H. destruct H as [H1 | H2].\n"
+            "- assumption.\n"
+            "- assumption.",
+        )
+
+    def test_destruct_exists(self, prove):
+        prove(
+            "forall (P : nat -> Prop), (exists n, P n) -> exists m, P m",
+            "intros P H. destruct H as [n Hn]. exists n. assumption.",
+        )
+
+    def test_destruct_term_with_eqn(self, prove):
+        prove(
+            "forall n, beq_nat n n = true",
+            "intros. destruct (beq_nat n n) eqn:E.\n"
+            "- reflexivity.\n"
+            "- pose proof (beq_nat_refl n) as Hr. rewrite Hr in E. "
+            "discriminate E.",
+        )
+
+
+class TestInversion:
+    def test_inversion_le_impossible(self, prove):
+        prove("forall n, S n <= 0 -> False", "intros n H. inversion H.")
+
+    def test_inversion_forall_cons(self, prove):
+        prove(
+            "forall (P : nat -> Prop) (x : nat) (l : list nat), "
+            "Forall P (x :: l) -> P x",
+            "intros. inversion H. assumption.",
+        )
+
+    def test_inversion_eq_injects(self, prove):
+        prove(
+            "forall n m, S n = S m -> n = m",
+            "intros. inversion H. reflexivity.",
+        )
+
+    def test_inversion_ctor_clash_closes(self, prove):
+        prove("forall n, 0 = S n -> False", "intros n H. inversion H.")
+
+
+class TestLogic:
+    def test_split(self, prove):
+        prove(
+            "forall n, n = n /\\ n <= n",
+            "intros. split.\n- reflexivity.\n- apply le_n.",
+        )
+
+    def test_left_right(self, prove):
+        prove("forall n, n = n \\/ n = 0", "intros. left. reflexivity.")
+
+    def test_exists_witness(self, prove):
+        prove("exists n, n + 2 = 5", "exists 3. reflexivity.")
+
+    def test_eexists_then_solve(self, prove):
+        prove("exists n, S n = 4", "eexists. reflexivity.")
+
+    def test_exfalso_contradiction(self, prove):
+        prove(
+            "forall (P : Prop), P -> ~ P -> 0 = 1",
+            "intros P H Hn. exfalso. contradiction.",
+        )
+
+    def test_constructor_picks_rule(self, prove):
+        prove("forall n, n <= S n", "intros. constructor. constructor.")
+
+
+class TestSubstCongruenceLia:
+    def test_subst(self, prove):
+        prove(
+            "forall (x y : nat), x = y -> x + 0 = y",
+            "intros. subst. apply plus_0_r.",
+        )
+
+    def test_congruence_injectivity(self, prove):
+        prove(
+            "forall n m, S n = S m -> n = m",
+            "intros. congruence.",
+        )
+
+    def test_congruence_functions(self, prove):
+        prove(
+            "forall (g : nat -> nat) (a b : nat), "
+            "a = b -> g a = g b",
+            "intros. congruence.",
+        )
+
+    def test_lia_linear(self, prove):
+        prove(
+            "forall a b c, a <= b -> b < c -> a + 1 <= c",
+            "intros. unfold lt in *. lia.",
+        )
+
+    def test_lia_truncated_sub(self, prove):
+        prove("forall a, a - a = 0", "intros. lia.")
+
+    def test_lia_refuses_nonlinear_goal(self, fails):
+        fails("forall a b, a * b = b * a", "intros. lia.")
+
+    def test_discriminate(self, prove):
+        prove("forall n, true = false -> n = 0", "intros. discriminate H.")
+
+    def test_injection(self, prove):
+        prove(
+            "forall (T : Type) (a b : T), Some a = Some b -> a = b",
+            "intros. injection H as He. assumption.",
+        )
+
+
+class TestAutomation:
+    def test_auto_uses_hints(self, prove):
+        prove("forall n, n <= n + 0", "auto.")
+
+    def test_auto_is_noop_when_stuck(self, env):
+        from repro.kernel.goals import initial_state
+        from repro.kernel.parser import parse_statement
+        from repro.tactics import parse_tactic
+        from repro.tactics.base import run_tactic
+
+        s = parse_statement(env, "forall (P : Prop), P")
+        st = initial_state(env, s)
+        st2 = run_tactic(env, st, parse_tactic("auto"))
+        assert st2.key() == st.key()  # auto never fails, only no-ops
+
+    def test_eauto_threads_metas(self, prove):
+        prove(
+            "forall n m p, n <= m -> m <= p -> n <= p",
+            "intros. eauto using le_trans.",
+        )
+
+    def test_intuition(self, prove):
+        prove(
+            "forall (P Q : Prop), P /\\ Q -> Q /\\ P",
+            "intros. intuition.",
+        )
+
+    def test_trivial(self, prove):
+        prove("forall n, n = n", "trivial.")
+
+
+class TestCombinators:
+    def test_seq_applies_to_all_subgoals(self, prove):
+        prove("0 = 0 /\\ 1 = 1", "split; reflexivity.")
+
+    def test_try_swallows_failure(self, prove):
+        prove("0 = 0", "try discriminate. reflexivity.")
+
+    def test_orelse(self, prove):
+        prove("0 = 0", "discriminate || reflexivity.")
+
+    def test_repeat(self, prove):
+        prove(
+            "forall n, n = n /\\ (n = n /\\ n = n)",
+            "intros. repeat split; reflexivity.",
+        )
+
+    def test_fail_fails(self, fails):
+        fails("0 = 0", "fail.")
+
+    def test_idtac_noop_then_close(self, prove):
+        prove("0 = 0", "idtac. reflexivity.")
+
+
+class TestStructural:
+    def test_assert_with_braces(self, prove):
+        prove(
+            "forall n, n + 0 + 0 = n",
+            "intros. assert (n + 0 = n) as Ha.\n"
+            "{ apply plus_0_r. }\n"
+            "rewrite Ha. apply plus_0_r.",
+        )
+
+    def test_pose_proof_specialized(self, prove):
+        prove(
+            "forall n, n + 0 = n",
+            "intros. pose proof (plus_0_r n) as Hp. assumption.",
+        )
+
+    def test_specialize(self, prove):
+        prove(
+            "forall (P : nat -> Prop), (forall n, P n) -> P 3",
+            "intros P H. specialize (H 3). assumption.",
+        )
+
+    def test_revert_then_induction(self, prove):
+        prove(
+            "forall m n, n + m = m + n",
+            "intros. revert m. induction n; simpl; intros.\n"
+            "- rewrite plus_0_r. reflexivity.\n"
+            "- rewrite IHn. rewrite plus_n_Sm. reflexivity.",
+        )
+
+    def test_clear_blocked_by_dependency(self, fails):
+        fails(
+            "forall n, n = n -> n = n",
+            "intros. clear n. reflexivity.",
+        )
+
+    def test_f_equal(self, prove):
+        prove(
+            "forall n m, n = m -> S n = S m",
+            "intros. f_equal. assumption.",
+        )
+
+    def test_symmetry(self, prove):
+        prove("forall n m, n = m -> m = n", "intros. symmetry. assumption.")
+
+    def test_unfold_and_fold_smoke(self, prove):
+        prove(
+            "forall n m, lt n m -> S n <= m",
+            "intros. unfold lt in H. assumption.",
+        )
+
+
+class TestQedDiscipline:
+    def test_incomplete_proof_rejected(self, fails):
+        fails("0 = 0 /\\ 1 = 1", "split. reflexivity.")
+
+    def test_unresolved_existential_rejected(self, fails):
+        fails("exists n, n = n", "eexists.")
+
+    def test_bullet_misuse_rejected(self, fails):
+        fails("0 = 0", "- reflexivity. - reflexivity.")
