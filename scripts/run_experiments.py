@@ -4,16 +4,24 @@ Writes the rendered results to stdout (tee into EXPERIMENTS's results
 block).  Budget: paper settings (width 8, fuel 128, 5 s timeout),
 small models on the full test split capped at 60 theorems, large
 models on the subsample capped at 40.
+
+The sweep runs on the task-based execution engine: ``--jobs N``
+parallelises the independent searches (process backend by default),
+``--store PATH`` makes the run resumable — rerunning after a crash
+skips every already-completed cell — and per-stage instrumentation is
+dumped as JSON next to the store.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
 from repro.eval import (
     ExperimentConfig,
     Runner,
+    RunStore,
     category_table,
     coverage_by_bin,
     coverage_under,
@@ -21,6 +29,7 @@ from repro.eval import (
     random_pair_baseline,
     render_case,
     render_figure1,
+    render_metrics,
     render_table1,
     render_table2,
     run_case_studies,
@@ -32,9 +41,39 @@ SMALL_CAP = 60
 LARGE_CAP = 40
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="parallel search workers"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="execution backend (default: process when --jobs > 1)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="JSONL run store: makes the sweep resumable/incremental",
+    )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore stored cells and re-run everything",
+    )
+    return parser.parse_args()
+
+
 def main() -> None:
+    args = parse_args()
+    backend = args.backend or ("process" if args.jobs > 1 else "serial")
     started = time.time()
-    runner = Runner(config=ExperimentConfig())
+    runner = Runner(
+        config=ExperimentConfig(executor=backend, jobs=args.jobs)
+    )
+    store = RunStore(args.store) if args.store else None
     print(
         f"corpus: {len(runner.project.theorems)} theorems; "
         f"test split {len(runner.splits.test)}; "
@@ -50,7 +89,9 @@ def main() -> None:
         theorems = pool[:cap]
         for hinted in (False, True):
             t0 = time.time()
-            run = runner.run(model, hinted, theorems=theorems)
+            run = runner.run(
+                model, hinted, theorems=theorems, store=store, fresh=args.fresh
+            )
             runs.append(run)
             (series_hints if hinted else series_vanilla)[model] = (
                 coverage_by_bin(run.outcomes)
@@ -87,7 +128,9 @@ def main() -> None:
         stratified.extend(pool[:14])
     table1 = {}
     for hinted, label in ((False, "gpt-4o"), (True, "gpt-4o (w/ hints)")):
-        sweep = runner.run("gpt-4o", hinted, theorems=stratified)
+        sweep = runner.run(
+            "gpt-4o", hinted, theorems=stratified, store=store, fresh=args.fresh
+        )
         table1[label] = category_table(sweep.outcomes)
     print()
     print(render_table1(table1, "Table 1 — category coverage"))
@@ -116,6 +159,21 @@ def main() -> None:
         print()
         print(render_case(study))
 
+    cached = runner.metrics.counter("tasks.cached")
+    executed = runner.metrics.counter("tasks.executed")
+    print(
+        f"\n[{backend} x{args.jobs}] cells: {executed} searched, "
+        f"{cached} served from store",
+        file=sys.stderr,
+    )
+    print(render_metrics(runner.metrics.snapshot()), file=sys.stderr)
+    if store is not None:
+        runner.metrics.dump(store.metrics_path())
+        print(
+            f"run store: {store.path} ({len(store)} records); "
+            f"metrics: {store.metrics_path()}",
+            file=sys.stderr,
+        )
     print(f"\ntotal wall time: {time.time() - started:.0f}s")
 
 

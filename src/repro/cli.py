@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli check
     python -m repro.cli prove rev_involutive --model gpt-4o --hints
     python -m repro.cli eval --model gpt-4o-mini --n 12
+    python -m repro.cli eval --model gpt-4o-mini --jobs 4 --store runs/eval.jsonl
     python -m repro.cli serve          # SerAPI-like REPL over stdin
 """
 
@@ -18,7 +19,6 @@ import time
 from typing import List, Optional
 
 from repro.corpus.loader import load_project
-from repro.corpus.splits import make_splits
 
 
 def _cmd_list(args) -> int:
@@ -58,59 +58,77 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_prove(args) -> int:
-    from repro.core import BestFirstSearch, SearchConfig
-    from repro.llm import get_model
-    from repro.prompting import PromptBuilder
-    from repro.serapi import ProofChecker
-    from repro.tactics.script import run_script
+    from repro.eval import ExperimentConfig, Runner, render_metrics
+    from repro.eval.tasks import TheoremTask
 
     project = load_project(check_proofs=not args.fast)
     theorem = project.theorem(args.name)
-    model = get_model(args.model)
-    env = project.env_for(theorem)
-    hints = make_splits(project).hint_names if args.hints else None
-    builder = PromptBuilder(
-        project,
-        theorem,
-        hint_names=hints,
-        window_tokens=model.context_window,
-    )
-    search = BestFirstSearch(
-        ProofChecker(env),
-        model,
-        SearchConfig(width=args.width, fuel=args.fuel),
-    )
+    config = ExperimentConfig(width=args.width, fuel=args.fuel)
+    runner = Runner(project, config)
+    task = TheoremTask.from_config(args.name, args.model, args.hints, config)
     started = time.time()
-    result = search.prove(theorem.name, theorem.statement, builder.build)
+    task_result = runner.execute_task(task)
     elapsed = time.time() - started
+    record = task_result.record
+    runner.metrics.merge(task_result.metrics)
+    rejected = runner.metrics.counter("verdict.rejected")
+    duplicates = runner.metrics.counter("verdict.duplicate")
     print(
-        f"{result.status.value} after {result.stats.queries} queries "
-        f"({elapsed:.1f}s; rejected {result.stats.rejected}, "
-        f"duplicates {result.stats.duplicates})"
+        f"{record.status} after {record.queries} queries "
+        f"({elapsed:.1f}s; rejected {rejected}, duplicates {duplicates})"
     )
-    if result.proved:
-        proof = result.proof_text()
-        run_script(env, theorem.statement, proof)
-        print(f"generated (re-checked): {proof}")
+    if args.metrics:
+        print()
+        print(render_metrics(runner.metrics.snapshot()))
+    if record.status == "proved" and record.revalidated:
+        print(f"generated (re-checked): {record.generated_proof}")
         print(f"human proof was:\n{theorem.proof_text}")
         return 0
     return 1
 
 
 def _cmd_eval(args) -> int:
-    from repro.eval import ExperimentConfig, Runner, outcome_row
+    from repro.eval import (
+        ExperimentConfig,
+        Runner,
+        RunStore,
+        outcome_row,
+        render_metrics,
+    )
 
+    backend = args.backend or ("process" if args.jobs > 1 else "serial")
     runner = Runner(
         load_project(check_proofs=not args.fast),
-        ExperimentConfig(max_theorems=args.n, fuel=args.fuel),
+        ExperimentConfig(
+            max_theorems=args.n,
+            fuel=args.fuel,
+            executor=backend,
+            jobs=args.jobs,
+        ),
     )
+    store = RunStore(args.store) if args.store else None
     for hinted in (False, True):
-        row = outcome_row(runner.run(args.model, hinted))
+        row = outcome_row(
+            runner.run(args.model, hinted, store=store, fresh=args.fresh)
+        )
         tag = "hints  " if hinted else "vanilla"
         print(
             f"{args.model:20} {tag} proved={row.proved:6.1%} "
             f"stuck={row.stuck:6.1%} fuelout={row.fuelout:6.1%}"
         )
+    cached = runner.metrics.counter("tasks.cached")
+    executed = runner.metrics.counter("tasks.executed")
+    print(
+        f"[{backend} x{args.jobs}] cells: {executed} searched, "
+        f"{cached} served from store"
+    )
+    if store is not None:
+        runner.metrics.dump(store.metrics_path())
+        print(f"run store: {store.path} ({len(store)} records); "
+              f"metrics: {store.metrics_path()}")
+    if args.metrics:
+        print()
+        print(render_metrics(runner.metrics.snapshot()))
     return 0
 
 
@@ -160,12 +178,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_prove.add_argument("--hints", action="store_true")
     p_prove.add_argument("--width", type=int, default=8)
     p_prove.add_argument("--fuel", type=int, default=128)
+    p_prove.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print per-stage timing and verdict histogram",
+    )
     p_prove.set_defaults(fn=_cmd_prove)
 
     p_eval = sub.add_parser("eval", help="mini evaluation sweep")
     p_eval.add_argument("--model", default="gpt-4o")
     p_eval.add_argument("--n", type=int, default=12)
     p_eval.add_argument("--fuel", type=int, default=64)
+    p_eval.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel workers (thread/process backends)",
+    )
+    p_eval.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="execution backend (default: process when --jobs > 1)",
+    )
+    p_eval.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="JSONL run store; completed cells are skipped on rerun",
+    )
+    p_eval.add_argument(
+        "--fresh",
+        action="store_true",
+        help="re-execute cells even when the run store has them",
+    )
+    p_eval.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print per-stage timing and verdict histogram",
+    )
     p_eval.set_defaults(fn=_cmd_eval)
 
     p_serve = sub.add_parser("serve", help="SerAPI-like REPL on stdin")

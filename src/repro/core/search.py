@@ -56,7 +56,12 @@ class BestFirstSearch:
         checker: ProofChecker,
         generator: TacticGenerator,
         config: Optional[SearchConfig] = None,
+        metrics=None,
     ) -> None:
+        """``metrics`` is an optional duck-typed sink (an object with
+        ``add_time(stage, seconds)``, e.g.
+        :class:`repro.eval.instrumentation.Metrics`) that receives
+        prompt-build and generation timings."""
         if not getattr(generator, "provides_log_probs", False):
             raise GenerationError(
                 f"model {generator.name} provides no log-probabilities; "
@@ -65,6 +70,7 @@ class BestFirstSearch:
         self.checker = checker
         self.generator = generator
         self.config = config or SearchConfig()
+        self.metrics = metrics
 
     def prove(
         self,
@@ -98,17 +104,27 @@ class BestFirstSearch:
                 stats=stats,
             )
 
+        metrics = self.metrics
         while True:
+            # Fuel is checked *before* popping: on FUELOUT the next
+            # node stays in the frontier, so the frontier is a faithful
+            # picture of the unexpanded tree for resume/diagnostics.
+            if stats.queries >= config.fuel:
+                return finish(Status.FUELOUT)
             node = frontier.pop()
             if node is None:
                 return finish(Status.STUCK)
-            if stats.queries >= config.fuel:
-                return finish(Status.FUELOUT)
 
             # Expansion: one model query.
+            t0 = time.monotonic()
             prompt = prompt_fn(node.state, node.tactics_from_root())
+            if metrics is not None:
+                metrics.add_time("prompt_build", time.monotonic() - t0)
             stats.queries += 1
+            t0 = time.monotonic()
             candidates = self.generator.generate(prompt, config.width)
+            if metrics is not None:
+                metrics.add_time("generation", time.monotonic() - t0)
             node.expanded = True
             stats.nodes_expanded += 1
 
@@ -156,8 +172,6 @@ class BestFirstSearch:
                 )
                 seen.add(child.key)
                 stats.nodes_created += 1
-                if event is not None and transcript is not None:
-                    pass
                 if check.state.is_complete():
                     if transcript is not None and event is not None:
                         transcript.record(event)

@@ -65,6 +65,13 @@ class Project:
         default_factory=list
     )
     theorem_cutoff: Dict[str, int] = field(default_factory=dict)
+    # How this project was loaded.  Re-loads that must reproduce this
+    # environment bit-for-bit (e.g. process-pool workers) have to use
+    # the same mode: replaying proofs at load advances the global
+    # type-variable gensym, so later statements parse with different
+    # fresh-variable names — which show up in prompts and therefore in
+    # the seeded generator's output.
+    check_proofs: bool = True
     _by_name: Dict[str, Theorem] = field(default_factory=dict)
     _env_cache: Dict[int, Environment] = field(default_factory=dict)
 
@@ -224,6 +231,7 @@ def load_project(
         lemma_order=lemma_order,
         hint_events=hint_events,
         theorem_cutoff=theorem_cutoff,
+        check_proofs=check_proofs,
     )
     for theorem in theorems:
         project._by_name[theorem.name] = theorem

@@ -10,14 +10,36 @@ from repro.eval.coverage import (
     coverage_under,
     overall_coverage,
 )
+from repro.eval.executor import (
+    EXECUTOR_KINDS,
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    TaskResult,
+    ThreadPoolExecutor,
+    make_executor,
+)
+from repro.eval.instrumentation import STAGES, Metrics
 from repro.eval.outcomes import OutcomeRow, outcome_row, table2_rows
-from repro.eval.report import render_figure1, render_table1, render_table2
-from repro.eval.runner import EvalRun, Runner, TheoremOutcome
+from repro.eval.report import (
+    render_figure1,
+    render_metrics,
+    render_table1,
+    render_table2,
+)
+from repro.eval.runner import (
+    EvalRun,
+    Runner,
+    TheoremOutcome,
+    record_from_outcome,
+)
 from repro.eval.similarity import (
     levenshtein,
     normalized_similarity,
     random_pair_baseline,
 )
+from repro.eval.store import OutcomeRecord, RunStore
+from repro.eval.tasks import CACHE_KEY_VERSION, TheoremTask, sweep_tasks
 
 __all__ = [
     "CASE_LEMMAS",
@@ -35,16 +57,32 @@ __all__ = [
     "coverage_by_bin",
     "coverage_under",
     "overall_coverage",
+    "EXECUTOR_KINDS",
+    "Executor",
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "TaskResult",
+    "ThreadPoolExecutor",
+    "make_executor",
+    "STAGES",
+    "Metrics",
     "OutcomeRow",
     "outcome_row",
     "table2_rows",
     "render_figure1",
+    "render_metrics",
     "render_table1",
     "render_table2",
     "EvalRun",
     "Runner",
     "TheoremOutcome",
+    "record_from_outcome",
     "levenshtein",
     "normalized_similarity",
     "random_pair_baseline",
+    "OutcomeRecord",
+    "RunStore",
+    "CACHE_KEY_VERSION",
+    "TheoremTask",
+    "sweep_tasks",
 ]

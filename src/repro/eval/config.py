@@ -31,3 +31,6 @@ class ExperimentConfig:
     max_theorems: Optional[int] = None  # cap for quick runs/benches
     frontier: str = "best-first"
     dedup_states: bool = True
+    # Execution engine (repro.eval.executor): backend + parallelism.
+    executor: str = "serial"  # serial | thread | process
+    jobs: int = 1  # worker count for thread/process backends

@@ -1,0 +1,181 @@
+"""Pluggable execution backends for the evaluation engine.
+
+An :class:`Executor` maps a sequence of
+:class:`~repro.eval.tasks.TheoremTask` descriptors to
+``(task, TaskResult)`` pairs, in task order.  Three backends:
+
+* :class:`SerialExecutor` — in-process, one task at a time (the
+  reference semantics; the determinism test pins the others to it);
+* :class:`ThreadPoolExecutor` — ``concurrent.futures`` threads.
+  Generation, checking, and replay are pure CPython, so threads buy
+  overlap mostly when a real API-backed model blocks on I/O — exactly
+  the deployment the paper's sweeps were run against;
+* :class:`ProcessPoolExecutor` — process workers for CPU-bound
+  sweeps.  Each worker rebuilds the :class:`Project` and a
+  :class:`Runner` **once per worker** (pool initializer), not per
+  task; tasks and results cross the pipe as plain picklable values.
+
+Determinism holds across all three because a task's outcome is a pure
+function of its fields (see :mod:`repro.eval.tasks`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent import futures
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence, Tuple
+
+from repro.eval.store import OutcomeRecord
+from repro.eval.tasks import TheoremTask
+
+__all__ = [
+    "TaskResult",
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "make_executor",
+    "EXECUTOR_KINDS",
+]
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One executed task: the deterministic record + a metrics snapshot."""
+
+    record: OutcomeRecord
+    metrics: Optional[dict] = None
+
+
+ExecuteFn = Callable[[TheoremTask], TaskResult]
+ResultIter = Iterator[Tuple[TheoremTask, TaskResult]]
+
+
+class Executor:
+    """Interface: run tasks, yield (task, result) in task order."""
+
+    kind: str = "abstract"
+    jobs: int = 1
+
+    def map(
+        self, tasks: Sequence[TheoremTask], execute: ExecuteFn
+    ) -> ResultIter:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order execution (reference backend)."""
+
+    kind = "serial"
+
+    def map(self, tasks, execute) -> ResultIter:
+        for task in tasks:
+            yield task, execute(task)
+
+
+class ThreadPoolExecutor(Executor):
+    """Thread-pool execution; shares the caller's Runner and project."""
+
+    kind = "thread"
+
+    def __init__(self, jobs: int = 2) -> None:
+        self.jobs = max(1, jobs)
+
+    def map(self, tasks, execute) -> ResultIter:
+        tasks = list(tasks)
+        if not tasks:
+            return
+        with futures.ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            yield from zip(tasks, pool.map(execute, tasks))
+
+
+# ----------------------------------------------------------------------
+# Process backend: module-level worker state so nothing unpicklable
+# (Project closures, kernel environments) ever crosses the pipe.
+# ----------------------------------------------------------------------
+
+_WORKER_RUNNER = None
+
+
+def _init_worker(config, check_proofs: bool) -> None:
+    """Pool initializer: build Project + Runner once per worker.
+
+    ``check_proofs`` MUST mirror how the parent loaded its project:
+    replaying proofs at load advances the kernel's global fresh-type-
+    variable counter, so a differently-loaded worker parses later lemma
+    statements with different ``?A<n>`` names.  Those names appear in
+    rendered prompts, prompts seed the simulated models, and search
+    outcomes diverge from the serial reference.  Splits are re-derived
+    from the same seed, so hint sets match the parent exactly.
+    """
+    global _WORKER_RUNNER
+    from repro.corpus.loader import load_project
+    from repro.eval.runner import Runner
+
+    _WORKER_RUNNER = Runner(load_project(check_proofs=check_proofs), config)
+
+
+def _execute_in_worker(task: TheoremTask) -> TaskResult:
+    assert _WORKER_RUNNER is not None, "worker initializer did not run"
+    return _WORKER_RUNNER.execute_task(task)
+
+
+class ProcessPoolExecutor(Executor):
+    """Process-pool execution for CPU-bound sweeps.
+
+    ``execute`` is ignored: workers run their own Runner, rebuilt from
+    ``config`` by the pool initializer (closures over the parent's
+    project are not picklable, and must not be shipped anyway).
+    ``check_proofs`` must match the parent project's load mode so the
+    worker environment is bit-identical (see :func:`_init_worker`).
+    """
+
+    kind = "process"
+
+    def __init__(self, config, jobs: int = 2, check_proofs: bool = True) -> None:
+        self.config = config
+        self.jobs = max(1, jobs)
+        self.check_proofs = check_proofs
+
+    def map(self, tasks, execute=None) -> ResultIter:
+        tasks = list(tasks)
+        if not tasks:
+            return
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with futures.ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(self.config, self.check_proofs),
+        ) as pool:
+            yield from zip(tasks, pool.map(_execute_in_worker, tasks))
+
+
+def make_executor(
+    config,
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
+    check_proofs: bool = True,
+) -> Executor:
+    """Build the backend selected by ``ExperimentConfig`` (or overrides).
+
+    ``check_proofs`` only matters for the process backend: pass the
+    load mode of the project the results will be compared against.
+    """
+    backend = backend if backend is not None else config.executor
+    jobs = jobs if jobs is not None else config.jobs
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadPoolExecutor(jobs)
+    if backend == "process":
+        return ProcessPoolExecutor(config, jobs, check_proofs=check_proofs)
+    raise ValueError(
+        f"unknown executor backend {backend!r}; expected one of {EXECUTOR_KINDS}"
+    )

@@ -11,6 +11,7 @@ __all__ = [
     "render_figure1",
     "render_table1",
     "render_table2",
+    "render_metrics",
     "fmt_pct",
 ]
 
@@ -100,4 +101,53 @@ def render_table2(rows: Sequence[dict], title: str = "Table 2") -> str:
             f"{arrow_len(row['length_pct']):>18}"
         )
     lines.append("(each cell: without hints -> with hints)")
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: dict, title: str = "Instrumentation") -> str:
+    """Per-stage timing + counter report from a ``Metrics`` snapshot."""
+    from repro.eval.instrumentation import STAGES
+
+    lines = [title, ""]
+    stages = snapshot.get("stages", {})
+    if stages:
+        header = f"{'stage':16}{'calls':>10}{'seconds':>12}{'ms/call':>12}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        ordered = [s for s in STAGES if s in stages] + sorted(
+            s for s in stages if s not in STAGES
+        )
+        for stage in ordered:
+            cell = stages[stage]
+            calls = cell.get("calls", 0)
+            seconds = cell.get("seconds", 0.0)
+            per_call = 1000.0 * seconds / calls if calls else 0.0
+            lines.append(
+                f"{stage:16}{calls:>10}{seconds:>12.3f}{per_call:>12.2f}"
+            )
+    counters = snapshot.get("counters", {})
+    verdicts = {
+        name[len("verdict."):]: count
+        for name, count in counters.items()
+        if name.startswith("verdict.")
+    }
+    if verdicts:
+        total = sum(verdicts.values())
+        lines.append("")
+        lines.append(f"{'verdict':16}{'count':>10}{'share':>12}")
+        lines.append("-" * 38)
+        for verdict in sorted(verdicts, key=verdicts.get, reverse=True):
+            count = verdicts[verdict]
+            lines.append(
+                f"{verdict:16}{count:>10}{fmt_pct(count / total):>12}"
+            )
+    other = {
+        name: count
+        for name, count in sorted(counters.items())
+        if not name.startswith("verdict.")
+    }
+    if other:
+        lines.append("")
+        for name, count in other.items():
+            lines.append(f"{name:26}{count:>10}")
     return "\n".join(lines)

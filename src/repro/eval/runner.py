@@ -9,12 +9,24 @@ ratio.
 Every *proved* outcome is replayed from scratch through the script
 runner before it counts — a proof is never trusted on the search
 engine's say-so.
+
+Structurally this is the top of a layered execution engine:
+
+* :mod:`repro.eval.tasks` — immutable, content-hashed task descriptors;
+* :mod:`repro.eval.executor` — serial / thread / process backends;
+* :mod:`repro.eval.store` — append-only JSONL run store (resume);
+* :mod:`repro.eval.instrumentation` — per-stage timing + counters.
+
+:meth:`Runner.run` plans a sweep as tasks, skips cells the run store
+already holds, dispatches the rest to the configured executor, and
+rehydrates the resulting records into :class:`TheoremOutcome`\\ s.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence
 
 from repro.corpus.loader import Project, load_project
 from repro.corpus.model import Theorem
@@ -23,13 +35,22 @@ from repro.corpus.tokenizer import count_tokens
 from repro.core import BestFirstSearch, SearchConfig, Status
 from repro.errors import ReproError
 from repro.eval.config import ExperimentConfig
+from repro.eval.executor import Executor, TaskResult, make_executor
+from repro.eval.instrumentation import Metrics
 from repro.eval.similarity import normalized_similarity
+from repro.eval.store import OutcomeRecord, RunStore
+from repro.eval.tasks import TheoremTask, sweep_tasks
 from repro.llm import get_model
 from repro.prompting import PromptBuilder
 from repro.serapi import ProofChecker
 from repro.tactics.script import run_script
 
-__all__ = ["TheoremOutcome", "EvalRun", "Runner"]
+__all__ = [
+    "TheoremOutcome",
+    "EvalRun",
+    "Runner",
+    "record_from_outcome",
+]
 
 
 @dataclass
@@ -47,6 +68,21 @@ class TheoremOutcome:
     @property
     def proved(self) -> bool:
         return self.status is Status.PROVED and self.revalidated
+
+
+def record_from_outcome(outcome: TheoremOutcome) -> OutcomeRecord:
+    """Flatten an outcome to its serialisable, deterministic record."""
+    return OutcomeRecord(
+        theorem=outcome.theorem.name,
+        model=outcome.model,
+        hinted=outcome.hinted,
+        status=outcome.status.value,
+        queries=outcome.queries,
+        generated_proof=outcome.generated_proof,
+        revalidated=outcome.revalidated,
+        similarity=outcome.similarity,
+        length_ratio=outcome.length_ratio,
+    )
 
 
 @dataclass
@@ -86,7 +122,10 @@ class Runner:
             large_fraction=self.config.large_fraction,
             seed=self.config.seed,
         )
+        self.metrics = Metrics()
 
+    # ------------------------------------------------------------------
+    # Sweep planning
     # ------------------------------------------------------------------
 
     def theorems_for(self, model_name: str) -> List[Theorem]:
@@ -101,6 +140,10 @@ class Runner:
             theorems = theorems[: self.config.max_theorems]
         return theorems
 
+    # ------------------------------------------------------------------
+    # Single-cell execution
+    # ------------------------------------------------------------------
+
     def run_theorem(
         self,
         theorem: Theorem,
@@ -109,12 +152,24 @@ class Runner:
         reduced_dependencies: Optional[Sequence[str]] = None,
         model_override=None,
         search_config=None,
+        metrics: Optional[Metrics] = None,
     ) -> TheoremOutcome:
         model = model_override if model_override is not None else get_model(
             model_name
         )
+        search_config = search_config or SearchConfig(
+            width=self.config.width,
+            fuel=self.config.fuel,
+            tactic_timeout=self.config.tactic_timeout,
+            frontier=self.config.frontier,
+            dedup_states=self.config.dedup_states,
+        )
         env = self.project.env_for(theorem)
-        checker = ProofChecker(env, tactic_timeout=self.config.tactic_timeout)
+        checker = ProofChecker(
+            env,
+            tactic_timeout=search_config.tactic_timeout,
+            metrics=metrics,
+        )
         builder = PromptBuilder(
             self.project,
             theorem,
@@ -122,18 +177,7 @@ class Runner:
             window_tokens=model.context_window,
             reduced_dependencies=reduced_dependencies,
         )
-        search = BestFirstSearch(
-            checker,
-            model,
-            search_config
-            or SearchConfig(
-                width=self.config.width,
-                fuel=self.config.fuel,
-                tactic_timeout=self.config.tactic_timeout,
-                frontier=self.config.frontier,
-                dedup_states=self.config.dedup_states,
-            ),
-        )
+        search = BestFirstSearch(checker, model, search_config, metrics=metrics)
         result = search.prove(theorem.name, theorem.statement, builder.build)
         outcome = TheoremOutcome(
             theorem=theorem,
@@ -145,12 +189,15 @@ class Runner:
         if result.proved:
             proof_text = result.proof_text()
             outcome.generated_proof = proof_text
+            started = time.monotonic()
             try:
                 # Qed: replay the full script from scratch.
                 run_script(env, theorem.statement, proof_text)
                 outcome.revalidated = True
             except ReproError:
                 outcome.revalidated = False
+            if metrics is not None:
+                metrics.add_time("qed_replay", time.monotonic() - started)
             outcome.similarity = normalized_similarity(
                 proof_text, theorem.proof_text
             )
@@ -158,19 +205,104 @@ class Runner:
             outcome.length_ratio = count_tokens(proof_text) / human_tokens
         return outcome
 
+    def execute_task(self, task: TheoremTask) -> TaskResult:
+        """Run one task and return its (record, metrics) pair.
+
+        This is the unit every executor backend dispatches; process
+        workers call it on their own Runner, so it must only touch
+        picklable inputs/outputs.
+        """
+        metrics = Metrics()
+        outcome = self.run_theorem(
+            self.project.theorem(task.theorem),
+            task.model,
+            task.hinted,
+            reduced_dependencies=task.reduced_dependencies,
+            search_config=task.search_config(),
+            metrics=metrics,
+        )
+        return TaskResult(
+            record=record_from_outcome(outcome), metrics=metrics.snapshot()
+        )
+
+    def outcome_from_record(self, record: OutcomeRecord) -> TheoremOutcome:
+        """Rehydrate a stored record against this runner's project."""
+        return TheoremOutcome(
+            theorem=self.project.theorem(record.theorem),
+            model=record.model,
+            hinted=record.hinted,
+            status=Status(record.status),
+            queries=record.queries,
+            generated_proof=record.generated_proof,
+            revalidated=record.revalidated,
+            similarity=record.similarity,
+            length_ratio=record.length_ratio,
+        )
+
+    # ------------------------------------------------------------------
+    # Sweep execution
+    # ------------------------------------------------------------------
+
+    def run_tasks(
+        self,
+        tasks: Sequence[TheoremTask],
+        executor: Optional[Executor] = None,
+        store: Optional[RunStore] = None,
+        fresh: bool = False,
+    ) -> List[OutcomeRecord]:
+        """Execute tasks (store-skipping completed ones), in task order.
+
+        Already-stored cells are served from ``store`` without any
+        search; ``fresh=True`` bypasses the lookup (re-executing and
+        re-appending, so the newest record wins on the next load).
+        """
+        results: Dict[str, OutcomeRecord] = {}
+        pending: List[TheoremTask] = []
+        for task in tasks:
+            key = task.cache_key()
+            self.metrics.incr("tasks.total")
+            if store is not None and not fresh and key in store:
+                results[key] = store.get(key)
+                self.metrics.incr("tasks.cached")
+            else:
+                pending.append(task)
+        if pending:
+            # Process workers must reload the project exactly as the
+            # parent did — the load mode changes fresh-tvar numbering
+            # in lemma statements, and with it prompts and outcomes.
+            backend = executor or make_executor(
+                self.config,
+                check_proofs=getattr(self.project, "check_proofs", True),
+            )
+            for task, task_result in backend.map(pending, self.execute_task):
+                self.metrics.incr("tasks.executed")
+                self.metrics.merge(task_result.metrics)
+                if store is not None:
+                    store.put(task, task_result.record)
+                results[task.cache_key()] = task_result.record
+        return [results[task.cache_key()] for task in tasks]
+
     def run(
         self,
         model_name: str,
         hinted: bool,
         theorems: Optional[Sequence[Theorem]] = None,
+        executor: Optional[Executor] = None,
+        store: Optional[RunStore] = None,
+        fresh: bool = False,
     ) -> EvalRun:
         chosen = list(theorems) if theorems is not None else self.theorems_for(
             model_name
         )
-        run = EvalRun(model=model_name, hinted=hinted)
-        for theorem in chosen:
-            run.outcomes.append(self.run_theorem(theorem, model_name, hinted))
-        return run
+        tasks = sweep_tasks(chosen, model_name, hinted, self.config)
+        records = self.run_tasks(
+            tasks, executor=executor, store=store, fresh=fresh
+        )
+        return EvalRun(
+            model=model_name,
+            hinted=hinted,
+            outcomes=[self.outcome_from_record(r) for r in records],
+        )
 
     # ------------------------------------------------------------------
     # §4.3 probes

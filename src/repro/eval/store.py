@@ -1,0 +1,120 @@
+"""Append-only JSONL run store: resumable, incremental sweeps.
+
+Each line is one completed evaluation cell::
+
+    {"key": <task cache key>, "task": {…}, "record": {…}}
+
+The store is keyed by :meth:`TheoremTask.cache_key`, so a re-run of
+the same sweep (same corpus knobs, same search hyperparameters) hits
+the store and performs zero new searches; ``--fresh`` bypasses the
+lookup but still appends, so the newest record for a key wins on the
+next load.
+
+Loading tolerates a torn final line — the signature of a run killed
+mid-append — making kill/rerun resume safe (see
+``tests/eval/test_store.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+__all__ = ["OutcomeRecord", "RunStore"]
+
+
+@dataclass(frozen=True)
+class OutcomeRecord:
+    """The serialisable result of one task.
+
+    This is :class:`~repro.eval.runner.TheoremOutcome` minus the live
+    :class:`~repro.corpus.model.Theorem` object (records carry the
+    theorem *name*; the runner rehydrates against its project) and
+    with ``status`` as the plain enum value string.  Every field is
+    deterministic — no wall-clock — so records compare equal across
+    serial, thread, and process backends.
+    """
+
+    theorem: str
+    model: str
+    hinted: bool
+    status: str
+    queries: int
+    generated_proof: str = ""
+    revalidated: bool = False
+    similarity: Optional[float] = None
+    length_ratio: Optional[float] = None
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_json(obj: dict) -> "OutcomeRecord":
+        return OutcomeRecord(**obj)
+
+
+class RunStore:
+    """Append-only JSONL persistence for outcome records."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._records: Dict[str, OutcomeRecord] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn tail write from a killed run: skip, the
+                    # cell simply re-executes on resume.
+                    continue
+                key = obj.get("key")
+                record = obj.get("record")
+                if not key or not isinstance(record, dict):
+                    continue
+                try:
+                    self._records[key] = OutcomeRecord.from_json(record)
+                except TypeError:
+                    # Schema drift (e.g. older CACHE_KEY_VERSION line
+                    # with different record fields): ignore.
+                    continue
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def get(self, key: str) -> OutcomeRecord:
+        return self._records[key]
+
+    def put(self, task, record: OutcomeRecord) -> None:
+        """Persist one completed cell (append + in-memory index)."""
+        key = task.cache_key()
+        line = json.dumps(
+            {"key": key, "task": asdict(task), "record": record.to_json()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+        self._records[key] = record
+
+    def metrics_path(self) -> Path:
+        """Where the sweep's instrumentation JSON lives (sibling file)."""
+        return self.path.with_name(self.path.stem + ".metrics.json")

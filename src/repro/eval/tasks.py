@@ -1,0 +1,134 @@
+"""Immutable task descriptors for the evaluation engine.
+
+A :class:`TheoremTask` names one cell of the paper's sweep grid —
+(theorem × model × setting) plus every knob that can change the
+search outcome — as a frozen, picklable value.  Its
+:meth:`~TheoremTask.cache_key` is a content hash over exactly those
+fields, so the run store (:mod:`repro.eval.store`) can recognise an
+already-computed cell across processes, interpreter restarts, and
+executor backends.
+
+Determinism contract: a task's outcome record depends only on the
+task fields and the corpus.  Generation is a pure function of
+(model, prompt) — see ``repro.llm.sampling.stable_seed`` — and the
+hint split is derived from ``seed``/``hint_fraction``, so serial,
+thread, and process executions of the same task produce identical
+records (enforced by ``tests/eval/test_executor.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import SearchConfig
+
+__all__ = ["TheoremTask", "sweep_tasks", "CACHE_KEY_VERSION"]
+
+# Bump when the hashed payload changes shape, so stale store entries
+# are never mistaken for current ones.
+CACHE_KEY_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TheoremTask:
+    """One independent unit of evaluation work."""
+
+    theorem: str
+    model: str
+    hinted: bool
+    # Search hyperparameters (mirror SearchConfig).
+    width: int = 8
+    fuel: int = 128
+    tactic_timeout: float = 5.0
+    frontier: str = "best-first"
+    dedup_states: bool = True
+    max_depth: int = 64
+    # Split-defining knobs: the hint set a hinted prompt may draw from
+    # is a pure function of (seed, hint_fraction) over the corpus.
+    seed: int = 0
+    hint_fraction: float = 0.5
+    # §4.3 context-selection probe: hand-reduced dependency list.
+    reduced_dependencies: Optional[Tuple[str, ...]] = None
+
+    @staticmethod
+    def from_config(
+        theorem: str,
+        model: str,
+        hinted: bool,
+        config,
+        reduced_dependencies: Optional[Sequence[str]] = None,
+    ) -> "TheoremTask":
+        """Build a task from an :class:`ExperimentConfig`."""
+        return TheoremTask(
+            theorem=theorem,
+            model=model,
+            hinted=hinted,
+            width=config.width,
+            fuel=config.fuel,
+            tactic_timeout=config.tactic_timeout,
+            frontier=config.frontier,
+            dedup_states=config.dedup_states,
+            seed=config.seed,
+            hint_fraction=config.hint_fraction,
+            reduced_dependencies=(
+                tuple(reduced_dependencies)
+                if reduced_dependencies is not None
+                else None
+            ),
+        )
+
+    def search_config(self) -> SearchConfig:
+        return SearchConfig(
+            width=self.width,
+            fuel=self.fuel,
+            tactic_timeout=self.tactic_timeout,
+            frontier=self.frontier,
+            dedup_states=self.dedup_states,
+            max_depth=self.max_depth,
+        )
+
+    def cache_key(self) -> str:
+        """Stable content hash of every outcome-relevant field.
+
+        Canonical JSON (sorted keys, fixed separators) hashed with
+        SHA-256 — never Python's ``hash()``, which is salted per
+        process and would defeat cross-run resume.
+        """
+        payload = {
+            "v": CACHE_KEY_VERSION,
+            "theorem": self.theorem,
+            "model": self.model,
+            "hinted": self.hinted,
+            "width": self.width,
+            "fuel": self.fuel,
+            "tactic_timeout": self.tactic_timeout,
+            "frontier": self.frontier,
+            "dedup_states": self.dedup_states,
+            "max_depth": self.max_depth,
+            "seed": self.seed,
+            "hint_fraction": self.hint_fraction,
+            "reduced_dependencies": (
+                list(self.reduced_dependencies)
+                if self.reduced_dependencies is not None
+                else None
+            ),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def sweep_tasks(
+    theorems: Sequence, model: str, hinted: bool, config
+) -> List[TheoremTask]:
+    """The task list for one (model, setting) sweep.
+
+    ``theorems`` may be :class:`~repro.corpus.model.Theorem` objects
+    or bare names.
+    """
+    names = [t if isinstance(t, str) else t.name for t in theorems]
+    return [
+        TheoremTask.from_config(name, model, hinted, config) for name in names
+    ]

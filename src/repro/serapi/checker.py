@@ -57,9 +57,15 @@ class ProofChecker:
         self,
         env: Environment,
         tactic_timeout: float = DEFAULT_TACTIC_TIMEOUT,
+        metrics=None,
     ) -> None:
+        """``metrics`` is an optional duck-typed sink (an object with
+        ``observe_verdict(verdict, elapsed)``, e.g.
+        :class:`repro.eval.instrumentation.Metrics`) fed one
+        observation per :meth:`check` call."""
         self.env = env
         self.tactic_timeout = tactic_timeout
+        self.metrics = metrics
 
     def start(self, statement: Term) -> ProofState:
         return initial_state(self.env, statement)
@@ -82,11 +88,29 @@ class ProofChecker:
         search tree; reaching one of them makes the tactic invalid
         (the paper's duplicate-state rule).
         """
+        result = self._check(state, tactic_text, seen_keys)
+        if self.metrics is not None:
+            self.metrics.observe_verdict(result.verdict.value, result.elapsed)
+        return result
+
+    def _check(
+        self,
+        state: ProofState,
+        tactic_text: str,
+        seen_keys: Optional[Set[str]] = None,
+    ) -> CheckResult:
         started = time.monotonic()
         try:
             node = parse_tactic(tactic_text)
         except ParseError as exc:
-            return CheckResult(Verdict.REJECTED, message=f"parse: {exc}")
+            # Parse time counts too: a checker spends real wall-clock
+            # rejecting malformed candidates, and instrumentation
+            # would under-count checking time with elapsed=0 here.
+            return CheckResult(
+                Verdict.REJECTED,
+                message=f"parse: {exc}",
+                elapsed=time.monotonic() - started,
+            )
         try:
             new_state = run_tactic(
                 self.env, state, node, timeout=self.tactic_timeout

@@ -1,0 +1,131 @@
+"""Run store: persistence, resume after a kill, --fresh bypass."""
+
+import json
+
+import pytest
+
+from repro.eval import (
+    ExperimentConfig,
+    OutcomeRecord,
+    Runner,
+    RunStore,
+    sweep_tasks,
+)
+
+CONFIG = ExperimentConfig(max_theorems=5, fuel=16)
+
+
+@pytest.fixture()
+def runner(project):
+    return Runner(project, CONFIG)
+
+
+@pytest.fixture()
+def tasks(runner):
+    theorems = runner.theorems_for("gpt-4o-mini")
+    return sweep_tasks(theorems, "gpt-4o-mini", False, CONFIG)
+
+
+class TestPersistence:
+    def test_sweep_writes_one_line_per_cell(self, runner, tasks, tmp_path):
+        store = RunStore(tmp_path / "run.jsonl")
+        runner.run_tasks(tasks, store=store)
+        lines = (tmp_path / "run.jsonl").read_text().strip().splitlines()
+        assert len(lines) == len(tasks)
+        parsed = [json.loads(line) for line in lines]
+        assert {obj["key"] for obj in parsed} == {
+            t.cache_key() for t in tasks
+        }
+        # Stored task payloads rehydrate to records byte-for-byte.
+        for obj in parsed:
+            OutcomeRecord.from_json(obj["record"])
+
+    def test_rerun_hits_store_and_searches_nothing(
+        self, project, runner, tasks, tmp_path
+    ):
+        store = RunStore(tmp_path / "run.jsonl")
+        first = runner.run_tasks(tasks, store=store)
+
+        rerun_runner = Runner(project, CONFIG)
+        reloaded = RunStore(tmp_path / "run.jsonl")
+        second = rerun_runner.run_tasks(tasks, store=reloaded)
+        assert second == first
+        assert rerun_runner.metrics.counter("tasks.executed") == 0
+        assert rerun_runner.metrics.counter("tasks.cached") == len(tasks)
+        # Nothing was appended: zero new searches, zero new lines.
+        lines = (tmp_path / "run.jsonl").read_text().strip().splitlines()
+        assert len(lines) == len(tasks)
+
+    def test_different_config_misses_store(self, project, runner, tasks, tmp_path):
+        store = RunStore(tmp_path / "run.jsonl")
+        runner.run_tasks(tasks, store=store)
+        other_config = ExperimentConfig(max_theorems=5, fuel=8)
+        other_runner = Runner(project, other_config)
+        other_tasks = sweep_tasks(
+            [t.theorem for t in tasks], "gpt-4o-mini", False, other_config
+        )
+        other_runner.run_tasks(other_tasks, store=store)
+        assert other_runner.metrics.counter("tasks.cached") == 0
+        assert other_runner.metrics.counter("tasks.executed") == len(tasks)
+
+
+class TestResume:
+    def test_kill_midsweep_then_resume(self, project, runner, tasks, tmp_path):
+        path = tmp_path / "run.jsonl"
+        # Reference: the full sweep, no store involved.
+        reference = Runner(project, CONFIG).run_tasks(tasks)
+
+        # "Crash" after 2 cells, mid-append of the 3rd: the tail line
+        # is torn JSON, exactly what a killed process leaves behind.
+        store = RunStore(path)
+        runner.run_tasks(tasks[:2], store=store)
+        with path.open("a") as handle:
+            handle.write('{"key": "deadbeef", "rec')
+
+        resumed_runner = Runner(project, CONFIG)
+        resumed_store = RunStore(path)
+        assert len(resumed_store) == 2  # torn line dropped on load
+        final = resumed_runner.run_tasks(tasks, store=resumed_store)
+        assert resumed_runner.metrics.counter("tasks.cached") == 2
+        assert resumed_runner.metrics.counter("tasks.executed") == len(tasks) - 2
+        assert final == reference
+
+    def test_fresh_bypasses_but_still_appends(
+        self, project, runner, tasks, tmp_path
+    ):
+        store = RunStore(tmp_path / "run.jsonl")
+        first = runner.run_tasks(tasks, store=store)
+
+        fresh_runner = Runner(project, CONFIG)
+        again = fresh_runner.run_tasks(tasks, store=store, fresh=True)
+        assert fresh_runner.metrics.counter("tasks.executed") == len(tasks)
+        assert fresh_runner.metrics.counter("tasks.cached") == 0
+        assert again == first  # deterministic, so bypass changes nothing
+        # Append-only: both generations are on disk, newest wins on load.
+        lines = (tmp_path / "run.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 2 * len(tasks)
+        assert len(RunStore(tmp_path / "run.jsonl")) == len(tasks)
+
+    def test_metrics_path_is_a_sibling(self, tmp_path):
+        store = RunStore(tmp_path / "sweep.jsonl")
+        assert store.metrics_path() == tmp_path / "sweep.metrics.json"
+
+
+class TestEvalRunIntegration:
+    def test_run_with_store_round_trips_outcomes(self, project, tmp_path):
+        store = RunStore(tmp_path / "run.jsonl")
+        first = Runner(project, CONFIG).run(
+            "gpt-4o-mini", hinted=True, store=store
+        )
+        resumed = Runner(project, CONFIG)
+        second = resumed.run(
+            "gpt-4o-mini", hinted=True, store=RunStore(tmp_path / "run.jsonl")
+        )
+        assert resumed.metrics.counter("tasks.executed") == 0
+        assert [o.status for o in second.outcomes] == [
+            o.status for o in first.outcomes
+        ]
+        assert [o.generated_proof for o in second.outcomes] == [
+            o.generated_proof for o in first.outcomes
+        ]
+        assert second.proved_fraction() == first.proved_fraction()

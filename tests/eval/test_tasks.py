@@ -1,0 +1,99 @@
+"""TheoremTask descriptors and cache-key stability."""
+
+import pytest
+
+from repro.eval import ExperimentConfig
+from repro.eval.tasks import TheoremTask, sweep_tasks
+
+BASE = dict(
+    theorem="plus_0_l",
+    model="gpt-4o",
+    hinted=True,
+    width=8,
+    fuel=128,
+    tactic_timeout=5.0,
+    frontier="best-first",
+    dedup_states=True,
+    max_depth=64,
+    seed=20250514,
+    hint_fraction=0.5,
+)
+
+
+class TestCacheKey:
+    def test_equal_content_equal_key(self):
+        assert TheoremTask(**BASE).cache_key() == TheoremTask(**BASE).cache_key()
+
+    def test_key_is_hex_sha256(self):
+        key = TheoremTask(**BASE).cache_key()
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+    def test_golden_key(self):
+        # Pins the hashed payload's shape: breaking this means old run
+        # stores silently stop matching — bump CACHE_KEY_VERSION and
+        # update the literal *deliberately*.
+        assert TheoremTask(**BASE).cache_key() == (
+            "eef58f932fe37ad40981865271f74739581c02cec617ecfb8b29baf9c5350d4f"
+        )
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("theorem", "plus_0_r"),
+            ("model", "gpt-4o-mini"),
+            ("hinted", False),
+            ("width", 4),
+            ("fuel", 64),
+            ("tactic_timeout", 2.0),
+            ("frontier", "depth-first"),
+            ("dedup_states", False),
+            ("max_depth", 32),
+            ("seed", 7),
+            ("hint_fraction", 0.25),
+            ("reduced_dependencies", ("In", "in_eq")),
+        ],
+    )
+    def test_every_field_is_outcome_relevant(self, field, value):
+        base = TheoremTask(**BASE)
+        changed = TheoremTask(**{**BASE, field: value})
+        assert base.cache_key() != changed.cache_key()
+
+    def test_key_survives_pickling(self):
+        import pickle
+
+        task = TheoremTask(**BASE)
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone == task
+        assert clone.cache_key() == task.cache_key()
+
+
+class TestFromConfig:
+    def test_mirrors_config(self):
+        config = ExperimentConfig(width=4, fuel=32, tactic_timeout=1.5)
+        task = TheoremTask.from_config("rev_involutive", "gpt-4o", False, config)
+        assert task.width == 4
+        assert task.fuel == 32
+        assert task.tactic_timeout == 1.5
+        assert task.seed == config.seed
+        assert task.hint_fraction == config.hint_fraction
+        sc = task.search_config()
+        assert sc.width == 4 and sc.fuel == 32 and sc.tactic_timeout == 1.5
+
+    def test_reduced_dependencies_normalised_to_tuple(self):
+        config = ExperimentConfig()
+        task = TheoremTask.from_config(
+            "in_cons", "gpt-4o-mini", False, config,
+            reduced_dependencies=["In", "in_eq"],
+        )
+        assert task.reduced_dependencies == ("In", "in_eq")
+
+    def test_sweep_tasks_accepts_theorems_and_names(self, project):
+        config = ExperimentConfig()
+        theorems = project.theorems[:3]
+        from_objects = sweep_tasks(theorems, "gpt-4o", True, config)
+        from_names = sweep_tasks(
+            [t.name for t in theorems], "gpt-4o", True, config
+        )
+        assert from_objects == from_names
+        assert [t.theorem for t in from_objects] == [t.name for t in theorems]
