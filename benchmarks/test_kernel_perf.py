@@ -3,21 +3,170 @@
 These justify the experiment budgets: a tactic executes in well under
 the paper's 5-second validity timeout, and one model query plus eight
 validations costs milliseconds, so a 128-query search is tractable.
+
+The ``test_cached_*`` benchmarks compare the optimized kernel (memo
+caches + fingerprint state keys) against the pristine baseline
+(``cache.disabled()`` + string keys) on the two hottest search-loop
+operations — duplicate-state detection and reduction — and *fail* if
+the cached kernel is not at least 2x faster.  Their measurements,
+along with cache hit rates from a replay workload, are written to
+``BENCH_kernel.json`` at the repo root (uploaded as a CI artifact).
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+from time import perf_counter
+
 import pytest
 
+from repro.kernel import cache
 from repro.kernel.goals import initial_state
 from repro.kernel.parser import parse_statement, parse_term
-from repro.kernel.reduction import simpl
+from repro.kernel.reduction import simpl, whnf
 from repro.kernel.typecheck import elaborate_term
 from repro.kernel.unify import MetaStore, unify
 from repro.serapi import ProofChecker
 from repro.tactics import parse_tactic
 from repro.tactics.base import run_tactic
-from repro.tactics.script import run_script
+from repro.tactics.script import run_script, script_tactics
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+MIN_SPEEDUP = 2.0
+
+_RESULTS: dict = {"benchmarks": {}, "cache_stats": {}}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    """Write the cached-vs-uncached trajectory file after this module."""
+    yield
+    if _RESULTS["benchmarks"]:
+        with BENCH_JSON.open("w", encoding="utf-8") as handle:
+            json.dump(_RESULTS, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def _best_of(fn, repeat: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        started = perf_counter()
+        fn()
+        best = min(best, perf_counter() - started)
+    return best
+
+
+def _record_speedup(name: str, cached_s: float, uncached_s: float) -> float:
+    speedup = uncached_s / cached_s if cached_s else float("inf")
+    _RESULTS["benchmarks"][name] = {
+        "cached_seconds": cached_s,
+        "uncached_seconds": uncached_s,
+        "speedup": speedup,
+    }
+    return speedup
+
+
+def _replay_states(project, names):
+    """Proof states reached while replaying human proofs (search-like
+    workload: many near-duplicate states over a shared context)."""
+    states = []
+    for name in names:
+        theorem = project.theorem(name)
+        env = project.env_for(theorem)
+        checker = ProofChecker(env)
+        state = checker.start(theorem.statement)
+        states.append(state)
+        for tactic in script_tactics(theorem.proof_text):
+            result = checker.check(state, tactic)
+            if not result.ok:
+                break
+            state = result.state
+            states.append(state)
+    return states
+
+
+REPLAY_NAMES = (
+    "rev_involutive",
+    "app_assoc",
+    "map_length",
+    "rev_app_distr",
+)
+
+
+def test_cached_duplicate_detection_speedup(project):
+    states = _replay_states(
+        project, [n for n in REPLAY_NAMES if n in project.theorem_cutoff]
+    )
+    assert len(states) >= 8
+
+    def fingerprint_pass():
+        for state in states:
+            state.fingerprint()
+
+    def string_key_pass():
+        for state in states:
+            state.key()
+
+    cache.clear_caches()
+    fingerprint_pass()  # warm: stamps + memo fill (first search visit)
+    cached_s = _best_of(fingerprint_pass)
+    with cache.disabled():
+        uncached_s = _best_of(string_key_pass)
+    speedup = _record_speedup("duplicate_detection", cached_s, uncached_s)
+    assert speedup >= MIN_SPEEDUP, (
+        f"fingerprint keys only {speedup:.1f}x faster than string keys"
+    )
+
+
+def test_cached_reduction_speedup(env):
+    # Each term normalizes well inside DEFAULT_BUDGET: a fuel-limited
+    # run is (correctly) never memoized, so it would benchmark the
+    # uncached path twice.
+    terms = [
+        elaborate_term(env, parse_term(text), {})
+        for text in ("6 * 7 + 5 * 4", "7 * 8 + 6 * 5", "4 * 9 * 3")
+    ]
+
+    def reduce_all():
+        for term in terms:
+            simpl(env, term)
+            whnf(env, term)
+
+    cache.clear_caches()
+    reduce_all()  # warm (a search re-reduces the same goals constantly)
+    cached_s = _best_of(reduce_all)
+    with cache.disabled():
+        uncached_s = _best_of(reduce_all)
+    speedup = _record_speedup("reduction_memo", cached_s, uncached_s)
+    assert speedup >= MIN_SPEEDUP, (
+        f"memoized reduction only {speedup:.1f}x faster than baseline"
+    )
+
+
+def test_replay_cache_hit_rates(project):
+    """A replay workload must actually hit the caches; the per-cache
+    rates land in BENCH_kernel.json next to the speedups."""
+    cache.clear_caches()
+    before = cache.cache_stats()
+    _replay_states(
+        project, [n for n in REPLAY_NAMES if n in project.theorem_cutoff]
+    )
+    delta = cache.stats_delta(before)
+    rates = {
+        name: cell["hits"] / (cell["hits"] + cell["misses"])
+        for name, cell in delta.items()
+        if cell["hits"] + cell["misses"]
+    }
+    _RESULTS["cache_stats"] = {
+        "deltas": delta,
+        "hit_rates": rates,
+        "sizes": {
+            name: cell["size"] for name, cell in cache.cache_stats().items()
+        },
+    }
+    assert delta, "replay workload never touched the kernel caches"
+    assert any(rate > 0.5 for rate in rates.values()), rates
 
 
 def test_perf_parse_statement(benchmark, env):

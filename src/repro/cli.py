@@ -159,6 +159,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="trust corpus proofs instead of re-checking them at load",
     )
+    parser.add_argument(
+        "--no-kernel-cache",
+        action="store_true",
+        help="disable kernel memo caches (debugging: pristine code paths)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list corpus theorems")
@@ -223,6 +228,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)
+    if args.no_kernel_cache:
+        import os
+
+        from repro.kernel import cache as kernel_cache
+
+        # The env var makes process-pool workers inherit the setting.
+        os.environ["REPRO_KERNEL_CACHE"] = "0"
+        kernel_cache.configure(False)
     return args.fn(args)
 
 

@@ -82,7 +82,7 @@ class LinearSearch:
         # The trail holds (state, remaining-candidates) so backtracking
         # can try the next-best candidate at an earlier step.
         root = self.checker.start(statement)
-        seen: Set[str] = {root.key()}
+        seen: Set = {self.checker.state_key(root)}
         trail: List[Tuple[ProofState, List[str], List[str]]] = []
         state = root
         steps: List[str] = []
@@ -110,7 +110,7 @@ class LinearSearch:
                     continue
                 assert check.state is not None
                 trail.append((state, list(candidates), list(steps)))
-                seen.add(check.state.key())
+                seen.add(self.checker.state_key(check.state))
                 stats.nodes_created += 1
                 state = check.state
                 steps = steps + [tactic]
@@ -137,7 +137,7 @@ class LinearSearch:
                     trail.append(
                         (prev_state, spare[index + 1 :], prev_steps)
                     )
-                    seen.add(check.state.key())
+                    seen.add(self.checker.state_key(check.state))
                     stats.nodes_created += 1
                     state = check.state
                     steps = prev_steps + [tactic]

@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Hashable, List, Optional, Sequence, Set
 
 from repro.core.result import SearchResult, SearchStats, Status
 from repro.core.search import PromptFn, SearchConfig
@@ -58,7 +58,7 @@ class MCTSConfig:
 @dataclass
 class _MNode:
     state: ProofState
-    key: str
+    key: Hashable  # checker.state_key(): int fingerprint or oracle string
     depth: int
     parent: Optional["_MNode"] = None
     tactic: Optional[str] = None
@@ -126,8 +126,10 @@ class MCTSSearch:
         stats = SearchStats()
         started = time.monotonic()
         root_state = self.checker.start(statement)
-        root = _MNode(state=root_state, key=root_state.key(), depth=0)
-        seen: Set[str] = {root.key}
+        root = _MNode(
+            state=root_state, key=self.checker.state_key(root_state), depth=0
+        )
+        seen: Set = {root.key}
         stats.nodes_created = 1
 
         def finish(status: Status, tactics=None) -> SearchResult:
@@ -175,7 +177,7 @@ class MCTSSearch:
                 assert check.state is not None
                 child = _MNode(
                     state=check.state,
-                    key=check.state.key(),
+                    key=self.checker.state_key(check.state),
                     depth=node.depth + 1,
                     parent=node,
                     tactic=candidate.tactic,

@@ -8,7 +8,7 @@ paper's (and GPT-f's) estimate of proof-completion likelihood.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Hashable, List, Optional
 
 from repro.kernel.goals import ProofState
 
@@ -20,7 +20,7 @@ class Node:
     """One expanded-or-pending point in the search tree."""
 
     state: ProofState
-    key: str
+    key: Hashable  # checker.state_key(): int fingerprint or oracle string
     cum_log_prob: float
     depth: int
     parent: Optional["Node"] = None

@@ -86,13 +86,13 @@ class BestFirstSearch:
         root_state = self.checker.start(statement)
         root = Node(
             state=root_state,
-            key=root_state.key(),
+            key=self.checker.state_key(root_state),
             cum_log_prob=0.0,
             depth=0,
         )
         frontier = make_frontier(config.frontier)
         frontier.push(root)
-        seen: Set[str] = {root.key}
+        seen: Set = {root.key}
         stats.nodes_created = 1
 
         def finish(status: Status, tactics=None) -> SearchResult:
@@ -164,7 +164,7 @@ class BestFirstSearch:
                 assert check.state is not None
                 child = Node(
                     state=check.state,
-                    key=check.state.key(),
+                    key=self.checker.state_key(check.state),
                     cum_log_prob=node.cum_log_prob + candidate.log_prob,
                     depth=node.depth + 1,
                     parent=node,

@@ -141,10 +141,29 @@ def render_metrics(snapshot: dict, title: str = "Instrumentation") -> str:
             lines.append(
                 f"{verdict:16}{count:>10}{fmt_pct(count / total):>12}"
             )
+    caches: Dict[str, Dict[str, int]] = {}
+    for name, count in counters.items():
+        if name.startswith("kernel.cache.") and name.count(".") == 3:
+            _, _, cache_name, field = name.split(".")
+            caches.setdefault(cache_name, {})[field] = count
+    if caches:
+        lines.append("")
+        header = f"{'kernel cache':16}{'hits':>10}{'misses':>10}{'hit rate':>12}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for cache_name in sorted(caches):
+            cell = caches[cache_name]
+            hits = cell.get("hits", 0)
+            misses = cell.get("misses", 0)
+            total = hits + misses
+            rate = fmt_pct(hits / total) if total else fmt_pct(None)
+            lines.append(
+                f"{cache_name:16}{hits:>10}{misses:>10}{rate:>12}"
+            )
     other = {
         name: count
         for name, count in sorted(counters.items())
-        if not name.startswith("verdict.")
+        if not name.startswith(("verdict.", "kernel.cache."))
     }
     if other:
         lines.append("")

@@ -211,7 +211,15 @@ class Runner:
         This is the unit every executor backend dispatches; process
         workers call it on their own Runner, so it must only touch
         picklable inputs/outputs.
+
+        Kernel memo caches are cleared on entry (bounding their
+        lifetime to one theorem search) and their hit/miss deltas ride
+        back on the task metrics as ``kernel.cache.<name>.*`` counters.
         """
+        from repro.kernel import cache as kernel_cache
+
+        kernel_cache.clear_caches()
+        cache_before = kernel_cache.cache_stats()
         metrics = Metrics()
         outcome = self.run_theorem(
             self.project.theorem(task.theorem),
@@ -221,6 +229,9 @@ class Runner:
             search_config=task.search_config(),
             metrics=metrics,
         )
+        for name, cell in kernel_cache.stats_delta(cache_before).items():
+            metrics.incr(f"kernel.cache.{name}.hits", cell["hits"])
+            metrics.incr(f"kernel.cache.{name}.misses", cell["misses"])
         return TaskResult(
             record=record_from_outcome(outcome), metrics=metrics.snapshot()
         )

@@ -1,0 +1,183 @@
+"""The kernel's hot-path cache layer.
+
+Every candidate tactic the search engine tries costs substitution,
+reduction, and a duplicate-detection key; best-first search revisits
+the same hypothesis terms thousands of times, so the kernel memoizes
+its pure functions.  This module holds the shared machinery:
+
+* :class:`BoundedCache` — a FIFO-evicting dict with hit/miss counters,
+  registered in a module-level registry so the evaluation layer can
+  report hit rates per cache (``kernel.cache.<name>.*`` counters).
+* a global enable switch — ``REPRO_KERNEL_CACHE=0`` in the
+  environment, :func:`configure`, or the CLI's ``--no-kernel-cache``
+  flag turn every memo off, restoring the pristine code paths (the
+  differential-soundness oracle in ``tests/kernel``).
+* an intern *epoch* — :func:`clear_caches` drops all cached entries
+  and bumps the epoch, invalidating the ``intern()`` marks stamped on
+  term objects (see :mod:`repro.kernel.terms`).
+
+Safety argument (DESIGN.md §7): every memoized function is a pure
+function of its key.  Terms are frozen dataclasses, so a term-keyed
+entry can never go stale; reduction additionally keys on the
+environment object and its declaration generation, so corpus loading
+(which mutates the environment between proofs) invalidates reduction
+entries instead of serving stale ones.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "BoundedCache",
+    "enabled",
+    "configure",
+    "disabled",
+    "clear_caches",
+    "intern_epoch",
+    "cache_stats",
+    "stats_delta",
+]
+
+_MISSING = object()
+
+_ENABLED: bool = os.environ.get("REPRO_KERNEL_CACHE", "1").lower() not in (
+    "0",
+    "off",
+    "false",
+    "no",
+)
+
+# Bumped by clear_caches(); terms interned under an older epoch are
+# re-interned on next use (their stamped epoch no longer matches).
+_INTERN_EPOCH: int = 0
+
+_REGISTRY: List["BoundedCache"] = []
+
+
+class BoundedCache:
+    """A memo table with an explicit size bound and hit/miss counters.
+
+    Eviction is FIFO (dicts preserve insertion order): the memo
+    workloads here are dominated by a hot recent working set, and FIFO
+    keeps the hit path to a single dict probe.  Counters survive
+    :meth:`clear` so sweep-level statistics accumulate across
+    per-task cache resets.
+    """
+
+    __slots__ = ("name", "capacity", "data", "hits", "misses")
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.data: Dict[Any, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        _REGISTRY.append(self)
+
+    def get(self, key: Any) -> Any:
+        """The cached value for ``key``, or ``None`` (counted as miss)."""
+        value = self.data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        data = self.data
+        if len(data) >= self.capacity and key not in data:
+            # FIFO eviction; tolerate races under the thread backend
+            # (worst case a concurrent put already evicted the head).
+            try:
+                del data[next(iter(data))]
+            except (StopIteration, KeyError, RuntimeError):
+                pass
+        data[key] = value
+
+    def clear(self) -> None:
+        self.data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self.data),
+            "capacity": self.capacity,
+        }
+
+
+# ----------------------------------------------------------------------
+# Global switches
+# ----------------------------------------------------------------------
+
+
+def enabled() -> bool:
+    """True when the kernel memo caches are active."""
+    return _ENABLED
+
+
+def configure(enabled: bool) -> None:
+    """Globally enable/disable the kernel caches (``--no-kernel-cache``)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block with every kernel cache bypassed (tests/oracles)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+def intern_epoch() -> int:
+    return _INTERN_EPOCH
+
+
+def clear_caches() -> None:
+    """Drop all cached entries (counters persist) and bump the epoch.
+
+    The evaluation runner calls this once per task so the intern table
+    and memo tables never outlive a theorem search by more than one
+    task — the cache layer's memory bound.
+    """
+    global _INTERN_EPOCH
+    _INTERN_EPOCH += 1
+    for cache in _REGISTRY:
+        cache.clear()
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Per-cache ``{hits, misses, size, capacity}`` snapshot."""
+    return {cache.name: cache.stats() for cache in _REGISTRY}
+
+
+def stats_delta(
+    before: Dict[str, Dict[str, int]],
+    after: Optional[Dict[str, Dict[str, int]]] = None,
+) -> Dict[str, Dict[str, int]]:
+    """Hit/miss deltas between two :func:`cache_stats` snapshots."""
+    if after is None:
+        after = cache_stats()
+    delta: Dict[str, Dict[str, int]] = {}
+    for name, cell in after.items():
+        base = before.get(name, {})
+        hits = cell["hits"] - base.get("hits", 0)
+        misses = cell["misses"] - base.get("misses", 0)
+        if hits or misses:
+            delta[name] = {"hits": hits, "misses": misses}
+    return delta

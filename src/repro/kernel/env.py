@@ -47,6 +47,11 @@ class Environment:
         self.opaque_types: List[str] = []  # declared base types (valu, pred...)
         self.hint_resolve: List[str] = []  # lemma names for auto/eauto
         self.hint_constructors: List[str] = []  # pred names for auto/eauto
+        # Bumped whenever a declaration that can change reduction
+        # behaviour lands (constructors, definitions, fixpoints); the
+        # reduction memo keys on (env, generation, term) so entries
+        # cached mid-load never survive a later declaration.
+        self.generation: int = 0
 
     # ------------------------------------------------------------------
     # Declarations
@@ -63,6 +68,7 @@ class Environment:
         if ind.name in self.inductives:
             raise EnvironmentError_(f"duplicate inductive: {ind.name}")
         self.inductives[ind.name] = ind
+        self.generation += 1
         for ctor in ind.constructors:
             self.signature.add(
                 ConstInfo(
@@ -88,6 +94,7 @@ class Environment:
         if abbr.name in self.abbreviations:
             raise EnvironmentError_(f"duplicate definition: {abbr.name}")
         self.abbreviations[abbr.name] = abbr
+        self.generation += 1
         param_types = tuple(ty for _, ty in abbr.params)
         self.signature.add(
             ConstInfo(
@@ -101,6 +108,7 @@ class Environment:
         if fix.name in self.fixpoints:
             raise EnvironmentError_(f"duplicate fixpoint: {fix.name}")
         self.fixpoints[fix.name] = fix
+        self.generation += 1
         self.signature.add(
             ConstInfo(
                 name=fix.name,

@@ -21,9 +21,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.errors import KernelError
 from repro.kernel.env import Environment
 from repro.kernel.pretty import pp_term, pp_type
-from repro.kernel.subst import alpha_key, fresh_name
-from repro.kernel.terms import Term, free_vars, metas_of
-from repro.kernel.types import Type
+from repro.kernel.subst import alpha_fingerprint, alpha_key, fresh_name
+from repro.kernel.terms import Term, free_vars, intern, metas_of
+from repro.kernel.types import TArrow, TCon, TVar, Type
 from repro.kernel.unify import MetaStore
 
 __all__ = ["VarDecl", "HypDecl", "Decl", "Goal", "ProofState", "initial_state"]
@@ -52,6 +52,48 @@ class HypDecl:
 
 
 Decl = Union[VarDecl, HypDecl]
+
+
+def _ty_key(ty: Type, canon: Dict[str, str], parts: List[str]) -> None:
+    """Append a canonical token stream for ``ty`` to ``parts``.
+
+    Inference-generated type variables (``?``-prefixed, from
+    :func:`repro.kernel.types.fresh_tvar`) are numbered by first
+    occurrence within one goal, so a goal's key no longer depends on
+    the global fresh-tvar counter — loading the corpus with or without
+    proof replay used to shift those names (``?A17`` vs ``?A243``) and
+    silently change duplicate-state keys.
+    """
+    if isinstance(ty, TVar):
+        name = ty.name
+        if name.startswith("?"):
+            name = canon.setdefault(name, f"?{len(canon)}")
+        parts.append(f"tv:{name};")
+    elif isinstance(ty, TCon):
+        parts.append(f"tc:{ty.name}{len(ty.args)}(")
+        for arg in ty.args:
+            _ty_key(arg, canon, parts)
+        parts.append(")")
+    elif isinstance(ty, TArrow):
+        parts.append("ar(")
+        _ty_key(ty.dom, canon, parts)
+        _ty_key(ty.cod, canon, parts)
+        parts.append(")")
+    else:
+        raise AssertionError(f"unknown type node: {ty!r}")
+
+
+def _ty_fp(ty: Type, canon: Dict[str, int]) -> int:
+    """Integer counterpart of :func:`_ty_key` (same canonicalization)."""
+    if isinstance(ty, TVar):
+        if ty.name.startswith("?"):
+            return hash(("tv?", canon.setdefault(ty.name, len(canon))))
+        return hash(("tv", ty.name))
+    if isinstance(ty, TCon):
+        return hash(("tc", ty.name) + tuple(_ty_fp(a, canon) for a in ty.args))
+    if isinstance(ty, TArrow):
+        return hash(("ar", _ty_fp(ty.dom, canon), _ty_fp(ty.cod, canon)))
+    raise AssertionError(f"unknown type node: {ty!r}")
 
 
 @dataclass(frozen=True)
@@ -128,16 +170,48 @@ class Goal:
         return "\n".join(lines)
 
     def key(self, store: MetaStore) -> str:
-        """Canonical identity of this goal, for duplicate detection."""
+        """Canonical identity of this goal, for duplicate detection.
+
+        Invariant under bound-variable renaming (via ``alpha_key``)
+        and under fresh-tvar counter offsets (via ``_ty_key``'s
+        first-occurrence numbering of ``?``-variables).  This is the
+        reference oracle for :meth:`fingerprint`.
+        """
+        canon: Dict[str, str] = {}
         parts = []
         for decl in self.decls:
             if isinstance(decl, VarDecl):
-                parts.append(f"V:{decl.name}:{pp_type(decl.ty)}")
+                ty_parts: List[str] = []
+                _ty_key(decl.ty, canon, ty_parts)
+                parts.append(f"V:{decl.name}:{''.join(ty_parts)}")
             else:
                 parts.append(f"H:{decl.name}:{alpha_key(store.resolve(decl.prop))}")
         parts.append("|-")
         parts.append(alpha_key(store.resolve(self.concl)))
         return "\n".join(parts)
+
+    def fingerprint(self, store: MetaStore) -> int:
+        """O(1)-amortized integer counterpart of :meth:`key`.
+
+        Equal exactly when :meth:`key` is equal (modulo 64-bit hash
+        collisions); built from memoized per-term fingerprints, so a
+        search step costs a handful of hash mixes instead of
+        re-rendering every hypothesis.
+        """
+        canon: Dict[str, int] = {}
+        parts: List[int] = []
+        for decl in self.decls:
+            if isinstance(decl, VarDecl):
+                parts.append(hash(("V", decl.name, _ty_fp(decl.ty, canon))))
+            else:
+                parts.append(
+                    hash(
+                        ("H", decl.name,
+                         alpha_fingerprint(store.resolve(decl.prop)))
+                    )
+                )
+        parts.append(alpha_fingerprint(store.resolve(self.concl)))
+        return hash(tuple(parts))
 
 
 @dataclass(frozen=True)
@@ -183,8 +257,17 @@ class ProofState:
         return ProofState(self.goals, clone)
 
     def key(self) -> str:
-        """Canonical identity of the whole state (paper: duplicate pruning)."""
+        """Canonical identity of the whole state (paper: duplicate pruning).
+
+        The string form; :meth:`fingerprint` is the fast default used
+        by the search engines, with this kept as the reference oracle
+        behind ``ProofChecker(state_keys="string")``.
+        """
         return "\n---\n".join(goal.key(self.store) for goal in self.goals)
+
+    def fingerprint(self) -> int:
+        """O(1)-amortized duplicate-pruning key (see :meth:`Goal.fingerprint`)."""
+        return hash(tuple(goal.fingerprint(self.store) for goal in self.goals))
 
     def render(self) -> str:
         if not self.goals:
@@ -209,5 +292,7 @@ class ProofState:
 def initial_state(env: Environment, statement: Term) -> ProofState:
     """The starting proof state for a lemma ``statement``."""
     del env  # reserved for future well-formedness checking
-    goal = Goal((), statement)
+    # Hash-cons the root statement so every proof of a repeated lemma
+    # shape shares one representative (and its stamped derived values).
+    goal = Goal((), intern(statement))
     return ProofState((goal,), MetaStore())

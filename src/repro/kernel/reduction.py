@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.kernel import cache as _cache
 from repro.kernel.definitions import Abbreviation, FixEquation, Fixpoint
 from repro.kernel.env import Environment
 from repro.kernel.subst import subst_vars
@@ -157,10 +158,50 @@ def _try_iota(
     return None
 
 
+_WHNF_CACHE = _cache.BoundedCache("whnf", capacity=32_768)
+_SIMPL_CACHE = _cache.BoundedCache("simpl", capacity=8_192)
+
+
+def _memo_reduce(cache, compute, env, term, budget: Budget) -> Term:
+    """Memoize a budgeted reduction with *exact* step accounting.
+
+    A cache entry stores ``(result, steps)`` recorded from a run that
+    finished with budget to spare — so ``steps`` is the reduction's
+    true cost, independent of the caller's budget.  On a hit we charge
+    those steps to the caller's budget when affordable (bit-for-bit
+    identical to replaying) and otherwise replay honestly, so partial
+    results under tiny budgets match the uncached kernel exactly.
+    Entries key on the environment object and its declaration
+    generation: corpus loading mutates the environment between proofs,
+    and a new declaration must never be answered from a stale entry.
+    """
+    key = (env, env.generation, term)
+    hit = cache.get(key)
+    if hit is not None:
+        result, steps = hit
+        if steps <= budget.remaining:
+            budget.remaining -= steps
+            return result
+        return compute(env, term, budget)
+    before = budget.remaining
+    result = compute(env, term, budget)
+    if budget.remaining > 0:
+        # The run returned with budget left, so it completed; had it
+        # been cut off, spend() would have driven remaining to 0.
+        cache.put(key, (result, before - budget.remaining))
+    return result
+
+
 def whnf(env: Environment, term: Term, budget: Optional[Budget] = None) -> Term:
     """Weak-head normal form: beta + iota + delta at the head only."""
     if budget is None:
         budget = Budget()
+    if not _cache.enabled():
+        return _whnf(env, term, budget)
+    return _memo_reduce(_WHNF_CACHE, _whnf, env, term, budget)
+
+
+def _whnf(env: Environment, term: Term, budget: Budget) -> Term:
     while budget.spend():
         head, args = _decompose(term)
         # beta
@@ -207,7 +248,9 @@ def simpl(env: Environment, term: Term, budget: Optional[Budget] = None) -> Term
     """
     if budget is None:
         budget = Budget()
-    return _simpl(env, term, budget)
+    if not _cache.enabled():
+        return _simpl(env, term, budget)
+    return _memo_reduce(_SIMPL_CACHE, _simpl, env, term, budget)
 
 
 def _simpl(env: Environment, term: Term, budget: Budget) -> Term:

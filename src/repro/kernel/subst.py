@@ -12,12 +12,23 @@ Three related operations live here:
   canonical string key used for duplicate-proof-state detection in the
   best-first search (the paper prunes tactics that recreate an already
   visited state).
+* :func:`alpha_fingerprint` — the integer counterpart of
+  :func:`alpha_key`: an alpha-invariant structural hash (bound
+  variables enter by de Bruijn *index*, so closed subterms hash
+  position-independently and their fingerprints memoize per node).
+  The search engine's duplicate-state keys are built from these.
+
+The hot entry points (``subst_vars``, ``subst_metas``, ``alpha_key``,
+``alpha_fingerprint``) are memoized through
+:mod:`repro.kernel.cache`; substitution additionally preserves node
+identity when nothing changes, so memo keys stay coherent downstream.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Set, Tuple
 
+from repro.kernel import cache as _cache
 from repro.kernel.terms import (
     App,
     And,
@@ -34,7 +45,9 @@ from repro.kernel.terms import (
     TrueP,
     Var,
     app,
+    free_var_set,
     free_vars,
+    meta_set,
 )
 
 __all__ = [
@@ -45,6 +58,7 @@ __all__ = [
     "subst_metas",
     "alpha_eq",
     "alpha_key",
+    "alpha_fingerprint",
 ]
 
 
@@ -78,14 +92,26 @@ def subst_var(term: Term, name: str, replacement: Term) -> Term:
     return subst_vars(term, {name: replacement})
 
 
+_SUBST_CACHE = _cache.BoundedCache("subst_vars", capacity=16_384)
+
+
 def subst_vars(term: Term, mapping: Mapping[str, Term]) -> Term:
     """Simultaneous capture-avoiding substitution."""
     if not mapping:
         return term
+    key = None
+    if _cache.enabled():
+        key = (term, tuple(sorted(mapping.items())))
+        hit = _SUBST_CACHE.get(key)
+        if hit is not None:
+            return hit
     danger: Set[str] = set()
     for value in mapping.values():
-        danger |= free_vars(value)
-    return _subst(term, dict(mapping), danger)
+        danger |= free_var_set(value)
+    result = _subst(term, dict(mapping), danger)
+    if key is not None:
+        _SUBST_CACHE.put(key, result)
+    return result
 
 
 def _subst(term: Term, mapping: Dict[str, Term], danger: Set[str]) -> Term:
@@ -96,6 +122,8 @@ def _subst(term: Term, mapping: Dict[str, Term], danger: Set[str]) -> Term:
     if isinstance(term, App):
         fn = _subst(term.fn, mapping, danger)
         args = tuple(_subst(a, mapping, danger) for a in term.args)
+        if fn is term.fn and all(a is b for a, b in zip(args, term.args)):
+            return term
         return app(fn, *args)
     if isinstance(term, (Lam, Forall, Exists)):
         var = term.var
@@ -108,20 +136,45 @@ def _subst(term: Term, mapping: Dict[str, Term], danger: Set[str]) -> Term:
             new_var = fresh_name(var, taken)
             body = subst_var(body, var, Var(new_var))
             var = new_var
-        return _binder_cls(term)(var, term.ty, _subst(body, inner, danger))
+        new_body = _subst(body, inner, danger)
+        if var is term.var and new_body is term.body:
+            return term
+        return _binder_cls(term)(var, term.ty, new_body)
     if isinstance(term, (Impl, And, Or)):
-        return _binder_cls(term)(
-            _subst(term.lhs, mapping, danger), _subst(term.rhs, mapping, danger)
-        )
+        lhs = _subst(term.lhs, mapping, danger)
+        rhs = _subst(term.rhs, mapping, danger)
+        if lhs is term.lhs and rhs is term.rhs:
+            return term
+        return _binder_cls(term)(lhs, rhs)
     if isinstance(term, Eq):
-        return Eq(term.ty, _subst(term.lhs, mapping, danger), _subst(term.rhs, mapping, danger))
+        lhs = _subst(term.lhs, mapping, danger)
+        rhs = _subst(term.rhs, mapping, danger)
+        if lhs is term.lhs and rhs is term.rhs:
+            return term
+        return Eq(term.ty, lhs, rhs)
     raise AssertionError(f"unknown term node: {term!r}")
+
+
+_RESOLVE_CACHE = _cache.BoundedCache("subst_metas", capacity=16_384)
 
 
 def subst_metas(term: Term, solutions: Mapping[int, Term]) -> Term:
     """Replace solved metavariables by their solutions, transitively."""
     if not solutions:
         return term
+    if _cache.enabled():
+        # The common resolve() call sees a term with no (solved) metas;
+        # the cached meta set turns that into an O(1) no-op.
+        metas = meta_set(term)
+        if not metas or all(uid not in solutions for uid in metas):
+            return term
+        key = (term, tuple(sorted(solutions.items())))
+        hit = _RESOLVE_CACHE.get(key)
+        if hit is not None:
+            return hit
+        result = _subst_metas(term, solutions)
+        _RESOLVE_CACHE.put(key, result)
+        return result
     return _subst_metas(term, solutions)
 
 
@@ -136,15 +189,26 @@ def _subst_metas(term: Term, solutions: Mapping[int, Term]) -> Term:
     if isinstance(term, App):
         fn = _subst_metas(term.fn, solutions)
         args = tuple(_subst_metas(a, solutions) for a in term.args)
+        if fn is term.fn and all(a is b for a, b in zip(args, term.args)):
+            return term
         return app(fn, *args)
     if isinstance(term, (Lam, Forall, Exists)):
-        return _binder_cls(term)(term.var, term.ty, _subst_metas(term.body, solutions))
+        body = _subst_metas(term.body, solutions)
+        if body is term.body:
+            return term
+        return _binder_cls(term)(term.var, term.ty, body)
     if isinstance(term, (Impl, And, Or)):
-        return _binder_cls(term)(
-            _subst_metas(term.lhs, solutions), _subst_metas(term.rhs, solutions)
-        )
+        lhs = _subst_metas(term.lhs, solutions)
+        rhs = _subst_metas(term.rhs, solutions)
+        if lhs is term.lhs and rhs is term.rhs:
+            return term
+        return _binder_cls(term)(lhs, rhs)
     if isinstance(term, Eq):
-        return Eq(term.ty, _subst_metas(term.lhs, solutions), _subst_metas(term.rhs, solutions))
+        lhs = _subst_metas(term.lhs, solutions)
+        rhs = _subst_metas(term.rhs, solutions)
+        if lhs is term.lhs and rhs is term.rhs:
+            return term
+        return Eq(term.ty, lhs, rhs)
     raise AssertionError(f"unknown term node: {term!r}")
 
 
@@ -204,6 +268,9 @@ def _alpha_eq(
     raise AssertionError(f"unknown term node: {t1!r}")
 
 
+_ALPHA_KEY_CACHE = _cache.BoundedCache("alpha_key", capacity=8_192)
+
+
 def alpha_key(term: Term) -> str:
     """A canonical string for ``term`` modulo bound-variable names.
 
@@ -211,9 +278,83 @@ def alpha_key(term: Term) -> str:
     (free variables and constants compare by name, binders by de
     Bruijn level).  Used to build duplicate-proof-state keys.
     """
-    parts: list = []
+    if _cache.enabled():
+        hit = _ALPHA_KEY_CACHE.get(term)
+        if hit is not None:
+            return hit
+        parts: list = []
+        _alpha_key(term, {}, 0, parts)
+        result = "".join(parts)
+        _ALPHA_KEY_CACHE.put(term, result)
+        return result
+    parts = []
     _alpha_key(term, {}, 0, parts)
     return "".join(parts)
+
+
+_ALPHA_FP_CACHE = _cache.BoundedCache("alpha_fp", capacity=65_536)
+
+
+def alpha_fingerprint(term: Term) -> int:
+    """An alpha-invariant structural hash of ``term``.
+
+    Produces equal values exactly when :func:`alpha_key` produces
+    equal strings (modulo the negligible 64-bit collision risk), but
+    costs O(1) amortized: bound variables are hashed by de Bruijn
+    *index* (distance to their binder), so a closed subterm hashes the
+    same at any depth and its fingerprint memoizes per node.  This is
+    what :meth:`repro.kernel.goals.ProofState.fingerprint` — the
+    search engine's duplicate-state key — is built from.
+    """
+    if not _cache.enabled():
+        return _alpha_fp(term, {}, 0)
+    hit = _ALPHA_FP_CACHE.get(term)
+    if hit is not None:
+        return hit
+    fp = _alpha_fp(term, {}, 0)
+    _ALPHA_FP_CACHE.put(term, fp)
+    return fp
+
+
+def _alpha_fp(term: Term, env: Dict[str, int], depth: int) -> int:
+    if env and _cache.enabled() and free_var_set(term).isdisjoint(env):
+        # Closed w.r.t. the enclosing binders: de Bruijn indices make
+        # the value position-independent, so reuse the memoized one.
+        return alpha_fingerprint(term)
+    if isinstance(term, Var):
+        level = env.get(term.name)
+        if level is None:
+            return hash(("v", term.name))
+        return hash(("b", depth - level))
+    if isinstance(term, Const):
+        return hash(("c", term.name))
+    if isinstance(term, TrueP):
+        return hash("T!")
+    if isinstance(term, FalseP):
+        return hash("F!")
+    if isinstance(term, Meta):
+        return hash(("m", term.uid))
+    if isinstance(term, App):
+        return hash(
+            ("a", len(term.args), _alpha_fp(term.fn, env, depth))
+            + tuple(_alpha_fp(arg, env, depth) for arg in term.args)
+        )
+    if isinstance(term, (Lam, Forall, Exists)):
+        tag = {"Lam": "L", "Forall": "A", "Exists": "E"}[type(term).__name__]
+        inner = dict(env)
+        inner[term.var] = depth
+        return hash((tag, _alpha_fp(term.body, inner, depth + 1)))
+    if isinstance(term, (Impl, And, Or)):
+        tag = {"Impl": "I", "And": "&", "Or": "|"}[type(term).__name__]
+        return hash(
+            (tag, _alpha_fp(term.lhs, env, depth), _alpha_fp(term.rhs, env, depth))
+        )
+    if isinstance(term, Eq):
+        # The ty annotation is ignored, mirroring alpha_key.
+        return hash(
+            ("=", _alpha_fp(term.lhs, env, depth), _alpha_fp(term.rhs, env, depth))
+        )
+    raise AssertionError(f"unknown term node: {term!r}")
 
 
 def _alpha_key(term: Term, env: Dict[str, int], depth: int, parts: list) -> None:

@@ -21,13 +21,29 @@ Design notes
   store.
 * Numerals are Peano terms (``S (S O)``); the pretty printer renders
   them back as decimal literals.
+
+Performance layer
+-----------------
+
+Term nodes are frozen, so three derived quantities are computed once
+and stamped on the node (via ``object.__setattr__``): the structural
+hash (installed as ``__hash__``, making term-keyed dict/set probes
+O(1) after first use), the free-variable set, and the metavariable
+set.  ``__eq__`` gets a fast path — identity, then class, then cached
+hash — before falling back to the dataclass field walk.  On top of
+that, :func:`intern` hash-conses terms through a constructor cache so
+structurally equal terms share one representative (and therefore
+share all the stamped and memoized derived values).  All of this is
+transparent: hashing and equality semantics are unchanged, only their
+cost is.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Set, Tuple
+from typing import FrozenSet, Iterator, Optional, Set, Tuple
 
+from repro.kernel import cache as _cache
 from repro.kernel.types import Type
 
 __all__ = [
@@ -60,9 +76,13 @@ __all__ = [
     "nat_lit",
     "as_nat_lit",
     "free_vars",
+    "free_var_set",
     "subterms",
     "head_const",
     "metas_of",
+    "meta_set",
+    "intern",
+    "structural_hash",
 ]
 
 
@@ -191,6 +211,141 @@ class Meta(Term):
     hint: str = "?"
 
 
+# ----------------------------------------------------------------------
+# Performance layer: cached structural hash, fast equality, interning
+# ----------------------------------------------------------------------
+
+
+def _compute_hash(term: Term) -> int:
+    """Structural hash, mixing cached child hashes (one pass per node)."""
+    if isinstance(term, Var):
+        return hash(("V", term.name))
+    if isinstance(term, Const):
+        return hash(("C", term.name))
+    if isinstance(term, App):
+        return hash(("A", hash(term.fn)) + tuple(hash(a) for a in term.args))
+    if isinstance(term, (Lam, Forall, Exists)):
+        return hash(
+            (type(term).__name__, term.var, hash(term.ty), hash(term.body))
+        )
+    if isinstance(term, (Impl, And, Or)):
+        return hash((type(term).__name__, hash(term.lhs), hash(term.rhs)))
+    if isinstance(term, Eq):
+        return hash(("=", hash(term.ty), hash(term.lhs), hash(term.rhs)))
+    if isinstance(term, TrueP):
+        return hash("TrueP")
+    if isinstance(term, FalseP):
+        return hash("FalseP")
+    if isinstance(term, Meta):
+        return hash(("M", term.uid, term.hint))
+    raise AssertionError(f"unknown term node: {term!r}")
+
+
+def _term_hash(self: Term) -> int:
+    h = self.__dict__.get("_h")
+    if h is None:
+        h = _compute_hash(self)
+        object.__setattr__(self, "_h", h)
+    return h
+
+
+def _term_eq(self: Term, other: object):
+    if self is other:
+        return True
+    if other.__class__ is not self.__class__:
+        return NotImplemented
+    if _term_hash(self) != _term_hash(other):  # type: ignore[arg-type]
+        return False
+    return self._fields_eq(other)  # type: ignore[attr-defined]
+
+
+def structural_hash(term: Term) -> int:
+    """The term's cached structural hash (same value as ``hash(term)``)."""
+    return _term_hash(term)
+
+
+_TERM_CLASSES = (
+    Var,
+    Const,
+    App,
+    Lam,
+    Forall,
+    Exists,
+    Impl,
+    And,
+    Or,
+    Eq,
+    TrueP,
+    FalseP,
+    Meta,
+)
+
+for _cls in _TERM_CLASSES:
+    # Replace the dataclass-generated __hash__/__eq__ (full field walks
+    # on every call) with cached-hash variants.  The generated __eq__ is
+    # kept as the structural fallback.
+    _cls._fields_eq = _cls.__eq__  # type: ignore[attr-defined]
+    _cls.__eq__ = _term_eq  # type: ignore[assignment]
+    _cls.__hash__ = _term_hash  # type: ignore[assignment]
+del _cls
+
+
+_INTERN_TABLE = _cache.BoundedCache("intern", capacity=1_000_000)
+
+
+def intern(term: Term) -> Term:
+    """Hash-cons ``term``: one shared representative per structure.
+
+    Structurally equal terms intern to the *same object*, so all the
+    derived values stamped on a node (hash, free variables, metas,
+    alpha fingerprints) are computed once per structure rather than
+    once per copy.  Interning is safe because terms are frozen; the
+    table is dropped (and the epoch stamped on representatives is
+    invalidated) by :func:`repro.kernel.cache.clear_caches`.
+    """
+    if term.__dict__.get("_interned") == _cache.intern_epoch():
+        return term
+    if not _cache.enabled():
+        return term
+    cached = _INTERN_TABLE.get(term)
+    if cached is not None:
+        return cached
+    rep = _intern_children(term)
+    _INTERN_TABLE.put(rep, rep)
+    object.__setattr__(rep, "_interned", _cache.intern_epoch())
+    return rep
+
+
+def _intern_children(term: Term) -> Term:
+    """Rebuild ``term`` over interned children (identity-preserving)."""
+    if isinstance(term, (Var, Const, TrueP, FalseP, Meta)):
+        return term
+    if isinstance(term, App):
+        fn = intern(term.fn)
+        args = tuple(intern(a) for a in term.args)
+        if fn is term.fn and all(a is b for a, b in zip(args, term.args)):
+            return term
+        return App(fn, args)
+    if isinstance(term, (Lam, Forall, Exists)):
+        body = intern(term.body)
+        if body is term.body:
+            return term
+        return type(term)(term.var, term.ty, body)
+    if isinstance(term, (Impl, And, Or)):
+        lhs = intern(term.lhs)
+        rhs = intern(term.rhs)
+        if lhs is term.lhs and rhs is term.rhs:
+            return term
+        return type(term)(lhs, rhs)
+    if isinstance(term, Eq):
+        lhs = intern(term.lhs)
+        rhs = intern(term.rhs)
+        if lhs is term.lhs and rhs is term.rhs:
+            return term
+        return Eq(term.ty, lhs, rhs)
+    raise AssertionError(f"unknown term node: {term!r}")
+
+
 def app(fn: Term, *args: Term) -> Term:
     """Apply ``fn`` to ``args``, flattening nested applications."""
     if not args:
@@ -295,31 +450,41 @@ def as_nat_lit(term: Term) -> Optional[int]:
         return None
 
 
-def free_vars(term: Term, bound: Optional[Set[str]] = None) -> Set[str]:
-    """The free term-variable names of ``term``."""
-    bound = bound or set()
-    out: Set[str] = set()
-    _free_vars(term, frozenset(bound), out)
-    return out
+_EMPTY_NAMES: FrozenSet[str] = frozenset()
 
 
-def _free_vars(term: Term, bound: frozenset, out: Set[str]) -> None:
+def free_var_set(term: Term) -> FrozenSet[str]:
+    """The free term-variable names of ``term``, cached on the node."""
+    cached = term.__dict__.get("_fvs")
+    if cached is None:
+        cached = _compute_free_vars(term)
+        object.__setattr__(term, "_fvs", cached)
+    return cached
+
+
+def _compute_free_vars(term: Term) -> FrozenSet[str]:
     if isinstance(term, Var):
-        if term.name not in bound:
-            out.add(term.name)
-    elif isinstance(term, App):
-        _free_vars(term.fn, bound, out)
+        return frozenset((term.name,))
+    if isinstance(term, App):
+        out = set(free_var_set(term.fn))
         for arg in term.args:
-            _free_vars(arg, bound, out)
-    elif isinstance(term, (Lam, Forall, Exists)):
-        _free_vars(term.body, bound | {term.var}, out)
-    elif isinstance(term, (Impl, And, Or)):
-        _free_vars(term.lhs, bound, out)
-        _free_vars(term.rhs, bound, out)
-    elif isinstance(term, Eq):
-        _free_vars(term.lhs, bound, out)
-        _free_vars(term.rhs, bound, out)
+            out |= free_var_set(arg)
+        return frozenset(out)
+    if isinstance(term, (Lam, Forall, Exists)):
+        fvs = free_var_set(term.body)
+        return fvs - {term.var} if term.var in fvs else fvs
+    if isinstance(term, (Impl, And, Or, Eq)):
+        return free_var_set(term.lhs) | free_var_set(term.rhs)
     # Var-free leaves: Const, TrueP, FalseP, Meta.
+    return _EMPTY_NAMES
+
+
+def free_vars(term: Term, bound: Optional[Set[str]] = None) -> Set[str]:
+    """The free term-variable names of ``term`` (minus ``bound``)."""
+    fvs = free_var_set(term)
+    if bound:
+        return set(fvs - frozenset(bound))
+    return set(fvs)
 
 
 def subterms(term: Term) -> Iterator[Term]:
@@ -348,10 +513,33 @@ def head_const(term: Term) -> Optional[str]:
     return None
 
 
+_EMPTY_UIDS: FrozenSet[int] = frozenset()
+
+
+def meta_set(term: Term) -> FrozenSet[int]:
+    """The uids of metavariables occurring in ``term``, cached on the node."""
+    cached = term.__dict__.get("_metas")
+    if cached is None:
+        cached = _compute_metas(term)
+        object.__setattr__(term, "_metas", cached)
+    return cached
+
+
+def _compute_metas(term: Term) -> FrozenSet[int]:
+    if isinstance(term, Meta):
+        return frozenset((term.uid,))
+    if isinstance(term, App):
+        out = set(meta_set(term.fn))
+        for arg in term.args:
+            out |= meta_set(arg)
+        return frozenset(out)
+    if isinstance(term, (Lam, Forall, Exists)):
+        return meta_set(term.body)
+    if isinstance(term, (Impl, And, Or, Eq)):
+        return meta_set(term.lhs) | meta_set(term.rhs)
+    return _EMPTY_UIDS
+
+
 def metas_of(term: Term) -> Set[int]:
     """The uids of all metavariables occurring in ``term``."""
-    out: Set[int] = set()
-    for sub in subterms(term):
-        if isinstance(sub, Meta):
-            out.add(sub.uid)
-    return out
+    return set(meta_set(term))

@@ -38,7 +38,8 @@ from repro.kernel.terms import (
     Term,
     TrueP,
     Var,
-    metas_of,
+    free_var_set,
+    meta_set,
 )
 
 __all__ = ["MetaStore", "unify", "match_term"]
@@ -226,7 +227,7 @@ def _solve_meta(meta: Meta, value: Term, store: MetaStore, depth: int) -> None:
     value = store.resolve(value)
     if isinstance(value, Meta) and value.uid == meta.uid:
         return
-    if meta.uid in metas_of(value):
+    if meta.uid in meta_set(value):
         raise UnificationError(f"occurs check: ?{meta.uid}")
     if _mentions_canonical(value):
         raise UnificationError(
@@ -236,6 +237,4 @@ def _solve_meta(meta: Meta, value: Term, store: MetaStore, depth: int) -> None:
 
 
 def _mentions_canonical(term: Term) -> bool:
-    from repro.kernel.terms import free_vars
-
-    return any(name.startswith("%") for name in free_vars(term))
+    return any(name.startswith("%") for name in free_var_set(term))

@@ -58,14 +58,24 @@ class ProofChecker:
         env: Environment,
         tactic_timeout: float = DEFAULT_TACTIC_TIMEOUT,
         metrics=None,
+        state_keys: str = "fingerprint",
     ) -> None:
         """``metrics`` is an optional duck-typed sink (an object with
         ``observe_verdict(verdict, elapsed)``, e.g.
         :class:`repro.eval.instrumentation.Metrics`) fed one
-        observation per :meth:`check` call."""
+        observation per :meth:`check` call.
+
+        ``state_keys`` selects the duplicate-detection key:
+        ``"fingerprint"`` (default) uses the O(1) structural hash,
+        ``"string"`` the original pretty-rendered key — kept as the
+        reference oracle for the differential tests and for debugging
+        suspected fingerprint collisions."""
+        if state_keys not in ("fingerprint", "string"):
+            raise ValueError(f"unknown state_keys mode: {state_keys!r}")
         self.env = env
         self.tactic_timeout = tactic_timeout
         self.metrics = metrics
+        self.state_keys = state_keys
 
     def start(self, statement: Term) -> ProofState:
         return initial_state(self.env, statement)
@@ -73,14 +83,17 @@ class ProofChecker:
     def start_text(self, statement_text: str) -> ProofState:
         return self.start(parse_statement(self.env, statement_text))
 
-    def state_key(self, state: ProofState) -> str:
+    def state_key(self, state: ProofState):
+        """The duplicate-detection key for ``state`` (mode-dependent)."""
+        if self.state_keys == "fingerprint":
+            return state.fingerprint()
         return state.key()
 
     def check(
         self,
         state: ProofState,
         tactic_text: str,
-        seen_keys: Optional[Set[str]] = None,
+        seen_keys: Optional[Set] = None,
     ) -> CheckResult:
         """Validate ``tactic_text`` against ``state``.
 
@@ -97,7 +110,7 @@ class ProofChecker:
         self,
         state: ProofState,
         tactic_text: str,
-        seen_keys: Optional[Set[str]] = None,
+        seen_keys: Optional[Set] = None,
     ) -> CheckResult:
         started = time.monotonic()
         try:
@@ -131,7 +144,7 @@ class ProofChecker:
         if elapsed > self.tactic_timeout:
             return CheckResult(Verdict.TIMEOUT, message="slow tactic", elapsed=elapsed)
         if seen_keys is not None:
-            key = new_state.key()
+            key = self.state_key(new_state)
             if key in seen_keys:
                 return CheckResult(
                     Verdict.DUPLICATE,

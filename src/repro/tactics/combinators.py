@@ -77,7 +77,7 @@ def run_repeat(env: Environment, state: ProofState, node: Repeat) -> ProofState:
     for _ in range(_MAX_REPEAT):
         check_deadline()
         snapshot = current.store.snapshot()
-        before_key = current.key()
+        before_key = current.fingerprint()
         try:
             nxt = _apply_once_everywhere(env, rest, current, node.body)
         except TacticTimeout:
@@ -85,7 +85,7 @@ def run_repeat(env: Environment, state: ProofState, node: Repeat) -> ProofState:
         except TacticError:
             current.store.restore(snapshot)
             return current
-        if nxt.key() == before_key:
+        if nxt.fingerprint() == before_key:
             return nxt
         current = nxt
     raise TacticError("repeat: iteration limit exceeded")

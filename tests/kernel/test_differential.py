@@ -1,0 +1,149 @@
+"""Differential soundness: the cached kernel vs. the pristine kernel.
+
+The performance layer (interning, memoized substitution/reduction,
+fingerprint state keys) must be *observationally invisible*: every
+verdict, goal count, and state key the search engine sees has to be
+identical with caches on and off, and the fingerprint keys must prune
+exactly the states the string-key oracle would prune.
+
+Three granularities:
+
+* full FSCQ corpus load with proof replay (every human proof
+  machine-checked through the whole tactic engine) under both modes;
+* stepwise replay of bullet-free proofs through ``ProofChecker.check``
+  comparing per-step verdicts, goal counts, string keys, and
+  fingerprints;
+* whole evaluation sweeps (search + Qed replay) cache-on vs. cache-off
+  and fingerprint-keys vs. string-keys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BestFirstSearch, SearchConfig
+from repro.corpus.loader import load_project
+from repro.eval import ExperimentConfig, Runner, SerialExecutor, sweep_tasks
+from repro.kernel import cache
+from repro.kernel.subst import alpha_key
+from repro.llm import get_model
+from repro.prompting import PromptBuilder
+from repro.serapi import ProofChecker
+from repro.tactics.script import script_tactics, split_sentences
+
+CONFIG = ExperimentConfig(max_theorems=6, fuel=16)
+
+
+class TestCorpusReplay:
+    def test_checked_load_matches_with_caches_off(self):
+        # A checked load replays all corpus proofs through the tactic
+        # engine; both loads completing proves every per-tactic verdict
+        # agreed (any divergence raises at load).
+        proj_on = load_project(check_proofs=True, use_cache=False)
+        assert cache.enabled()
+        with cache.disabled():
+            proj_off = load_project(check_proofs=True, use_cache=False)
+        names_on = [t.name for t in proj_on.theorems]
+        names_off = [t.name for t in proj_off.theorems]
+        assert names_on == names_off
+        for t_on, t_off in zip(proj_on.theorems, proj_off.theorems):
+            # Statements differ only in fresh-tvar annotations (the
+            # global counter keeps running between loads), never in
+            # alpha-structure.
+            assert alpha_key(t_on.statement) == alpha_key(t_off.statement)
+            assert t_on.proof_text == t_off.proof_text
+            assert t_on.category == t_off.category
+
+    def test_stepwise_replay_identical(self, project):
+        """Per-step verdicts/goal counts/keys agree across cache modes."""
+
+        def bullet_free(theorem):
+            try:
+                sentences = split_sentences(theorem.proof_text)
+            except Exception:
+                return False
+            return all(s.bullet is None for s in sentences)
+
+        sample = [t for t in project.theorems if bullet_free(t)][:30]
+        assert len(sample) >= 20  # the corpus keeps plenty of these
+
+        def trace(theorem, enabled):
+            env = project.env_for(theorem)
+            checker = ProofChecker(env)
+            steps = []
+
+            def run():
+                cache.clear_caches()
+                state = checker.start(theorem.statement)
+                for tactic in script_tactics(theorem.proof_text):
+                    result = checker.check(state, tactic)
+                    steps.append(
+                        (
+                            tactic,
+                            result.verdict.value,
+                            result.state.num_goals() if result.ok else None,
+                            result.state.key() if result.ok else None,
+                            result.state.fingerprint() if result.ok else None,
+                        )
+                    )
+                    if not result.ok:
+                        return
+                    state = result.state
+
+            if enabled:
+                run()
+            else:
+                with cache.disabled():
+                    run()
+            return steps
+
+        for theorem in sample:
+            assert trace(theorem, True) == trace(theorem, False), theorem.name
+
+
+@pytest.fixture(scope="module")
+def sweep(project):
+    runner = Runner(project, CONFIG)
+    theorems = runner.theorems_for("gpt-4o-mini")
+    tasks = sweep_tasks(theorems, "gpt-4o-mini", True, CONFIG)
+    tasks += sweep_tasks(theorems, "gpt-4o-mini", False, CONFIG)
+    return runner, theorems, tasks
+
+
+class TestSweepDifferential:
+    def test_cache_on_vs_off_identical_records(self, sweep):
+        runner, _, tasks = sweep
+        cached = runner.run_tasks(tasks, executor=SerialExecutor())
+        with cache.disabled():
+            pristine = runner.run_tasks(tasks, executor=SerialExecutor())
+        assert cached == pristine
+
+    def test_fingerprint_vs_string_keys_identical_search(self, sweep):
+        runner, theorems, _ = sweep
+        config = SearchConfig(fuel=CONFIG.fuel, width=CONFIG.width)
+
+        def run_search(theorem, state_keys):
+            env = runner.project.env_for(theorem)
+            checker = ProofChecker(env, state_keys=state_keys)
+            builder = PromptBuilder(runner.project, theorem)
+            search = BestFirstSearch(checker, get_model("gpt-4o-mini"), config)
+            result = search.prove(theorem.name, theorem.statement, builder.build)
+            return (
+                result.status,
+                result.tactics,
+                result.stats.queries,
+                result.stats.candidates,
+                result.stats.rejected,
+                result.stats.duplicates,  # no false duplicate pruning
+                result.stats.timeouts,
+                result.stats.nodes_created,
+            )
+
+        for theorem in theorems:
+            fp = run_search(theorem, "fingerprint")
+            oracle = run_search(theorem, "string")
+            assert fp == oracle, theorem.name
+
+    def test_unknown_state_keys_mode_rejected(self, project):
+        with pytest.raises(ValueError, match="state_keys"):
+            ProofChecker(project.env, state_keys="sha256")

@@ -119,7 +119,7 @@ class TestChecker:
     def test_duplicate_detection(self, env):
         checker = ProofChecker(env)
         state = checker.start_text("forall n m, n + m = m + n")
-        seen = {state.key()}
+        seen = {checker.state_key(state)}
         # auto cannot close this; it no-ops back to the same state.
         result = checker.check(state, "auto", seen_keys=seen)
         assert result.verdict is Verdict.DUPLICATE
