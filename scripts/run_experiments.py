@@ -63,6 +63,26 @@ def parse_args() -> argparse.Namespace:
         action="store_true",
         help="ignore stored cells and re-run everything",
     )
+    parser.add_argument(
+        "--theorem-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-theorem wall-clock budget (clean TIMEOUT outcome)",
+    )
+    parser.add_argument(
+        "--task-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="isolated re-runs of a task whose worker died, before CRASH",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="chaos fault-injection spec (env: REPRO_FAULTS)",
+    )
     return parser.parse_args()
 
 
@@ -71,9 +91,17 @@ def main() -> None:
     backend = args.backend or ("process" if args.jobs > 1 else "serial")
     started = time.time()
     runner = Runner(
-        config=ExperimentConfig(executor=backend, jobs=args.jobs)
+        config=ExperimentConfig(
+            executor=backend,
+            jobs=args.jobs,
+            theorem_deadline=args.theorem_deadline,
+            task_retries=args.task_retries,
+            faults=args.faults,
+        )
     )
     store = RunStore(args.store) if args.store else None
+    if runner.fault_plan is not None:
+        print(f"chaos: {runner.fault_plan.describe()}", file=sys.stderr)
     print(
         f"corpus: {len(runner.project.theorems)} theorems; "
         f"test split {len(runner.splits.test)}; "
@@ -161,9 +189,11 @@ def main() -> None:
 
     cached = runner.metrics.counter("tasks.cached")
     executed = runner.metrics.counter("tasks.executed")
+    crashed = runner.metrics.counter("tasks.crashed")
+    crash_note = f", {crashed} crashed" if crashed else ""
     print(
         f"\n[{backend} x{args.jobs}] cells: {executed} searched, "
-        f"{cached} served from store",
+        f"{cached} served from store{crash_note}",
         file=sys.stderr,
     )
     print(render_metrics(runner.metrics.snapshot()), file=sys.stderr)

@@ -63,7 +63,11 @@ def _cmd_prove(args) -> int:
 
     project = load_project(check_proofs=not args.fast)
     theorem = project.theorem(args.name)
-    config = ExperimentConfig(width=args.width, fuel=args.fuel)
+    config = ExperimentConfig(
+        width=args.width,
+        fuel=args.fuel,
+        theorem_deadline=args.theorem_deadline,
+    )
     runner = Runner(project, config)
     task = TheoremTask.from_config(args.name, args.model, args.hints, config)
     started = time.time()
@@ -104,8 +108,13 @@ def _cmd_eval(args) -> int:
             fuel=args.fuel,
             executor=backend,
             jobs=args.jobs,
+            theorem_deadline=args.theorem_deadline,
+            task_retries=args.task_retries,
+            faults=args.faults,
         ),
     )
+    if runner.fault_plan is not None:
+        print(f"chaos: {runner.fault_plan.describe()}")
     store = RunStore(args.store) if args.store else None
     for hinted in (False, True):
         row = outcome_row(
@@ -118,10 +127,17 @@ def _cmd_eval(args) -> int:
         )
     cached = runner.metrics.counter("tasks.cached")
     executed = runner.metrics.counter("tasks.executed")
+    crashed = runner.metrics.counter("tasks.crashed")
+    crash_note = f", {crashed} crashed" if crashed else ""
     print(
         f"[{backend} x{args.jobs}] cells: {executed} searched, "
-        f"{cached} served from store"
+        f"{cached} served from store{crash_note}"
     )
+    if store is not None and store.quarantined:
+        print(
+            f"warning: {store.quarantined} corrupt store line(s) moved to "
+            f"{store.quarantine_path()}"
+        )
     if store is not None:
         runner.metrics.dump(store.metrics_path())
         print(f"run store: {store.path} ({len(store)} records); "
@@ -188,6 +204,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print per-stage timing and verdict histogram",
     )
+    p_prove.add_argument(
+        "--theorem-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-theorem wall-clock budget (clean TIMEOUT outcome)",
+    )
     p_prove.set_defaults(fn=_cmd_prove)
 
     p_eval = sub.add_parser("eval", help="mini evaluation sweep")
@@ -221,6 +244,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--metrics",
         action="store_true",
         help="print per-stage timing and verdict histogram",
+    )
+    p_eval.add_argument(
+        "--theorem-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-theorem wall-clock budget (clean TIMEOUT outcome)",
+    )
+    p_eval.add_argument(
+        "--task-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="isolated re-runs of a task whose worker died, before CRASH",
+    )
+    p_eval.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="chaos fault-injection spec, e.g. "
+        "'seed=7,transient=0.2,ratelimit=0.1' (env: REPRO_FAULTS)",
     )
     p_eval.set_defaults(fn=_cmd_eval)
 

@@ -2,7 +2,11 @@
 
 The paper's §4.3 failure taxonomy: a search either *proves* the
 theorem, gets *stuck* (no unexpanded goals remain), or *fuels out*
-(the model-query limit is reached first).
+(the model-query limit is reached first).  The fault-tolerance layer
+adds two operational outcomes: *timeout* (the per-theorem wall-clock
+deadline expired before the search resolved) and *crash* (the task's
+worker died or its model failed permanently; the sweep records the
+loss and continues instead of aborting).
 """
 
 from __future__ import annotations
@@ -18,6 +22,10 @@ class Status(enum.Enum):
     PROVED = "proved"
     STUCK = "stuck"
     FUELOUT = "fuelout"
+    # Operational outcomes (fault-tolerance layer, not the paper's
+    # taxonomy): per-theorem deadline expiry and worker/model death.
+    TIMEOUT = "timeout"
+    CRASH = "crash"
 
 
 @dataclass

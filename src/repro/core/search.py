@@ -25,6 +25,7 @@ from repro.core.frontier import make_frontier
 from repro.core.node import Node
 from repro.core.result import SearchResult, SearchStats, Status
 from repro.core.transcript import CandidateEvent, ExpansionEvent, Transcript
+from repro.deadline import Deadline
 from repro.errors import GenerationError
 from repro.kernel.goals import ProofState
 from repro.kernel.terms import Term
@@ -46,6 +47,10 @@ class SearchConfig:
     frontier: str = "best-first"
     dedup_states: bool = True  # ablation: duplicate-state pruning
     max_depth: int = 64
+    # Per-theorem wall-clock budget: the search yields a clean TIMEOUT
+    # outcome when it expires (checked between expansions), instead of
+    # running unbounded.  None = no deadline (the paper's setting).
+    theorem_deadline: Optional[float] = None
 
 
 class BestFirstSearch:
@@ -57,11 +62,14 @@ class BestFirstSearch:
         generator: TacticGenerator,
         config: Optional[SearchConfig] = None,
         metrics=None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         """``metrics`` is an optional duck-typed sink (an object with
         ``add_time(stage, seconds)``, e.g.
         :class:`repro.eval.instrumentation.Metrics`) that receives
-        prompt-build and generation timings."""
+        prompt-build and generation timings.  ``clock`` feeds the
+        wall-clock stats and the per-theorem deadline (injectable for
+        timeout tests)."""
         if not getattr(generator, "provides_log_probs", False):
             raise GenerationError(
                 f"model {generator.name} provides no log-probabilities; "
@@ -71,6 +79,7 @@ class BestFirstSearch:
         self.generator = generator
         self.config = config or SearchConfig()
         self.metrics = metrics
+        self.clock = clock
 
     def prove(
         self,
@@ -81,7 +90,12 @@ class BestFirstSearch:
     ) -> SearchResult:
         config = self.config
         stats = SearchStats()
-        started = time.monotonic()
+        started = self.clock()
+        deadline = (
+            Deadline.after(config.theorem_deadline, clock=self.clock)
+            if config.theorem_deadline is not None
+            else None
+        )
 
         root_state = self.checker.start(statement)
         root = Node(
@@ -96,7 +110,7 @@ class BestFirstSearch:
         stats.nodes_created = 1
 
         def finish(status: Status, tactics=None) -> SearchResult:
-            stats.wall_seconds = time.monotonic() - started
+            stats.wall_seconds = self.clock() - started
             return SearchResult(
                 status=status,
                 theorem_name=theorem_name,
@@ -106,6 +120,12 @@ class BestFirstSearch:
 
         metrics = self.metrics
         while True:
+            # The per-theorem deadline is polled once per expansion —
+            # individual tactics are already bounded by the 5 s tactic
+            # deadline, so one check per model query caps the overrun
+            # at a single expansion's work.
+            if deadline is not None and deadline.expired():
+                return finish(Status.TIMEOUT)
             # Fuel is checked *before* popping: on FUELOUT the next
             # node stays in the frontier, so the frontier is a faithful
             # picture of the unexpanded tree for resume/diagnostics.
@@ -116,15 +136,15 @@ class BestFirstSearch:
                 return finish(Status.STUCK)
 
             # Expansion: one model query.
-            t0 = time.monotonic()
+            t0 = self.clock()
             prompt = prompt_fn(node.state, node.tactics_from_root())
             if metrics is not None:
-                metrics.add_time("prompt_build", time.monotonic() - t0)
+                metrics.add_time("prompt_build", self.clock() - t0)
             stats.queries += 1
-            t0 = time.monotonic()
+            t0 = self.clock()
             candidates = self.generator.generate(prompt, config.width)
             if metrics is not None:
-                metrics.add_time("generation", time.monotonic() - t0)
+                metrics.add_time("generation", self.clock() - t0)
             node.expanded = True
             stats.nodes_expanded += 1
 

@@ -1,0 +1,97 @@
+"""Cooperative wall-clock deadlines, shared by every layer.
+
+A :class:`Deadline` is an absolute expiry instant plus the clock that
+defines it.  The clock is *injectable* (any ``() -> float``), so tests
+drive timeout paths with fake clocks and never sleep for real.
+
+The module also hosts the **active-deadline stack**: the tactic runner
+pushes the current tactic's deadline before executing, and the
+long-running inner loops — combinator ``repeat``, ``auto``'s search,
+``lia``'s elimination, congruence closure, and the kernel reduction
+engine's step budget — poll :func:`check_deadline` so a runaway tactic
+is interrupted *at* its budget instead of detected after the fact.
+The stack is thread-local: thread-pool executors run independent
+searches concurrently, and one task's deadline must never cancel
+another's tactic.
+
+Layering: this module depends only on :mod:`repro.errors`, so the
+kernel, tactics, serapi, and eval layers can all import it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import TacticTimeout
+
+__all__ = [
+    "Deadline",
+    "TIMEOUT_MESSAGE",
+    "active_deadline",
+    "check_deadline",
+    "pop_deadline",
+    "push_deadline",
+]
+
+# The one message every timeout path agrees on: the cooperative
+# in-flight interrupt (check_deadline) and the checker's post-hoc
+# verdict must be indistinguishable to callers and to stored records.
+TIMEOUT_MESSAGE = "tactic exceeded its time budget"
+
+
+@dataclass
+class Deadline:
+    """A wall-clock deadline with an injectable clock."""
+
+    expires_at: float
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        return cls(clock() + seconds, clock)
+
+    def expired(self) -> bool:
+        return self.clock() > self.expires_at
+
+    def remaining(self) -> float:
+        return max(0.0, self.expires_at - self.clock())
+
+
+class _Stack(threading.local):
+    def __init__(self) -> None:
+        self.frames: List[Deadline] = []
+
+
+_ACTIVE = _Stack()
+
+
+def push_deadline(deadline: Deadline) -> None:
+    _ACTIVE.frames.append(deadline)
+
+
+def pop_deadline() -> None:
+    _ACTIVE.frames.pop()
+
+
+def active_deadline() -> Optional[Deadline]:
+    """The innermost deadline governing the current thread, if any."""
+    frames = _ACTIVE.frames
+    return frames[-1] if frames else None
+
+
+def check_deadline() -> None:
+    """Raise :class:`TacticTimeout` if the active deadline has passed.
+
+    Long-running executors (``auto``, ``repeat``, ``lia``,
+    ``congruence``) and the reduction step budget call this in their
+    inner loops.
+    """
+    frames = _ACTIVE.frames
+    if frames and frames[-1].expired():
+        raise TacticTimeout(TIMEOUT_MESSAGE)

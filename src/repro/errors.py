@@ -71,3 +71,40 @@ class CorpusError(ReproError):
 
 class GenerationError(ReproError):
     """The (simulated) LLM failed to produce candidates."""
+
+
+class TransientModelError(GenerationError):
+    """A retryable model failure (the API analogue of an HTTP 5xx).
+
+    :class:`repro.llm.resilient.ResilientGenerator` retries these with
+    backoff; anything else raised by a generator is treated as
+    permanent.
+    """
+
+
+class RateLimitError(TransientModelError):
+    """The model endpoint rate-limited the query (HTTP 429): retryable,
+    but with a longer backoff floor than a plain transient error."""
+
+
+class GenerationTimeout(TransientModelError):
+    """A model query exceeded its per-query time budget: retryable."""
+
+
+class MalformedResponseError(TransientModelError):
+    """The model returned a malformed or truncated payload that could
+    not be decoded into candidates: retryable (re-querying a
+    deterministic endpoint after a transport-level corruption yields
+    the intact response)."""
+
+
+class ModelExhaustedError(GenerationError):
+    """The primary model failed every retry (or its circuit breaker is
+    open) and no fallback generator is configured.  The eval layer
+    converts this into a ``CRASH`` outcome for the task instead of
+    aborting the sweep."""
+
+
+class ExecutorSetupError(ReproError):
+    """An execution backend could not start its workers at all (as
+    opposed to a worker dying mid-sweep, which is retried)."""

@@ -17,6 +17,7 @@ from repro.eval.executor import (
     SerialExecutor,
     TaskResult,
     ThreadPoolExecutor,
+    crash_result,
     make_executor,
 )
 from repro.eval.instrumentation import STAGES, Metrics
@@ -63,6 +64,7 @@ __all__ = [
     "SerialExecutor",
     "TaskResult",
     "ThreadPoolExecutor",
+    "crash_result",
     "make_executor",
     "STAGES",
     "Metrics",

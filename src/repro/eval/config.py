@@ -34,3 +34,12 @@ class ExperimentConfig:
     # Execution engine (repro.eval.executor): backend + parallelism.
     executor: str = "serial"  # serial | thread | process
     jobs: int = 1  # worker count for thread/process backends
+    # Fault tolerance (repro.llm.resilient / repro.testing.faults).
+    theorem_deadline: Optional[float] = None  # per-theorem wall clock
+    task_retries: int = 2  # re-runs of a task whose worker died
+    heartbeat: Optional[float] = None  # seconds before a silent worker
+    # is presumed dead (process backend); None = wait indefinitely
+    faults: Optional[str] = None  # FaultPlan spec for chaos sweeps
+    fallback_model: Optional[str] = None  # degradation target when the
+    # primary's circuit breaker opens / retries are exhausted
+    resilient: bool = True  # wrap models in ResilientGenerator

@@ -17,15 +17,38 @@ An :class:`Executor` maps a sequence of
 
 Determinism holds across all three because a task's outcome is a pure
 function of its fields (see :mod:`repro.eval.tasks`).
+
+Crash tolerance (process backend)
+---------------------------------
+
+A worker death poisons a ``concurrent.futures`` pool: every pending
+future raises :class:`BrokenProcessPool`, which blames innocent tasks
+that merely shared the pool with the one that killed its worker.  The
+process backend therefore recovers in two steps:
+
+1. results that finished *before* the break are kept as-is;
+2. every task still unfinished when the pool broke is re-run in a
+   **fresh single-worker pool, one task at a time**, up to
+   ``task_retries`` attempts.  Isolation makes blame precise: only a
+   task that kills its own private worker on every attempt is recorded
+   as ``CRASH`` (queries=0); bystanders complete normally and the
+   sweep carries on instead of aborting.
+
+Worker startup failures (a bad initializer, an import error in the
+worker) are detected eagerly by a probe task submitted before any real
+work, and surface as :class:`~repro.errors.ExecutorSetupError` with an
+actionable message instead of a hang or an opaque pool error.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent import futures
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
 
+from repro.errors import ExecutorSetupError
 from repro.eval.store import OutcomeRecord
 from repro.eval.tasks import TheoremTask
 
@@ -41,6 +64,10 @@ __all__ = [
 
 EXECUTOR_KINDS = ("serial", "thread", "process")
 
+# Exit code of a fault-injected worker death (distinguishable from a
+# genuine segfault's negative signal code in pool diagnostics).
+_KILLED_EXIT_CODE = 87
+
 
 @dataclass(frozen=True)
 class TaskResult:
@@ -48,6 +75,25 @@ class TaskResult:
 
     record: OutcomeRecord
     metrics: Optional[dict] = None
+
+
+def crash_result(task: TheoremTask, deaths: int) -> TaskResult:
+    """The terminal record for a task whose worker died every attempt."""
+    return TaskResult(
+        record=OutcomeRecord(
+            theorem=task.theorem,
+            model=task.model,
+            hinted=task.hinted,
+            status="crash",
+            queries=0,
+        ),
+        metrics={
+            "counters": {
+                "tasks.crashed": 1,
+                "executor.worker_deaths": deaths,
+            }
+        },
+    )
 
 
 ExecuteFn = Callable[[TheoremTask], TaskResult]
@@ -98,6 +144,7 @@ class ThreadPoolExecutor(Executor):
 # ----------------------------------------------------------------------
 
 _WORKER_RUNNER = None
+_WORKER_PLAN = None
 
 
 def _init_worker(config, check_proofs: bool) -> None:
@@ -111,14 +158,29 @@ def _init_worker(config, check_proofs: bool) -> None:
     outcomes diverge from the serial reference.  Splits are re-derived
     from the same seed, so hint sets match the parent exactly.
     """
-    global _WORKER_RUNNER
+    global _WORKER_RUNNER, _WORKER_PLAN
     from repro.corpus.loader import load_project
     from repro.eval.runner import Runner
+    from repro.testing.faults import FaultPlan
 
+    _WORKER_PLAN = FaultPlan.from_spec(getattr(config, "faults", None))
+    if _WORKER_PLAN is not None and _WORKER_PLAN.initfail:
+        raise RuntimeError("injected worker initializer failure")
     _WORKER_RUNNER = Runner(load_project(check_proofs=check_proofs), config)
 
 
-def _execute_in_worker(task: TheoremTask) -> TaskResult:
+def _probe_worker() -> bool:
+    """No-op task proving a worker survived its initializer."""
+    return _WORKER_RUNNER is not None
+
+
+def _execute_in_worker(task: TheoremTask, attempt: int = 0) -> TaskResult:
+    if _WORKER_PLAN is not None and _WORKER_PLAN.should_kill_worker(
+        task.theorem, attempt
+    ):
+        # Simulated hard death: no exception, no cleanup — the parent
+        # sees only a broken pipe, exactly like an OOM kill or segfault.
+        os._exit(_KILLED_EXIT_CODE)
     assert _WORKER_RUNNER is not None, "worker initializer did not run"
     return _WORKER_RUNNER.execute_task(task)
 
@@ -131,30 +193,128 @@ class ProcessPoolExecutor(Executor):
     project are not picklable, and must not be shipped anyway).
     ``check_proofs`` must match the parent project's load mode so the
     worker environment is bit-identical (see :func:`_init_worker`).
+
+    ``task_retries`` bounds how often a task whose worker died is
+    re-run in an isolated single-worker pool before it is recorded as
+    CRASH; ``heartbeat`` is the maximum seconds to wait for the next
+    in-order result before presuming the pool hung (None = forever).
     """
 
     kind = "process"
 
-    def __init__(self, config, jobs: int = 2, check_proofs: bool = True) -> None:
+    def __init__(
+        self,
+        config,
+        jobs: int = 2,
+        check_proofs: bool = True,
+        task_retries: Optional[int] = None,
+        heartbeat: Optional[float] = None,
+    ) -> None:
         self.config = config
         self.jobs = max(1, jobs)
         self.check_proofs = check_proofs
+        self.task_retries = (
+            task_retries
+            if task_retries is not None
+            else getattr(config, "task_retries", 2)
+        )
+        self.heartbeat = (
+            heartbeat
+            if heartbeat is not None
+            else getattr(config, "heartbeat", None)
+        )
+
+    # ------------------------------------------------------------------
+
+    def _start_pool(self, workers: int) -> futures.ProcessPoolExecutor:
+        """Spin up a pool and prove a worker can initialise.
+
+        Without the probe, an initializer failure surfaces only when
+        the first *real* task's future is awaited — or, on some
+        platforms, as an indefinite hang while the pool respawns
+        crashing workers.  Probing eagerly converts it into an
+        immediate, actionable error.
+        """
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        pool = futures.ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(self.config, self.check_proofs),
+        )
+        probe = pool.submit(_probe_worker)
+        try:
+            probe.result(timeout=self.heartbeat)
+        except BaseException as exc:
+            pool.shutdown(wait=False)
+            raise ExecutorSetupError(
+                "process-pool worker failed to initialise "
+                f"({type(exc).__name__}: {exc}); the sweep cannot start. "
+                "Re-run with --backend thread (or --backend serial) to "
+                "execute in-process, or fix the worker environment."
+            ) from exc
+        return pool
+
+    def _run_isolated(self, task: TheoremTask) -> TaskResult:
+        """Re-run one task alone in fresh single-worker pools.
+
+        Isolation makes crash blame precise: the only process in the
+        pool is the one running ``task``, so a break *is* this task's
+        fault.  Attempt numbers continue from the pooled attempt 0, so
+        first-attempt-only ``crash`` faults stay invisible while
+        permanent ``kill`` faults exhaust the budget and yield CRASH.
+        """
+        deaths = 1  # the pooled attempt that broke (or was abandoned)
+        for attempt in range(1, self.task_retries + 1):
+            pool = self._start_pool(1)
+            try:
+                future = pool.submit(_execute_in_worker, task, attempt)
+                return future.result(timeout=self.heartbeat)
+            except (futures.process.BrokenProcessPool, futures.TimeoutError):
+                deaths += 1
+            finally:
+                pool.shutdown(wait=False)
+        return crash_result(task, deaths)
 
     def map(self, tasks, execute=None) -> ResultIter:
         tasks = list(tasks)
         if not tasks:
             return
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
-        with futures.ProcessPoolExecutor(
-            max_workers=self.jobs,
-            mp_context=ctx,
-            initializer=_init_worker,
-            initargs=(self.config, self.check_proofs),
-        ) as pool:
-            yield from zip(tasks, pool.map(_execute_in_worker, tasks))
+        pool = self._start_pool(self.jobs)
+        broken = False
+        try:
+            pending = [
+                pool.submit(_execute_in_worker, task, 0) for task in tasks
+            ]
+            for index, task in enumerate(tasks):
+                result: Optional[TaskResult] = None
+                future = pending[index]
+                if not broken:
+                    try:
+                        result = future.result(timeout=self.heartbeat)
+                    except futures.process.BrokenProcessPool:
+                        broken = True
+                    except futures.TimeoutError:
+                        # No progress within the heartbeat: presume the
+                        # pool hung and fall back to isolated retries.
+                        broken = True
+                        pool.shutdown(wait=False, cancel_futures=True)
+                else:
+                    # The pool broke earlier; salvage results that
+                    # completed before the break, retry the rest.
+                    if future.done() and not future.cancelled():
+                        try:
+                            result = future.result(timeout=0)
+                        except Exception:
+                            result = None
+                if result is None:
+                    result = self._run_isolated(task)
+                yield task, result
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 def make_executor(

@@ -160,10 +160,23 @@ def render_metrics(snapshot: dict, title: str = "Instrumentation") -> str:
             lines.append(
                 f"{cache_name:16}{hits:>10}{misses:>10}{rate:>12}"
             )
+    resilience = {
+        name: count
+        for name, count in sorted(counters.items())
+        if name.startswith(("llm.", "executor.")) or name == "tasks.crashed"
+    }
+    if resilience:
+        lines.append("")
+        header = f"{'resilience':26}{'count':>10}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, count in resilience.items():
+            lines.append(f"{name:26}{count:>10}")
     other = {
         name: count
         for name, count in sorted(counters.items())
-        if not name.startswith(("verdict.", "kernel.cache."))
+        if not name.startswith(("verdict.", "kernel.cache.", "llm.", "executor."))
+        and name != "tasks.crashed"
     }
     if other:
         lines.append("")

@@ -33,7 +33,7 @@ from repro.corpus.model import Theorem
 from repro.corpus.splits import Splits, make_splits
 from repro.corpus.tokenizer import count_tokens
 from repro.core import BestFirstSearch, SearchConfig, Status
-from repro.errors import ReproError
+from repro.errors import ModelExhaustedError, ReproError
 from repro.eval.config import ExperimentConfig
 from repro.eval.executor import Executor, TaskResult, make_executor
 from repro.eval.instrumentation import Metrics
@@ -41,9 +41,11 @@ from repro.eval.similarity import normalized_similarity
 from repro.eval.store import OutcomeRecord, RunStore
 from repro.eval.tasks import TheoremTask, sweep_tasks
 from repro.llm import get_model
+from repro.llm.resilient import ResilientGenerator
 from repro.prompting import PromptBuilder
 from repro.serapi import ProofChecker
 from repro.tactics.script import run_script
+from repro.testing.faults import FaultPlan, FaultyGenerator
 
 __all__ = [
     "TheoremOutcome",
@@ -123,6 +125,12 @@ class Runner:
             seed=self.config.seed,
         )
         self.metrics = Metrics()
+        # Chaos plan for this sweep (None in the common fault-free
+        # case).  Parsed once here so a bad spec fails fast, before
+        # any search runs.
+        self.fault_plan: Optional[FaultPlan] = FaultPlan.from_spec(
+            getattr(self.config, "faults", None)
+        )
 
     # ------------------------------------------------------------------
     # Sweep planning
@@ -144,6 +152,39 @@ class Runner:
     # Single-cell execution
     # ------------------------------------------------------------------
 
+    def _wrap_model(
+        self,
+        model,
+        theorem_name: str,
+        hinted: bool,
+        metrics: Optional[Metrics],
+    ):
+        """Apply the fault-tolerance stack to a raw generator.
+
+        Inner to outer: fault injection (chaos sweeps only), then the
+        resilient retry/breaker/fallback wrapper — so injected faults
+        hit the wrapper exactly like a flaky real endpoint would.  The
+        wrapper is built fresh **per task**, so breaker state can never
+        leak between tasks and records stay order-independent.
+        """
+        plan = self.fault_plan
+        if plan is not None and plan.model_faults_active():
+            model = FaultyGenerator(
+                model,
+                plan,
+                context=f"{theorem_name}|{model.name}|{int(hinted)}",
+            )
+        if getattr(self.config, "resilient", True):
+            fallback_name = getattr(self.config, "fallback_model", None)
+            model = ResilientGenerator(
+                model,
+                fallback=(
+                    get_model(fallback_name) if fallback_name else None
+                ),
+                metrics=metrics,
+            )
+        return model
+
     def run_theorem(
         self,
         theorem: Theorem,
@@ -157,12 +198,14 @@ class Runner:
         model = model_override if model_override is not None else get_model(
             model_name
         )
+        model = self._wrap_model(model, theorem.name, hinted, metrics)
         search_config = search_config or SearchConfig(
             width=self.config.width,
             fuel=self.config.fuel,
             tactic_timeout=self.config.tactic_timeout,
             frontier=self.config.frontier,
             dedup_states=self.config.dedup_states,
+            theorem_deadline=getattr(self.config, "theorem_deadline", None),
         )
         env = self.project.env_for(theorem)
         checker = ProofChecker(
@@ -221,20 +264,33 @@ class Runner:
         kernel_cache.clear_caches()
         cache_before = kernel_cache.cache_stats()
         metrics = Metrics()
-        outcome = self.run_theorem(
-            self.project.theorem(task.theorem),
-            task.model,
-            task.hinted,
-            reduced_dependencies=task.reduced_dependencies,
-            search_config=task.search_config(),
-            metrics=metrics,
-        )
+        try:
+            outcome = self.run_theorem(
+                self.project.theorem(task.theorem),
+                task.model,
+                task.hinted,
+                reduced_dependencies=task.reduced_dependencies,
+                search_config=task.search_config(),
+                metrics=metrics,
+            )
+            record = record_from_outcome(outcome)
+        except ModelExhaustedError:
+            # The task's model failed permanently (retries exhausted or
+            # breaker open, no fallback).  Record the loss as CRASH so
+            # the sweep completes instead of aborting; queries=0 marks
+            # the cell as never meaningfully attempted.
+            metrics.incr("tasks.crashed")
+            record = OutcomeRecord(
+                theorem=task.theorem,
+                model=task.model,
+                hinted=task.hinted,
+                status=Status.CRASH.value,
+                queries=0,
+            )
         for name, cell in kernel_cache.stats_delta(cache_before).items():
             metrics.incr(f"kernel.cache.{name}.hits", cell["hits"])
             metrics.incr(f"kernel.cache.{name}.misses", cell["misses"])
-        return TaskResult(
-            record=record_from_outcome(outcome), metrics=metrics.snapshot()
-        )
+        return TaskResult(record=record, metrics=metrics.snapshot())
 
     def outcome_from_record(self, record: OutcomeRecord) -> TheoremOutcome:
         """Rehydrate a stored record against this runner's project."""

@@ -2,7 +2,7 @@
 
 Each line is one completed evaluation cell::
 
-    {"key": <task cache key>, "task": {…}, "record": {…}}
+    {"key": <task cache key>, "record": {…}, "sum": <checksum>, "task": {…}}
 
 The store is keyed by :meth:`TheoremTask.cache_key`, so a re-run of
 the same sweep (same corpus knobs, same search hyperparameters) hits
@@ -10,17 +10,25 @@ the store and performs zero new searches; ``--fresh`` bypasses the
 lookup but still appends, so the newest record for a key wins on the
 next load.
 
-Loading tolerates a torn final line — the signature of a run killed
-mid-append — making kill/rerun resume safe (see
-``tests/eval/test_store.py``).
+Integrity: ``sum`` is a truncated SHA-256 over the line's canonical
+payload, written at append time.  A crash mid-append, a truncated
+disk, or a hand-edited line shows up as a checksum mismatch (or as
+unparseable JSON) on the next load; such lines are **quarantined** —
+moved to a ``<store>.quarantine`` sibling file for post-mortems — and
+the store file is atomically rewritten without them, so the damaged
+cells simply re-execute on resume instead of resurfacing as corrupt
+results.  Lines written by older versions carry no ``sum`` and load
+unverified (see ``tests/eval/test_store.py``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 __all__ = ["OutcomeRecord", "RunStore"]
 
@@ -55,37 +63,86 @@ class OutcomeRecord:
         return OutcomeRecord(**obj)
 
 
+def _checksum(payload: dict) -> str:
+    """Truncated SHA-256 of the canonical JSON of ``payload``.
+
+    16 hex chars (64 bits) — plenty against accidental corruption,
+    which is the threat model; this is not a cryptographic seal.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
 class RunStore:
     """Append-only JSONL persistence for outcome records."""
 
     def __init__(self, path) -> None:
         self.path = Path(path)
         self._records: Dict[str, OutcomeRecord] = {}
+        #: Lines rejected on the last load (torn writes, checksum
+        #: mismatches, schema garbage) — moved to :meth:`quarantine_path`.
+        self.quarantined = 0
         if self.path.exists():
             self._load()
 
     def _load(self) -> None:
+        good_lines: List[str] = []
+        bad_lines: List[str] = []
         with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
+            for raw in handle:
+                line = raw.strip()
                 if not line:
                     continue
-                try:
-                    obj = json.loads(line)
-                except json.JSONDecodeError:
-                    # Torn tail write from a killed run: skip, the
-                    # cell simply re-executes on resume.
-                    continue
-                key = obj.get("key")
-                record = obj.get("record")
-                if not key or not isinstance(record, dict):
-                    continue
-                try:
-                    self._records[key] = OutcomeRecord.from_json(record)
-                except TypeError:
-                    # Schema drift (e.g. older CACHE_KEY_VERSION line
-                    # with different record fields): ignore.
-                    continue
+                if self._ingest(line):
+                    good_lines.append(line)
+                else:
+                    bad_lines.append(line)
+        if bad_lines:
+            self._quarantine(good_lines, bad_lines)
+
+    def _ingest(self, line: str) -> bool:
+        """Index one stored line; False = corrupt, quarantine it."""
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            # Torn tail write from a killed run, or disk damage.
+            return False
+        if not isinstance(obj, dict):
+            return False
+        stored_sum = obj.pop("sum", None)
+        if stored_sum is not None and stored_sum != _checksum(obj):
+            # The line parses but its payload does not match the
+            # checksum written at append time: silent corruption.
+            return False
+        key = obj.get("key")
+        record = obj.get("record")
+        if not key or not isinstance(record, dict):
+            return False
+        try:
+            self._records[key] = OutcomeRecord.from_json(record)
+        except TypeError:
+            # Schema drift (e.g. older CACHE_KEY_VERSION line with
+            # different record fields): ignore but keep the line — it
+            # is internally consistent, just from another era.
+            return True
+        return True
+
+    def _quarantine(self, good_lines: List[str], bad_lines: List[str]) -> None:
+        """Move corrupt lines aside and rewrite the store without them.
+
+        The rewrite goes through a temp file + ``os.replace`` so a
+        crash mid-quarantine leaves either the old file (re-quarantined
+        next load) or the clean new one — never a half-written store.
+        """
+        self.quarantined = len(bad_lines)
+        with self.quarantine_path().open("a", encoding="utf-8") as handle:
+            for line in bad_lines:
+                handle.write(line + "\n")
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for line in good_lines:
+                handle.write(line + "\n")
+        os.replace(tmp, self.path)
 
     # ------------------------------------------------------------------
 
@@ -104,11 +161,13 @@ class RunStore:
     def put(self, task, record: OutcomeRecord) -> None:
         """Persist one completed cell (append + in-memory index)."""
         key = task.cache_key()
-        line = json.dumps(
-            {"key": key, "task": asdict(task), "record": record.to_json()},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+        payload = {
+            "key": key,
+            "task": asdict(task),
+            "record": record.to_json(),
+        }
+        payload["sum"] = _checksum(payload)
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(line + "\n")
@@ -118,3 +177,7 @@ class RunStore:
     def metrics_path(self) -> Path:
         """Where the sweep's instrumentation JSON lives (sibling file)."""
         return self.path.with_name(self.path.stem + ".metrics.json")
+
+    def quarantine_path(self) -> Path:
+        """Where corrupt lines are moved on load (sibling file)."""
+        return self.path.with_name(self.path.name + ".quarantine")

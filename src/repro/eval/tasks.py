@@ -29,7 +29,8 @@ __all__ = ["TheoremTask", "sweep_tasks", "CACHE_KEY_VERSION"]
 
 # Bump when the hashed payload changes shape, so stale store entries
 # are never mistaken for current ones.
-CACHE_KEY_VERSION = 1
+# v2: added theorem_deadline (per-theorem wall-clock budget).
+CACHE_KEY_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,10 @@ class TheoremTask:
     hint_fraction: float = 0.5
     # §4.3 context-selection probe: hand-reduced dependency list.
     reduced_dependencies: Optional[Tuple[str, ...]] = None
+    # Per-theorem wall-clock budget (None = unbounded, the paper's
+    # setting).  Outcome-relevant — a search can end TIMEOUT — so it
+    # participates in the cache key.
+    theorem_deadline: Optional[float] = None
 
     @staticmethod
     def from_config(
@@ -78,6 +83,7 @@ class TheoremTask:
                 if reduced_dependencies is not None
                 else None
             ),
+            theorem_deadline=getattr(config, "theorem_deadline", None),
         )
 
     def search_config(self) -> SearchConfig:
@@ -88,6 +94,7 @@ class TheoremTask:
             frontier=self.frontier,
             dedup_states=self.dedup_states,
             max_depth=self.max_depth,
+            theorem_deadline=self.theorem_deadline,
         )
 
     def cache_key(self) -> str:
@@ -115,6 +122,7 @@ class TheoremTask:
                 if self.reduced_dependencies is not None
                 else None
             ),
+            "theorem_deadline": self.theorem_deadline,
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

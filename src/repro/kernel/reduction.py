@@ -21,9 +21,11 @@ finite well before that).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import deadline as _deadline
+from repro.errors import TacticTimeout
 from repro.kernel import cache as _cache
 from repro.kernel.definitions import Abbreviation, FixEquation, Fixpoint
 from repro.kernel.env import Environment
@@ -50,18 +52,48 @@ __all__ = ["Budget", "simpl", "whnf", "unfold", "make_whnf"]
 
 DEFAULT_BUDGET = 20_000
 
+# How many spend() calls between wall-clock polls.  Deadline checks
+# read a clock, so they are amortized: one poll per interval keeps the
+# overhead invisible while still interrupting a pathological reduction
+# within a few thousand steps of its budget.
+DEADLINE_CHECK_INTERVAL = 512
+
 
 @dataclass
 class Budget:
-    """A mutable step counter shared across one reduction call tree."""
+    """A mutable step counter shared across one reduction call tree.
+
+    When a tactic-level :class:`repro.deadline.Deadline` is active for
+    this thread, the budget polls it every
+    :data:`DEADLINE_CHECK_INTERVAL` steps and raises
+    :class:`repro.errors.TacticTimeout` on expiry — so a slow reduction
+    inside ``simpl``/``whnf`` is interrupted *at* the tactic budget
+    instead of running to step exhaustion first.
+    """
 
     remaining: int = DEFAULT_BUDGET
+    deadline: Optional["_deadline.Deadline"] = None
+    _until_check: int = field(default=DEADLINE_CHECK_INTERVAL, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.deadline is None:
+            self.deadline = _deadline.active_deadline()
 
     def spend(self) -> bool:
-        """Consume one step; False when exhausted."""
+        """Consume one step; False when exhausted.
+
+        Raises :class:`~repro.errors.TacticTimeout` when the governing
+        wall-clock deadline has expired.
+        """
         if self.remaining <= 0:
             return False
         self.remaining -= 1
+        if self.deadline is not None:
+            self._until_check -= 1
+            if self._until_check <= 0:
+                self._until_check = DEADLINE_CHECK_INTERVAL
+                if self.deadline.expired():
+                    raise TacticTimeout(_deadline.TIMEOUT_MESSAGE)
         return True
 
 

@@ -8,6 +8,7 @@ o1-style :class:`WholeProofModel`.
 from repro.llm.interface import Candidate, TacticGenerator
 from repro.llm.models import SimulatedModel, available_models, get_model
 from repro.llm.profiles import PROFILES, ModelProfile, WINDOW_SCALE
+from repro.llm.resilient import ResilientGenerator, RetryPolicy, stable_jitter
 from repro.llm.wholeproof import WholeProofModel
 
 __all__ = [
@@ -19,5 +20,8 @@ __all__ = [
     "PROFILES",
     "ModelProfile",
     "WINDOW_SCALE",
+    "ResilientGenerator",
+    "RetryPolicy",
+    "stable_jitter",
     "WholeProofModel",
 ]

@@ -16,8 +16,9 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass
-from typing import Optional, Set, Tuple
+from typing import Callable, Optional, Set, Tuple
 
+from repro.deadline import TIMEOUT_MESSAGE, Deadline
 from repro.errors import ParseError, ReproError, TacticError, TacticTimeout
 from repro.kernel.env import Environment
 from repro.kernel.goals import ProofState, initial_state
@@ -59,6 +60,7 @@ class ProofChecker:
         tactic_timeout: float = DEFAULT_TACTIC_TIMEOUT,
         metrics=None,
         state_keys: str = "fingerprint",
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         """``metrics`` is an optional duck-typed sink (an object with
         ``observe_verdict(verdict, elapsed)``, e.g.
@@ -69,13 +71,18 @@ class ProofChecker:
         ``"fingerprint"`` (default) uses the O(1) structural hash,
         ``"string"`` the original pretty-rendered key — kept as the
         reference oracle for the differential tests and for debugging
-        suspected fingerprint collisions."""
+        suspected fingerprint collisions.
+
+        ``clock`` is the monotonic time source used for the per-tactic
+        :class:`~repro.deadline.Deadline` and ``elapsed`` accounting —
+        injectable so timeout paths are testable without real stalls."""
         if state_keys not in ("fingerprint", "string"):
             raise ValueError(f"unknown state_keys mode: {state_keys!r}")
         self.env = env
         self.tactic_timeout = tactic_timeout
         self.metrics = metrics
         self.state_keys = state_keys
+        self.clock = clock
 
     def start(self, statement: Term) -> ProofState:
         return initial_state(self.env, statement)
@@ -112,7 +119,13 @@ class ProofChecker:
         tactic_text: str,
         seen_keys: Optional[Set] = None,
     ) -> CheckResult:
-        started = time.monotonic()
+        started = self.clock()
+        # One deadline governs the whole check: the cooperative
+        # interrupt inside run_tactic (combinators, auto/lia loops,
+        # reduction budgets all poll it) and the post-hoc slow-tactic
+        # verdict below share this clock and expiry, so both paths
+        # agree on verdict, message, and elapsed accounting.
+        deadline = Deadline.after(self.tactic_timeout, clock=self.clock)
         try:
             node = parse_tactic(tactic_text)
         except ParseError as exc:
@@ -122,27 +135,30 @@ class ProofChecker:
             return CheckResult(
                 Verdict.REJECTED,
                 message=f"parse: {exc}",
-                elapsed=time.monotonic() - started,
+                elapsed=self.clock() - started,
             )
         try:
-            new_state = run_tactic(
-                self.env, state, node, timeout=self.tactic_timeout
-            )
+            new_state = run_tactic(self.env, state, node, deadline=deadline)
         except TacticTimeout as exc:
             return CheckResult(
                 Verdict.TIMEOUT,
                 message=str(exc),
-                elapsed=time.monotonic() - started,
+                elapsed=self.clock() - started,
             )
         except (TacticError, ReproError) as exc:
             return CheckResult(
                 Verdict.REJECTED,
                 message=str(exc),
-                elapsed=time.monotonic() - started,
+                elapsed=self.clock() - started,
             )
-        elapsed = time.monotonic() - started
-        if elapsed > self.tactic_timeout:
-            return CheckResult(Verdict.TIMEOUT, message="slow tactic", elapsed=elapsed)
+        elapsed = self.clock() - started
+        if deadline.expired():
+            # A tactic that ran past its budget without hitting a
+            # cooperative checkpoint: same verdict and message as the
+            # in-flight TacticTimeout path.
+            return CheckResult(
+                Verdict.TIMEOUT, message=TIMEOUT_MESSAGE, elapsed=elapsed
+            )
         if seen_keys is not None:
             key = self.state_key(new_state)
             if key in seen_keys:

@@ -15,10 +15,14 @@ function registered against that class.  The runner:
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Type as PyType
 
+from repro.deadline import (
+    Deadline,
+    check_deadline,
+    pop_deadline,
+    push_deadline,
+)
 from repro.errors import KernelError, ReproError, TacticError, TacticTimeout
 from repro.kernel.env import Environment
 from repro.kernel.goals import ProofState
@@ -55,43 +59,23 @@ def executor(node_cls: PyType):
     return wrap
 
 
-@dataclass
-class Deadline:
-    """A wall-clock deadline shared across one tactic execution."""
-
-    expires_at: float
-
-    @classmethod
-    def after(cls, seconds: float) -> "Deadline":
-        return cls(time.monotonic() + seconds)
-
-    def expired(self) -> bool:
-        return time.monotonic() > self.expires_at
-
-
-_ACTIVE_DEADLINE: list = []
-
-
-def check_deadline() -> None:
-    """Raise :class:`TacticTimeout` if the active deadline has passed.
-
-    Long-running executors (``auto``, ``repeat``, ``lia``) call this in
-    their inner loops.
-    """
-    if _ACTIVE_DEADLINE and _ACTIVE_DEADLINE[-1].expired():
-        raise TacticTimeout("tactic exceeded its time budget")
-
-
 def run_tactic(
     env: Environment,
     state: ProofState,
     node: TacticNode,
     timeout: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
 ) -> ProofState:
     """Execute one tactic, returning the new proof state.
 
     Raises :class:`TacticError` when the tactic is rejected and
-    :class:`TacticTimeout` when it exceeds ``timeout`` seconds.
+    :class:`TacticTimeout` when it exceeds its time budget.  The budget
+    may be given as ``timeout`` seconds (a fresh :class:`Deadline` is
+    started here) or as an existing ``deadline`` — the checker passes
+    its own so the in-flight interrupt and its post-hoc verdict agree
+    on one clock.  While the tactic runs, the deadline is the active
+    one for this thread: combinator loops, ``auto``/``lia``/
+    ``congruence``, and the kernel reduction budget all poll it.
     """
     if not state.goals:
         raise TacticError("no goals remain")
@@ -99,8 +83,10 @@ def run_tactic(
     if fn is None:
         raise TacticError(f"unknown tactic: {node.render()}")
     working = state.clone_store()
-    if timeout is not None:
-        _ACTIVE_DEADLINE.append(Deadline.after(timeout))
+    if deadline is None and timeout is not None:
+        deadline = Deadline.after(timeout)
+    if deadline is not None:
+        push_deadline(deadline)
     try:
         return fn(env, working, node)
     except TacticError:
@@ -108,8 +94,8 @@ def run_tactic(
     except ReproError as exc:
         raise TacticError(f"{node.render()}: {exc}") from exc
     finally:
-        if timeout is not None:
-            _ACTIVE_DEADLINE.pop()
+        if deadline is not None:
+            pop_deadline()
 
 
 def dispatch(env: Environment, state: ProofState, node: TacticNode) -> ProofState:

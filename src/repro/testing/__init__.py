@@ -1,0 +1,20 @@
+"""Chaos-engineering utilities: seeded, deterministic fault injection.
+
+Public surface: :class:`~repro.testing.faults.FaultPlan` and the
+:class:`~repro.testing.faults.FaultyGenerator` /
+:class:`~repro.testing.faults.FaultyChecker` wrappers.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    FaultyChecker,
+    FaultyGenerator,
+    FAULTS_ENV_VAR,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultyChecker",
+    "FaultyGenerator",
+    "FAULTS_ENV_VAR",
+]

@@ -111,6 +111,96 @@ class TestResume:
         assert store.metrics_path() == tmp_path / "sweep.metrics.json"
 
 
+class TestChecksums:
+    def test_lines_carry_checksums(self, runner, tasks, tmp_path):
+        store = RunStore(tmp_path / "run.jsonl")
+        runner.run_tasks(tasks[:2], store=store)
+        for line in (tmp_path / "run.jsonl").read_text().splitlines():
+            obj = json.loads(line)
+            assert len(obj["sum"]) == 16
+            int(obj["sum"], 16)  # hex
+
+    def test_corrupt_line_is_quarantined_and_reexecuted(
+        self, project, runner, tasks, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        reference = Runner(project, CONFIG).run_tasks(tasks)
+        store = RunStore(path)
+        runner.run_tasks(tasks, store=store)
+
+        # Flip one character inside the *second* line's record payload:
+        # the JSON still parses, only the checksum can catch it.
+        lines = path.read_text().splitlines()
+        assert '"status":"' in lines[1]
+        corrupted = lines[1].replace('"status":"', '"status":"X', 1)
+        assert corrupted != lines[1]
+        lines[1] = corrupted
+        path.write_text("\n".join(lines) + "\n")
+
+        reloaded = RunStore(path)
+        assert reloaded.quarantined == 1
+        assert len(reloaded) == len(tasks) - 1
+        # The damaged line moved to the quarantine sibling…
+        quarantine = reloaded.quarantine_path().read_text().splitlines()
+        assert quarantine == [corrupted]
+        # …and was removed from the store file itself.
+        assert corrupted not in path.read_text()
+
+        # Resume: only the damaged cell re-executes, and the sweep
+        # converges back to the reference outcomes.
+        resumed = Runner(project, CONFIG)
+        final = resumed.run_tasks(tasks, store=reloaded)
+        assert resumed.metrics.counter("tasks.executed") == 1
+        assert resumed.metrics.counter("tasks.cached") == len(tasks) - 1
+        assert final == reference
+
+    def test_torn_tail_is_quarantined(self, runner, tasks, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = RunStore(path)
+        runner.run_tasks(tasks[:2], store=store)
+        with path.open("a") as handle:
+            handle.write('{"key": "deadbeef", "rec')
+        reloaded = RunStore(path)
+        assert len(reloaded) == 2
+        assert reloaded.quarantined == 1
+        assert '"rec' in reloaded.quarantine_path().read_text()
+
+    def test_legacy_lines_without_checksum_still_load(
+        self, runner, tasks, tmp_path
+    ):
+        path = tmp_path / "run.jsonl"
+        store = RunStore(path)
+        runner.run_tasks(tasks[:2], store=store)
+        # Strip the checksums, as a pre-checksum store would look.
+        lines = []
+        for line in path.read_text().splitlines():
+            obj = json.loads(line)
+            del obj["sum"]
+            lines.append(json.dumps(obj, sort_keys=True, separators=(",", ":")))
+        path.write_text("\n".join(lines) + "\n")
+        reloaded = RunStore(path)
+        assert len(reloaded) == 2
+        assert reloaded.quarantined == 0
+
+    def test_quarantine_rewrite_is_idempotent(self, runner, tasks, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = RunStore(path)
+        runner.run_tasks(tasks[:2], store=store)
+        with path.open("a") as handle:
+            handle.write("garbage line\n")
+        assert RunStore(path).quarantined == 1
+        # The rewrite removed the bad line: a second load is clean and
+        # the quarantine file does not grow again.
+        assert RunStore(path).quarantined == 0
+        assert len(
+            RunStore(path).quarantine_path().read_text().splitlines()
+        ) == 1
+
+    def test_quarantine_path_is_a_sibling(self, tmp_path):
+        store = RunStore(tmp_path / "sweep.jsonl")
+        assert store.quarantine_path() == tmp_path / "sweep.jsonl.quarantine"
+
+
 class TestEvalRunIntegration:
     def test_run_with_store_round_trips_outcomes(self, project, tmp_path):
         store = RunStore(tmp_path / "run.jsonl")

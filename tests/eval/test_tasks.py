@@ -33,8 +33,9 @@ class TestCacheKey:
         # Pins the hashed payload's shape: breaking this means old run
         # stores silently stop matching — bump CACHE_KEY_VERSION and
         # update the literal *deliberately*.
+        # v2: theorem_deadline joined the payload.
         assert TheoremTask(**BASE).cache_key() == (
-            "eef58f932fe37ad40981865271f74739581c02cec617ecfb8b29baf9c5350d4f"
+            "c4419342ef319ca41dae45fe5b843e7119e6925bdfa7b0c1f94e0c986d163c7e"
         )
 
     @pytest.mark.parametrize(
@@ -52,6 +53,7 @@ class TestCacheKey:
             ("seed", 7),
             ("hint_fraction", 0.25),
             ("reduced_dependencies", ("In", "in_eq")),
+            ("theorem_deadline", 30.0),
         ],
     )
     def test_every_field_is_outcome_relevant(self, field, value):

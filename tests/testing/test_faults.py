@@ -1,0 +1,201 @@
+"""FaultPlan parsing, determinism, and wrapper behaviour."""
+
+import pytest
+
+from repro.errors import (
+    MalformedResponseError,
+    RateLimitError,
+    TransientModelError,
+)
+from repro.llm.interface import Candidate
+from repro.testing import FAULTS_ENV_VAR, FaultPlan, FaultyChecker, FaultyGenerator
+
+
+class EchoModel:
+    name = "echo"
+    context_window = 1000
+    provides_log_probs = True
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def generate(self, prompt, k):
+        self.calls += 1
+        return [Candidate(tactic="auto.", log_prob=-1.0)]
+
+
+class TestParse:
+    def test_full_spec(self):
+        plan = FaultPlan.parse(
+            "seed=7,transient=0.2,ratelimit=0.1,stall=0.05,"
+            "malformed=0.1,truncate=0.05,crash=0.3,kill=ext_*,"
+            "initfail=1,stall_seconds=0.5,max_failures=3"
+        )
+        assert plan.seed == 7
+        assert plan.transient == 0.2
+        assert plan.ratelimit == 0.1
+        assert plan.crash == 0.3
+        assert plan.kill == "ext_*"
+        assert plan.initfail is True
+        assert plan.stall_seconds == 0.5
+        assert plan.max_failures == 3
+
+    def test_empty_tokens_and_spaces_tolerated(self):
+        plan = FaultPlan.parse(" transient=0.5 , , seed=1 ")
+        assert plan.transient == 0.5 and plan.seed == 1
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("flood=0.5")
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            FaultPlan.parse("transient")
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            FaultPlan.parse("transient=1.5")
+
+    def test_from_spec_none_without_env(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        assert FaultPlan.from_spec(None) is None
+
+    def test_from_spec_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "seed=9,transient=0.4")
+        plan = FaultPlan.from_spec(None)
+        assert plan is not None
+        assert plan.seed == 9 and plan.transient == 0.4
+
+    def test_explicit_spec_beats_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "seed=9")
+        assert FaultPlan.from_spec("seed=3").seed == 3
+
+
+class TestDecisions:
+    def test_fault_choice_is_deterministic(self):
+        plan = FaultPlan(seed=1, transient=0.3, ratelimit=0.2)
+        picks = [plan.model_fault_for("ctx", f"prompt {i}") for i in range(200)]
+        assert picks == [
+            plan.model_fault_for("ctx", f"prompt {i}") for i in range(200)
+        ]
+        assert "transient" in picks and "ratelimit" in picks
+        assert picks.count(None) > 0
+
+    def test_rates_roughly_respected(self):
+        plan = FaultPlan(seed=5, transient=0.5)
+        picks = [
+            plan.model_fault_for("ctx", f"prompt {i}") for i in range(400)
+        ]
+        frac = picks.count("transient") / len(picks)
+        assert 0.35 < frac < 0.65
+
+    def test_context_decorrelates_decisions(self):
+        plan = FaultPlan(seed=1, transient=0.5)
+        a = [plan.model_fault_for("task-a", f"p{i}") for i in range(100)]
+        b = [plan.model_fault_for("task-b", f"p{i}") for i in range(100)]
+        assert a != b
+
+    def test_failures_bounded_by_max(self):
+        plan = FaultPlan(seed=2, transient=1.0, max_failures=3)
+        counts = {plan.failures_for("ctx", f"p{i}") for i in range(100)}
+        assert counts <= {1, 2, 3}
+        assert len(counts) > 1
+
+    def test_kill_glob_is_permanent(self):
+        plan = FaultPlan(kill="ext_*")
+        for attempt in range(5):
+            assert plan.should_kill_worker("ext_tree_lookup", attempt)
+        assert not plan.should_kill_worker("plus_0_l", 0)
+
+    def test_crash_rate_first_attempt_only(self):
+        plan = FaultPlan(seed=3, crash=1.0)
+        assert plan.should_kill_worker("plus_0_l", 0)
+        assert not plan.should_kill_worker("plus_0_l", 1)
+
+
+class TestFaultyGenerator:
+    def test_noop_plan_is_transparent(self):
+        model = EchoModel()
+        faulty = FaultyGenerator(model, FaultPlan())
+        assert [c.tactic for c in faulty.generate("p", 4)] == ["auto."]
+        assert model.calls == 1
+
+    def test_fault_budget_then_success(self):
+        model = EchoModel()
+        plan = FaultPlan(seed=1, transient=1.0, max_failures=2)
+        faulty = FaultyGenerator(model, plan)
+        budget = plan.failures_for("", "p")
+        for _ in range(budget):
+            with pytest.raises(TransientModelError):
+                faulty.generate("p", 4)
+        # The budget is spent: the same prompt now succeeds forever.
+        assert faulty.generate("p", 4)
+        assert faulty.generate("p", 4)
+        assert model.calls == 2
+
+    def test_fault_kinds_map_to_typed_errors(self):
+        model = EchoModel()
+        for kind, exc_type in (
+            ("ratelimit", RateLimitError),
+            ("malformed", MalformedResponseError),
+            ("truncate", MalformedResponseError),
+        ):
+            plan = FaultPlan(seed=1, **{kind: 1.0})
+            faulty = FaultyGenerator(model, plan)
+            with pytest.raises(exc_type):
+                faulty.generate("p", 4)
+
+    def test_stall_sleeps_then_answers(self):
+        model = EchoModel()
+        slept = []
+        plan = FaultPlan(seed=1, stall=1.0, stall_seconds=7.5)
+        faulty = FaultyGenerator(model, plan, sleep=slept.append)
+        assert faulty.generate("p", 4)
+        assert slept == [7.5]
+        assert model.calls == 1
+
+    def test_resilient_wrapper_absorbs_injected_faults(self):
+        # The integration the chaos sweep relies on: injected transient
+        # faults are retried through and the final candidates are
+        # identical to the fault-free ones.
+        from repro.llm.resilient import ResilientGenerator, RetryPolicy
+
+        clean = EchoModel()
+        baseline = clean.generate("p", 4)
+
+        sleeps = []
+        plan = FaultPlan(seed=1, transient=0.5, ratelimit=0.5, max_failures=2)
+        resilient = ResilientGenerator(
+            FaultyGenerator(EchoModel(), plan),
+            policy=RetryPolicy(max_attempts=4),
+            clock=lambda: 0.0,
+            sleep=sleeps.append,
+        )
+        for i in range(20):
+            out = resilient.generate(f"prompt {i}", 4)
+            assert [c.tactic for c in out] == [c.tactic for c in baseline]
+        assert sleeps, "at least one prompt should have drawn a fault"
+
+
+class TestFaultyChecker:
+    class _Checker:
+        def check(self, state, tactic_text, seen_keys=None):
+            return ("checked", tactic_text)
+
+        def start(self, statement):
+            return "state"
+
+    def test_stall_injection_and_delegation(self):
+        slept = []
+        plan = FaultPlan(seed=1, stall=1.0, stall_seconds=2.0)
+        faulty = FaultyChecker(self._Checker(), plan, sleep=slept.append)
+        assert faulty.check("s", "auto.") == ("checked", "auto.")
+        assert slept == [2.0]
+        # Non-check attributes delegate to the inner checker.
+        assert faulty.start(None) == "state"
+
+    def test_no_stall_without_rate(self):
+        slept = []
+        faulty = FaultyChecker(self._Checker(), FaultPlan(), sleep=slept.append)
+        faulty.check("s", "auto.")
+        assert slept == []
