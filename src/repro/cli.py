@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli prove rev_involutive --model gpt-4o --hints
     python -m repro.cli eval --model gpt-4o-mini --n 12
     python -m repro.cli eval --model gpt-4o-mini --jobs 4 --store runs/eval.jsonl
+    python -m repro.cli server --port 8421 --cache runs/service.jsonl
     python -m repro.cli serve          # SerAPI-like REPL over stdin
 """
 
@@ -148,6 +149,25 @@ def _cmd_eval(args) -> int:
     return 0
 
 
+def _cmd_server(args) -> int:
+    from repro.service import ServerConfig, serve_forever
+
+    return serve_forever(
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_queued=args.max_queued,
+            batch_window=args.batch_window,
+            max_batch_size=args.max_batch_size,
+            cache_path=args.cache,
+            default_deadline=args.deadline,
+            fast=args.fast,
+            query_overhead=args.query_overhead,
+        )
+    )
+
+
 def _cmd_serve(args) -> int:
     from repro.serapi import SerapiServer
 
@@ -268,7 +288,63 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_eval.set_defaults(fn=_cmd_eval)
 
-    p_serve = sub.add_parser("serve", help="SerAPI-like REPL on stdin")
+    p_server = sub.add_parser(
+        "server",
+        help="HTTP prover service: concurrent jobs, micro-batched "
+        "dispatch, shared proof cache (POST /prove)",
+    )
+    p_server.add_argument("--host", default="127.0.0.1")
+    p_server.add_argument("--port", type=int, default=8421)
+    p_server.add_argument(
+        "--workers", type=int, default=4, help="concurrent proof searches"
+    )
+    p_server.add_argument(
+        "--max-queued",
+        type=int,
+        default=32,
+        help="admission bound beyond in-flight jobs (429 on overflow)",
+    )
+    p_server.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.01,
+        metavar="SECONDS",
+        help="micro-batch collection window for model dispatch",
+    )
+    p_server.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=8,
+        help="model queries per dispatched batch (1 disables batching)",
+    )
+    p_server.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="JSONL proof cache (RunStore format; warm-starts from "
+        "prior sweeps and serves repeats without a search)",
+    )
+    p_server.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-job wall-clock budget (clean TIMEOUT)",
+    )
+    p_server.add_argument(
+        "--query-overhead",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="simulated per-dispatch endpoint latency (benchmarking)",
+    )
+    p_server.set_defaults(fn=_cmd_server)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="SerAPI-like REPL on stdin (machine protocol; for the "
+        "HTTP prover service see 'server')",
+    )
     p_serve.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)

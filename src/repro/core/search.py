@@ -63,13 +63,21 @@ class BestFirstSearch:
         config: Optional[SearchConfig] = None,
         metrics=None,
         clock: Callable[[], float] = time.monotonic,
+        generate_fn: Optional[
+            Callable[[str, int], Sequence["object"]]
+        ] = None,
     ) -> None:
         """``metrics`` is an optional duck-typed sink (an object with
         ``add_time(stage, seconds)``, e.g.
         :class:`repro.eval.instrumentation.Metrics`) that receives
         prompt-build and generation timings.  ``clock`` feeds the
         wall-clock stats and the per-theorem deadline (injectable for
-        timeout tests)."""
+        timeout tests).  ``generate_fn`` overrides how an expansion
+        queries the model (default: ``generator.generate``); the
+        service layer injects a handle that routes through its shared
+        micro-batcher, with identical semantics — the handle must obey
+        the determinism contract of
+        :func:`repro.llm.interface.generate_batch`."""
         if not getattr(generator, "provides_log_probs", False):
             raise GenerationError(
                 f"model {generator.name} provides no log-probabilities; "
@@ -80,6 +88,7 @@ class BestFirstSearch:
         self.config = config or SearchConfig()
         self.metrics = metrics
         self.clock = clock
+        self.generate = generate_fn or generator.generate
 
     def prove(
         self,
@@ -142,7 +151,7 @@ class BestFirstSearch:
                 metrics.add_time("prompt_build", self.clock() - t0)
             stats.queries += 1
             t0 = self.clock()
-            candidates = self.generator.generate(prompt, config.width)
+            candidates = self.generate(prompt, config.width)
             if metrics is not None:
                 metrics.add_time("generation", self.clock() - t0)
             node.expanded = True

@@ -10,7 +10,9 @@ contexts, and categories.
 
 from __future__ import annotations
 
+import hashlib
 import importlib
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -19,7 +21,22 @@ from repro.kernel.env import Environment
 from repro.corpus.model import SourceFile, Theorem
 from repro.corpus.tokenizer import count_tokens
 
-__all__ = ["Project", "load_project", "FILE_MODULES"]
+__all__ = ["Project", "load_project", "FILE_MODULES", "ADHOC_GOAL_PREFIX"]
+
+#: Name prefix of theorems registered via :meth:`Project.adhoc_theorem`.
+ADHOC_GOAL_PREFIX = "goal_"
+
+# Ad-hoc statements elaborate with fresh type variables drawn from this
+# fixed base (far above anything corpus loading or search allocates),
+# so the parsed statement — and therefore every rendered prompt — is
+# identical no matter how many goals were registered before it.
+_ADHOC_TVAR_BASE = 1_000_000_000
+
+# Registered after every corpus declaration: an ad-hoc goal's prover
+# sees the whole project, like a user working at the end of the tree.
+_ADHOC_CUTOFF = 10**9
+
+_ADHOC_LOCK = threading.Lock()
 
 # Corpus files in a valid dependency order (checked against imports).
 FILE_MODULES: Tuple[str, ...] = (
@@ -128,6 +145,60 @@ class Project:
                 )
         self._env_cache[cutoff] = view
         return view
+
+    def adhoc_theorem(self, statement_text: str) -> Theorem:
+        """Register a raw goal as an ad-hoc theorem (prover service).
+
+        The goal is named by a content hash of its statement text
+        (``goal_<sha16>``), so the same goal registers once and maps to
+        a stable :meth:`~repro.eval.tasks.TheoremTask.cache_key` across
+        server restarts.  It is attached *after* the last corpus file —
+        the prover sees the entire project, and ``proof_text`` is empty
+        (there is no human reference; similarity/length-ratio stay
+        meaningful only for corpus theorems).
+
+        Parsing is serialised and the fresh-type-variable counter is
+        pinned to a fixed base for the duration, so concurrent
+        registrations elaborate bit-identical statements regardless of
+        arrival order.  The registered theorem is NOT appended to
+        :attr:`theorems` — splits, sweeps, and benchmarks must keep
+        seeing exactly the corpus.
+        """
+        from repro.kernel.parser import parse_statement
+        from repro.kernel import types as kernel_types
+
+        digest = hashlib.sha256(
+            statement_text.strip().encode("utf-8")
+        ).hexdigest()[:16]
+        name = f"{ADHOC_GOAL_PREFIX}{digest}"
+        existing = self._by_name.get(name)
+        if existing is not None:
+            return existing
+        with _ADHOC_LOCK:
+            existing = self._by_name.get(name)
+            if existing is not None:
+                return existing
+            counter = kernel_types._FRESH_COUNTER
+            saved = counter[0]
+            counter[0] = _ADHOC_TVAR_BASE
+            try:
+                statement = parse_statement(self.env, statement_text.strip())
+            finally:
+                counter[0] = saved
+            last = self.files[-1]
+            theorem = Theorem(
+                name=name,
+                file=last.name,
+                category=last.category,
+                index=len(last.declarations),
+                statement_text=statement_text.strip(),
+                proof_text="",
+                statement=statement,
+                proof_tokens=0,
+            )
+            self.theorem_cutoff[name] = _ADHOC_CUTOFF
+            self._by_name[name] = theorem
+            return theorem
 
 
 def _check_import_order(files: Sequence[SourceFile]) -> None:

@@ -248,48 +248,59 @@ class Runner:
             outcome.length_ratio = count_tokens(proof_text) / human_tokens
         return outcome
 
-    def execute_task(self, task: TheoremTask) -> TaskResult:
+    def execute_task(
+        self, task: TheoremTask, model_override=None
+    ) -> TaskResult:
         """Run one task and return its (record, metrics) pair.
 
         This is the unit every executor backend dispatches; process
         workers call it on their own Runner, so it must only touch
-        picklable inputs/outputs.
+        picklable inputs/outputs.  ``model_override`` substitutes the
+        raw generator (the prover service passes its shared per-model
+        micro-batcher); the fault-tolerance stack still wraps it per
+        task.
 
         Kernel memo caches are cleared on entry (bounding their
         lifetime to one theorem search) and their hit/miss deltas ride
         back on the task metrics as ``kernel.cache.<name>.*`` counters.
+        The search itself runs under a cache *pin*, so a concurrent
+        task's per-entry clear is deferred instead of evicting this
+        task's live interned terms (see :mod:`repro.kernel.cache`).
         """
         from repro.kernel import cache as kernel_cache
 
         kernel_cache.clear_caches()
-        cache_before = kernel_cache.cache_stats()
-        metrics = Metrics()
-        try:
-            outcome = self.run_theorem(
-                self.project.theorem(task.theorem),
-                task.model,
-                task.hinted,
-                reduced_dependencies=task.reduced_dependencies,
-                search_config=task.search_config(),
-                metrics=metrics,
-            )
-            record = record_from_outcome(outcome)
-        except ModelExhaustedError:
-            # The task's model failed permanently (retries exhausted or
-            # breaker open, no fallback).  Record the loss as CRASH so
-            # the sweep completes instead of aborting; queries=0 marks
-            # the cell as never meaningfully attempted.
-            metrics.incr("tasks.crashed")
-            record = OutcomeRecord(
-                theorem=task.theorem,
-                model=task.model,
-                hinted=task.hinted,
-                status=Status.CRASH.value,
-                queries=0,
-            )
-        for name, cell in kernel_cache.stats_delta(cache_before).items():
-            metrics.incr(f"kernel.cache.{name}.hits", cell["hits"])
-            metrics.incr(f"kernel.cache.{name}.misses", cell["misses"])
+        with kernel_cache.pinned():
+            cache_before = kernel_cache.cache_stats()
+            metrics = Metrics()
+            try:
+                outcome = self.run_theorem(
+                    self.project.theorem(task.theorem),
+                    task.model,
+                    task.hinted,
+                    reduced_dependencies=task.reduced_dependencies,
+                    model_override=model_override,
+                    search_config=task.search_config(),
+                    metrics=metrics,
+                )
+                record = record_from_outcome(outcome)
+            except ModelExhaustedError:
+                # The task's model failed permanently (retries exhausted
+                # or breaker open, no fallback).  Record the loss as
+                # CRASH so the sweep completes instead of aborting;
+                # queries=0 marks the cell as never meaningfully
+                # attempted.
+                metrics.incr("tasks.crashed")
+                record = OutcomeRecord(
+                    theorem=task.theorem,
+                    model=task.model,
+                    hinted=task.hinted,
+                    status=Status.CRASH.value,
+                    queries=0,
+                )
+            for name, cell in kernel_cache.stats_delta(cache_before).items():
+                metrics.incr(f"kernel.cache.{name}.hits", cell["hits"])
+                metrics.incr(f"kernel.cache.{name}.misses", cell["misses"])
         return TaskResult(record=record, metrics=metrics.snapshot())
 
     def outcome_from_record(self, record: OutcomeRecord) -> TheoremOutcome:

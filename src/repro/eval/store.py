@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional
@@ -79,6 +80,9 @@ class RunStore:
     def __init__(self, path) -> None:
         self.path = Path(path)
         self._records: Dict[str, OutcomeRecord] = {}
+        # Serialises appends: the prover service's scheduler workers
+        # put() concurrently, and an interleaved write would tear lines.
+        self._write_lock = threading.Lock()
         #: Lines rejected on the last load (torn writes, checksum
         #: mismatches, schema garbage) — moved to :meth:`quarantine_path`.
         self.quarantined = 0
@@ -168,11 +172,12 @@ class RunStore:
         }
         payload["sum"] = _checksum(payload)
         line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-        self._records[key] = record
+        with self._write_lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+            self._records[key] = record
 
     def metrics_path(self) -> Path:
         """Where the sweep's instrumentation JSON lives (sibling file)."""

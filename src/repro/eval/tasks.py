@@ -20,12 +20,17 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, fields as dataclasses_fields
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core import SearchConfig
 
-__all__ = ["TheoremTask", "sweep_tasks", "CACHE_KEY_VERSION"]
+__all__ = [
+    "TheoremTask",
+    "sweep_tasks",
+    "task_from_json",
+    "CACHE_KEY_VERSION",
+]
 
 # Bump when the hashed payload changes shape, so stale store entries
 # are never mistaken for current ones.
@@ -126,6 +131,67 @@ class TheoremTask:
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def task_from_json(obj: dict) -> TheoremTask:
+    """Build a task from an untrusted JSON object (the prover service's
+    ``POST /prove`` body).
+
+    Only known task fields are accepted — an unknown key is a client
+    error, surfaced as ``ValueError`` so the server can answer 400
+    instead of silently ignoring a typo'd search knob (which would
+    return a differently-keyed cell than the client asked for).
+    ``theorem`` and ``model`` are required; everything else defaults
+    exactly as :class:`TheoremTask` does, so a minimal request hits the
+    same cache key as a default sweep cell.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError("request body must be a JSON object")
+    fields = {f.name for f in dataclasses_fields(TheoremTask)}
+    unknown = sorted(set(obj) - fields)
+    if unknown:
+        raise ValueError(f"unknown task field(s): {', '.join(unknown)}")
+    missing = [name for name in ("theorem", "model") if name not in obj]
+    if missing:
+        raise ValueError(f"missing required field(s): {', '.join(missing)}")
+    kwargs = dict(obj)
+    kwargs.setdefault("hinted", False)
+    if kwargs.get("reduced_dependencies") is not None:
+        deps = kwargs["reduced_dependencies"]
+        if not isinstance(deps, (list, tuple)) or not all(
+            isinstance(d, str) for d in deps
+        ):
+            raise ValueError("reduced_dependencies must be a list of names")
+        kwargs["reduced_dependencies"] = tuple(deps)
+    try:
+        task = TheoremTask(**kwargs)
+    except TypeError as exc:
+        raise ValueError(str(exc)) from exc
+    # Cheap shape checks so a mistyped knob fails the request, not the
+    # search worker (json has no int/float distinction worth fighting;
+    # bools are checked exactly).
+    for name, kind in (
+        ("theorem", str),
+        ("model", str),
+        ("hinted", bool),
+        ("frontier", str),
+        ("dedup_states", bool),
+    ):
+        if not isinstance(getattr(task, name), kind):
+            raise ValueError(f"field {name!r} must be {kind.__name__}")
+    for name in ("width", "fuel", "max_depth", "seed"):
+        if not isinstance(getattr(task, name), int) or isinstance(
+            getattr(task, name), bool
+        ):
+            raise ValueError(f"field {name!r} must be an integer")
+    for name in ("tactic_timeout", "hint_fraction"):
+        if not isinstance(getattr(task, name), (int, float)):
+            raise ValueError(f"field {name!r} must be a number")
+    if task.theorem_deadline is not None and not isinstance(
+        task.theorem_deadline, (int, float)
+    ):
+        raise ValueError("field 'theorem_deadline' must be a number or null")
+    return task
 
 
 def sweep_tasks(

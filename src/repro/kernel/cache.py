@@ -15,8 +15,20 @@ its pure functions.  This module holds the shared machinery:
 * an intern *epoch* — :func:`clear_caches` drops all cached entries
   and bumps the epoch, invalidating the ``intern()`` marks stamped on
   term objects (see :mod:`repro.kernel.terms`).
+* cache *pins* — :func:`pinned` scopes a search's use of the caches.
+  While any pin is held, :func:`clear_caches` **defers**: it records
+  the request and returns, and the clear (entry drop + epoch bump)
+  runs when the last pin is released.  Without this, the per-task
+  clear issued by one finishing search would evict another concurrent
+  search's live interned terms and memo entries under the thread
+  backend / prover service — not unsound (the memos are pure, evicted
+  entries just recompute), but an epoch bump mid-search invalidates
+  the ``_interned`` stamps on every term the still-running search
+  holds, forcing wholesale re-interning and re-derivation.  Deferral
+  preserves the serial semantics exactly: with no concurrent pin, the
+  clear is immediate, as before.
 
-Safety argument (DESIGN.md §7): every memoized function is a pure
+Safety argument (DESIGN.md §4a): every memoized function is a pure
 function of its key.  Terms are frozen dataclasses, so a term-keyed
 entry can never go stale; reduction additionally keys on the
 environment object and its declaration generation, so corpus loading
@@ -27,6 +39,7 @@ entries instead of serving stale ones.
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -36,6 +49,9 @@ __all__ = [
     "configure",
     "disabled",
     "clear_caches",
+    "pinned",
+    "pin_count",
+    "clear_pending",
     "intern_epoch",
     "cache_stats",
     "stats_delta",
@@ -143,17 +159,71 @@ def intern_epoch() -> int:
     return _INTERN_EPOCH
 
 
+# Pin bookkeeping: how many searches currently rely on the live epoch,
+# and whether a clear was requested while they ran.
+_PIN_LOCK = threading.Lock()
+_PIN_COUNT = 0
+_CLEAR_PENDING = False
+
+
+def _clear_now() -> None:
+    global _INTERN_EPOCH
+    _INTERN_EPOCH += 1
+    for cache in _REGISTRY:
+        cache.clear()
+
+
 def clear_caches() -> None:
     """Drop all cached entries (counters persist) and bump the epoch.
 
     The evaluation runner calls this once per task so the intern table
     and memo tables never outlive a theorem search by more than one
     task — the cache layer's memory bound.
+
+    While any :func:`pinned` scope is active the clear is *deferred*
+    until the last pin is released, so a task finishing under the
+    thread backend (or the prover service) never evicts a concurrent
+    task's live interned terms mid-search.
     """
-    global _INTERN_EPOCH
-    _INTERN_EPOCH += 1
-    for cache in _REGISTRY:
-        cache.clear()
+    global _CLEAR_PENDING
+    with _PIN_LOCK:
+        if _PIN_COUNT > 0:
+            _CLEAR_PENDING = True
+            return
+        _clear_now()
+
+
+@contextmanager
+def pinned() -> Iterator[None]:
+    """Hold the current cache epoch live for the duration of a search.
+
+    Re-entrant across threads (a shared counter, not a flag).  On
+    release of the last pin, any :func:`clear_caches` requests that
+    arrived while pinned run once — deferred, coalesced, never lost.
+    """
+    global _PIN_COUNT, _CLEAR_PENDING
+    with _PIN_LOCK:
+        _PIN_COUNT += 1
+    try:
+        yield
+    finally:
+        with _PIN_LOCK:
+            _PIN_COUNT -= 1
+            if _PIN_COUNT == 0 and _CLEAR_PENDING:
+                _CLEAR_PENDING = False
+                _clear_now()
+
+
+def pin_count() -> int:
+    """How many pinned scopes are currently active (service gauge)."""
+    with _PIN_LOCK:
+        return _PIN_COUNT
+
+
+def clear_pending() -> bool:
+    """True when a deferred :func:`clear_caches` is waiting on pins."""
+    with _PIN_LOCK:
+        return _CLEAR_PENDING
 
 
 # ----------------------------------------------------------------------

@@ -14,11 +14,11 @@ when hint proofs appear in context.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import GenerationError
 from repro.llm.heuristics import Proposal, propose
-from repro.llm.interface import Candidate, TacticGenerator
+from repro.llm.interface import Candidate, GenerationRequest, TacticGenerator
 from repro.llm.profiles import PROFILES, ModelProfile
 from repro.llm.promptview import parse_prompt
 from repro.llm.retrieval import hint_head_priors, hint_proposals, retrieve
@@ -72,6 +72,25 @@ class SimulatedModel:
         for candidate in candidates:
             self.usage.record_output(candidate.tactic)
         return candidates
+
+    def generate_batch(
+        self, requests: Sequence[GenerationRequest]
+    ) -> List[List[Candidate]]:
+        """Batched generation (the service layer's micro-batch target).
+
+        Each element is produced by the *same* pure function of
+        (model name, prompt, k) as a solo :meth:`generate` call — the
+        RNG reseeds from ``stable_seed(self.name, prompt)`` per
+        element, so batch composition and ordering cannot leak between
+        elements.  ``tests/llm/test_batch_generate.py`` pins batched ==
+        solo element-wise for every profile.
+
+        A real API-backed model would send one HTTP request here and
+        amortize the round-trip; the simulated model has no wire cost,
+        so the amortization is modelled by
+        :class:`repro.testing.latency.LatencyGenerator` in benchmarks.
+        """
+        return [self.generate(prompt, k) for prompt, k in requests]
 
     def _babble(self, view, rng: random.Random, k: int) -> List[Candidate]:
         """Generic guesses from a model that misread the goal.

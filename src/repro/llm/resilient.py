@@ -47,7 +47,11 @@ from repro.errors import (
     RateLimitError,
     TransientModelError,
 )
-from repro.llm.interface import Candidate, TacticGenerator
+from repro.llm.interface import (
+    Candidate,
+    GenerationRequest,
+    TacticGenerator,
+)
 
 __all__ = ["RetryPolicy", "ResilientGenerator", "stable_jitter"]
 
@@ -222,6 +226,20 @@ class ResilientGenerator:
             self._note_success()
             return result
         return self._degrade(prompt, k, last_error)
+
+    def generate_batch(
+        self, requests: "List[GenerationRequest]"
+    ) -> List[List[Candidate]]:
+        """Element-wise batched generation under the retry discipline.
+
+        Each element goes through the full :meth:`generate` path —
+        per-query timeout, retries, breaker, fallback — so one failing
+        element degrades alone instead of poisoning the batch.  This
+        trades away cross-element amortization, which is why the
+        service stacks the micro-batcher *below* this wrapper (one
+        resilient wrapper per job, one shared batcher per model).
+        """
+        return [self.generate(prompt, k) for prompt, k in requests]
 
     def _call_primary(self, prompt: str, k: int) -> List[Candidate]:
         timeout = self.policy.query_timeout

@@ -1,0 +1,46 @@
+"""Prover-as-a-service: the long-lived concurrent proof server.
+
+The evaluation engine (:mod:`repro.eval`) runs *sweeps* — a finite
+task list, then exit.  This package runs the same searches as a
+*service*: a bounded-admission scheduler multiplexes concurrent proof
+jobs over shared per-model micro-batchers and a persistent proof
+cache, behind a stdlib HTTP front end.  DESIGN.md §6.
+
+* :mod:`repro.service.batching` — cross-search micro-batched dispatch;
+* :mod:`repro.service.proofcache` — shared result cache + single-flight;
+* :mod:`repro.service.scheduler` — bounded queue, worker pool, drain;
+* :mod:`repro.service.server` — HTTP routes / composition root;
+* :mod:`repro.service.client` — stdlib client (loadgen, tools, tests).
+"""
+
+from repro.service.batching import BatchingGenerator, BatchPlanner, BatchPolicy
+from repro.service.client import JobTimeout, ProverClient, ProverServiceError
+from repro.service.proofcache import ProofCache
+from repro.service.scheduler import (
+    Job,
+    JobState,
+    QueueFullError,
+    Scheduler,
+    SchedulerConfig,
+    ShuttingDownError,
+)
+from repro.service.server import ProverService, ServerConfig, serve_forever
+
+__all__ = [
+    "BatchPolicy",
+    "BatchPlanner",
+    "BatchingGenerator",
+    "ProofCache",
+    "Job",
+    "JobState",
+    "QueueFullError",
+    "Scheduler",
+    "SchedulerConfig",
+    "ShuttingDownError",
+    "ProverService",
+    "ServerConfig",
+    "serve_forever",
+    "ProverClient",
+    "ProverServiceError",
+    "JobTimeout",
+]

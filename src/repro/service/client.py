@@ -1,0 +1,133 @@
+"""A stdlib HTTP client for the prover service.
+
+Thin and dependency-free (``urllib``): the loadgen, the smoke tests,
+and any external tool drive the service through this.  One instance is
+safe to share across threads — each call opens its own connection.
+
+Usage::
+
+    client = ProverClient("http://127.0.0.1:8421")
+    job = client.prove(theorem="rev_involutive", model="gpt-4o")
+    record = client.wait(job["job"], timeout=120.0)
+    if record["record"]["status"] == "proved":
+        print(record["record"]["generated_proof"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.errors import ReproError
+
+__all__ = ["ProverClient", "ProverServiceError", "JobTimeout"]
+
+
+class ProverServiceError(ReproError):
+    """An HTTP error from the service, with its status and payload."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)}"
+        )
+
+
+class JobTimeout(ReproError):
+    """A job did not finish within the caller's wait budget."""
+
+
+class ProverClient:
+    """Blocking JSON client over the service's HTTP routes."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {"error": str(exc)}
+            raise ProverServiceError(exc.code, payload) from exc
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def prove(self, **task_fields) -> dict:
+        """``POST /prove``; returns the admission payload (job id).
+
+        Keyword arguments are the task fields (``theorem``/``goal``,
+        ``model``, ``hinted``, ``width``, ``fuel``, …).
+        """
+        return self._request("POST", "/prove", task_fields)
+
+    def job(self, job_id: str, wait: Optional[float] = None) -> dict:
+        """``GET /jobs/<id>``; ``wait`` long-polls server-side."""
+        path = f"/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+        return self._request("GET", path)
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll: float = 5.0,
+    ) -> dict:
+        """Block until the job finishes; returns the final status JSON.
+
+        Uses server-side long-polling (bounded by ``poll`` per round
+        trip) so the job usually returns on the first response after it
+        completes rather than on the next poll tick.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise JobTimeout(
+                    f"job {job_id} still unfinished after {timeout:g}s"
+                )
+            status = self.job(job_id, wait=min(poll, max(remaining, 0.0)))
+            if status.get("state") in ("done", "failed"):
+                return status
+
+    def prove_and_wait(
+        self, timeout: float = 300.0, poll: float = 5.0, **task_fields
+    ) -> dict:
+        """Submit and block for the result in one call."""
+        admitted = self.prove(**task_fields)
+        if admitted.get("state") in ("done", "failed"):
+            return admitted  # warm cache hit answered inline
+        return self.wait(admitted["job"], timeout=timeout, poll=poll)
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")

@@ -1,0 +1,381 @@
+"""Admission-controlled job scheduling for the prover service.
+
+A :class:`Scheduler` owns a bounded queue of proof jobs and a fixed
+pool of search worker threads.  The front end (:mod:`.server`) submits
+:class:`~repro.eval.tasks.TheoremTask` descriptors; each becomes a
+:class:`Job` that moves ``QUEUED → RUNNING → DONE`` (or ``FAILED``),
+with the search outcome recorded as the evaluation layer's
+deterministic :class:`~repro.eval.store.OutcomeRecord`.
+
+Admission control: at most ``workers`` jobs run concurrently and at
+most ``max_queued`` wait behind them; a submit beyond that raises
+:class:`QueueFullError`, which the HTTP layer maps to **429** — the
+service sheds load instead of stacking unbounded latency.
+
+Before a task ever queues, two short-circuits (both via the shared
+:class:`~repro.service.proofcache.ProofCache`):
+
+1. **warm hit** — the task's cache key is already in the store: the
+   job completes instantly from the cached record, no queue slot used;
+2. **single-flight** — an identical task is queued or running: the
+   caller is handed *that* job (``created=False``), so concurrent
+   duplicates share one search.
+
+Per-job deadlines reuse the cooperative :mod:`repro.deadline`
+machinery: a scheduler-level ``default_deadline`` is folded into the
+task's ``theorem_deadline`` *before* keying (the deadline is
+outcome-relevant — a search can end TIMEOUT — so it must participate
+in the cache key), and the search itself yields the clean ``TIMEOUT``
+record.
+
+Shutdown is a graceful drain: new submits are refused, every admitted
+job still completes (the queue is bounded, so drain time is bounded),
+then the workers exit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.eval.store import OutcomeRecord
+from repro.eval.tasks import TheoremTask
+from repro.service.proofcache import ProofCache
+
+__all__ = [
+    "Job",
+    "JobState",
+    "QueueFullError",
+    "Scheduler",
+    "SchedulerConfig",
+    "ShuttingDownError",
+]
+
+
+class QueueFullError(ReproError):
+    """Admission refused: queue at capacity (HTTP 429)."""
+
+
+class ShuttingDownError(ReproError):
+    """Admission refused: the scheduler is draining (HTTP 503)."""
+
+
+class JobState(Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Concurrency and admission knobs."""
+
+    workers: int = 4  # max in-flight searches
+    max_queued: int = 32  # waiting jobs beyond the in-flight ones
+    # Folded into tasks that carry no deadline of their own (None =
+    # unbounded, the paper's setting).  Participates in cache keys.
+    default_deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
+
+
+class Job:
+    """One admitted proof request and its lifecycle."""
+
+    def __init__(self, job_id: str, task: TheoremTask) -> None:
+        self.id = job_id
+        self.task = task
+        self.key = task.cache_key()
+        self.state = JobState.QUEUED
+        self.record: Optional[OutcomeRecord] = None
+        self.error: Optional[str] = None
+        self.metrics: Optional[dict] = None
+        #: Served straight from the proof cache (no search ran).
+        self.cached = False
+        #: Concurrent identical submits coalesced onto this job.
+        self.dedup_hits = 0
+        self.created_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.done = threading.Event()
+
+    def finished(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+    def to_json(self) -> dict:
+        """The ``GET /jobs/<id>`` payload."""
+        now = time.monotonic()
+        out = {
+            "id": self.id,
+            "state": self.state.value,
+            "key": self.key,
+            "task": {
+                "theorem": self.task.theorem,
+                "model": self.task.model,
+                "hinted": self.task.hinted,
+            },
+            "cached": self.cached,
+            "dedup_hits": self.dedup_hits,
+            "elapsed": (self.finished_at or now) - self.created_at,
+        }
+        if self.record is not None:
+            out["record"] = self.record.to_json()
+        if self.error is not None:
+            out["error"] = self.error
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        return out
+
+
+#: How a worker runs one task: ``execute(task, generator_override)``.
+#: The server wires this to ``Runner.execute_task``; tests inject
+#: stubs.  Must return an object with ``record`` and ``metrics``
+#: attributes (:class:`repro.eval.executor.TaskResult`).
+ExecuteFn = Callable[[TheoremTask, object], object]
+
+#: Resolves a model name to the generator handle searches should use —
+#: the server returns its shared per-model micro-batcher here.
+GeneratorFor = Callable[[str], object]
+
+
+class Scheduler:
+    """Bounded job queue + search worker pool."""
+
+    def __init__(
+        self,
+        execute: ExecuteFn,
+        generator_for: GeneratorFor,
+        cache: Optional[ProofCache] = None,
+        config: Optional[SchedulerConfig] = None,
+        metrics=None,
+    ) -> None:
+        self.execute = execute
+        self.generator_for = generator_for
+        self.cache = cache or ProofCache()
+        self.config = config or SchedulerConfig()
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: Deque[Job] = deque()
+        self._jobs: Dict[str, Job] = {}
+        self._running = 0
+        self._seq = 0
+        self._draining = False
+        self._workers: List[threading.Thread] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            for index in range(self.config.workers):
+                thread = threading.Thread(
+                    target=self._worker,
+                    name=f"prover-worker-{index}",
+                    daemon=True,
+                )
+                self._workers.append(thread)
+                thread.start()
+
+    def shutdown(self, timeout: Optional[float] = None) -> bool:
+        """Graceful drain: refuse new work, finish admitted jobs.
+
+        Returns True when every admitted job finished (and the workers
+        exited) within ``timeout``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+        for job in list(self._jobs.values()):
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            if not job.done.wait(remaining):
+                return False
+        for thread in self._workers:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+            if thread.is_alive():
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, task: TheoremTask) -> Job:
+        """Admit ``task``: a (possibly shared, possibly pre-completed) job.
+
+        Raises :class:`QueueFullError` on overflow and
+        :class:`ShuttingDownError` while draining.
+        """
+        if not self._started:
+            self.start()
+        if self.config.default_deadline is not None and (
+            task.theorem_deadline is None
+        ):
+            # Outcome-relevant, so folded in *before* the cache key is
+            # computed: a deadline-bounded cell must never alias an
+            # unbounded one.
+            task = replace(
+                task, theorem_deadline=self.config.default_deadline
+            )
+        key = task.cache_key()
+
+        # Warm hit: answer from the shared cache, no queue slot burned.
+        record = self.cache.get(key)
+        if record is not None:
+            job = self._make_job(task)
+            job.cached = True
+            self._finish(job, record=record, metrics=None, publish=False)
+            with self._lock:
+                self._jobs[job.id] = job
+            self._incr("service.jobs.cache_hits")
+            return job
+
+        job, created = self.cache.admit(key, lambda: self._make_job(task))
+        if not created:
+            # Single-flight: ride the identical in-flight job.
+            job.dedup_hits += 1
+            self._incr("service.jobs.deduped")
+            return job
+
+        try:
+            with self._cond:
+                if self._draining:
+                    raise ShuttingDownError(
+                        "prover service is draining; not accepting work"
+                    )
+                if len(self._queue) >= self.config.max_queued:
+                    self._incr("service.jobs.rejected")
+                    raise QueueFullError(
+                        f"queue full ({self.config.max_queued} waiting, "
+                        f"{self._running} in flight); retry later"
+                    )
+                self._jobs[job.id] = job
+                self._queue.append(job)
+                self._cond.notify()
+        except Exception:
+            # Never leave a refused job in the single-flight table — it
+            # would absorb (and starve) every future identical request.
+            self.cache.release(key)
+            raise
+        self._incr("service.jobs.admitted")
+        return job
+
+    def _make_job(self, task: TheoremTask) -> Job:
+        with self._lock:
+            self._seq += 1
+            return Job(f"job-{self._seq}", task)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._running
+
+    def stats(self) -> dict:
+        """Scheduler gauges for ``/metrics``."""
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state.value] = states.get(job.state.value, 0) + 1
+            return {
+                "queue_depth": len(self._queue),
+                "in_flight": self._running,
+                "max_queued": self.config.max_queued,
+                "workers": self.config.workers,
+                "draining": self._draining,
+                "jobs": states,
+            }
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue:
+                    if self._draining:
+                        return
+                    self._cond.wait(0.1)
+                job = self._queue.popleft()
+                self._running += 1
+                job.state = JobState.RUNNING
+                job.started_at = time.monotonic()
+            try:
+                self._run_job(job)
+            finally:
+                with self._cond:
+                    self._running -= 1
+                    self._cond.notify_all()
+
+    def _run_job(self, job: Job) -> None:
+        try:
+            generator = self.generator_for(job.task.model)
+            result = self.execute(job.task, generator)
+            self._finish(
+                job,
+                record=result.record,
+                metrics=getattr(result, "metrics", None),
+                publish=True,
+            )
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = JobState.FAILED
+            job.finished_at = time.monotonic()
+            self._incr("service.jobs.failed")
+            self.cache.release(job.key)
+            job.done.set()
+
+    def _finish(
+        self,
+        job: Job,
+        record: OutcomeRecord,
+        metrics: Optional[dict],
+        publish: bool,
+    ) -> None:
+        job.record = record
+        job.metrics = metrics
+        job.state = JobState.DONE
+        job.finished_at = time.monotonic()
+        if publish:
+            # Publish BEFORE releasing the single-flight key: a request
+            # landing in between sees the cached record, never a gap.
+            self.cache.put(job.task, record)
+            self.cache.release(job.key)
+            self._incr("service.jobs.completed")
+        job.done.set()
+
+    def _incr(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.incr(name)

@@ -1,0 +1,338 @@
+"""The prover service HTTP front end.
+
+A stdlib-only (``http.server.ThreadingHTTPServer``) long-lived server
+that multiplexes many concurrent proof searches over one model
+backend — the deployment shape the ROADMAP's "heavy traffic" north
+star implies, and the interface CoqPilot-style tooling would integrate
+against.
+
+Routes::
+
+    POST /prove            admit a proof job (theorem id or raw goal)
+    GET  /jobs/<id>        job status + result (+ ?wait=SECONDS long-poll)
+    GET  /healthz          liveness + uptime
+    GET  /metrics          JSON snapshot: eval Metrics + service gauges
+
+``POST /prove`` accepts every :class:`~repro.eval.tasks.TheoremTask`
+field (``theorem`` + ``model`` required, the rest default to the sweep
+defaults) or ``goal`` — a raw statement string registered as an ad-hoc
+theorem via :meth:`~repro.corpus.loader.Project.adhoc_theorem`.
+Responses: **202** with a job id (search admitted), **200** when the
+job completed instantly from the warm proof cache, **400** on a
+malformed request, **404** for an unknown theorem, **429** when
+admission control sheds the request, **503** while draining.
+
+The composition root is :class:`ProverService`: one
+:class:`~repro.eval.runner.Runner` shared by all worker threads, one
+:class:`~repro.service.batching.BatchingGenerator` per model (shared
+across jobs — that is where cross-search micro-batching happens), one
+:class:`~repro.service.proofcache.ProofCache`, one
+:class:`~repro.service.scheduler.Scheduler`.  Per-job, the runner
+still wraps the shared batcher in a fresh
+:class:`~repro.llm.resilient.ResilientGenerator`, so retries/breaker
+state stay task-local while dispatch is globally batched.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import CorpusError, GenerationError
+from repro.eval.config import ExperimentConfig
+from repro.eval.instrumentation import Metrics
+from repro.eval.runner import Runner
+from repro.eval.tasks import CACHE_KEY_VERSION, task_from_json
+from repro.llm import get_model
+from repro.service.batching import BatchingGenerator, BatchPolicy
+from repro.service.proofcache import ProofCache
+from repro.service.scheduler import (
+    QueueFullError,
+    Scheduler,
+    SchedulerConfig,
+    ShuttingDownError,
+)
+
+__all__ = ["ServerConfig", "ProverService", "serve_forever"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything the composition root needs."""
+
+    host: str = "127.0.0.1"
+    port: int = 8421
+    workers: int = 4  # concurrent searches
+    max_queued: int = 32  # admission bound beyond in-flight
+    batch_window: float = 0.01  # seconds a micro-batch may collect
+    max_batch_size: int = 8  # 1 disables batching
+    cache_path: Optional[str] = None  # JSONL proof cache (warm restart)
+    default_deadline: Optional[float] = None  # per-job wall clock
+    fast: bool = True  # trust corpus proofs at load (faster boot)
+    # Simulated per-dispatch endpoint overhead (seconds) — models the
+    # network round-trip a real API charges per request; batching
+    # amortizes it.  0 for pure in-process serving.
+    query_overhead: float = 0.0
+
+
+class ProverService:
+    """Composition root: runner + batchers + cache + scheduler."""
+
+    def __init__(
+        self, config: Optional[ServerConfig] = None, project=None
+    ) -> None:
+        from repro.corpus.loader import load_project
+
+        self.config = config or ServerConfig()
+        self.metrics = Metrics()
+        self.started_at = time.monotonic()
+        if project is None:
+            project = load_project(check_proofs=not self.config.fast)
+        self.runner = Runner(project, ExperimentConfig())
+        self.cache = ProofCache(self.config.cache_path, metrics=self.metrics)
+        self.scheduler = Scheduler(
+            execute=self._execute,
+            generator_for=self.generator_for,
+            cache=self.cache,
+            config=SchedulerConfig(
+                workers=self.config.workers,
+                max_queued=self.config.max_queued,
+                default_deadline=self.config.default_deadline,
+            ),
+            metrics=self.metrics,
+        )
+        self._batchers: Dict[str, BatchingGenerator] = {}
+        self._batcher_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _execute(self, task, generator):
+        result = self.runner.execute_task(task, model_override=generator)
+        self.metrics.merge(result.metrics)
+        return result
+
+    def generator_for(self, model_name: str) -> BatchingGenerator:
+        """The shared micro-batcher for ``model_name`` (built lazily)."""
+        with self._batcher_lock:
+            batcher = self._batchers.get(model_name)
+            if batcher is None:
+                base = get_model(model_name)
+                if self.config.query_overhead > 0:
+                    from repro.testing.latency import LatencyGenerator
+
+                    base = LatencyGenerator(
+                        base, self.config.query_overhead
+                    )
+                batcher = BatchingGenerator(
+                    base,
+                    BatchPolicy(
+                        batch_window=self.config.batch_window,
+                        max_batch_size=self.config.max_batch_size,
+                    ),
+                    metrics=self.metrics,
+                )
+                self._batchers[model_name] = batcher
+            return batcher
+
+    # ------------------------------------------------------------------
+    # Request handling (transport-independent; the HTTP handler and the
+    # in-process tests/loadgen call these directly)
+    # ------------------------------------------------------------------
+
+    def submit(self, body: dict) -> Tuple[int, dict]:
+        """Handle a ``POST /prove`` body: ``(http_status, payload)``."""
+        if not isinstance(body, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        body = dict(body)
+        goal = body.pop("goal", None)
+        if goal is not None:
+            if "theorem" in body:
+                return 400, {"error": "pass either 'theorem' or 'goal'"}
+            if not isinstance(goal, str) or not goal.strip():
+                return 400, {"error": "'goal' must be a statement string"}
+            try:
+                theorem = self.runner.project.adhoc_theorem(goal)
+            except Exception as exc:  # parse/elaboration errors
+                return 400, {
+                    "error": f"goal does not parse: {exc}",
+                }
+            body["theorem"] = theorem.name
+        try:
+            task = task_from_json(body)
+        except ValueError as exc:
+            return 400, {"error": str(exc)}
+        try:
+            get_model(task.model)
+        except GenerationError as exc:
+            return 400, {"error": str(exc)}
+        try:
+            self.runner.project.theorem(task.theorem)
+        except CorpusError as exc:
+            return 404, {"error": str(exc)}
+        try:
+            job = self.scheduler.submit(task)
+        except QueueFullError as exc:
+            return 429, {"error": str(exc)}
+        except ShuttingDownError as exc:
+            return 503, {"error": str(exc)}
+        payload = {
+            "job": job.id,
+            "state": job.state.value,
+            "key": job.key,
+            "cached": job.cached,
+        }
+        if job.finished():
+            payload.update(job.to_json())
+            return 200, payload
+        return 202, payload
+
+    def job_status(
+        self, job_id: str, wait: Optional[float] = None
+    ) -> Tuple[int, dict]:
+        """Handle ``GET /jobs/<id>`` (``wait`` = long-poll seconds)."""
+        job = self.scheduler.job(job_id)
+        if job is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        if wait is not None and not job.finished():
+            # Bounded long-poll: callers get an answer within the wait
+            # budget either way and poll again if still running.
+            job.done.wait(min(max(wait, 0.0), 60.0))
+        return 200, job.to_json()
+
+    def health(self) -> Tuple[int, dict]:
+        return 200, {
+            "status": "draining" if self.scheduler.stats()["draining"]
+            else "ok",
+            "uptime": time.monotonic() - self.started_at,
+            "cache_key_version": CACHE_KEY_VERSION,
+        }
+
+    def metrics_snapshot(self) -> Tuple[int, dict]:
+        """``GET /metrics``: eval metrics + service-level gauges."""
+        from repro.kernel import cache as kernel_cache
+
+        return 200, {
+            "service": {
+                "uptime": time.monotonic() - self.started_at,
+                "scheduler": self.scheduler.stats(),
+                "batchers": [
+                    b.stats() for b in self._batchers.values()
+                ],
+                "proof_cache": self.cache.stats(),
+                "kernel_cache_pins": kernel_cache.pin_count(),
+            },
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def close(self, timeout: Optional[float] = 30.0) -> bool:
+        """Graceful drain: finish admitted jobs, stop dispatchers."""
+        drained = self.scheduler.shutdown(timeout=timeout)
+        with self._batcher_lock:
+            for batcher in self._batchers.values():
+                batcher.close()
+        return drained
+
+    # ------------------------------------------------------------------
+    # HTTP transport
+    # ------------------------------------------------------------------
+
+    def make_http_server(self) -> ThreadingHTTPServer:
+        """Bind (but do not serve) the HTTP front end.
+
+        ``config.port=0`` binds an ephemeral port — read it back from
+        ``server.server_address`` (tests and the loadgen do).
+        """
+        service = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, fmt, *args):  # noqa: N802
+                pass  # quiet; service metrics carry the signal
+
+            def _send(self, status: int, payload: dict) -> None:
+                data = json.dumps(payload).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def do_GET(self):  # noqa: N802
+                parsed = urlparse(self.path)
+                path = parsed.path.rstrip("/") or "/"
+                if path == "/healthz":
+                    self._send(*service.health())
+                    return
+                if path == "/metrics":
+                    self._send(*service.metrics_snapshot())
+                    return
+                if path.startswith("/jobs/"):
+                    job_id = path[len("/jobs/"):]
+                    query = parse_qs(parsed.query)
+                    wait = None
+                    if "wait" in query:
+                        try:
+                            wait = float(query["wait"][0])
+                        except ValueError:
+                            self._send(
+                                400, {"error": "wait must be a number"}
+                            )
+                            return
+                    self._send(*service.job_status(job_id, wait=wait))
+                    return
+                self._send(404, {"error": f"no route {path!r}"})
+
+            def do_POST(self):  # noqa: N802
+                path = urlparse(self.path).path.rstrip("/")
+                if path != "/prove":
+                    self._send(404, {"error": f"no route {path!r}"})
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length", 0))
+                    body = json.loads(
+                        self.rfile.read(length).decode("utf-8") or "{}"
+                    )
+                except (ValueError, UnicodeDecodeError) as exc:
+                    self._send(400, {"error": f"bad JSON body: {exc}"})
+                    return
+                self._send(*service.submit(body))
+
+        server = ThreadingHTTPServer(
+            (self.config.host, self.config.port), Handler
+        )
+        server.daemon_threads = True
+        return server
+
+
+def serve_forever(config: ServerConfig) -> int:
+    """Boot the service and serve until interrupted (the CLI entry)."""
+    service = ProverService(config)
+    server = service.make_http_server()
+    from repro.llm import available_models
+
+    host, port = server.server_address[:2]
+    models = ", ".join(available_models())
+    print(
+        f"prover service on http://{host}:{port} "
+        f"(workers={config.workers}, batch_window={config.batch_window}s, "
+        f"max_batch={config.max_batch_size}, "
+        f"cache={config.cache_path or 'memory'})"
+    )
+    print(f"models: {models}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining...")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0

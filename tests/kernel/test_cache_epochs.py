@@ -1,0 +1,133 @@
+"""Cache pinning: ``clear_caches`` defers while a search holds a pin.
+
+The regression this pins down: under the thread backend (or the
+prover service), one task finishing used to call ``clear_caches`` and
+bump the intern epoch while another search was mid-flight, evicting
+its live memo entries and invalidating every ``_interned`` stamp it
+held.  With pinning, the clear is deferred (and coalesced) until the
+last concurrent search releases its pin; with no pins the behaviour
+is byte-for-byte the old serial one — an immediate clear.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.kernel import cache
+from repro.kernel.parser import parse_statement
+from repro.kernel.terms import intern
+
+
+class TestSerialSemantics:
+    def test_clear_is_immediate_without_pins(self):
+        before = cache.intern_epoch()
+        cache.clear_caches()
+        assert cache.intern_epoch() == before + 1
+        assert not cache.clear_pending()
+
+    def test_pin_count_is_zero_at_rest(self):
+        assert cache.pin_count() == 0
+
+
+class TestDeferredClear:
+    def test_clear_defers_until_the_pin_releases(self):
+        before = cache.intern_epoch()
+        with cache.pinned():
+            assert cache.pin_count() == 1
+            cache.clear_caches()
+            # Deferred: the epoch a pinned search relies on is intact.
+            assert cache.intern_epoch() == before
+            assert cache.clear_pending()
+        # The pending clear ran exactly once on release.
+        assert cache.intern_epoch() == before + 1
+        assert not cache.clear_pending()
+
+    def test_concurrent_clears_coalesce_into_one(self):
+        before = cache.intern_epoch()
+        with cache.pinned():
+            for _ in range(5):
+                cache.clear_caches()
+        assert cache.intern_epoch() == before + 1
+
+    def test_nested_pins_defer_until_the_last_release(self):
+        before = cache.intern_epoch()
+        with cache.pinned():
+            with cache.pinned():
+                cache.clear_caches()
+                assert cache.pin_count() == 2
+            # Inner released; the outer pin still guards the epoch.
+            assert cache.intern_epoch() == before
+            assert cache.clear_pending()
+        assert cache.intern_epoch() == before + 1
+
+    def test_no_spurious_clear_without_a_request(self):
+        before = cache.intern_epoch()
+        with cache.pinned():
+            pass
+        assert cache.intern_epoch() == before
+
+
+class TestInterleavedSearches:
+    def test_interned_terms_survive_a_concurrent_tasks_clear(self, env):
+        """Two interleaved searches: task B finishing (clear_caches)
+        must not invalidate task A's live interned terms."""
+        cache.clear_caches()  # fresh epoch for the scenario
+        with cache.pinned():  # task A mid-search
+            term = intern(parse_statement(env, "forall n : nat, n + 0 = n"))
+            epoch = cache.intern_epoch()
+            assert term.__dict__.get("_interned") == epoch
+
+            # Task B finishes on another thread and issues its
+            # per-task clear.
+            other = threading.Thread(target=cache.clear_caches)
+            other.start()
+            other.join()
+
+            # Task A's world is untouched: same epoch, stamp valid,
+            # and re-interning is the identity (no wholesale rebuild).
+            assert cache.intern_epoch() == epoch
+            assert term.__dict__.get("_interned") == epoch
+            assert intern(term) is term
+        # Only after A releases does B's deferred clear land.
+        assert cache.intern_epoch() == epoch + 1
+        assert term.__dict__.get("_interned") != cache.intern_epoch()
+
+    def test_runner_pins_the_whole_task(self, project):
+        """The eval runner holds a pin for the duration of a task, so
+        a concurrent clear cannot land mid-search."""
+        from repro.eval.config import ExperimentConfig
+        from repro.eval.runner import Runner
+        from repro.eval.tasks import TheoremTask
+
+        pin_seen = []
+        original = cache.pinned
+
+        runner = Runner(project, ExperimentConfig())
+        task = TheoremTask(
+            theorem=min(
+                project.theorems, key=lambda t: t.proof_tokens
+            ).name,
+            model="gpt-4o-mini",
+            hinted=False,
+            fuel=4,
+        )
+
+        class SpyPinned:
+            def __enter__(self):
+                self._ctx = original()
+                self._ctx.__enter__()
+                pin_seen.append(cache.pin_count())
+                return self
+
+            def __exit__(self, *exc):
+                return self._ctx.__exit__(*exc)
+
+        # execute_task imports the cache module locally, so patching
+        # the module attribute is seen at call time.
+        saved = cache.pinned
+        cache.pinned = SpyPinned
+        try:
+            runner.execute_task(task)
+        finally:
+            cache.pinned = saved
+        assert pin_seen and pin_seen[0] >= 1

@@ -1,0 +1,231 @@
+"""Scheduler: admission control, single-flight, drain, deadlines.
+
+Most tests inject stub ``execute`` functions (an Event-gated search
+stand-in) so the concurrency logic is exercised without real proof
+searches; the deadline test runs a real search against the corpus.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.eval.store import OutcomeRecord
+from repro.eval.tasks import TheoremTask
+from repro.service.proofcache import ProofCache
+from repro.service.scheduler import (
+    JobState,
+    QueueFullError,
+    Scheduler,
+    SchedulerConfig,
+    ShuttingDownError,
+)
+
+
+def make_task(theorem="rev_involutive", **kwargs):
+    kwargs.setdefault("model", "gpt-4o-mini")
+    kwargs.setdefault("hinted", False)
+    return TheoremTask(theorem=theorem, **kwargs)
+
+
+def make_result(task, status="proved"):
+    return SimpleNamespace(
+        record=OutcomeRecord(
+            theorem=task.theorem,
+            model=task.model,
+            hinted=task.hinted,
+            status=status,
+            queries=2,
+        ),
+        metrics=None,
+    )
+
+
+class GatedExecute:
+    """A search stand-in that blocks until the test opens the gate."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.started = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, task, generator):
+        with self._lock:
+            self.calls += 1
+        self.started.set()
+        assert self.gate.wait(10.0), "test never opened the gate"
+        return make_result(task)
+
+
+def make_scheduler(execute, **config_kwargs):
+    config_kwargs.setdefault("workers", 1)
+    config_kwargs.setdefault("max_queued", 4)
+    return Scheduler(
+        execute=execute,
+        generator_for=lambda model: None,
+        cache=ProofCache(),
+        config=SchedulerConfig(**config_kwargs),
+    )
+
+
+class TestLifecycle:
+    def test_submit_run_complete(self):
+        scheduler = make_scheduler(lambda task, gen: make_result(task))
+        job = scheduler.submit(make_task())
+        assert job.done.wait(10.0)
+        assert job.state is JobState.DONE
+        assert job.record.status == "proved"
+        assert scheduler.shutdown(timeout=10.0)
+
+    def test_completed_result_serves_future_requests_from_cache(self):
+        execute = GatedExecute()
+        execute.gate.set()
+        scheduler = make_scheduler(execute)
+        task = make_task()
+        first = scheduler.submit(task)
+        assert first.done.wait(10.0)
+        second = scheduler.submit(task)
+        # Instant completion from the shared cache: no second search.
+        assert second.finished() and second.cached
+        assert second.record == first.record
+        assert execute.calls == 1
+        assert scheduler.shutdown(timeout=10.0)
+
+    def test_failed_job_reports_error_and_frees_the_key(self):
+        def explode(task, gen):
+            raise ValueError("kernel said no")
+
+        scheduler = make_scheduler(explode)
+        task = make_task()
+        job = scheduler.submit(task)
+        assert job.done.wait(10.0)
+        assert job.state is JobState.FAILED
+        assert "kernel said no" in job.error
+        assert scheduler.cache.inflight_count() == 0
+        # A failure is not cached: the next submit runs a fresh search.
+        retry = scheduler.submit(task)
+        assert retry is not job
+        assert retry.done.wait(10.0)
+        assert scheduler.shutdown(timeout=10.0)
+
+
+class TestAdmissionControl:
+    def test_overflow_raises_queue_full(self):
+        execute = GatedExecute()
+        scheduler = make_scheduler(execute, workers=1, max_queued=1)
+        running = scheduler.submit(make_task(theorem="a", fuel=1))
+        assert execute.started.wait(10.0)  # worker occupied
+        queued = scheduler.submit(make_task(theorem="b", fuel=2))
+        with pytest.raises(QueueFullError):
+            scheduler.submit(make_task(theorem="c", fuel=3))
+        # The refused task must not linger in the single-flight table —
+        # a retry after the queue empties must be admittable.
+        assert scheduler.cache.inflight_count() == 2
+        execute.gate.set()
+        for job in (running, queued):
+            assert job.done.wait(10.0)
+        retry = scheduler.submit(make_task(theorem="c", fuel=3))
+        assert retry.done.wait(10.0)
+        assert scheduler.shutdown(timeout=10.0)
+
+    def test_draining_scheduler_refuses_then_finishes(self):
+        execute = GatedExecute()
+        scheduler = make_scheduler(execute)
+        job = scheduler.submit(make_task(theorem="a"))
+        assert execute.started.wait(10.0)
+
+        drained = []
+        waiter = threading.Thread(
+            target=lambda: drained.append(scheduler.shutdown(timeout=20.0))
+        )
+        waiter.start()
+        for _ in range(200):
+            if scheduler.stats()["draining"]:
+                break
+            time.sleep(0.005)
+        with pytest.raises(ShuttingDownError):
+            scheduler.submit(make_task(theorem="b"))
+        # Graceful drain: the admitted job still completes.
+        execute.gate.set()
+        waiter.join(20.0)
+        assert drained == [True]
+        assert job.state is JobState.DONE
+
+
+class TestSingleFlight:
+    def test_identical_submits_share_one_search(self):
+        execute = GatedExecute()
+        scheduler = make_scheduler(execute, workers=2)
+        task = make_task()
+        leader = scheduler.submit(task)
+        assert execute.started.wait(10.0)
+        follower = scheduler.submit(task)
+        assert follower is leader
+        assert leader.dedup_hits == 1
+        execute.gate.set()
+        assert leader.done.wait(10.0)
+        # One search served both callers.
+        assert execute.calls == 1
+        assert scheduler.shutdown(timeout=10.0)
+
+    def test_different_cells_do_not_coalesce(self):
+        execute = GatedExecute()
+        execute.gate.set()
+        scheduler = make_scheduler(execute, workers=2)
+        a = scheduler.submit(make_task(fuel=8))
+        b = scheduler.submit(make_task(fuel=16))
+        assert a is not b
+        for job in (a, b):
+            assert job.done.wait(10.0)
+        assert execute.calls == 2
+        assert scheduler.shutdown(timeout=10.0)
+
+
+class TestDeadlines:
+    def test_default_deadline_folds_into_task_and_key(self):
+        scheduler = make_scheduler(
+            lambda task, gen: make_result(task), default_deadline=5.0
+        )
+        job = scheduler.submit(make_task())
+        assert job.task.theorem_deadline == 5.0
+        # Deadline participates in the cache key: a bounded cell never
+        # aliases the unbounded one.
+        assert job.key != make_task().cache_key()
+        assert job.key == make_task(theorem_deadline=5.0).cache_key()
+        assert job.done.wait(10.0)
+        assert scheduler.shutdown(timeout=10.0)
+
+    def test_task_deadline_wins_over_the_default(self):
+        scheduler = make_scheduler(
+            lambda task, gen: make_result(task), default_deadline=5.0
+        )
+        job = scheduler.submit(make_task(theorem_deadline=2.0))
+        assert job.task.theorem_deadline == 2.0
+        assert job.done.wait(10.0)
+        assert scheduler.shutdown(timeout=10.0)
+
+    def test_deadline_yields_a_clean_timeout_record(self, project):
+        """A real search under a tiny budget ends as TIMEOUT — an
+        outcome, not an exception."""
+        from repro.eval.config import ExperimentConfig
+        from repro.eval.runner import Runner
+
+        runner = Runner(project, ExperimentConfig())
+        hard = max(project.theorems, key=lambda t: t.proof_tokens)
+        scheduler = Scheduler(
+            execute=lambda task, gen: runner.execute_task(task),
+            generator_for=lambda model: None,
+            cache=ProofCache(),
+            config=SchedulerConfig(workers=1, default_deadline=0.001),
+        )
+        job = scheduler.submit(
+            make_task(theorem=hard.name, fuel=4096, model="gpt-4o-mini")
+        )
+        assert job.done.wait(60.0)
+        assert job.state is JobState.DONE
+        assert job.record.status == "timeout"
+        assert scheduler.shutdown(timeout=10.0)

@@ -1,0 +1,269 @@
+"""Prover service end-to-end over real HTTP.
+
+Includes the PR's acceptance differential: for the same task, the
+record produced (a) solo by the evaluation runner, (b) by the service
+under concurrent micro-batched load, and (c) by a warm-cache replay
+must be byte-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.eval.config import ExperimentConfig
+from repro.eval.runner import Runner
+from repro.eval.tasks import CACHE_KEY_VERSION, TheoremTask
+from repro.service import (
+    ProverClient,
+    ProverServiceError,
+    ProverService,
+    QueueFullError,
+    ServerConfig,
+    ShuttingDownError,
+)
+
+FUEL = 12  # small budgets keep the e2e searches quick
+
+
+def boot(project, **overrides):
+    overrides.setdefault("port", 0)
+    overrides.setdefault("workers", 4)
+    overrides.setdefault("batch_window", 0.005)
+    overrides.setdefault("max_batch_size", 4)
+    service = ProverService(ServerConfig(**overrides), project=project)
+    httpd = service.make_http_server()
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    client = ProverClient(f"http://{host}:{port}", timeout=60.0)
+    return service, httpd, client
+
+
+def shut(service, httpd):
+    httpd.shutdown()
+    httpd.server_close()
+    assert service.close(timeout=30.0)
+
+
+@pytest.fixture()
+def served(project):
+    service, httpd, client = boot(project)
+    yield service, client
+    shut(service, httpd)
+
+
+class TestRoutes:
+    def test_healthz(self, served):
+        _, client = served
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["cache_key_version"] == CACHE_KEY_VERSION
+        assert health["uptime"] >= 0
+
+    def test_metrics_exposes_service_gauges(self, served):
+        _, client = served
+        snapshot = client.metrics()
+        service_block = snapshot["service"]
+        assert "queue_depth" in service_block["scheduler"]
+        assert "in_flight" in service_block["scheduler"]
+        assert service_block["proof_cache"]["persistent"] is False
+        assert "kernel_cache_pins" in service_block
+        assert "metrics" in snapshot
+
+    def test_unknown_route_is_404(self, served):
+        _, client = served
+        with pytest.raises(ProverServiceError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_theorem_is_404(self, served):
+        _, client = served
+        with pytest.raises(ProverServiceError) as excinfo:
+            client.prove(theorem="no_such_lemma", model="gpt-4o")
+        assert excinfo.value.status == 404
+
+    def test_unknown_model_is_400(self, served):
+        _, client = served
+        with pytest.raises(ProverServiceError) as excinfo:
+            client.prove(theorem="rev_involutive", model="gpt-5-turbo")
+        assert excinfo.value.status == 400
+
+    def test_unknown_task_field_is_400(self, served):
+        _, client = served
+        with pytest.raises(ProverServiceError) as excinfo:
+            client.prove(
+                theorem="rev_involutive", model="gpt-4o", fule=9
+            )
+        assert excinfo.value.status == 400
+        assert "fule" in excinfo.value.payload["error"]
+
+    def test_unknown_job_is_404(self, served):
+        _, client = served
+        with pytest.raises(ProverServiceError) as excinfo:
+            client.job("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_raw_goal_is_registered_and_proved(self, served):
+        _, client = served
+        status = client.prove_and_wait(
+            goal="forall n : nat, n = n",
+            model="gpt-4o",
+            fuel=FUEL,
+            timeout=60.0,
+        )
+        assert status["state"] == "done"
+        assert status["task"]["theorem"].startswith("goal_")
+        assert status["record"]["status"] == "proved"
+
+    def test_goal_that_does_not_parse_is_400(self, served):
+        _, client = served
+        with pytest.raises(ProverServiceError) as excinfo:
+            client.prove(goal="forall ) mangled (", model="gpt-4o")
+        assert excinfo.value.status == 400
+
+    def test_goal_and_theorem_together_is_400(self, served):
+        _, client = served
+        with pytest.raises(ProverServiceError) as excinfo:
+            client.prove(
+                goal="forall n : nat, n = n",
+                theorem="rev_involutive",
+                model="gpt-4o",
+            )
+        assert excinfo.value.status == 400
+
+
+class TestErrorMapping:
+    """Scheduler refusals map to backpressure status codes."""
+
+    def test_queue_full_maps_to_429(self, project, monkeypatch):
+        service = ProverService(ServerConfig(port=0), project=project)
+
+        def full(task):
+            raise QueueFullError("queue full")
+
+        monkeypatch.setattr(service.scheduler, "submit", full)
+        status, payload = service.submit(
+            {"theorem": "rev_involutive", "model": "gpt-4o"}
+        )
+        assert status == 429
+        service.close(timeout=10.0)
+
+    def test_draining_maps_to_503(self, project, monkeypatch):
+        service = ProverService(ServerConfig(port=0), project=project)
+
+        def draining(task):
+            raise ShuttingDownError("draining")
+
+        monkeypatch.setattr(service.scheduler, "submit", draining)
+        status, payload = service.submit(
+            {"theorem": "rev_involutive", "model": "gpt-4o"}
+        )
+        assert status == 503
+        service.close(timeout=10.0)
+
+
+class TestDeadline:
+    def test_default_deadline_yields_clean_timeout_over_http(self, project):
+        service, httpd, client = boot(project, default_deadline=0.001)
+        try:
+            hard = max(project.theorems, key=lambda t: t.proof_tokens)
+            status = client.prove_and_wait(
+                theorem=hard.name,
+                model="gpt-4o-mini",
+                fuel=4096,
+                timeout=120.0,
+            )
+            assert status["state"] == "done"
+            assert status["record"]["status"] == "timeout"
+        finally:
+            shut(service, httpd)
+
+
+class TestWarmCache:
+    def test_persistent_cache_survives_a_restart(self, project, tmp_path):
+        path = str(tmp_path / "service-cache.jsonl")
+        body = {"theorem": "rev_involutive", "model": "gpt-4o", "fuel": FUEL}
+
+        service, httpd, client = boot(project, cache_path=path, workers=2)
+        try:
+            first = client.prove_and_wait(timeout=120.0, **body)
+            assert first["state"] == "done"
+        finally:
+            shut(service, httpd)
+
+        # A fresh process-equivalent: new service, same cache file.
+        warm, httpd, client = boot(project, cache_path=path, workers=2)
+        try:
+            replay = client.prove(**body)
+            assert replay["state"] == "done"
+            assert replay["cached"] is True
+            assert replay["record"] == first["record"]
+        finally:
+            shut(warm, httpd)
+
+
+class TestAcceptanceDifferential:
+    def test_solo_batched_and_warm_records_are_identical(self, project):
+        """The PR's end-to-end determinism gate: same (theorem, model,
+        params, CACHE_KEY_VERSION) ⇒ same record — solo runner,
+        concurrent batched service, warm-cache replay."""
+        ranked = sorted(project.theorems, key=lambda t: t.proof_tokens)
+        picks = [ranked[0], ranked[len(ranked) // 2], ranked[-1]]
+        bodies = [
+            {
+                "theorem": theorem.name,
+                "model": model,
+                "hinted": hinted,
+                "fuel": FUEL,
+            }
+            for theorem in picks
+            for model, hinted in (("gpt-4o", False), ("gpt-4o-mini", True))
+        ]
+
+        # (a) solo reference: the evaluation runner, no service stack.
+        runner = Runner(project, ExperimentConfig())
+        solo = {}
+        for body in bodies:
+            task = TheoremTask(
+                theorem=body["theorem"],
+                model=body["model"],
+                hinted=body["hinted"],
+                fuel=body["fuel"],
+            )
+            solo[task.cache_key()] = runner.execute_task(task).record.to_json()
+
+        # (b) the same cells, concurrently, through HTTP + micro-batching.
+        service, httpd, client = boot(project, workers=len(bodies))
+        try:
+            results = [None] * len(bodies)
+
+            def drive(index):
+                results[index] = client.prove_and_wait(
+                    timeout=180.0, **bodies[index]
+                )
+
+            threads = [
+                threading.Thread(target=drive, args=(i,))
+                for i in range(len(bodies))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            for status in results:
+                assert status is not None and status["state"] == "done"
+                assert status["record"] == solo[status["key"]]
+
+            # (c) warm replay: identical record, served from cache.
+            replay = client.prove(**bodies[0])
+            assert replay["state"] == "done" and replay["cached"] is True
+            assert replay["record"] == solo[replay["key"]]
+
+            # Micro-batching actually engaged under the concurrent load.
+            batchers = client.metrics()["service"]["batchers"]
+            assert sum(b["queries"] for b in batchers) > 0
+        finally:
+            shut(service, httpd)
