@@ -1,4 +1,4 @@
-"""Ablations of the search design choices (DESIGN.md §7).
+"""Ablations of the search design choices (DESIGN.md §8).
 
 * frontier discipline: best-first vs depth-first vs breadth-first;
 * search width: 1 / 4 / 8;
@@ -135,7 +135,7 @@ def test_ablation_engines(benchmark, project):
 
 
 def test_ablation_hint_fraction(benchmark, project):
-    """Hint fraction 0 / 25 / 50 / 100 % (DESIGN.md §7)."""
+    """Hint fraction 0 / 25 / 50 / 100 % (DESIGN.md §8)."""
     from repro.eval import ExperimentConfig, Runner, overall_coverage
 
     def run():

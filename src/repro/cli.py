@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli eval --model gpt-4o-mini --n 12
     python -m repro.cli eval --model gpt-4o-mini --jobs 4 --store runs/eval.jsonl
     python -m repro.cli server --port 8421 --cache runs/service.jsonl
+    python -m repro.cli prove rev_involutive --trace runs/trace.jsonl
+    python -m repro.cli trace runs/trace.jsonl --summary
     python -m repro.cli serve          # SerAPI-like REPL over stdin
 """
 
@@ -49,11 +51,13 @@ def _cmd_show(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    started = time.time()
+    # monotonic: a wall-clock (time.time) delta goes negative or wild
+    # when NTP steps the clock mid-check.
+    started = time.monotonic()
     project = load_project(use_cache=False)
     print(
         f"all {len(project.theorems)} corpus proofs machine-checked in "
-        f"{time.time() - started:.1f}s"
+        f"{time.monotonic() - started:.1f}s"
     )
     return 0
 
@@ -68,13 +72,19 @@ def _cmd_prove(args) -> int:
         width=args.width,
         fuel=args.fuel,
         theorem_deadline=args.theorem_deadline,
+        trace=bool(args.trace),
     )
     runner = Runner(project, config)
     task = TheoremTask.from_config(args.name, args.model, args.hints, config)
-    started = time.time()
+    started = time.monotonic()
     task_result = runner.execute_task(task)
-    elapsed = time.time() - started
+    elapsed = time.monotonic() - started
     record = task_result.record
+    if args.trace and task_result.trace:
+        from repro.obs import JsonlSink
+
+        written = JsonlSink(args.trace).write(task_result.trace)
+        print(f"trace: {written} spans -> {args.trace}")
     runner.metrics.merge(task_result.metrics)
     rejected = runner.metrics.counter("verdict.rejected")
     duplicates = runner.metrics.counter("verdict.duplicate")
@@ -112,14 +122,26 @@ def _cmd_eval(args) -> int:
             theorem_deadline=args.theorem_deadline,
             task_retries=args.task_retries,
             faults=args.faults,
+            trace=bool(args.trace),
         ),
     )
     if runner.fault_plan is not None:
         print(f"chaos: {runner.fault_plan.describe()}")
     store = RunStore(args.store) if args.store else None
+    trace_sink = None
+    if args.trace:
+        from repro.obs import JsonlSink
+
+        trace_sink = JsonlSink(args.trace)
     for hinted in (False, True):
         row = outcome_row(
-            runner.run(args.model, hinted, store=store, fresh=args.fresh)
+            runner.run(
+                args.model,
+                hinted,
+                store=store,
+                fresh=args.fresh,
+                trace_sink=trace_sink,
+            )
         )
         tag = "hints  " if hinted else "vanilla"
         print(
@@ -143,6 +165,8 @@ def _cmd_eval(args) -> int:
         runner.metrics.dump(store.metrics_path())
         print(f"run store: {store.path} ({len(store)} records); "
               f"metrics: {store.metrics_path()}")
+    if trace_sink is not None:
+        print(f"trace: {trace_sink.spans_written} spans -> {args.trace}")
     if args.metrics:
         print()
         print(render_metrics(runner.metrics.snapshot()))
@@ -164,8 +188,36 @@ def _cmd_server(args) -> int:
             default_deadline=args.deadline,
             fast=args.fast,
             query_overhead=args.query_overhead,
+            trace_path=args.trace,
         )
     )
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import group_traces, load_spans, render_summary, render_trace
+
+    spans = load_spans(args.path)
+    if not spans:
+        print(f"no spans in {args.path}")
+        return 1
+    traces = group_traces(spans)
+    selected = (
+        {t: s for t, s in traces.items() if t.startswith(args.trace_id)}
+        if args.trace_id
+        else traces
+    )
+    if not selected:
+        known = ", ".join(sorted(traces))
+        print(f"no trace matching {args.trace_id!r}; have: {known}")
+        return 1
+    for trace_id, trace_spans in sorted(selected.items()):
+        print(f"trace {trace_id}")
+        print(render_trace(trace_spans))
+        if args.summary:
+            print()
+            print(render_summary(trace_spans))
+        print()
+    return 0
 
 
 def _cmd_serve(args) -> int:
@@ -231,6 +283,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="SECONDS",
         help="per-theorem wall-clock budget (clean TIMEOUT outcome)",
     )
+    p_prove.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record the search as a span-tree JSONL (render: repro trace)",
+    )
     p_prove.set_defaults(fn=_cmd_prove)
 
     p_eval = sub.add_parser("eval", help="mini evaluation sweep")
@@ -286,6 +344,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="chaos fault-injection spec, e.g. "
         "'seed=7,transient=0.2,ratelimit=0.1' (env: REPRO_FAULTS)",
     )
+    p_eval.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record every searched cell as span-tree JSONL "
+        "(outcome records are unaffected; render: repro trace)",
+    )
     p_eval.set_defaults(fn=_cmd_eval)
 
     p_server = sub.add_parser(
@@ -338,7 +403,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="SECONDS",
         help="simulated per-dispatch endpoint latency (benchmarking)",
     )
+    p_server.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record every job's search as span-tree JSONL "
+        "(render: repro trace)",
+    )
     p_server.set_defaults(fn=_cmd_server)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="render a recorded span-tree JSONL as an annotated tree",
+    )
+    p_trace.add_argument("path", help="JSONL written by --trace")
+    p_trace.add_argument(
+        "--trace-id",
+        default=None,
+        metavar="PREFIX",
+        help="only render traces whose id starts with PREFIX",
+    )
+    p_trace.add_argument(
+        "--summary",
+        action="store_true",
+        help="append a per-stage self-time table to each trace",
+    )
+    p_trace.set_defaults(fn=_cmd_trace)
 
     p_serve = sub.add_parser(
         "serve",

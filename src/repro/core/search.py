@@ -30,6 +30,7 @@ from repro.errors import GenerationError
 from repro.kernel.goals import ProofState
 from repro.kernel.terms import Term
 from repro.llm.interface import TacticGenerator
+from repro.obs.trace import NULL_TRACER
 from repro.serapi.checker import ProofChecker, Verdict
 
 __all__ = ["SearchConfig", "BestFirstSearch"]
@@ -66,6 +67,7 @@ class BestFirstSearch:
         generate_fn: Optional[
             Callable[[str, int], Sequence["object"]]
         ] = None,
+        tracer=None,
     ) -> None:
         """``metrics`` is an optional duck-typed sink (an object with
         ``add_time(stage, seconds)``, e.g.
@@ -77,7 +79,10 @@ class BestFirstSearch:
         service layer injects a handle that routes through its shared
         micro-batcher, with identical semantics — the handle must obey
         the determinism contract of
-        :func:`repro.llm.interface.generate_batch`."""
+        :func:`repro.llm.interface.generate_batch`.  ``tracer`` is an
+        optional :class:`repro.obs.trace.Tracer` recording selection /
+        expansion spans; the default no-op tracer costs nothing and
+        leaves outcomes untouched."""
         if not getattr(generator, "provides_log_probs", False):
             raise GenerationError(
                 f"model {generator.name} provides no log-probabilities; "
@@ -89,6 +94,7 @@ class BestFirstSearch:
         self.metrics = metrics
         self.clock = clock
         self.generate = generate_fn or generator.generate
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def prove(
         self,
@@ -118,8 +124,21 @@ class BestFirstSearch:
         seen: Set = {root.key}
         stats.nodes_created = 1
 
+        tracer = self.tracer
+
         def finish(status: Status, tactics=None) -> SearchResult:
             stats.wall_seconds = self.clock() - started
+            if tracer.enabled:
+                search_span.set(
+                    status=status.value,
+                    queries=stats.queries,
+                    fuel=config.fuel,
+                    nodes_created=stats.nodes_created,
+                    nodes_expanded=stats.nodes_expanded,
+                    rejected=stats.rejected,
+                    duplicates=stats.duplicates,
+                    timeouts=stats.timeouts,
+                )
             return SearchResult(
                 status=status,
                 theorem_name=theorem_name,
@@ -128,85 +147,114 @@ class BestFirstSearch:
             )
 
         metrics = self.metrics
-        while True:
-            # The per-theorem deadline is polled once per expansion —
-            # individual tactics are already bounded by the 5 s tactic
-            # deadline, so one check per model query caps the overrun
-            # at a single expansion's work.
-            if deadline is not None and deadline.expired():
-                return finish(Status.TIMEOUT)
-            # Fuel is checked *before* popping: on FUELOUT the next
-            # node stays in the frontier, so the frontier is a faithful
-            # picture of the unexpanded tree for resume/diagnostics.
-            if stats.queries >= config.fuel:
-                return finish(Status.FUELOUT)
-            node = frontier.pop()
-            if node is None:
-                return finish(Status.STUCK)
-
-            # Expansion: one model query.
-            t0 = self.clock()
-            prompt = prompt_fn(node.state, node.tactics_from_root())
-            if metrics is not None:
-                metrics.add_time("prompt_build", self.clock() - t0)
-            stats.queries += 1
-            t0 = self.clock()
-            candidates = self.generate(prompt, config.width)
-            if metrics is not None:
-                metrics.add_time("generation", self.clock() - t0)
-            node.expanded = True
-            stats.nodes_expanded += 1
-
-            event = None
-            if transcript is not None:
-                event = ExpansionEvent(
-                    node_depth=node.depth,
-                    node_score=node.cum_log_prob,
-                    goal_preview=node.state.render()[:200],
-                )
-
-            for candidate in candidates:
-                stats.candidates += 1
-                check = self.checker.check(
-                    node.state,
-                    candidate.tactic,
-                    seen_keys=seen if config.dedup_states else None,
-                )
-                if event is not None:
-                    event.candidates.append(
-                        CandidateEvent(
-                            tactic=candidate.tactic,
-                            log_prob=candidate.log_prob,
-                            verdict=check.verdict.value,
-                            message=check.message,
+        with tracer.span("search", theorem=theorem_name) as search_span:
+            while True:
+                # The per-theorem deadline is polled once per expansion
+                # — individual tactics are already bounded by the 5 s
+                # tactic deadline, so one check per model query caps
+                # the overrun at a single expansion's work.
+                if deadline is not None and deadline.expired():
+                    return finish(Status.TIMEOUT)
+                # Fuel is checked *before* popping: on FUELOUT the next
+                # node stays in the frontier, so the frontier is a
+                # faithful picture of the unexpanded tree for
+                # resume/diagnostics.
+                if stats.queries >= config.fuel:
+                    return finish(Status.FUELOUT)
+                with tracer.span("select") as select_span:
+                    node = frontier.pop()
+                    if tracer.enabled and node is not None:
+                        select_span.set(
+                            depth=node.depth,
+                            score=round(node.cum_log_prob, 6),
                         )
-                    )
-                if check.verdict is Verdict.REJECTED:
-                    stats.rejected += 1
-                    continue
-                if check.verdict is Verdict.DUPLICATE:
-                    stats.duplicates += 1
-                    continue
-                if check.verdict is Verdict.TIMEOUT:
-                    stats.timeouts += 1
-                    continue
-                assert check.state is not None
-                child = Node(
-                    state=check.state,
-                    key=self.checker.state_key(check.state),
-                    cum_log_prob=node.cum_log_prob + candidate.log_prob,
-                    depth=node.depth + 1,
-                    parent=node,
-                    tactic=candidate.tactic,
-                )
-                seen.add(child.key)
-                stats.nodes_created += 1
-                if check.state.is_complete():
-                    if transcript is not None and event is not None:
-                        transcript.record(event)
-                    return finish(Status.PROVED, child.tactics_from_root())
-                if child.depth < config.max_depth:
-                    frontier.push(child)
+                if node is None:
+                    return finish(Status.STUCK)
 
-            if transcript is not None and event is not None:
-                transcript.record(event)
+                # Expansion: one model query.
+                with tracer.span("expand") as expand_span:
+                    if tracer.enabled:
+                        # Whitespace-collapsed so the one-line preview
+                        # renders cleanly in the trace tree.
+                        goal = " ".join(node.state.render().split())
+                        expand_span.set(
+                            query=stats.queries + 1,
+                            fuel=config.fuel,
+                            depth=node.depth,
+                            score=round(node.cum_log_prob, 6),
+                            goal=goal[:160],
+                        )
+                    t0 = self.clock()
+                    with tracer.span("prompt_build"):
+                        prompt = prompt_fn(
+                            node.state, node.tactics_from_root()
+                        )
+                    if metrics is not None:
+                        metrics.add_time("prompt_build", self.clock() - t0)
+                    stats.queries += 1
+                    t0 = self.clock()
+                    with tracer.span("generation") as generation_span:
+                        candidates = self.generate(prompt, config.width)
+                        if tracer.enabled:
+                            generation_span.set(candidates=len(candidates))
+                    if metrics is not None:
+                        metrics.add_time("generation", self.clock() - t0)
+                    node.expanded = True
+                    stats.nodes_expanded += 1
+
+                    event = None
+                    if transcript is not None:
+                        event = ExpansionEvent(
+                            node_depth=node.depth,
+                            node_score=node.cum_log_prob,
+                            goal_preview=node.state.render()[:200],
+                        )
+
+                    for candidate in candidates:
+                        stats.candidates += 1
+                        check = self.checker.check(
+                            node.state,
+                            candidate.tactic,
+                            seen_keys=seen if config.dedup_states else None,
+                        )
+                        if event is not None:
+                            event.candidates.append(
+                                CandidateEvent(
+                                    tactic=candidate.tactic,
+                                    log_prob=candidate.log_prob,
+                                    verdict=check.verdict.value,
+                                    message=check.message,
+                                )
+                            )
+                        if check.verdict is Verdict.REJECTED:
+                            stats.rejected += 1
+                            continue
+                        if check.verdict is Verdict.DUPLICATE:
+                            stats.duplicates += 1
+                            continue
+                        if check.verdict is Verdict.TIMEOUT:
+                            stats.timeouts += 1
+                            continue
+                        assert check.state is not None
+                        child = Node(
+                            state=check.state,
+                            key=self.checker.state_key(check.state),
+                            cum_log_prob=node.cum_log_prob
+                            + candidate.log_prob,
+                            depth=node.depth + 1,
+                            parent=node,
+                            tactic=candidate.tactic,
+                        )
+                        seen.add(child.key)
+                        stats.nodes_created += 1
+                        if check.state.is_complete():
+                            if transcript is not None and event is not None:
+                                transcript.record(event)
+                            return finish(
+                                Status.PROVED, child.tactics_from_root()
+                            )
+                        if child.depth < config.max_depth:
+                            frontier.push(child)
+
+                if transcript is not None and event is not None:
+                    transcript.record(event)

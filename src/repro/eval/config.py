@@ -43,3 +43,8 @@ class ExperimentConfig:
     fallback_model: Optional[str] = None  # degradation target when the
     # primary's circuit breaker opens / retries are exhausted
     resilient: bool = True  # wrap models in ResilientGenerator
+    # Observability (repro.obs): when True, every executed task records
+    # a span tree (search/expand/tactic spans) shipped back on its
+    # TaskResult.  Deliberately NOT part of TheoremTask.cache_key() —
+    # tracing must never change an outcome record.
+    trace: bool = False

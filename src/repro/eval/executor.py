@@ -71,10 +71,18 @@ _KILLED_EXIT_CODE = 87
 
 @dataclass(frozen=True)
 class TaskResult:
-    """One executed task: the deterministic record + a metrics snapshot."""
+    """One executed task: the deterministic record + a metrics snapshot.
+
+    ``trace`` carries the task's recorded span tree (plain JSON-able
+    dicts from :meth:`repro.obs.trace.Tracer.export`) when the sweep
+    runs with ``ExperimentConfig.trace`` — picklable, so process-pool
+    workers ship their traces back over the pipe for the parent to
+    append to the sweep's trace sink.  ``None`` when tracing is off.
+    """
 
     record: OutcomeRecord
     metrics: Optional[dict] = None
+    trace: Optional[list] = None
 
 
 def crash_result(task: TheoremTask, deaths: int) -> TaskResult:

@@ -42,6 +42,7 @@ from repro.eval.store import OutcomeRecord, RunStore
 from repro.eval.tasks import TheoremTask, sweep_tasks
 from repro.llm import get_model
 from repro.llm.resilient import ResilientGenerator
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.prompting import PromptBuilder
 from repro.serapi import ProofChecker
 from repro.tactics.script import run_script
@@ -194,6 +195,7 @@ class Runner:
         model_override=None,
         search_config=None,
         metrics: Optional[Metrics] = None,
+        tracer=None,
     ) -> TheoremOutcome:
         model = model_override if model_override is not None else get_model(
             model_name
@@ -207,11 +209,13 @@ class Runner:
             dedup_states=self.config.dedup_states,
             theorem_deadline=getattr(self.config, "theorem_deadline", None),
         )
+        tracer = tracer if tracer is not None else NULL_TRACER
         env = self.project.env_for(theorem)
         checker = ProofChecker(
             env,
             tactic_timeout=search_config.tactic_timeout,
             metrics=metrics,
+            tracer=tracer,
         )
         builder = PromptBuilder(
             self.project,
@@ -220,7 +224,9 @@ class Runner:
             window_tokens=model.context_window,
             reduced_dependencies=reduced_dependencies,
         )
-        search = BestFirstSearch(checker, model, search_config, metrics=metrics)
+        search = BestFirstSearch(
+            checker, model, search_config, metrics=metrics, tracer=tracer
+        )
         result = search.prove(theorem.name, theorem.statement, builder.build)
         outcome = TheoremOutcome(
             theorem=theorem,
@@ -233,12 +239,15 @@ class Runner:
             proof_text = result.proof_text()
             outcome.generated_proof = proof_text
             started = time.monotonic()
-            try:
-                # Qed: replay the full script from scratch.
-                run_script(env, theorem.statement, proof_text)
-                outcome.revalidated = True
-            except ReproError:
-                outcome.revalidated = False
+            with tracer.span("qed_replay") as replay_span:
+                try:
+                    # Qed: replay the full script from scratch.
+                    run_script(env, theorem.statement, proof_text)
+                    outcome.revalidated = True
+                except ReproError:
+                    outcome.revalidated = False
+                if tracer.enabled:
+                    replay_span.set(revalidated=outcome.revalidated)
             if metrics is not None:
                 metrics.add_time("qed_replay", time.monotonic() - started)
             outcome.similarity = normalized_similarity(
@@ -249,7 +258,7 @@ class Runner:
         return outcome
 
     def execute_task(
-        self, task: TheoremTask, model_override=None
+        self, task: TheoremTask, model_override=None, tracer=None
     ) -> TaskResult:
         """Run one task and return its (record, metrics) pair.
 
@@ -260,48 +269,82 @@ class Runner:
         micro-batcher); the fault-tolerance stack still wraps it per
         task.
 
+        Tracing: an explicit ``tracer`` (the prover service passes its
+        per-job one) is used as-is; otherwise, when
+        ``ExperimentConfig.trace`` is set, the task records into a
+        fresh tracer whose spans ride back on ``TaskResult.trace`` —
+        this is how process workers ship trace data to the sweep
+        parent.  With neither, the no-op tracer runs and the result is
+        byte-identical to an untraced execution.
+
         Kernel memo caches are cleared on entry (bounding their
         lifetime to one theorem search) and their hit/miss deltas ride
-        back on the task metrics as ``kernel.cache.<name>.*`` counters.
-        The search itself runs under a cache *pin*, so a concurrent
-        task's per-entry clear is deferred instead of evicting this
-        task's live interned terms (see :mod:`repro.kernel.cache`).
+        back on the task metrics as ``kernel.cache.<name>.*`` counters
+        (and, when tracing, as ``kernel_cache`` attributes on the task
+        span).  The search itself runs under a cache *pin*, so a
+        concurrent task's per-entry clear is deferred instead of
+        evicting this task's live interned terms (see
+        :mod:`repro.kernel.cache`).
         """
         from repro.kernel import cache as kernel_cache
+
+        own_tracer: Optional[Tracer] = None
+        if tracer is None and getattr(self.config, "trace", False):
+            own_tracer = Tracer(trace_id=task.cache_key()[:16])
+            tracer = own_tracer
+        tr = tracer if tracer is not None else NULL_TRACER
 
         kernel_cache.clear_caches()
         with kernel_cache.pinned():
             cache_before = kernel_cache.cache_stats()
             metrics = Metrics()
-            try:
-                outcome = self.run_theorem(
-                    self.project.theorem(task.theorem),
-                    task.model,
-                    task.hinted,
-                    reduced_dependencies=task.reduced_dependencies,
-                    model_override=model_override,
-                    search_config=task.search_config(),
-                    metrics=metrics,
-                )
-                record = record_from_outcome(outcome)
-            except ModelExhaustedError:
-                # The task's model failed permanently (retries exhausted
-                # or breaker open, no fallback).  Record the loss as
-                # CRASH so the sweep completes instead of aborting;
-                # queries=0 marks the cell as never meaningfully
-                # attempted.
-                metrics.incr("tasks.crashed")
-                record = OutcomeRecord(
-                    theorem=task.theorem,
-                    model=task.model,
-                    hinted=task.hinted,
-                    status=Status.CRASH.value,
-                    queries=0,
-                )
-            for name, cell in kernel_cache.stats_delta(cache_before).items():
+            with tr.span(
+                "task",
+                theorem=task.theorem,
+                model=task.model,
+                hinted=task.hinted,
+            ) as task_span:
+                try:
+                    outcome = self.run_theorem(
+                        self.project.theorem(task.theorem),
+                        task.model,
+                        task.hinted,
+                        reduced_dependencies=task.reduced_dependencies,
+                        model_override=model_override,
+                        search_config=task.search_config(),
+                        metrics=metrics,
+                        tracer=tracer,
+                    )
+                    record = record_from_outcome(outcome)
+                except ModelExhaustedError:
+                    # The task's model failed permanently (retries
+                    # exhausted or breaker open, no fallback).  Record
+                    # the loss as CRASH so the sweep completes instead
+                    # of aborting; queries=0 marks the cell as never
+                    # meaningfully attempted.
+                    metrics.incr("tasks.crashed")
+                    record = OutcomeRecord(
+                        theorem=task.theorem,
+                        model=task.model,
+                        hinted=task.hinted,
+                        status=Status.CRASH.value,
+                        queries=0,
+                    )
+                delta = kernel_cache.stats_delta(cache_before)
+                if tr.enabled:
+                    task_span.set(
+                        status=record.status,
+                        queries=record.queries,
+                        kernel_cache=delta,
+                    )
+            for name, cell in delta.items():
                 metrics.incr(f"kernel.cache.{name}.hits", cell["hits"])
                 metrics.incr(f"kernel.cache.{name}.misses", cell["misses"])
-        return TaskResult(record=record, metrics=metrics.snapshot())
+        return TaskResult(
+            record=record,
+            metrics=metrics.snapshot(),
+            trace=own_tracer.export() if own_tracer is not None else None,
+        )
 
     def outcome_from_record(self, record: OutcomeRecord) -> TheoremOutcome:
         """Rehydrate a stored record against this runner's project."""
@@ -327,12 +370,19 @@ class Runner:
         executor: Optional[Executor] = None,
         store: Optional[RunStore] = None,
         fresh: bool = False,
+        trace_sink=None,
     ) -> List[OutcomeRecord]:
         """Execute tasks (store-skipping completed ones), in task order.
 
         Already-stored cells are served from ``store`` without any
         search; ``fresh=True`` bypasses the lookup (re-executing and
         re-appending, so the newest record wins on the next load).
+
+        ``trace_sink`` is an optional :class:`repro.obs.trace.JsonlSink`
+        (or anything with ``write(spans)``): when the sweep runs with
+        ``ExperimentConfig.trace``, each executed task's span tree is
+        appended as it arrives — including spans shipped back from
+        process workers.  Store contents are unaffected either way.
         """
         results: Dict[str, OutcomeRecord] = {}
         pending: List[TheoremTask] = []
@@ -355,6 +405,8 @@ class Runner:
             for task, task_result in backend.map(pending, self.execute_task):
                 self.metrics.incr("tasks.executed")
                 self.metrics.merge(task_result.metrics)
+                if trace_sink is not None and task_result.trace:
+                    trace_sink.write(task_result.trace)
                 if store is not None:
                     store.put(task, task_result.record)
                 results[task.cache_key()] = task_result.record
@@ -368,13 +420,18 @@ class Runner:
         executor: Optional[Executor] = None,
         store: Optional[RunStore] = None,
         fresh: bool = False,
+        trace_sink=None,
     ) -> EvalRun:
         chosen = list(theorems) if theorems is not None else self.theorems_for(
             model_name
         )
         tasks = sweep_tasks(chosen, model_name, hinted, self.config)
         records = self.run_tasks(
-            tasks, executor=executor, store=store, fresh=fresh
+            tasks,
+            executor=executor,
+            store=store,
+            fresh=fresh,
+            trace_sink=trace_sink,
         )
         return EvalRun(
             model=model_name,

@@ -81,11 +81,18 @@ class BoundedCache:
     keeps the hit path to a single dict probe.  Counters survive
     :meth:`clear` so sweep-level statistics accumulate across
     per-task cache resets.
+
+    ``register=False`` keeps the cache out of the module registry, so
+    :func:`clear_caches` (issued once per evaluation task) never wipes
+    it — for consumers outside the kernel whose entries must outlive a
+    single theorem search, e.g. the service's store-less proof cache.
     """
 
-    __slots__ = ("name", "capacity", "data", "hits", "misses")
+    __slots__ = ("name", "capacity", "data", "hits", "misses", "evictions")
 
-    def __init__(self, name: str, capacity: int) -> None:
+    def __init__(
+        self, name: str, capacity: int, register: bool = True
+    ) -> None:
         if capacity <= 0:
             raise ValueError("cache capacity must be positive")
         self.name = name
@@ -93,7 +100,9 @@ class BoundedCache:
         self.data: Dict[Any, Any] = {}
         self.hits = 0
         self.misses = 0
-        _REGISTRY.append(self)
+        self.evictions = 0
+        if register:
+            _REGISTRY.append(self)
 
     def get(self, key: Any) -> Any:
         """The cached value for ``key``, or ``None`` (counted as miss)."""
@@ -111,6 +120,7 @@ class BoundedCache:
             # (worst case a concurrent put already evicted the head).
             try:
                 del data[next(iter(data))]
+                self.evictions += 1
             except (StopIteration, KeyError, RuntimeError):
                 pass
         data[key] = value
@@ -124,6 +134,7 @@ class BoundedCache:
             "misses": self.misses,
             "size": len(self.data),
             "capacity": self.capacity,
+            "evictions": self.evictions,
         }
 
 

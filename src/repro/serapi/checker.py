@@ -24,6 +24,7 @@ from repro.kernel.env import Environment
 from repro.kernel.goals import ProofState, initial_state
 from repro.kernel.parser import parse_statement
 from repro.kernel.terms import Term
+from repro.obs.trace import NULL_TRACER
 from repro.tactics.base import run_tactic
 from repro.tactics.parse import parse_tactic
 
@@ -61,6 +62,7 @@ class ProofChecker:
         metrics=None,
         state_keys: str = "fingerprint",
         clock: Callable[[], float] = time.monotonic,
+        tracer=None,
     ) -> None:
         """``metrics`` is an optional duck-typed sink (an object with
         ``observe_verdict(verdict, elapsed)``, e.g.
@@ -75,7 +77,12 @@ class ProofChecker:
 
         ``clock`` is the monotonic time source used for the per-tactic
         :class:`~repro.deadline.Deadline` and ``elapsed`` accounting —
-        injectable so timeout paths are testable without real stalls."""
+        injectable so timeout paths are testable without real stalls.
+
+        ``tracer`` is an optional :class:`repro.obs.trace.Tracer`; when
+        given, every :meth:`check` call records a ``tactic`` span with
+        the candidate text, verdict, and message.  The default no-op
+        tracer makes tracing observationally free when off."""
         if state_keys not in ("fingerprint", "string"):
             raise ValueError(f"unknown state_keys mode: {state_keys!r}")
         self.env = env
@@ -83,6 +90,7 @@ class ProofChecker:
         self.metrics = metrics
         self.state_keys = state_keys
         self.clock = clock
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def start(self, statement: Term) -> ProofState:
         return initial_state(self.env, statement)
@@ -108,7 +116,15 @@ class ProofChecker:
         search tree; reaching one of them makes the tactic invalid
         (the paper's duplicate-state rule).
         """
-        result = self._check(state, tactic_text, seen_keys)
+        tracer = self.tracer
+        with tracer.span("tactic") as span:
+            result = self._check(state, tactic_text, seen_keys)
+            if tracer.enabled:
+                span.set(
+                    tactic=tactic_text,
+                    verdict=result.verdict.value,
+                    message=result.message[:120],
+                )
         if self.metrics is not None:
             self.metrics.observe_verdict(result.verdict.value, result.elapsed)
         return result

@@ -131,3 +131,19 @@ class ProverClient:
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` in Prometheus text exposition format."""
+        request = urllib.request.Request(
+            self.base_url + "/metrics?format=prometheus",
+            headers={"Accept": "text/plain"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ProverServiceError(
+                exc.code, {"error": str(exc)}
+            ) from exc

@@ -12,8 +12,13 @@ Two layers:
   :class:`~repro.eval.store.RunStore`, the *same file format* sweeps
   write.  Point the server at an old sweep's store and it boots warm;
   conversely a server's cache file resumes an offline ``eval`` run.
-  With no path, an in-memory store-less dict serves the process
-  lifetime.
+  With no path, a **bounded** in-memory table serves the process
+  lifetime: a store-less server is exactly the long-running deployment
+  where an unbounded dict of OutcomeRecords (each carrying a generated
+  proof) is a slow memory leak, so the fallback reuses the kernel's
+  FIFO :class:`~repro.kernel.cache.BoundedCache` (unregistered — the
+  per-task kernel-cache clear must never wipe proof results) and
+  surfaces its eviction count in :meth:`ProofCache.stats`.
 * **Single-flight admission** — identical requests that arrive while
   the first is still searching must not each burn a 128-query fuel
   budget.  :meth:`ProofCache.admit` hands the first caller a freshly
@@ -30,24 +35,40 @@ from typing import Callable, Dict, Optional, Tuple, TypeVar
 
 from repro.eval.store import OutcomeRecord, RunStore
 from repro.eval.tasks import TheoremTask
+from repro.kernel.cache import BoundedCache
 
-__all__ = ["ProofCache"]
+__all__ = ["ProofCache", "DEFAULT_MEMORY_CAPACITY"]
 
 T = TypeVar("T")
+
+# Store-less fallback bound: at ~1 KiB per record this caps the
+# in-memory table around a few MiB while still covering far more
+# distinct (theorem, model, knobs) cells than any benchmark sweep.
+DEFAULT_MEMORY_CAPACITY = 4096
 
 
 class ProofCache:
     """Cross-request result cache + single-flight deduplication."""
 
-    def __init__(self, path=None, metrics=None) -> None:
+    def __init__(
+        self,
+        path=None,
+        metrics=None,
+        memory_capacity: int = DEFAULT_MEMORY_CAPACITY,
+    ) -> None:
         self.store: Optional[RunStore] = (
             RunStore(path) if path is not None else None
         )
         self.metrics = metrics
         self._lock = threading.Lock()
-        # Store-less fallback; also a read-through layer is unnecessary:
-        # RunStore keeps its own in-memory index.
-        self._memory: Dict[str, OutcomeRecord] = {}
+        # Store-less fallback (a read-through layer over the store is
+        # unnecessary: RunStore keeps its own in-memory index).  FIFO-
+        # bounded so a long-lived server cannot grow without limit;
+        # register=False keeps it out of the kernel-cache registry,
+        # whose per-task clear would otherwise wipe proof results.
+        self._memory = BoundedCache(
+            "service.proofcache", memory_capacity, register=False
+        )
         # key -> whatever object admit()'s factory produced (a Job, in
         # the scheduler's case), while that work is in flight.
         self._inflight: Dict[str, object] = {}
@@ -73,7 +94,10 @@ class ProofCache:
         if self.store is not None:
             self.store.put(task, record)  # RunStore.put is thread-safe
         else:
-            self._memory[task.cache_key()] = record
+            before = self._memory.evictions
+            self._memory.put(task.cache_key(), record)
+            if self._memory.evictions > before:
+                self._incr("service.cache.evictions")
 
     # ------------------------------------------------------------------
     # Single-flight admission
@@ -119,14 +143,20 @@ class ProofCache:
 
     def stats(self) -> dict:
         """Cache gauges for ``/metrics``."""
-        return {
+        stats = {
             "persistent": self.store is not None,
             "records": (
-                len(self.store) if self.store is not None else len(self._memory)
+                len(self.store)
+                if self.store is not None
+                else len(self._memory.data)
             ),
             "inflight": self.inflight_count(),
             "path": str(self.store.path) if self.store is not None else None,
         }
+        if self.store is None:
+            stats["capacity"] = self._memory.capacity
+            stats["evictions"] = self._memory.evictions
+        return stats
 
     def _incr(self, name: str) -> None:
         if self.metrics is not None:

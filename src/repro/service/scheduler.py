@@ -332,6 +332,13 @@ class Scheduler:
                 self._running += 1
                 job.state = JobState.RUNNING
                 job.started_at = time.monotonic()
+            # Queue-wait time (admission -> worker pickup): the latency
+            # the admission bound trades throughput against, exported
+            # as a stage timer so /metrics shows it per scrape.
+            if self.metrics is not None:
+                self.metrics.add_time(
+                    "service.queue_wait", job.started_at - job.created_at
+                )
             try:
                 self._run_job(job)
             finally:

@@ -11,7 +11,9 @@ Routes::
     POST /prove            admit a proof job (theorem id or raw goal)
     GET  /jobs/<id>        job status + result (+ ?wait=SECONDS long-poll)
     GET  /healthz          liveness + uptime
-    GET  /metrics          JSON snapshot: eval Metrics + service gauges
+    GET  /metrics          eval Metrics + service gauges; JSON by default,
+                           Prometheus text exposition via
+                           ``?format=prometheus`` or ``Accept: text/plain``
 
 ``POST /prove`` accepts every :class:`~repro.eval.tasks.TheoremTask`
 field (``theorem`` + ``model`` required, the rest default to the sweep
@@ -36,6 +38,7 @@ state stay task-local while dispatch is globally batched.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -49,6 +52,8 @@ from repro.eval.instrumentation import Metrics
 from repro.eval.runner import Runner
 from repro.eval.tasks import CACHE_KEY_VERSION, task_from_json
 from repro.llm import get_model
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import JsonlSink, Tracer
 from repro.service.batching import BatchingGenerator, BatchPolicy
 from repro.service.proofcache import ProofCache
 from repro.service.scheduler import (
@@ -78,6 +83,9 @@ class ServerConfig:
     # network round-trip a real API charges per request; batching
     # amortizes it.  0 for pure in-process serving.
     query_overhead: float = 0.0
+    # Span-tree JSONL for every executed job (repro.obs); None = no
+    # tracing, and job execution pays no tracing cost at all.
+    trace_path: Optional[str] = None
 
 
 class ProverService:
@@ -108,13 +116,29 @@ class ProverService:
         )
         self._batchers: Dict[str, BatchingGenerator] = {}
         self._batcher_lock = threading.Lock()
+        self.trace_sink: Optional[JsonlSink] = (
+            JsonlSink(self.config.trace_path)
+            if self.config.trace_path
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
 
     def _execute(self, task, generator):
-        result = self.runner.execute_task(task, model_override=generator)
+        tracer = None
+        if self.trace_sink is not None:
+            # One trace per executed job, rooted at a "job" span so the
+            # rendered tree shows queueing context above the search.
+            tracer = Tracer(trace_id=task.cache_key()[:16])
+            with tracer.span("job", theorem=task.theorem, model=task.model):
+                result = self.runner.execute_task(
+                    task, model_override=generator, tracer=tracer
+                )
+            self.trace_sink.write(tracer.export())
+        else:
+            result = self.runner.execute_task(task, model_override=generator)
         self.metrics.merge(result.metrics)
         return result
 
@@ -202,7 +226,14 @@ class ProverService:
             return 404, {"error": f"no job {job_id!r}"}
         if wait is not None and not job.finished():
             # Bounded long-poll: callers get an answer within the wait
-            # budget either way and poll again if still running.
+            # budget either way and poll again if still running.  The
+            # clamp rejects NaN/inf defensively: min/max pass NaN
+            # through untouched (every comparison is False), and
+            # Event.wait(nan) raises deep inside threading.  The HTTP
+            # layer already 400s non-finite values; this guards direct
+            # (in-process) callers.
+            if not math.isfinite(wait):
+                wait = 0.0
             job.done.wait(min(max(wait, 0.0), 60.0))
         return 200, job.to_json()
 
@@ -230,6 +261,13 @@ class ProverService:
             },
             "metrics": self.metrics.snapshot(),
         }
+
+    def metrics_text(self) -> Tuple[int, str]:
+        """``GET /metrics`` in Prometheus text exposition format."""
+        _, snapshot = self.metrics_snapshot()
+        return 200, render_prometheus(
+            snapshot["metrics"], service=snapshot["service"]
+        )
 
     def close(self, timeout: Optional[float] = 30.0) -> bool:
         """Graceful drain: finish admitted jobs, stop dispatchers."""
@@ -265,6 +303,29 @@ class ProverService:
                 self.end_headers()
                 self.wfile.write(data)
 
+            def _send_text(self, status: int, text: str) -> None:
+                data = text.encode("utf-8")
+                self.send_response(status)
+                self.send_header(
+                    "Content-Type",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def _wants_prometheus(self, query: dict) -> bool:
+                # JSON stays the default (ProverClient, the loadgen, and
+                # older scrapers all consume it); Prometheus is opt-in
+                # by query param or Accept header.
+                fmt = query.get("format", [""])[0].lower()
+                if fmt in ("prometheus", "prom", "text"):
+                    return True
+                if fmt:  # explicit ?format= wins over Accept
+                    return False
+                accept = (self.headers.get("Accept") or "").lower()
+                return "text/plain" in accept or "openmetrics" in accept
+
             def do_GET(self):  # noqa: N802
                 parsed = urlparse(self.path)
                 path = parsed.path.rstrip("/") or "/"
@@ -272,7 +333,11 @@ class ProverService:
                     self._send(*service.health())
                     return
                 if path == "/metrics":
-                    self._send(*service.metrics_snapshot())
+                    query = parse_qs(parsed.query)
+                    if self._wants_prometheus(query):
+                        self._send_text(*service.metrics_text())
+                    else:
+                        self._send(*service.metrics_snapshot())
                     return
                 if path.startswith("/jobs/"):
                     job_id = path[len("/jobs/"):]
@@ -284,6 +349,16 @@ class ProverService:
                         except ValueError:
                             self._send(
                                 400, {"error": "wait must be a number"}
+                            )
+                            return
+                        if not math.isfinite(wait):
+                            # float() happily parses "nan"/"inf", which
+                            # would sail through the long-poll clamp
+                            # (NaN fails every comparison) into
+                            # Event.wait(nan).
+                            self._send(
+                                400,
+                                {"error": "wait must be a finite number"},
                             )
                             return
                     self._send(*service.job_status(job_id, wait=wait))
@@ -327,6 +402,8 @@ def serve_forever(config: ServerConfig) -> int:
         f"cache={config.cache_path or 'memory'})"
     )
     print(f"models: {models}")
+    if config.trace_path:
+        print(f"tracing job searches to {config.trace_path}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

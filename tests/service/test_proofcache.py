@@ -85,6 +85,61 @@ class TestResultCache:
         assert RunStore(path).get(other.cache_key()) is not None
 
 
+class TestMemoryBound:
+    """Regression: the store-less fallback used to be an unbounded
+    dict — a slow leak in exactly the long-running deployment that has
+    no cache file."""
+
+    def test_storeless_memory_is_bounded(self):
+        cache = ProofCache(memory_capacity=4)
+        tasks = [make_task(fuel=fuel) for fuel in range(1, 9)]
+        for task in tasks:
+            cache.put(task, make_record(task))
+        stats = cache.stats()
+        assert stats["records"] == 4
+        assert stats["capacity"] == 4
+        assert stats["evictions"] == 4
+
+    def test_eviction_is_fifo_and_counted_in_metrics(self):
+        metrics = CountingMetrics()
+        cache = ProofCache(metrics=metrics, memory_capacity=2)
+        tasks = [make_task(fuel=fuel) for fuel in range(1, 4)]
+        for task in tasks:
+            cache.put(task, make_record(task))
+        # Oldest entry evicted; the two newest survive.
+        assert cache.get(tasks[0].cache_key()) is None
+        assert cache.get(tasks[1].cache_key()) is not None
+        assert cache.get(tasks[2].cache_key()) is not None
+        assert metrics.counters["service.cache.evictions"] == 1
+
+    def test_repeat_put_of_same_key_does_not_evict(self):
+        cache = ProofCache(memory_capacity=2)
+        task = make_task()
+        for _ in range(5):
+            cache.put(task, make_record(task))
+        stats = cache.stats()
+        assert stats["records"] == 1
+        assert stats["evictions"] == 0
+
+    def test_store_backed_cache_has_no_bound_gauges(self, tmp_path):
+        cache = ProofCache(tmp_path / "c.jsonl")
+        stats = cache.stats()
+        assert "evictions" not in stats
+        assert "capacity" not in stats
+
+    def test_kernel_cache_clear_does_not_wipe_proof_results(self):
+        # The bounded table reuses kernel BoundedCache machinery but
+        # must NOT be in the kernel registry: clear_caches() runs once
+        # per evaluation task and would empty the proof cache.
+        from repro.kernel import cache as kernel_cache
+
+        cache = ProofCache()
+        task = make_task()
+        cache.put(task, make_record(task))
+        kernel_cache.clear_caches()
+        assert cache.get(task.cache_key()) is not None
+
+
 class TestSingleFlight:
     def test_leader_creates_followers_share(self):
         cache = ProofCache()

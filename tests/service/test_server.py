@@ -134,6 +134,144 @@ class TestRoutes:
         assert excinfo.value.status == 400
 
 
+class TestWaitValidation:
+    """Regression: ``float("nan")`` parses, then sails through the
+    min/max long-poll clamp (NaN fails every comparison) straight into
+    ``Event.wait(nan)``.  Non-finite waits must be a 400, like any
+    other malformed parameter."""
+
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf", "Infinity"])
+    def test_non_finite_wait_is_400(self, served, bad):
+        service, client = served
+        job = client.prove(
+            theorem="rev_involutive", model="gpt-4o", fuel=FUEL
+        )
+        with pytest.raises(ProverServiceError) as excinfo:
+            client._request("GET", f"/jobs/{job['job']}?wait={bad}")
+        assert excinfo.value.status == 400
+        assert "finite" in excinfo.value.payload["error"]
+
+    def test_non_numeric_wait_is_still_400(self, served):
+        _, client = served
+        job = client.prove(
+            theorem="rev_involutive", model="gpt-4o", fuel=FUEL
+        )
+        with pytest.raises(ProverServiceError) as excinfo:
+            client._request("GET", f"/jobs/{job['job']}?wait=soon")
+        assert excinfo.value.status == 400
+
+    def test_in_process_callers_get_the_defensive_clamp(self, project):
+        # Direct job_status calls bypass HTTP validation; a NaN there
+        # must degrade to "no wait", not crash in threading.
+        service = ProverService(ServerConfig(port=0), project=project)
+        try:
+            _, payload = service.submit(
+                {"theorem": "rev_involutive", "model": "gpt-4o",
+                 "fuel": FUEL}
+            )
+            status, body = service.job_status(
+                payload["job"], wait=float("nan")
+            )
+            assert status == 200
+            assert body["id"] == payload["job"]
+        finally:
+            service.close(timeout=30.0)
+
+
+class TestPrometheusMetrics:
+    def test_json_remains_the_default(self, served):
+        _, client = served
+        snapshot = client.metrics()
+        assert "service" in snapshot and "metrics" in snapshot
+
+    def test_format_param_negotiates_prometheus_text(self, served):
+        _, client = served
+        client.prove_and_wait(
+            theorem="rev_involutive", model="gpt-4o", fuel=FUEL,
+            timeout=60.0,
+        )
+        text = client.metrics_text()
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "# TYPE repro_service_uptime_seconds gauge" in text
+        assert "# TYPE repro_stage_seconds_total counter" in text
+        # The completed job shows up in the counter families.
+        assert "repro_service_jobs_completed_total 1" in text
+        # One TYPE line per family — the no-duplicate invariant.
+        families = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE ")
+        ]
+        assert len(families) == len(set(families))
+
+    def test_accept_header_negotiates_prometheus_text(self, served):
+        import urllib.request
+
+        _, client = served
+        request = urllib.request.Request(
+            client.base_url + "/metrics",
+            headers={"Accept": "text/plain"},
+        )
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            assert response.headers["Content-Type"].startswith("text/plain")
+            body = response.read().decode("utf-8")
+        assert body.startswith("# HELP")
+
+    def test_explicit_json_format_wins_over_accept(self, served):
+        import json as json_mod
+        import urllib.request
+
+        _, client = served
+        request = urllib.request.Request(
+            client.base_url + "/metrics?format=json",
+            headers={"Accept": "text/plain"},
+        )
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            payload = json_mod.loads(response.read().decode("utf-8"))
+        assert "service" in payload
+
+
+class TestTracedJobs:
+    def test_trace_path_records_each_job_as_a_span_tree(
+        self, project, tmp_path
+    ):
+        from repro.obs.trace import load_spans
+
+        trace_path = tmp_path / "jobs.jsonl"
+        service, httpd, client = boot(project, trace_path=str(trace_path))
+        try:
+            status = client.prove_and_wait(
+                theorem="rev_involutive", model="gpt-4o", fuel=FUEL,
+                timeout=60.0,
+            )
+            assert status["state"] == "done"
+        finally:
+            shut(service, httpd)
+        spans = load_spans(trace_path)
+        names = {span["name"] for span in spans}
+        assert {"job", "task", "search", "expand", "tactic"} <= names
+        (job_span,) = [s for s in spans if s["name"] == "job"]
+        assert job_span["parent"] is None
+        assert job_span["attrs"]["theorem"] == "rev_involutive"
+
+    def test_traced_record_matches_untraced(self, project, tmp_path):
+        body = {"theorem": "rev_involutive", "model": "gpt-4o",
+                "fuel": FUEL}
+        service, httpd, client = boot(project)
+        try:
+            plain = client.prove_and_wait(timeout=60.0, **body)
+        finally:
+            shut(service, httpd)
+        service, httpd, client = boot(
+            project, trace_path=str(tmp_path / "t.jsonl")
+        )
+        try:
+            traced = client.prove_and_wait(timeout=60.0, **body)
+        finally:
+            shut(service, httpd)
+        assert traced["record"] == plain["record"]
+
+
 class TestErrorMapping:
     """Scheduler refusals map to backpressure status codes."""
 
