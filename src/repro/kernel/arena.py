@@ -1,0 +1,429 @@
+"""Arena of hash-consed term nodes addressed by integer ids.
+
+The arena is the single constructor path behind :func:`~repro.kernel.
+terms.intern`.  Every distinct term structure is admitted exactly once
+and assigned a dense integer id; the node table maps an id to both a
+structural key (tag + child ids, the hash-consing key) and the one
+canonical :class:`~repro.kernel.terms.Term` object for that structure.
+Consequences the hot paths rely on:
+
+* **structural equality is id equality** — two interned terms are
+  structurally equal iff they are the *same object* (same id), so
+  duplicate detection, memo keys, and occurs checks never walk trees;
+* **derived data lives in parallel arrays keyed by id** — structural
+  hash (eager, O(1) per admitted node from child hashes), free-var
+  set, meta set, and the alpha fingerprint (all lazy) are computed at
+  most once per structure, not once per copy;
+* **traversals are iterative** — interning and fingerprinting run as
+  explicit work-stack loops over ids/nodes, so 5000-deep terms never
+  hit Python's recursion limit.
+
+Epoching: an arena is permanently tied to the
+:func:`repro.kernel.cache.intern_epoch` value at its creation.
+:func:`current` lazily retires the singleton when the epoch moves —
+and because :func:`repro.kernel.cache.clear_caches` *defers* the epoch
+bump while any :func:`~repro.kernel.cache.pinned` scope is held, a
+concurrent search's live ids are never orphaned mid-flight: the arena
+(and every id stamped on its terms) survives until the last pin is
+released.  Stamps carry ``(_agen, _aid)`` integers rather than an
+arena reference, so a retired arena is garbage-collected even while
+terms interned in it are still alive.
+
+Id-keyed memo tables outside this module (substitution/reduction
+caches in :mod:`repro.kernel.subst` / :mod:`repro.kernel.reduction`)
+include the arena generation in their keys: ids are only meaningful
+within one generation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.kernel import cache as _cache
+from repro.kernel.terms import (
+    App,
+    And,
+    Const,
+    Eq,
+    Exists,
+    FalseP,
+    Forall,
+    Impl,
+    Lam,
+    Meta,
+    Or,
+    Term,
+    TrueP,
+    Var,
+    free_var_set,
+    meta_set,
+    structural_hash,
+    term_children,
+)
+
+__all__ = ["TermArena", "current", "intern_term", "intern_id", "term_of"]
+
+
+class _ArenaStats:
+    """Registry adapter: hit/miss counters for an arena-backed memo.
+
+    Quacks like :class:`repro.kernel.cache.BoundedCache` for the
+    stats/clear protocol — the data itself lives in the arena (retired
+    wholesale on epoch bump), so :meth:`clear` only has to keep the
+    counters, exactly like a ``BoundedCache.clear``.
+    """
+
+    __slots__ = ("name", "hits", "misses", "evictions")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        _cache._REGISTRY.append(self)
+
+    def clear(self) -> None:  # data lives in the arena; nothing to drop
+        pass
+
+    def stats(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": _ARENA.size() if _ARENA is not None else 0,
+            "capacity": 0,
+            "evictions": self.evictions,
+        }
+        total = self.hits + self.misses
+        out["hit_rate"] = self.hits / total if total else 0.0
+        return out
+
+
+_INTERN_STATS = _ArenaStats("intern")
+_ALPHA_FP_STATS = _ArenaStats("alpha_fp")
+
+
+class TermArena:
+    """One generation's node table plus parallel derived-data arrays."""
+
+    __slots__ = (
+        "generation",
+        "nodes",
+        "terms",
+        "table",
+        "hashes",
+        "fvs",
+        "metas",
+        "alpha_fp",
+    )
+
+    def __init__(self, generation: int) -> None:
+        self.generation = generation
+        self.nodes: List[tuple] = []  # id -> structural key (tag + child ids)
+        self.terms: List[Term] = []  # id -> canonical Term object
+        self.table: Dict[tuple, int] = {}  # structural key -> id
+        # Parallel derived arrays, keyed by id.
+        self.hashes: List[int] = []  # structural hash (eager)
+        self.fvs: List[Optional[FrozenSet[str]]] = []  # lazy
+        self.metas: List[Optional[FrozenSet[int]]] = []  # lazy
+        self.alpha_fp: List[Optional[int]] = []  # lazy (empty-env fp)
+
+    def size(self) -> int:
+        return len(self.nodes)
+
+    # -- interning ------------------------------------------------------
+
+    def intern_id(self, term: Term) -> int:
+        """The id of ``term``'s structure, admitting nodes as needed.
+
+        Iterative post-order walk: a node is admitted only once all of
+        its children carry a valid ``(_agen, _aid)`` stamp for this
+        arena, so :meth:`_admit` reads child ids in O(1).
+        """
+        gen = self.generation
+        d = term.__dict__
+        if d.get("_agen") == gen:
+            _INTERN_STATS.hits += 1
+            return d["_aid"]
+        stack = [term]
+        while stack:
+            t = stack[-1]
+            td = t.__dict__
+            if td.get("_agen") == gen:
+                stack.pop()
+                continue
+            pending = [
+                c
+                for c in term_children(t)
+                if c.__dict__.get("_agen") != gen
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            self._admit(t)
+        return d["_aid"]
+
+    def intern_term(self, term: Term) -> Term:
+        """The canonical representative of ``term``'s structure."""
+        return self.terms[self.intern_id(term)]
+
+    def term_of(self, tid: int) -> Term:
+        """The canonical term for id ``tid``."""
+        return self.terms[tid]
+
+    def _admit(self, term: Term) -> int:
+        """Intern one node whose children are already stamped."""
+        key = self._node_key(term)
+        tid = self.table.get(key)
+        d = term.__dict__
+        if tid is None:
+            _INTERN_STATS.misses += 1
+            rep = self._canonicalize(term)
+            tid = len(self.nodes)
+            self.nodes.append(key)
+            self.terms.append(rep)
+            self.hashes.append(structural_hash(rep))
+            self.fvs.append(None)
+            self.metas.append(None)
+            self.alpha_fp.append(None)
+            self.table[key] = tid
+            rd = rep.__dict__
+            object.__setattr__(rep, "_aid", tid)
+            object.__setattr__(rep, "_agen", self.generation)
+            # Compatibility stamp read by the epoch/pinning tests: the
+            # arena generation *is* the intern epoch it was born under.
+            object.__setattr__(rep, "_interned", self.generation)
+            del rd  # (stamps applied; rd unused beyond documentation)
+        else:
+            _INTERN_STATS.hits += 1
+        if d.get("_agen") != self.generation or d.get("_aid") != tid:
+            object.__setattr__(term, "_aid", tid)
+            object.__setattr__(term, "_agen", self.generation)
+        return tid
+
+    def _node_key(self, term: Term) -> tuple:
+        """The hash-consing key: class tag, scalar payload, child ids."""
+        cls = term.__class__
+        d = term.__dict__
+        if cls is Var:
+            return ("v", term.name)
+        if cls is Const:
+            return ("c", term.name)
+        if cls is App:
+            return (
+                ("a", term.fn.__dict__["_aid"])
+                + tuple(a.__dict__["_aid"] for a in term.args)
+            )
+        if cls is Lam:
+            return ("L", term.var, term.ty, term.body.__dict__["_aid"])
+        if cls is Forall:
+            return ("A", term.var, term.ty, term.body.__dict__["_aid"])
+        if cls is Exists:
+            return ("E", term.var, term.ty, term.body.__dict__["_aid"])
+        if cls is Impl:
+            return ("I", term.lhs.__dict__["_aid"], term.rhs.__dict__["_aid"])
+        if cls is And:
+            return ("&", term.lhs.__dict__["_aid"], term.rhs.__dict__["_aid"])
+        if cls is Or:
+            return ("|", term.lhs.__dict__["_aid"], term.rhs.__dict__["_aid"])
+        if cls is Eq:
+            return (
+                "=",
+                term.ty,
+                term.lhs.__dict__["_aid"],
+                term.rhs.__dict__["_aid"],
+            )
+        if cls is TrueP:
+            return ("T",)
+        if cls is FalseP:
+            return ("F",)
+        if cls is Meta:
+            return ("m", term.uid, term.hint)
+        raise AssertionError(f"unknown term node: {term!r}")
+
+    def _canonicalize(self, term: Term) -> Term:
+        """Rebuild ``term`` over canonical children (identity-preserving)."""
+        cls = term.__class__
+        terms = self.terms
+        if cls is App:
+            fn = terms[term.fn.__dict__["_aid"]]
+            args = tuple(terms[a.__dict__["_aid"]] for a in term.args)
+            if fn is term.fn and all(
+                a is b for a, b in zip(args, term.args)
+            ):
+                return term
+            return App(fn, args)
+        if cls is Lam or cls is Forall or cls is Exists:
+            body = terms[term.body.__dict__["_aid"]]
+            if body is term.body:
+                return term
+            return cls(term.var, term.ty, body)
+        if cls is Impl or cls is And or cls is Or:
+            lhs = terms[term.lhs.__dict__["_aid"]]
+            rhs = terms[term.rhs.__dict__["_aid"]]
+            if lhs is term.lhs and rhs is term.rhs:
+                return term
+            return cls(lhs, rhs)
+        if cls is Eq:
+            lhs = terms[term.lhs.__dict__["_aid"]]
+            rhs = terms[term.rhs.__dict__["_aid"]]
+            if lhs is term.lhs and rhs is term.rhs:
+                return term
+            return Eq(term.ty, lhs, rhs)
+        # Leaves are canonical by construction.
+        return term
+
+    # -- derived data (parallel arrays) ---------------------------------
+
+    def hash_of(self, tid: int) -> int:
+        return self.hashes[tid]
+
+    def fvs_of(self, tid: int) -> FrozenSet[str]:
+        """Free-variable set for id ``tid`` (lazy parallel array)."""
+        val = self.fvs[tid]
+        if val is None:
+            val = free_var_set(self.terms[tid])
+            self.fvs[tid] = val
+        return val
+
+    def metas_of(self, tid: int) -> FrozenSet[int]:
+        """Metavariable-uid set for id ``tid`` (lazy parallel array)."""
+        val = self.metas[tid]
+        if val is None:
+            val = meta_set(self.terms[tid])
+            self.metas[tid] = val
+        return val
+
+    def alpha_fp_of(self, tid: int) -> int:
+        """Alpha-invariant fingerprint of id ``tid`` (empty binder env).
+
+        Iterative two-phase machine over nodes.  Value-identical to
+        the pristine walk in :mod:`repro.kernel.subst` — bound
+        variables hash by de Bruijn index, so a subterm closed with
+        respect to the enclosing binders fingerprints the same at any
+        position and its value memoizes in the ``alpha_fp`` array.
+        """
+        memo = self.alpha_fp
+        cached = memo[tid]
+        if cached is not None:
+            _ALPHA_FP_STATS.hits += 1
+            return cached
+        _ALPHA_FP_STATS.misses += 1
+        terms = self.terms
+        _EMPTY: Dict[str, int] = {}
+        # Frames: (False, tid, env, depth) to visit, (True, tid, env,
+        # depth) to combine child fingerprints off the value stack.
+        tasks: List[tuple] = [(False, tid, _EMPTY, 0)]
+        vals: List[int] = []
+        while tasks:
+            combining, i, env, depth = tasks.pop()
+            t = terms[i]
+            cls = t.__class__
+            if combining:
+                if cls is App:
+                    n = len(t.args)
+                    child = vals[-(n + 1):]
+                    del vals[-(n + 1):]
+                    fp = hash(("a", n, child[0]) + tuple(child[1:]))
+                elif cls is Lam or cls is Forall or cls is Exists:
+                    tag = {"Lam": "L", "Forall": "A", "Exists": "E"}[
+                        cls.__name__
+                    ]
+                    fp = hash((tag, vals.pop()))
+                elif cls is Eq:
+                    rhs = vals.pop()
+                    fp = hash(("=", vals.pop(), rhs))
+                else:  # Impl / And / Or
+                    tag = {"Impl": "I", "And": "&", "Or": "|"}[cls.__name__]
+                    rhs = vals.pop()
+                    fp = hash((tag, vals.pop(), rhs))
+                if not env:
+                    memo[i] = fp
+                vals.append(fp)
+                continue
+            if not env:
+                hit = memo[i]
+                if hit is not None:
+                    vals.append(hit)
+                    continue
+            elif self.fvs_of(i).isdisjoint(env):
+                # Closed w.r.t. the enclosing binders: the value is
+                # position-independent; compute (and memoize) it in an
+                # empty environment instead.
+                tasks.append((False, i, _EMPTY, 0))
+                continue
+            if cls is Var:
+                level = env.get(t.name)
+                if level is None:
+                    vals.append(hash(("v", t.name)))
+                else:
+                    vals.append(hash(("b", depth - level)))
+            elif cls is Const:
+                vals.append(hash(("c", t.name)))
+            elif cls is TrueP:
+                vals.append(hash("T!"))
+            elif cls is FalseP:
+                vals.append(hash("F!"))
+            elif cls is Meta:
+                vals.append(hash(("m", t.uid)))
+            elif cls is App:
+                tasks.append((True, i, env, depth))
+                for a in reversed(t.args):
+                    tasks.append((False, a.__dict__["_aid"], env, depth))
+                tasks.append((False, t.fn.__dict__["_aid"], env, depth))
+            elif cls is Lam or cls is Forall or cls is Exists:
+                inner = dict(env)
+                inner[t.var] = depth
+                tasks.append((True, i, env, depth))
+                tasks.append(
+                    (False, t.body.__dict__["_aid"], inner, depth + 1)
+                )
+            elif cls is Impl or cls is And or cls is Or or cls is Eq:
+                tasks.append((True, i, env, depth))
+                tasks.append((False, t.rhs.__dict__["_aid"], env, depth))
+                tasks.append((False, t.lhs.__dict__["_aid"], env, depth))
+            else:
+                raise AssertionError(f"unknown term node: {t!r}")
+        return vals[0]
+
+
+# ----------------------------------------------------------------------
+# The singleton, retired lazily when the intern epoch moves
+# ----------------------------------------------------------------------
+
+_ARENA: Optional[TermArena] = None
+_SWAP_LOCK = threading.Lock()
+
+
+def current() -> TermArena:
+    """The live arena for the current intern epoch.
+
+    The swap is lazy: :func:`repro.kernel.cache.clear_caches` bumps
+    the epoch (deferred while pins are held), and the next arena
+    access retires the old generation.  Under an active ``pinned()``
+    scope the epoch cannot move, so ids held by a concurrent search
+    stay valid for the life of the pin.
+    """
+    global _ARENA
+    epoch = _cache.intern_epoch()
+    arena = _ARENA
+    if arena is None or arena.generation != epoch:
+        with _SWAP_LOCK:
+            arena = _ARENA
+            if arena is None or arena.generation != epoch:
+                arena = TermArena(epoch)
+                _ARENA = arena
+    return arena
+
+
+def intern_id(term: Term) -> int:
+    return current().intern_id(term)
+
+
+def intern_term(term: Term) -> Term:
+    return current().intern_term(term)
+
+
+def term_of(tid: int) -> Term:
+    return current().term_of(tid)

@@ -128,13 +128,15 @@ class BoundedCache:
     def clear(self) -> None:
         self.data.clear()
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, float]:
+        total = self.hits + self.misses
         return {
             "hits": self.hits,
             "misses": self.misses,
             "size": len(self.data),
             "capacity": self.capacity,
             "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else 0.0,
         }
 
 
@@ -178,6 +180,10 @@ _CLEAR_PENDING = False
 
 
 def _clear_now() -> None:
+    # Bumping the epoch retires the term arena lazily: the next
+    # arena access (repro.kernel.arena.current) sees the mismatch and
+    # swaps in a fresh generation, so ids held by pinned searches stay
+    # valid right up to the moment this bump is allowed to land.
     global _INTERN_EPOCH
     _INTERN_EPOCH += 1
     for cache in _REGISTRY:

@@ -191,7 +191,20 @@ def _try_iota(
 
 
 _WHNF_CACHE = _cache.BoundedCache("whnf", capacity=32_768)
-_SIMPL_CACHE = _cache.BoundedCache("simpl", capacity=8_192)
+_SIMPL_CACHE = _cache.BoundedCache("simpl", capacity=32_768)
+
+# Deferred import cache: arena imports terms; reduction reaches it
+# lazily, mirroring terms.py/subst.py.
+_ARENA_MOD = None
+
+
+def _arena():
+    global _ARENA_MOD
+    if _ARENA_MOD is None:
+        from repro.kernel import arena as mod
+
+        _ARENA_MOD = mod
+    return _ARENA_MOD
 
 
 def _memo_reduce(cache, compute, env, term, budget: Budget) -> Term:
@@ -203,11 +216,14 @@ def _memo_reduce(cache, compute, env, term, budget: Budget) -> Term:
     those steps to the caller's budget when affordable (bit-for-bit
     identical to replaying) and otherwise replay honestly, so partial
     results under tiny budgets match the uncached kernel exactly.
-    Entries key on the environment object and its declaration
-    generation: corpus loading mutates the environment between proofs,
-    and a new declaration must never be answered from a stale entry.
+    Entries key on the term's arena id (plus the arena generation —
+    ids are meaningless across epochs), the environment object, and
+    its declaration generation: corpus loading mutates the environment
+    between proofs, and a new declaration must never be answered from
+    a stale entry.
     """
-    key = (env, env.generation, term)
+    arena = _arena().current()
+    key = (env, env.generation, arena.generation, arena.intern_id(term))
     hit = cache.get(key)
     if hit is not None:
         result, steps = hit
@@ -271,47 +287,122 @@ def make_whnf(env: Environment):
     return reducer
 
 
+# Worklist opcodes for the simpl machine.
+_VISIT, _APP_C, _BIND_C, _PAIR_C, _STORE = 0, 1, 2, 3, 4
+
+
 def simpl(env: Environment, term: Term, budget: Optional[Budget] = None) -> Term:
     """Full bottom-up normalization by beta + iota (no delta).
 
     Matches Coq's ``simpl`` closely enough for this corpus: recursive
     functions compute on constructor-headed data, but transparent
     ``Definition``s stay folded until ``unfold``.
+
+    Runs as an iterative visit/combine machine (deep terms never hit
+    the recursion limit), memoized per *node* with the same exact step
+    accounting as :func:`_memo_reduce`: each entry records the
+    subtree's true reduction cost, a hit charges those steps when the
+    caller's budget affords them and replays honestly otherwise, and
+    nothing is stored from a run that exhausted its budget — so
+    partial results under tiny budgets match the uncached kernel
+    bit-for-bit.
     """
     if budget is None:
         budget = Budget()
-    if not _cache.enabled():
-        return _simpl(env, term, budget)
-    return _memo_reduce(_SIMPL_CACHE, _simpl, env, term, budget)
+    use_cache = _cache.enabled()
+    arena = None
+    gen = 0
+    if use_cache:
+        arena = _arena().current()
+        gen = arena.generation
 
-
-def _simpl(env: Environment, term: Term, budget: Budget) -> Term:
-    if not budget.spend():
-        return term
-    if isinstance(term, (Var, Const, TrueP, FalseP, Meta)):
-        return term
-    if isinstance(term, App):
-        fn = _simpl(env, term.fn, budget)
-        args = tuple(_simpl(env, a, budget) for a in term.args)
-        reduced = _head_step(env, fn, args, budget)
-        if reduced is not None:
-            return _simpl(env, reduced, budget)
-        return app(fn, *args)
-    if isinstance(term, Lam):
-        return Lam(term.var, term.ty, _simpl(env, term.body, budget))
-    if isinstance(term, Forall):
-        return Forall(term.var, term.ty, _simpl(env, term.body, budget))
-    if isinstance(term, Exists):
-        return Exists(term.var, term.ty, _simpl(env, term.body, budget))
-    if isinstance(term, Impl):
-        return Impl(_simpl(env, term.lhs, budget), _simpl(env, term.rhs, budget))
-    if isinstance(term, And):
-        return And(_simpl(env, term.lhs, budget), _simpl(env, term.rhs, budget))
-    if isinstance(term, Or):
-        return Or(_simpl(env, term.lhs, budget), _simpl(env, term.rhs, budget))
-    if isinstance(term, Eq):
-        return Eq(term.ty, _simpl(env, term.lhs, budget), _simpl(env, term.rhs, budget))
-    raise AssertionError(f"unknown term node: {term!r}")
+    tasks: list = [(_VISIT, term)]
+    vals: list = []
+    while tasks:
+        frame = tasks.pop()
+        op = frame[0]
+        if op == _VISIT:
+            node = frame[1]
+            memo_key = None
+            if use_cache:
+                memo_key = (env, env.generation, gen, arena.intern_id(node))
+                hit = _SIMPL_CACHE.get(memo_key)
+                if hit is not None:
+                    result, steps = hit
+                    if steps <= budget.remaining:
+                        budget.remaining -= steps
+                        vals.append(result)
+                        continue
+                    # Unaffordable: fall through and replay honestly.
+            before = budget.remaining
+            if not budget.spend():
+                vals.append(node)
+                continue
+            cls = node.__class__
+            if cls is Var or cls is Const or cls is TrueP or cls is FalseP or cls is Meta:
+                if memo_key is not None:
+                    _SIMPL_CACHE.put(memo_key, (node, 1))
+                vals.append(node)
+                continue
+            if cls is App:
+                tasks.append((_APP_C, node, memo_key, before))
+                for arg in reversed(node.args):
+                    tasks.append((_VISIT, arg))
+                tasks.append((_VISIT, node.fn))
+            elif cls is Lam or cls is Forall or cls is Exists:
+                tasks.append((_BIND_C, node, memo_key, before))
+                tasks.append((_VISIT, node.body))
+            elif cls is Impl or cls is And or cls is Or or cls is Eq:
+                tasks.append((_PAIR_C, node, memo_key, before))
+                tasks.append((_VISIT, node.rhs))
+                tasks.append((_VISIT, node.lhs))
+            else:
+                raise AssertionError(f"unknown term node: {node!r}")
+        elif op == _APP_C:
+            _, node, memo_key, before = frame
+            n = len(node.args)
+            fn = vals[-(n + 1)]
+            args = tuple(vals[-n:])
+            del vals[-(n + 1):]
+            reduced = _head_step(env, fn, args, budget)
+            if reduced is not None:
+                # The redex's normal form is this node's result; the
+                # STORE frame waits for it so the memo still records
+                # this node's full cost.
+                if memo_key is not None:
+                    tasks.append((_STORE, memo_key, before))
+                tasks.append((_VISIT, reduced))
+            else:
+                result = app(fn, *args)
+                if memo_key is not None and budget.remaining > 0:
+                    _SIMPL_CACHE.put(
+                        memo_key, (result, before - budget.remaining)
+                    )
+                vals.append(result)
+        elif op == _BIND_C:
+            _, node, memo_key, before = frame
+            result = node.__class__(node.var, node.ty, vals.pop())
+            if memo_key is not None and budget.remaining > 0:
+                _SIMPL_CACHE.put(memo_key, (result, before - budget.remaining))
+            vals.append(result)
+        elif op == _PAIR_C:
+            _, node, memo_key, before = frame
+            rhs = vals.pop()
+            lhs = vals.pop()
+            if node.__class__ is Eq:
+                result = Eq(node.ty, lhs, rhs)
+            else:
+                result = node.__class__(lhs, rhs)
+            if memo_key is not None and budget.remaining > 0:
+                _SIMPL_CACHE.put(memo_key, (result, before - budget.remaining))
+            vals.append(result)
+        else:  # _STORE
+            _, memo_key, before = frame
+            if budget.remaining > 0:
+                _SIMPL_CACHE.put(
+                    memo_key, (vals[-1], before - budget.remaining)
+                )
+    return vals[0]
 
 
 def _head_step(

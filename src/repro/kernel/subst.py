@@ -18,10 +18,19 @@ Three related operations live here:
   position-independently and their fingerprints memoize per node).
   The search engine's duplicate-state keys are built from these.
 
-The hot entry points (``subst_vars``, ``subst_metas``, ``alpha_key``,
-``alpha_fingerprint``) are memoized through
-:mod:`repro.kernel.cache`; substitution additionally preserves node
-identity when nothing changes, so memo keys stay coherent downstream.
+The hot traversals (``subst_vars``, ``subst_metas``) run as
+**iterative worklist machines** — an explicit task stack of
+visit/combine frames and a value stack — so substitution through a
+5000-deep term never touches Python's recursion limit.  Both memoize
+*per node* through :mod:`repro.kernel.cache`, keyed by arena id
+(:mod:`repro.kernel.arena`) plus the substitution context, so a
+subterm shared between goals resolves once per epoch instead of once
+per call.  ``alpha_fingerprint`` delegates to the arena's fingerprint
+array; ``alpha_key`` stays a recursive string builder — it is the
+*oracle* the property suite checks the fingerprints against, so it
+deliberately remains the simple spec-shaped walk.  Substitution
+preserves node identity when nothing changes, so memo keys stay
+coherent downstream.
 """
 
 from __future__ import annotations
@@ -62,6 +71,20 @@ __all__ = [
 ]
 
 
+# Deferred import cache: arena imports terms, and keeping this module
+# import-light mirrors terms.py's lazy arena hook.
+_ARENA_MOD = None
+
+
+def _arena():
+    global _ARENA_MOD
+    if _ARENA_MOD is None:
+        from repro.kernel import arena as mod
+
+        _ARENA_MOD = mod
+    return _ARENA_MOD
+
+
 def fresh_name(base: str, taken: Set[str]) -> str:
     """A variant of ``base`` not in ``taken`` (``x``, ``x0``, ``x1``...)."""
     if base not in taken:
@@ -92,124 +115,243 @@ def subst_var(term: Term, name: str, replacement: Term) -> Term:
     return subst_vars(term, {name: replacement})
 
 
-_SUBST_CACHE = _cache.BoundedCache("subst_vars", capacity=16_384)
+_SUBST_CACHE = _cache.BoundedCache("subst_vars", capacity=65_536)
+
+# Worklist opcodes shared by the two substitution machines.
+_VISIT, _APP, _BIND, _PAIR = 0, 1, 2, 3
+
+_LEAVES = (Const, TrueP, FalseP)
 
 
 def subst_vars(term: Term, mapping: Mapping[str, Term]) -> Term:
-    """Simultaneous capture-avoiding substitution."""
+    """Simultaneous capture-avoiding substitution.
+
+    Runs as an iterative visit/combine machine.  Memo entries are per
+    *node*, keyed ``(arena id, generation, mapping, removed binders)``
+    and valued ``(result, changed)``: an unchanged hit returns the
+    caller's own node so identity-preservation (``subst_vars(t, m) is
+    t`` whenever nothing was substituted) survives memoization.
+    """
     if not mapping:
         return term
-    key = None
-    if _cache.enabled():
-        key = (term, tuple(sorted(mapping.items())))
-        hit = _SUBST_CACHE.get(key)
-        if hit is not None:
-            return hit
     danger: Set[str] = set()
     for value in mapping.values():
         danger |= free_var_set(value)
-    result = _subst(term, dict(mapping), danger)
-    if key is not None:
-        _SUBST_CACHE.put(key, result)
-    return result
+    use_cache = _cache.enabled()
+    base_key = None
+    arena = None
+    gen = 0
+    if use_cache:
+        base_key = tuple(sorted(mapping.items()))
+        arena = _arena().current()
+        gen = arena.generation
+
+    tasks: list = [(_VISIT, term, dict(mapping), frozenset())]
+    vals: list = []
+    while tasks:
+        frame = tasks.pop()
+        op = frame[0]
+        if op == _VISIT:
+            _, node, cur, removed = frame
+            cls = node.__class__
+            if cls is Var:
+                vals.append(cur.get(node.name, node))
+                continue
+            if cls in _LEAVES or cls is Meta:
+                vals.append(node)
+                continue
+            memo_key = None
+            if use_cache:
+                memo_key = (arena.intern_id(node), gen, base_key, removed)
+                hit = _SUBST_CACHE.get(memo_key)
+                if hit is not None:
+                    result, changed = hit
+                    vals.append(result if changed else node)
+                    continue
+            if cls is App:
+                tasks.append((_APP, node, memo_key))
+                for arg in reversed(node.args):
+                    tasks.append((_VISIT, arg, cur, removed))
+                tasks.append((_VISIT, node.fn, cur, removed))
+            elif cls is Lam or cls is Forall or cls is Exists:
+                var = node.var
+                body = node.body
+                if var in cur:
+                    inner = {k: v for k, v in cur.items() if k != var}
+                    if not inner:
+                        # The binder shadows the whole mapping: the
+                        # subtree is untouched.
+                        if memo_key is not None:
+                            _SUBST_CACHE.put(memo_key, (node, False))
+                        vals.append(node)
+                        continue
+                    removed_inner = removed | frozenset((var,))
+                else:
+                    inner = cur
+                    removed_inner = removed
+                if var in danger:
+                    taken = danger | set(inner) | free_vars(body)
+                    new_var = fresh_name(var, taken)
+                    # Reentrant rename: spins up a nested machine, so
+                    # the Python stack grows only per *collision*, not
+                    # per term depth.
+                    body = subst_var(body, var, Var(new_var))
+                    var = new_var
+                tasks.append((_BIND, node, var, memo_key))
+                tasks.append((_VISIT, body, inner, removed_inner))
+            else:  # Impl / And / Or / Eq
+                tasks.append((_PAIR, node, memo_key))
+                tasks.append((_VISIT, node.rhs, cur, removed))
+                tasks.append((_VISIT, node.lhs, cur, removed))
+        elif op == _APP:
+            _, node, memo_key = frame
+            n = len(node.args)
+            fn = vals[-(n + 1)]
+            args = tuple(vals[-n:])
+            del vals[-(n + 1):]
+            if fn is node.fn and all(
+                a is b for a, b in zip(args, node.args)
+            ):
+                result = node
+            else:
+                result = app(fn, *args)
+            if memo_key is not None:
+                _SUBST_CACHE.put(memo_key, (result, result is not node))
+            vals.append(result)
+        elif op == _BIND:
+            _, node, var, memo_key = frame
+            body = vals.pop()
+            if var is node.var and body is node.body:
+                result = node
+            else:
+                result = node.__class__(var, node.ty, body)
+            if memo_key is not None:
+                _SUBST_CACHE.put(memo_key, (result, result is not node))
+            vals.append(result)
+        else:  # _PAIR
+            _, node, memo_key = frame
+            rhs = vals.pop()
+            lhs = vals.pop()
+            if lhs is node.lhs and rhs is node.rhs:
+                result = node
+            elif node.__class__ is Eq:
+                result = Eq(node.ty, lhs, rhs)
+            else:
+                result = node.__class__(lhs, rhs)
+            if memo_key is not None:
+                _SUBST_CACHE.put(memo_key, (result, result is not node))
+            vals.append(result)
+    return vals[0]
 
 
-def _subst(term: Term, mapping: Dict[str, Term], danger: Set[str]) -> Term:
-    if isinstance(term, Var):
-        return mapping.get(term.name, term)
-    if isinstance(term, (Const, TrueP, FalseP, Meta)):
-        return term
-    if isinstance(term, App):
-        fn = _subst(term.fn, mapping, danger)
-        args = tuple(_subst(a, mapping, danger) for a in term.args)
-        if fn is term.fn and all(a is b for a, b in zip(args, term.args)):
-            return term
-        return app(fn, *args)
-    if isinstance(term, (Lam, Forall, Exists)):
-        var = term.var
-        body = term.body
-        inner = {k: v for k, v in mapping.items() if k != var}
-        if not inner:
-            return term
-        if var in danger:
-            taken = danger | set(inner) | free_vars(body)
-            new_var = fresh_name(var, taken)
-            body = subst_var(body, var, Var(new_var))
-            var = new_var
-        new_body = _subst(body, inner, danger)
-        if var is term.var and new_body is term.body:
-            return term
-        return _binder_cls(term)(var, term.ty, new_body)
-    if isinstance(term, (Impl, And, Or)):
-        lhs = _subst(term.lhs, mapping, danger)
-        rhs = _subst(term.rhs, mapping, danger)
-        if lhs is term.lhs and rhs is term.rhs:
-            return term
-        return _binder_cls(term)(lhs, rhs)
-    if isinstance(term, Eq):
-        lhs = _subst(term.lhs, mapping, danger)
-        rhs = _subst(term.rhs, mapping, danger)
-        if lhs is term.lhs and rhs is term.rhs:
-            return term
-        return Eq(term.ty, lhs, rhs)
-    raise AssertionError(f"unknown term node: {term!r}")
-
-
-_RESOLVE_CACHE = _cache.BoundedCache("subst_metas", capacity=16_384)
+_RESOLVE_CACHE = _cache.BoundedCache("subst_metas", capacity=32_768)
 
 
 def subst_metas(term: Term, solutions: Mapping[int, Term]) -> Term:
-    """Replace solved metavariables by their solutions, transitively."""
+    """Replace solved metavariables by their solutions, transitively.
+
+    Same machine shape as :func:`subst_vars`, plus a per-node fast
+    path: a subtree whose (cached) meta set is disjoint from the
+    solution map is returned unchanged without being walked — the
+    common ``resolve()`` call on a meta-free goal is O(1).
+    """
     if not solutions:
         return term
-    if _cache.enabled():
-        # The common resolve() call sees a term with no (solved) metas;
-        # the cached meta set turns that into an O(1) no-op.
+    use_cache = _cache.enabled()
+    solsig = None
+    arena = None
+    gen = 0
+    if use_cache:
         metas = meta_set(term)
         if not metas or all(uid not in solutions for uid in metas):
             return term
-        key = (term, tuple(sorted(solutions.items())))
-        hit = _RESOLVE_CACHE.get(key)
-        if hit is not None:
-            return hit
-        result = _subst_metas(term, solutions)
-        _RESOLVE_CACHE.put(key, result)
-        return result
-    return _subst_metas(term, solutions)
+        solsig = tuple(sorted(solutions.items()))
+        arena = _arena().current()
+        gen = arena.generation
 
-
-def _subst_metas(term: Term, solutions: Mapping[int, Term]) -> Term:
-    if isinstance(term, Meta):
-        solution = solutions.get(term.uid)
-        if solution is None:
-            return term
-        return _subst_metas(solution, solutions)
-    if isinstance(term, (Var, Const, TrueP, FalseP)):
-        return term
-    if isinstance(term, App):
-        fn = _subst_metas(term.fn, solutions)
-        args = tuple(_subst_metas(a, solutions) for a in term.args)
-        if fn is term.fn and all(a is b for a, b in zip(args, term.args)):
-            return term
-        return app(fn, *args)
-    if isinstance(term, (Lam, Forall, Exists)):
-        body = _subst_metas(term.body, solutions)
-        if body is term.body:
-            return term
-        return _binder_cls(term)(term.var, term.ty, body)
-    if isinstance(term, (Impl, And, Or)):
-        lhs = _subst_metas(term.lhs, solutions)
-        rhs = _subst_metas(term.rhs, solutions)
-        if lhs is term.lhs and rhs is term.rhs:
-            return term
-        return _binder_cls(term)(lhs, rhs)
-    if isinstance(term, Eq):
-        lhs = _subst_metas(term.lhs, solutions)
-        rhs = _subst_metas(term.rhs, solutions)
-        if lhs is term.lhs and rhs is term.rhs:
-            return term
-        return Eq(term.ty, lhs, rhs)
-    raise AssertionError(f"unknown term node: {term!r}")
+    tasks: list = [(_VISIT, term)]
+    vals: list = []
+    while tasks:
+        frame = tasks.pop()
+        op = frame[0]
+        if op == _VISIT:
+            node = frame[1]
+            cls = node.__class__
+            if cls is Meta:
+                solution = solutions.get(node.uid)
+                if solution is None:
+                    vals.append(node)
+                else:
+                    # Transitive: the solution may itself mention
+                    # solved metas; its result stands in for this one.
+                    tasks.append((_VISIT, solution))
+                continue
+            if cls is Var or cls in _LEAVES:
+                vals.append(node)
+                continue
+            memo_key = None
+            if use_cache:
+                metas = meta_set(node)
+                if not metas or all(uid not in solutions for uid in metas):
+                    vals.append(node)
+                    continue
+                memo_key = (arena.intern_id(node), gen, solsig)
+                hit = _RESOLVE_CACHE.get(memo_key)
+                if hit is not None:
+                    result, changed = hit
+                    vals.append(result if changed else node)
+                    continue
+            if cls is App:
+                tasks.append((_APP, node, memo_key))
+                for arg in reversed(node.args):
+                    tasks.append((_VISIT, arg))
+                tasks.append((_VISIT, node.fn))
+            elif cls is Lam or cls is Forall or cls is Exists:
+                tasks.append((_BIND, node, node.var, memo_key))
+                tasks.append((_VISIT, node.body))
+            else:  # Impl / And / Or / Eq
+                tasks.append((_PAIR, node, memo_key))
+                tasks.append((_VISIT, node.rhs))
+                tasks.append((_VISIT, node.lhs))
+        elif op == _APP:
+            _, node, memo_key = frame
+            n = len(node.args)
+            fn = vals[-(n + 1)]
+            args = tuple(vals[-n:])
+            del vals[-(n + 1):]
+            if fn is node.fn and all(
+                a is b for a, b in zip(args, node.args)
+            ):
+                result = node
+            else:
+                result = app(fn, *args)
+            if memo_key is not None:
+                _RESOLVE_CACHE.put(memo_key, (result, result is not node))
+            vals.append(result)
+        elif op == _BIND:
+            _, node, var, memo_key = frame
+            body = vals.pop()
+            if body is node.body:
+                result = node
+            else:
+                result = node.__class__(var, node.ty, body)
+            if memo_key is not None:
+                _RESOLVE_CACHE.put(memo_key, (result, result is not node))
+            vals.append(result)
+        else:  # _PAIR
+            _, node, memo_key = frame
+            rhs = vals.pop()
+            lhs = vals.pop()
+            if lhs is node.lhs and rhs is node.rhs:
+                result = node
+            elif node.__class__ is Eq:
+                result = Eq(node.ty, lhs, rhs)
+            else:
+                result = node.__class__(lhs, rhs)
+            if memo_key is not None:
+                _RESOLVE_CACHE.put(memo_key, (result, result is not node))
+            vals.append(result)
+    return vals[0]
 
 
 def alpha_eq(t1: Term, t2: Term) -> bool:
@@ -292,9 +434,6 @@ def alpha_key(term: Term) -> str:
     return "".join(parts)
 
 
-_ALPHA_FP_CACHE = _cache.BoundedCache("alpha_fp", capacity=65_536)
-
-
 def alpha_fingerprint(term: Term) -> int:
     """An alpha-invariant structural hash of ``term``.
 
@@ -302,59 +441,80 @@ def alpha_fingerprint(term: Term) -> int:
     equal strings (modulo the negligible 64-bit collision risk), but
     costs O(1) amortized: bound variables are hashed by de Bruijn
     *index* (distance to their binder), so a closed subterm hashes the
-    same at any depth and its fingerprint memoizes per node.  This is
-    what :meth:`repro.kernel.goals.ProofState.fingerprint` — the
-    search engine's duplicate-state key — is built from.
+    same at any depth and its fingerprint memoizes — in the arena's
+    ``alpha_fp`` parallel array, keyed by node id.  This is what
+    :meth:`repro.kernel.goals.ProofState.fingerprint` — the search
+    engine's duplicate-state key — is built from.
     """
     if not _cache.enabled():
-        return _alpha_fp(term, {}, 0)
-    hit = _ALPHA_FP_CACHE.get(term)
-    if hit is not None:
-        return hit
-    fp = _alpha_fp(term, {}, 0)
-    _ALPHA_FP_CACHE.put(term, fp)
-    return fp
+        return _alpha_fp_pristine(term)
+    arena = _arena().current()
+    return arena.alpha_fp_of(arena.intern_id(term))
 
 
-def _alpha_fp(term: Term, env: Dict[str, int], depth: int) -> int:
-    if env and _cache.enabled() and free_var_set(term).isdisjoint(env):
-        # Closed w.r.t. the enclosing binders: de Bruijn indices make
-        # the value position-independent, so reuse the memoized one.
-        return alpha_fingerprint(term)
-    if isinstance(term, Var):
-        level = env.get(term.name)
-        if level is None:
-            return hash(("v", term.name))
-        return hash(("b", depth - level))
-    if isinstance(term, Const):
-        return hash(("c", term.name))
-    if isinstance(term, TrueP):
-        return hash("T!")
-    if isinstance(term, FalseP):
-        return hash("F!")
-    if isinstance(term, Meta):
-        return hash(("m", term.uid))
-    if isinstance(term, App):
-        return hash(
-            ("a", len(term.args), _alpha_fp(term.fn, env, depth))
-            + tuple(_alpha_fp(arg, env, depth) for arg in term.args)
-        )
-    if isinstance(term, (Lam, Forall, Exists)):
-        tag = {"Lam": "L", "Forall": "A", "Exists": "E"}[type(term).__name__]
-        inner = dict(env)
-        inner[term.var] = depth
-        return hash((tag, _alpha_fp(term.body, inner, depth + 1)))
-    if isinstance(term, (Impl, And, Or)):
-        tag = {"Impl": "I", "And": "&", "Or": "|"}[type(term).__name__]
-        return hash(
-            (tag, _alpha_fp(term.lhs, env, depth), _alpha_fp(term.rhs, env, depth))
-        )
-    if isinstance(term, Eq):
-        # The ty annotation is ignored, mirroring alpha_key.
-        return hash(
-            ("=", _alpha_fp(term.lhs, env, depth), _alpha_fp(term.rhs, env, depth))
-        )
-    raise AssertionError(f"unknown term node: {term!r}")
+def _alpha_fp_pristine(term: Term) -> int:
+    """The fingerprint by direct iterative walk: no arena, no memo.
+
+    The kill-switch (``REPRO_KERNEL_CACHE=0`` / ``cache.disabled()``)
+    oracle: value-identical to the arena computation, structured as a
+    plain two-phase machine so even the un-memoized path survives
+    5000-deep terms.
+    """
+    _EMPTY: Dict[str, int] = {}
+    tasks: list = [(False, term, _EMPTY, 0)]
+    vals: list = []
+    while tasks:
+        combining, t, env, depth = tasks.pop()
+        cls = t.__class__
+        if combining:
+            if cls is App:
+                n = len(t.args)
+                child = vals[-(n + 1):]
+                del vals[-(n + 1):]
+                vals.append(hash(("a", n, child[0]) + tuple(child[1:])))
+            elif cls is Lam or cls is Forall or cls is Exists:
+                tag = {"Lam": "L", "Forall": "A", "Exists": "E"}[cls.__name__]
+                vals.append(hash((tag, vals.pop())))
+            elif cls is Eq:
+                # The ty annotation is ignored, mirroring alpha_key.
+                rhs = vals.pop()
+                vals.append(hash(("=", vals.pop(), rhs)))
+            else:  # Impl / And / Or
+                tag = {"Impl": "I", "And": "&", "Or": "|"}[cls.__name__]
+                rhs = vals.pop()
+                vals.append(hash((tag, vals.pop(), rhs)))
+            continue
+        if cls is Var:
+            level = env.get(t.name)
+            if level is None:
+                vals.append(hash(("v", t.name)))
+            else:
+                vals.append(hash(("b", depth - level)))
+        elif cls is Const:
+            vals.append(hash(("c", t.name)))
+        elif cls is TrueP:
+            vals.append(hash("T!"))
+        elif cls is FalseP:
+            vals.append(hash("F!"))
+        elif cls is Meta:
+            vals.append(hash(("m", t.uid)))
+        elif cls is App:
+            tasks.append((True, t, env, depth))
+            for arg in reversed(t.args):
+                tasks.append((False, arg, env, depth))
+            tasks.append((False, t.fn, env, depth))
+        elif cls is Lam or cls is Forall or cls is Exists:
+            inner = dict(env)
+            inner[t.var] = depth
+            tasks.append((True, t, env, depth))
+            tasks.append((False, t.body, inner, depth + 1))
+        elif cls is Impl or cls is And or cls is Or or cls is Eq:
+            tasks.append((True, t, env, depth))
+            tasks.append((False, t.rhs, env, depth))
+            tasks.append((False, t.lhs, env, depth))
+        else:
+            raise AssertionError(f"unknown term node: {t!r}")
+    return vals[0]
 
 
 def _alpha_key(term: Term, env: Dict[str, int], depth: int, parts: list) -> None:

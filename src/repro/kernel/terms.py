@@ -31,11 +31,17 @@ hash (installed as ``__hash__``, making term-keyed dict/set probes
 O(1) after first use), the free-variable set, and the metavariable
 set.  ``__eq__`` gets a fast path — identity, then class, then cached
 hash — before falling back to the dataclass field walk.  On top of
-that, :func:`intern` hash-conses terms through a constructor cache so
-structurally equal terms share one representative (and therefore
-share all the stamped and memoized derived values).  All of this is
-transparent: hashing and equality semantics are unchanged, only their
-cost is.
+that, :func:`intern` hash-conses terms through the node arena in
+:mod:`repro.kernel.arena`: structurally equal terms share one
+representative addressed by an integer id, structural equality of
+interned terms is id equality, and derived data (hash, free vars,
+metas, alpha fingerprints) lives in parallel arrays keyed by id.  All
+of this is transparent: hashing and equality semantics are unchanged,
+only their cost is.
+
+Every derived-data walk here is **iterative** (explicit work stacks,
+post-order stamping), so hashing or collecting the free variables of
+a 5000-deep Peano numeral never touches Python's recursion limit.
 """
 
 from __future__ import annotations
@@ -82,7 +88,10 @@ __all__ = [
     "metas_of",
     "meta_set",
     "intern",
+    "intern_id",
+    "term_of",
     "structural_hash",
+    "term_children",
 ]
 
 
@@ -216,27 +225,38 @@ class Meta(Term):
 # ----------------------------------------------------------------------
 
 
-def _compute_hash(term: Term) -> int:
-    """Structural hash, mixing cached child hashes (one pass per node)."""
-    if isinstance(term, Var):
+def term_children(term: Term) -> Tuple[Term, ...]:
+    """The direct term-valued children of ``term`` (types excluded)."""
+    cls = term.__class__
+    if cls is App:
+        return (term.fn,) + term.args
+    if cls is Lam or cls is Forall or cls is Exists:
+        return (term.body,)
+    if cls is Impl or cls is And or cls is Or or cls is Eq:
+        return (term.lhs, term.rhs)
+    return ()
+
+
+def _combine_hash(term: Term) -> int:
+    """Structural hash of one node from already-stamped child hashes."""
+    cls = term.__class__
+    if cls is Var:
         return hash(("V", term.name))
-    if isinstance(term, Const):
+    if cls is Const:
         return hash(("C", term.name))
-    if isinstance(term, App):
+    if cls is App:
         return hash(("A", hash(term.fn)) + tuple(hash(a) for a in term.args))
-    if isinstance(term, (Lam, Forall, Exists)):
-        return hash(
-            (type(term).__name__, term.var, hash(term.ty), hash(term.body))
-        )
-    if isinstance(term, (Impl, And, Or)):
-        return hash((type(term).__name__, hash(term.lhs), hash(term.rhs)))
-    if isinstance(term, Eq):
+    if cls is Lam or cls is Forall or cls is Exists:
+        return hash((cls.__name__, term.var, hash(term.ty), hash(term.body)))
+    if cls is Impl or cls is And or cls is Or:
+        return hash((cls.__name__, hash(term.lhs), hash(term.rhs)))
+    if cls is Eq:
         return hash(("=", hash(term.ty), hash(term.lhs), hash(term.rhs)))
-    if isinstance(term, TrueP):
+    if cls is TrueP:
         return hash("TrueP")
-    if isinstance(term, FalseP):
+    if cls is FalseP:
         return hash("FalseP")
-    if isinstance(term, Meta):
+    if cls is Meta:
         return hash(("M", term.uid, term.hint))
     raise AssertionError(f"unknown term node: {term!r}")
 
@@ -244,8 +264,22 @@ def _compute_hash(term: Term) -> int:
 def _term_hash(self: Term) -> int:
     h = self.__dict__.get("_h")
     if h is None:
-        h = _compute_hash(self)
-        object.__setattr__(self, "_h", h)
+        # Iterative post-order stamp: children first, so _combine_hash
+        # only ever reads O(1) cached child hashes.  Recursing here
+        # would overflow on deep terms (5k-deep Peano numerals).
+        stack = [self]
+        while stack:
+            t = stack[-1]
+            if "_h" in t.__dict__:
+                stack.pop()
+                continue
+            pending = [c for c in term_children(t) if "_h" not in c.__dict__]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            object.__setattr__(t, "_h", _combine_hash(t))
+        h = self.__dict__["_h"]
     return h
 
 
@@ -254,9 +288,69 @@ def _term_eq(self: Term, other: object):
         return True
     if other.__class__ is not self.__class__:
         return NotImplemented
+    d1 = self.__dict__
+    d2 = other.__dict__  # type: ignore[attr-defined]
+    gen = d1.get("_agen")
+    if gen is not None and gen == d2.get("_agen"):
+        # Both interned in the live arena generation: structural
+        # equality IS id equality.
+        return d1["_aid"] == d2["_aid"]
     if _term_hash(self) != _term_hash(other):  # type: ignore[arg-type]
         return False
-    return self._fields_eq(other)  # type: ignore[attr-defined]
+    return _structural_eq(self, other)  # type: ignore[arg-type]
+
+
+def _structural_eq(t1: Term, t2: Term) -> bool:
+    """Field-by-field equality as an iterative pair walk.
+
+    The dataclass-generated ``__eq__`` compares child terms
+    recursively; on 5k-deep numerals that blows the recursion limit
+    (e.g. from a plain dict probe whose bucket holds an equal deep
+    key).  Hashes are compared before descending, so unequal pairs
+    exit early just like the recursive version.
+    """
+    stack = [(t1, t2)]
+    while stack:
+        a, b = stack.pop()
+        if a is b:
+            continue
+        cls = a.__class__
+        if cls is not b.__class__:
+            return False
+        da = a.__dict__
+        db = b.__dict__
+        gen = da.get("_agen")
+        if gen is not None and gen == db.get("_agen"):
+            if da["_aid"] != db["_aid"]:
+                return False
+            continue
+        if _term_hash(a) != _term_hash(b):
+            return False
+        if cls is Var or cls is Const:
+            if a.name != b.name:
+                return False
+        elif cls is App:
+            if len(a.args) != len(b.args):
+                return False
+            stack.append((a.fn, b.fn))
+            stack.extend(zip(a.args, b.args))
+        elif cls is Lam or cls is Forall or cls is Exists:
+            if a.var != b.var or a.ty != b.ty:
+                return False
+            stack.append((a.body, b.body))
+        elif cls is Impl or cls is And or cls is Or:
+            stack.append((a.lhs, b.lhs))
+            stack.append((a.rhs, b.rhs))
+        elif cls is Eq:
+            if a.ty != b.ty:
+                return False
+            stack.append((a.lhs, b.lhs))
+            stack.append((a.rhs, b.rhs))
+        elif cls is Meta:
+            if a.uid != b.uid or a.hint != b.hint:
+                return False
+        # TrueP/FalseP carry no fields.
+    return True
 
 
 def structural_hash(term: Term) -> int:
@@ -281,69 +375,53 @@ _TERM_CLASSES = (
 )
 
 for _cls in _TERM_CLASSES:
-    # Replace the dataclass-generated __hash__/__eq__ (full field walks
-    # on every call) with cached-hash variants.  The generated __eq__ is
-    # kept as the structural fallback.
-    _cls._fields_eq = _cls.__eq__  # type: ignore[attr-defined]
+    # Replace the dataclass-generated __hash__/__eq__ (full recursive
+    # field walks on every call) with the cached-hash / id-equality /
+    # iterative-fallback variants.
     _cls.__eq__ = _term_eq  # type: ignore[assignment]
     _cls.__hash__ = _term_hash  # type: ignore[assignment]
 del _cls
 
 
-_INTERN_TABLE = _cache.BoundedCache("intern", capacity=1_000_000)
+# Deferred import cache: arena imports the term classes from this
+# module, so this module can only reach arena lazily.
+_ARENA_MOD = None
+
+
+def _arena():
+    global _ARENA_MOD
+    if _ARENA_MOD is None:
+        from repro.kernel import arena as mod
+
+        _ARENA_MOD = mod
+    return _ARENA_MOD
 
 
 def intern(term: Term) -> Term:
     """Hash-cons ``term``: one shared representative per structure.
 
-    Structurally equal terms intern to the *same object*, so all the
-    derived values stamped on a node (hash, free variables, metas,
-    alpha fingerprints) are computed once per structure rather than
-    once per copy.  Interning is safe because terms are frozen; the
-    table is dropped (and the epoch stamped on representatives is
-    invalidated) by :func:`repro.kernel.cache.clear_caches`.
+    Structurally equal terms intern to the *same object* — the arena's
+    canonical node for their id (:mod:`repro.kernel.arena`) — so all
+    derived values (hash, free variables, metas, alpha fingerprints)
+    are computed once per structure rather than once per copy, and
+    structural equality of interned terms is id (identity) equality.
+    Interning is safe because terms are frozen; the arena is retired
+    (and the epoch stamped on representatives is invalidated) by
+    :func:`repro.kernel.cache.clear_caches`.
     """
-    if term.__dict__.get("_interned") == _cache.intern_epoch():
-        return term
     if not _cache.enabled():
         return term
-    cached = _INTERN_TABLE.get(term)
-    if cached is not None:
-        return cached
-    rep = _intern_children(term)
-    _INTERN_TABLE.put(rep, rep)
-    object.__setattr__(rep, "_interned", _cache.intern_epoch())
-    return rep
+    return _arena().intern_term(term)
 
 
-def _intern_children(term: Term) -> Term:
-    """Rebuild ``term`` over interned children (identity-preserving)."""
-    if isinstance(term, (Var, Const, TrueP, FalseP, Meta)):
-        return term
-    if isinstance(term, App):
-        fn = intern(term.fn)
-        args = tuple(intern(a) for a in term.args)
-        if fn is term.fn and all(a is b for a, b in zip(args, term.args)):
-            return term
-        return App(fn, args)
-    if isinstance(term, (Lam, Forall, Exists)):
-        body = intern(term.body)
-        if body is term.body:
-            return term
-        return type(term)(term.var, term.ty, body)
-    if isinstance(term, (Impl, And, Or)):
-        lhs = intern(term.lhs)
-        rhs = intern(term.rhs)
-        if lhs is term.lhs and rhs is term.rhs:
-            return term
-        return type(term)(lhs, rhs)
-    if isinstance(term, Eq):
-        lhs = intern(term.lhs)
-        rhs = intern(term.rhs)
-        if lhs is term.lhs and rhs is term.rhs:
-            return term
-        return Eq(term.ty, lhs, rhs)
-    raise AssertionError(f"unknown term node: {term!r}")
+def intern_id(term: Term) -> int:
+    """The arena id of ``term`` (interning it first if necessary)."""
+    return _arena().intern_id(term)
+
+
+def term_of(tid: int) -> Term:
+    """The canonical term for an arena id (inverse of :func:`intern_id`)."""
+    return _arena().term_of(tid)
 
 
 def app(fn: Term, *args: Term) -> Term:
@@ -457,24 +535,41 @@ def free_var_set(term: Term) -> FrozenSet[str]:
     """The free term-variable names of ``term``, cached on the node."""
     cached = term.__dict__.get("_fvs")
     if cached is None:
-        cached = _compute_free_vars(term)
-        object.__setattr__(term, "_fvs", cached)
+        # Iterative post-order stamp (children before parents), so the
+        # combine step below reads only cached child sets.
+        stack = [term]
+        while stack:
+            t = stack[-1]
+            if "_fvs" in t.__dict__:
+                stack.pop()
+                continue
+            pending = [
+                c for c in term_children(t) if "_fvs" not in c.__dict__
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            object.__setattr__(t, "_fvs", _combine_free_vars(t))
+        cached = term.__dict__["_fvs"]
     return cached
 
 
-def _compute_free_vars(term: Term) -> FrozenSet[str]:
-    if isinstance(term, Var):
+def _combine_free_vars(term: Term) -> FrozenSet[str]:
+    """Free vars of one node from already-stamped child sets."""
+    cls = term.__class__
+    if cls is Var:
         return frozenset((term.name,))
-    if isinstance(term, App):
-        out = set(free_var_set(term.fn))
+    if cls is App:
+        out = set(term.fn.__dict__["_fvs"])
         for arg in term.args:
-            out |= free_var_set(arg)
+            out |= arg.__dict__["_fvs"]
         return frozenset(out)
-    if isinstance(term, (Lam, Forall, Exists)):
-        fvs = free_var_set(term.body)
+    if cls is Lam or cls is Forall or cls is Exists:
+        fvs = term.body.__dict__["_fvs"]
         return fvs - {term.var} if term.var in fvs else fvs
-    if isinstance(term, (Impl, And, Or, Eq)):
-        return free_var_set(term.lhs) | free_var_set(term.rhs)
+    if cls is Impl or cls is And or cls is Or or cls is Eq:
+        return term.lhs.__dict__["_fvs"] | term.rhs.__dict__["_fvs"]
     # Var-free leaves: Const, TrueP, FalseP, Meta.
     return _EMPTY_NAMES
 
@@ -488,20 +583,12 @@ def free_vars(term: Term, bound: Optional[Set[str]] = None) -> Set[str]:
 
 
 def subterms(term: Term) -> Iterator[Term]:
-    """Yield ``term`` and all of its subterms, pre-order."""
-    yield term
-    if isinstance(term, App):
-        yield from subterms(term.fn)
-        for arg in term.args:
-            yield from subterms(arg)
-    elif isinstance(term, (Lam, Forall, Exists)):
-        yield from subterms(term.body)
-    elif isinstance(term, (Impl, And, Or)):
-        yield from subterms(term.lhs)
-        yield from subterms(term.rhs)
-    elif isinstance(term, Eq):
-        yield from subterms(term.lhs)
-        yield from subterms(term.rhs)
+    """Yield ``term`` and all of its subterms, pre-order (iterative)."""
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        yield t
+        stack.extend(reversed(term_children(t)))
 
 
 def head_const(term: Term) -> Optional[str]:
@@ -520,23 +607,37 @@ def meta_set(term: Term) -> FrozenSet[int]:
     """The uids of metavariables occurring in ``term``, cached on the node."""
     cached = term.__dict__.get("_metas")
     if cached is None:
-        cached = _compute_metas(term)
-        object.__setattr__(term, "_metas", cached)
+        stack = [term]
+        while stack:
+            t = stack[-1]
+            if "_metas" in t.__dict__:
+                stack.pop()
+                continue
+            pending = [
+                c for c in term_children(t) if "_metas" not in c.__dict__
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            object.__setattr__(t, "_metas", _combine_metas(t))
+        cached = term.__dict__["_metas"]
     return cached
 
 
-def _compute_metas(term: Term) -> FrozenSet[int]:
-    if isinstance(term, Meta):
+def _combine_metas(term: Term) -> FrozenSet[int]:
+    cls = term.__class__
+    if cls is Meta:
         return frozenset((term.uid,))
-    if isinstance(term, App):
-        out = set(meta_set(term.fn))
+    if cls is App:
+        out = set(term.fn.__dict__["_metas"])
         for arg in term.args:
-            out |= meta_set(arg)
+            out |= arg.__dict__["_metas"]
         return frozenset(out)
-    if isinstance(term, (Lam, Forall, Exists)):
-        return meta_set(term.body)
-    if isinstance(term, (Impl, And, Or, Eq)):
-        return meta_set(term.lhs) | meta_set(term.rhs)
+    if cls is Lam or cls is Forall or cls is Exists:
+        return term.body.__dict__["_metas"]
+    if cls is Impl or cls is And or cls is Or or cls is Eq:
+        return term.lhs.__dict__["_metas"] | term.rhs.__dict__["_metas"]
     return _EMPTY_UIDS
 
 

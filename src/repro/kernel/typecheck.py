@@ -38,6 +38,7 @@ from repro.kernel.terms import (
     TrueP,
     Var,
     app,
+    intern,
 )
 from repro.kernel.types import (
     NAT,
@@ -202,7 +203,10 @@ def elaborate_term(
     term, ty = inf.infer(raw, ctx)
     if expected is not None:
         inf.unify(ty, expected, "statement")
-    return inf.zonk(term)
+    # Elaboration is the parser-side boundary into the kernel: intern
+    # here so every downstream traversal starts from arena-canonical
+    # nodes with shared derived data.
+    return intern(inf.zonk(term))
 
 
 def infer_type(
@@ -211,4 +215,4 @@ def infer_type(
     """Elaborate ``raw`` and report its inferred type."""
     inf = _Inferencer(env)
     term, ty = inf.infer(raw, ctx)
-    return inf.zonk(term), inf.resolve(ty)
+    return intern(inf.zonk(term)), inf.resolve(ty)

@@ -122,6 +122,11 @@ def match_term(
     unify(pattern, subject, store, whnf)
 
 
+# Task opcodes for the iterative unifier: unify one resolved pair, or
+# pop the innermost attempt marker (its scope completed successfully).
+_PAIR, _POP_ATTEMPT = 0, 1
+
+
 def _unify(
     t1: Term,
     t2: Term,
@@ -129,86 +134,114 @@ def _unify(
     depth: int,
     whnf: Optional[Reducer],
 ) -> None:
-    t1 = store.resolve(t1)
-    t2 = store.resolve(t2)
+    """Iterative worklist unification.
 
-    if isinstance(t1, Meta):
-        _solve_meta(t1, t2, store, depth)
-        return
-    if isinstance(t2, Meta):
-        _solve_meta(t2, t1, store, depth)
-        return
+    The recursive original nested a try/except per application node
+    (``_attempt``: snapshot, unify head then args, on failure restore
+    and fall back to weak-head normalization).  Here that nesting is a
+    stack of *attempt markers* ``(task base, resolved pair, depth,
+    snapshot)``: a :class:`UnificationError` unwinds to the innermost
+    marker — discarding the tasks pushed inside its scope, restoring
+    its snapshot — and retries the recorded pair after ``whnf``; if no
+    reduction progress is possible the failure propagates to the next
+    marker out, exactly mirroring the exception's path through the
+    nested ``except`` blocks.  Only unification failures unwind:
+    anything else a ``whnf`` callback raises (tactic timeouts) escapes
+    untouched.  Deep spines no longer consume Python stack frames.
+    """
+    tasks: list = [(_PAIR, t1, t2, depth)]
+    # (base_len, resolved_t1, resolved_t2, depth, store_snapshot)
+    attempts: list = []
+    while tasks:
+        task = tasks.pop()
+        try:
+            if task[0] == _POP_ATTEMPT:
+                attempts.pop()
+                continue
+            _, a, b, d = task
+            a = store.resolve(a)
+            b = store.resolve(b)
 
-    if isinstance(t1, Var) and isinstance(t2, Var):
-        if t1.name == t2.name:
-            return
-        raise UnificationError(f"variable clash: {t1.name} vs {t2.name}")
+            if isinstance(a, Meta):
+                _solve_meta(a, b, store, d)
+                continue
+            if isinstance(b, Meta):
+                _solve_meta(b, a, store, d)
+                continue
 
-    if isinstance(t1, Const) and isinstance(t2, Const):
-        if t1.name == t2.name:
-            return
-        _retry_whnf(t1, t2, store, depth, whnf)
-        return
+            if isinstance(a, Var) and isinstance(b, Var):
+                if a.name == b.name:
+                    continue
+                raise UnificationError(
+                    f"variable clash: {a.name} vs {b.name}"
+                )
 
-    if isinstance(t1, (TrueP, FalseP)) and type(t1) is type(t2):
-        return
+            if isinstance(a, Const) and isinstance(b, Const):
+                if a.name == b.name:
+                    continue
+                _retry_whnf(a, b, d, whnf, tasks)
+                continue
 
-    if isinstance(t1, App) and isinstance(t2, App):
-        if len(t1.args) == len(t2.args):
-            try:
-                _attempt(t1.fn, t2.fn, t1.args, t2.args, store, depth, whnf)
-                return
-            except UnificationError:
-                _retry_whnf(t1, t2, store, depth, whnf)
-                return
-        _retry_whnf(t1, t2, store, depth, whnf)
-        return
+            if isinstance(a, (TrueP, FalseP)) and type(a) is type(b):
+                continue
 
-    if isinstance(t1, (Lam, Forall, Exists)) and type(t1) is type(t2):
-        fresh = _canonical(depth)
-        body1 = subst_var(t1.body, t1.var, Var(fresh))
-        body2 = subst_var(t2.body, t2.var, Var(fresh))  # type: ignore[union-attr]
-        _unify(body1, body2, store, depth + 1, whnf)
-        return
+            if isinstance(a, App) and isinstance(b, App):
+                if len(a.args) == len(b.args):
+                    attempts.append(
+                        (len(tasks), a, b, d, store.snapshot())
+                    )
+                    tasks.append((_POP_ATTEMPT,))
+                    for x, y in zip(reversed(a.args), reversed(b.args)):
+                        tasks.append((_PAIR, x, y, d))
+                    tasks.append((_PAIR, a.fn, b.fn, d))
+                    continue
+                _retry_whnf(a, b, d, whnf, tasks)
+                continue
 
-    if isinstance(t1, (Impl, And, Or)) and type(t1) is type(t2):
-        _unify(t1.lhs, t2.lhs, store, depth, whnf)  # type: ignore[union-attr]
-        _unify(t1.rhs, t2.rhs, store, depth, whnf)  # type: ignore[union-attr]
-        return
+            if isinstance(a, (Lam, Forall, Exists)) and type(a) is type(b):
+                fresh = _canonical(d)
+                body1 = subst_var(a.body, a.var, Var(fresh))
+                body2 = subst_var(b.body, b.var, Var(fresh))  # type: ignore[union-attr]
+                tasks.append((_PAIR, body1, body2, d + 1))
+                continue
 
-    if isinstance(t1, Eq) and isinstance(t2, Eq):
-        _unify(t1.lhs, t2.lhs, store, depth, whnf)
-        _unify(t1.rhs, t2.rhs, store, depth, whnf)
-        return
+            if isinstance(a, (Impl, And, Or)) and type(a) is type(b):
+                tasks.append((_PAIR, a.rhs, b.rhs, d))  # type: ignore[union-attr]
+                tasks.append((_PAIR, a.lhs, b.lhs, d))  # type: ignore[union-attr]
+                continue
 
-    _retry_whnf(t1, t2, store, depth, whnf)
+            if isinstance(a, Eq) and isinstance(b, Eq):
+                tasks.append((_PAIR, a.rhs, b.rhs, d))
+                tasks.append((_PAIR, a.lhs, b.lhs, d))
+                continue
 
-
-def _attempt(
-    fn1: Term,
-    fn2: Term,
-    args1: Tuple[Term, ...],
-    args2: Tuple[Term, ...],
-    store: MetaStore,
-    depth: int,
-    whnf: Optional[Reducer],
-) -> None:
-    snap = store.snapshot()
-    try:
-        _unify(fn1, fn2, store, depth, whnf)
-        for a, b in zip(args1, args2):
-            _unify(a, b, store, depth, whnf)
-    except UnificationError:
-        store.restore(snap)
-        raise
+            _retry_whnf(a, b, d, whnf, tasks)
+        except UnificationError as failure:
+            current = failure
+            while True:
+                if not attempts:
+                    raise current
+                base, ra, rb, d, snap = attempts.pop()
+                del tasks[base:]
+                store.restore(snap)
+                if whnf is not None:
+                    r1 = whnf(ra)
+                    r2 = whnf(rb)
+                    if (r1, r2) != (ra, rb):
+                        # Progress was made, so retrying terminates:
+                        # reduction is step-bounded and each retry
+                        # requires fresh progress.
+                        tasks.append((_PAIR, r1, r2, d))
+                        break
+                current = UnificationError(f"cannot unify {ra} with {rb}")
 
 
 def _retry_whnf(
     t1: Term,
     t2: Term,
-    store: MetaStore,
     depth: int,
     whnf: Optional[Reducer],
+    tasks: list,
 ) -> None:
     """Last resort: weak-head normalize both sides and compare again."""
     if whnf is not None:
@@ -218,7 +251,7 @@ def _retry_whnf(
             # Progress was made, so retrying (with the reducer still
             # available for deeper positions) terminates: reduction is
             # step-bounded and each retry requires fresh progress.
-            _unify(r1, r2, store, depth, whnf)
+            tasks.append((_PAIR, r1, r2, depth))
             return
     raise UnificationError(f"cannot unify {t1} with {t2}")
 

@@ -131,13 +131,37 @@ def render_prometheus(
     snapshot = snapshot or {}
     registry = _Registry()
 
-    for name, count in sorted(snapshot.get("counters", {}).items()):
+    counters = snapshot.get("counters", {})
+    for name, count in sorted(counters.items()):
         family = registry.family(
             f"repro_{_sanitize(name)}_total",
             "counter",
             f"repro counter {name}",
         )
         family.add(count)
+
+    # Derived per-cache hit rates: the raw ``kernel.cache.<name>.hits``
+    # / ``.misses`` counters are exported above, but a regression like
+    # a memo whose hit rate collapses to 0% should be a one-glance
+    # gauge in CI artifacts, not a PromQL exercise.
+    cache_tallies: Dict[str, Dict[str, float]] = {}
+    for name, count in counters.items():
+        if name.startswith("kernel.cache.") and name.count(".") == 3:
+            _, _, cache_name, field = name.split(".")
+            cache_tallies.setdefault(cache_name, {})[field] = count
+    if cache_tallies:
+        rate_family = registry.family(
+            "repro_kernel_cache_hit_rate",
+            "gauge",
+            "per-cache hit fraction over the metrics snapshot window",
+        )
+        for cache_name in sorted(cache_tallies):
+            cell = cache_tallies[cache_name]
+            hits = cell.get("hits", 0)
+            total = hits + cell.get("misses", 0)
+            rate_family.add(
+                hits / total if total else 0.0, {"cache": cache_name}
+            )
 
     seconds = registry.family(
         "repro_stage_seconds_total",
@@ -250,3 +274,39 @@ def _render_service(registry: _Registry, service: dict) -> None:
             "gauge",
             "kernel cache pin scopes currently held by live searches",
         ).add(service["kernel_cache_pins"])
+
+    kernel_caches = service.get("kernel_cache") or {}
+    if kernel_caches:
+        hits_f = gauge(
+            "repro_service_kernel_cache_hits_total",
+            "counter",
+            "kernel memo cache hits since service start",
+        )
+        misses_f = gauge(
+            "repro_service_kernel_cache_misses_total",
+            "counter",
+            "kernel memo cache misses since service start",
+        )
+        rate_f = gauge(
+            "repro_service_kernel_cache_hit_rate",
+            "gauge",
+            "kernel memo cache lifetime hit fraction",
+        )
+        size_f = gauge(
+            "repro_service_kernel_cache_size",
+            "gauge",
+            "entries currently resident per kernel cache",
+        )
+        for cache_name in sorted(kernel_caches):
+            stats = kernel_caches[cache_name]
+            labels = {"cache": cache_name}
+            hits = stats.get("hits", 0)
+            misses = stats.get("misses", 0)
+            hits_f.add(hits, labels)
+            misses_f.add(misses, labels)
+            total = hits + misses
+            rate_f.add(
+                stats.get("hit_rate", hits / total if total else 0.0),
+                labels,
+            )
+            size_f.add(stats.get("size", 0), labels)

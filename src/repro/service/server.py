@@ -258,6 +258,7 @@ class ProverService:
                 ],
                 "proof_cache": self.cache.stats(),
                 "kernel_cache_pins": kernel_cache.pin_count(),
+                "kernel_cache": kernel_cache.cache_stats(),
             },
             "metrics": self.metrics.snapshot(),
         }

@@ -67,6 +67,46 @@ class TestDeferredClear:
         assert cache.intern_epoch() == before
 
 
+class TestArenaGenerations:
+    def test_pinned_clear_cannot_orphan_arena_ids(self, env):
+        """A deferred clear must not retire the arena mid-search: ids
+        handed out under the pin stay resolvable until release."""
+        from repro.kernel import arena
+        from repro.kernel.terms import term_of
+
+        cache.clear_caches()
+        with cache.pinned():
+            live = arena.current()
+            term = intern(parse_statement(env, "forall n : nat, n + 0 = n"))
+            tid = term.__dict__["_aid"]
+            assert term.__dict__["_agen"] == live.generation
+
+            other = threading.Thread(target=cache.clear_caches)
+            other.start()
+            other.join()
+
+            # The bump is pending, so the arena singleton is unswapped
+            # and every id minted above still resolves to its term.
+            assert arena.current() is live
+            assert term_of(tid) is term
+        # Pin released: the generation moves with the epoch and fresh
+        # interning mints ids in the new arena.
+        fresh = arena.current()
+        assert fresh is not live
+        assert fresh.generation == cache.intern_epoch()
+        again = intern(term)
+        assert again == term
+        assert again.__dict__["_agen"] == fresh.generation
+
+    def test_generation_follows_epoch_without_pins(self):
+        from repro.kernel import arena
+
+        before = arena.current().generation
+        cache.clear_caches()
+        assert arena.current().generation == before + 1
+        assert arena.current().generation == cache.intern_epoch()
+
+
 class TestInterleavedSearches:
     def test_interned_terms_survive_a_concurrent_tasks_clear(self, env):
         """Two interleaved searches: task B finishing (clear_caches)

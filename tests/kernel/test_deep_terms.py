@@ -1,0 +1,104 @@
+"""Deep-term regression: hot paths must be recursion-limit-proof.
+
+The FSCQ-style corpus computes on Peano numerals, so ``simpl`` on an
+arithmetic goal can materialize terms thousands of constructors deep.
+Before the arena refactor every kernel traversal was a recursive
+object walk and a ~5k-deep numeral blew ``sys.getrecursionlimit()``;
+the iterative worklist machines must handle it in both cache modes.
+
+The recursion limit is *pinned low* for the duration of each test so a
+regression back to recursive walks fails loudly here instead of
+intermittently in eval sweeps.  Comparisons go through ``as_nat_lit``
+(itself a loop) rather than ``==``: uninterned deep equality falls
+back to the dataclass field walk, which is exactly the recursion this
+test must not depend on.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+
+import pytest
+
+from repro.kernel import cache
+from repro.kernel.reduction import Budget, simpl, whnf
+from repro.kernel.subst import alpha_fingerprint, subst_var, subst_vars
+from repro.kernel.terms import (
+    Const,
+    Eq,
+    Var,
+    as_nat_lit,
+    free_var_set,
+    intern,
+    meta_set,
+    napp,
+    nat_lit,
+    structural_hash,
+)
+
+DEPTH = 5_000
+
+
+@contextmanager
+def low_recursion_limit(limit: int = 1000):
+    previous = sys.getrecursionlimit()
+    sys.setrecursionlimit(limit)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)
+
+
+@pytest.fixture(params=["cached", "pristine"])
+def cache_mode(request):
+    if request.param == "pristine":
+        with cache.disabled():
+            yield request.param
+    else:
+        yield request.param
+
+
+class TestDeepTerms:
+    def test_subst_vars_on_deep_numeral(self, cache_mode):
+        deep = nat_lit(DEPTH)
+        goal = Eq(None, Var("n"), napp("S", Var("n")))
+        with low_recursion_limit():
+            result = subst_var(goal, "n", deep)
+        assert as_nat_lit(result.lhs) == DEPTH
+        assert as_nat_lit(result.rhs) == DEPTH + 1
+
+    def test_subst_vars_identity_on_deep_term(self, cache_mode):
+        deep = nat_lit(DEPTH)
+        with low_recursion_limit():
+            assert subst_vars(deep, {"unused": Const("O")}) is deep
+
+    def test_whnf_reduces_deep_application(self, env, cache_mode):
+        # add recurses on its first argument: whnf must expose the head
+        # constructor without a Python frame per layer of the deep
+        # second argument it matches against a pattern variable.
+        term = napp("add", nat_lit(1), nat_lit(DEPTH))
+        with low_recursion_limit():
+            result = whnf(env, term, Budget(100_000))
+        assert result.fn == Const("S")
+
+    def test_simpl_normalizes_deep_sum(self, env, cache_mode):
+        term = napp("add", nat_lit(3), nat_lit(DEPTH))
+        with low_recursion_limit():
+            result = simpl(env, term, Budget(100_000))
+        assert as_nat_lit(result) == DEPTH + 3
+
+    def test_derived_data_on_deep_terms(self, cache_mode):
+        deep = Eq(None, Var("n"), nat_lit(DEPTH))
+        with low_recursion_limit():
+            assert free_var_set(deep) == frozenset({"n"})
+            assert meta_set(deep) == frozenset()
+            assert isinstance(structural_hash(deep), int)
+            assert isinstance(alpha_fingerprint(deep), int)
+
+    def test_intern_deep_term(self):
+        with low_recursion_limit():
+            a = intern(nat_lit(DEPTH))
+            b = intern(nat_lit(DEPTH))
+        assert a is b
+        assert as_nat_lit(a) == DEPTH

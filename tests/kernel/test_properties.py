@@ -183,6 +183,63 @@ class TestInterning:
             assert intern(t) is t
 
 
+class TestArena:
+    """The hash-consing arena itself: ids, round-trips, epochs."""
+
+    @SETTINGS
+    @given(terms_st)
+    def test_intern_extern_round_trip(self, t):
+        from repro.kernel.arena import current
+
+        arena = current()
+        tid = arena.intern_id(t)
+        back = arena.term_of(tid)
+        assert back == t
+        assert arena.intern_id(back) == tid
+
+    @SETTINGS
+    @given(terms_st, terms_st)
+    def test_id_equality_iff_structural_equality(self, t1, t2):
+        from repro.kernel.arena import current
+
+        arena = current()
+        assert (arena.intern_id(t1) == arena.intern_id(t2)) == (t1 == t2)
+
+    @SETTINGS
+    @given(terms_st)
+    def test_derived_arrays_match_object_walk(self, t):
+        from repro.kernel.arena import current
+
+        arena = current()
+        tid = arena.intern_id(t)
+        assert arena.fvs_of(tid) == free_var_set(t)
+        assert arena.metas_of(tid) == meta_set(t)
+        assert arena.hash_of(tid) == structural_hash(t)
+        assert arena.alpha_fp_of(tid) == alpha_fingerprint(t)
+
+    @SETTINGS
+    @given(terms_st)
+    def test_fingerprint_stable_across_arena_epochs(self, t):
+        from repro.kernel.arena import current
+
+        before = alpha_fingerprint(t)
+        cache.clear_caches()  # retire the arena generation
+        arena = current()
+        assert arena.generation == cache.intern_epoch()
+        assert alpha_fingerprint(t) == before
+
+    def test_interning_tracks_the_live_generation(self):
+        from repro.kernel.arena import current
+
+        t = app(Const("f"), Var("x"), Var("y"))
+        first = intern(t)
+        cache.clear_caches()
+        second = intern(t)
+        # Fresh generation: a fresh canonical object, same structure.
+        assert second == first
+        assert current().generation == cache.intern_epoch()
+
+
 class TestStateKeyTVarInvariance:
     """Regression: goal keys must not depend on the global fresh-tvar
     counter (PR 1's ``?A<n>`` load-mode sensitivity)."""
