@@ -70,6 +70,27 @@ def parse_args() -> argparse.Namespace:
         "and both phases' records are identical",
     )
     parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument(
+        "--cluster-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="add a third phase: the same request list against an "
+        "N-process cluster (each worker owns its own rate-limited "
+        "endpoint, so throughput should scale near-linearly)",
+    )
+    parser.add_argument(
+        "--cluster-min-speedup",
+        type=float,
+        default=1.15,
+        help="with --check and --cluster-workers: minimum cluster "
+        "throughput as a multiple of the single-process batched "
+        "phase.  Conservative: micro-batching and sharding partially "
+        "substitute for the same endpoint rate limit (per-worker "
+        "batches are thinner), and on few-core CI runners the kernel "
+        "CPU floor is shared, so scaling is endpoint-linear, not "
+        "wall-clock-linear",
+    )
     return parser.parse_args()
 
 
@@ -119,37 +140,9 @@ def run_phase(project, args, batched: bool) -> dict:
     base_url = f"http://{host}:{port}"
 
     requests = build_requests(project, args)
-    per_client = [
-        requests[i::args.clients] for i in range(args.clients)
-    ]
-    latencies: list = [None] * len(requests)
-    records: list = [None] * len(requests)
-    errors: list = []
-
-    def client_loop(client_index: int) -> None:
-        client = ProverClient(base_url, timeout=120.0)
-        for local_index, body in enumerate(per_client[client_index]):
-            flat_index = client_index + local_index * args.clients
-            started = time.monotonic()
-            try:
-                status = client.prove_and_wait(
-                    timeout=600.0, poll=2.0, **body
-                )
-                latencies[flat_index] = time.monotonic() - started
-                records[flat_index] = status.get("record")
-            except Exception as exc:  # noqa: BLE001 - report, don't hang
-                errors.append(f"{body}: {type(exc).__name__}: {exc}")
-
-    started = time.monotonic()
-    threads = [
-        threading.Thread(target=client_loop, args=(i,))
-        for i in range(args.clients)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-    wall = time.monotonic() - started
+    latencies, records, errors, wall = drive_clients(
+        base_url, requests, args
+    )
 
     metrics = ProverClient(base_url).metrics()
     httpd.shutdown()
@@ -188,6 +181,99 @@ def run_phase(project, args, batched: bool) -> dict:
     }
 
 
+def drive_clients(base_url: str, requests: list, args) -> tuple:
+    """Closed-loop client threads; returns (latencies, records, errors,
+    wall)."""
+    per_client = [requests[i::args.clients] for i in range(args.clients)]
+    latencies: list = [None] * len(requests)
+    records: list = [None] * len(requests)
+    errors: list = []
+
+    def client_loop(client_index: int) -> None:
+        client = ProverClient(base_url, timeout=120.0)
+        for local_index, body in enumerate(per_client[client_index]):
+            flat_index = client_index + local_index * args.clients
+            started = time.monotonic()
+            try:
+                status = client.prove_and_wait(
+                    timeout=600.0, poll=2.0, **body
+                )
+                latencies[flat_index] = time.monotonic() - started
+                records[flat_index] = status.get("record")
+            except Exception as exc:  # noqa: BLE001 - report, don't hang
+                errors.append(f"{body}: {type(exc).__name__}: {exc}")
+
+    started = time.monotonic()
+    threads = [
+        threading.Thread(target=client_loop, args=(i,))
+        for i in range(args.clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return latencies, records, errors, time.monotonic() - started
+
+
+def run_cluster_phase(project, args) -> dict:
+    """The same request list against an N-process cluster.
+
+    Each forked worker owns its *own* rate-limited endpoint (its own
+    ``query_overhead`` serialization), so this measures what the
+    single-process batcher cannot buy: horizontal scaling across
+    endpoint rate limits.  No state dir — the loadgen needs throughput,
+    not durability.
+    """
+    from repro.service.cluster import ClusterConfig, ProverCluster
+
+    cluster = ProverCluster(
+        ClusterConfig(
+            port=0,
+            workers=args.cluster_workers,
+            threads=args.workers,
+            worker_max_queued=max(32, args.clients * args.requests),
+            batch_window=args.batch_window,
+            max_batch_size=args.max_batch_size,
+            query_overhead=args.query_overhead,
+            max_inflight=max(256, args.clients * args.requests),
+        )
+    )
+    cluster.start()
+    httpd = cluster.make_http_server()
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+
+    requests = build_requests(project, args)
+    latencies, records, errors, wall = drive_clients(
+        f"http://{host}:{port}", requests, args
+    )
+
+    httpd.shutdown()
+    httpd.server_close()
+    cluster.close()
+
+    done = sorted(lat for lat in latencies if lat is not None)
+
+    def quantile(q: float) -> float:
+        if not done:
+            return 0.0
+        return done[min(len(done) - 1, int(q * len(done)))]
+
+    return {
+        "cluster_workers": args.cluster_workers,
+        "requests": len(requests),
+        "completed": len(done),
+        "errors": errors,
+        "wall_seconds": wall,
+        "throughput_rps": len(done) / wall if wall > 0 else 0.0,
+        "latency_p50": quantile(0.50),
+        "latency_p95": quantile(0.95),
+        "latency_mean": statistics.fmean(done) if done else 0.0,
+        "records": records,
+    }
+
+
 def main() -> int:
     args = parse_args()
     project = load_project(check_proofs=False)
@@ -198,12 +284,26 @@ def main() -> int:
         f"overhead={args.query_overhead}s",
         file=sys.stderr,
     )
-    print("[1/2] unbatched (max_batch_size=1) ...", file=sys.stderr)
+    phases = 3 if args.cluster_workers else 2
+    print(
+        f"[1/{phases}] unbatched (max_batch_size=1) ...", file=sys.stderr
+    )
     unbatched = run_phase(project, args, batched=False)
-    print("[2/2] batched ...", file=sys.stderr)
+    print(f"[2/{phases}] batched ...", file=sys.stderr)
     batched = run_phase(project, args, batched=True)
+    cluster = None
+    if args.cluster_workers:
+        print(
+            f"[3/{phases}] cluster x{args.cluster_workers} ...",
+            file=sys.stderr,
+        )
+        cluster = run_cluster_phase(project, args)
 
     records_equal = unbatched["records"] == batched["records"]
+    if cluster is not None:
+        records_equal = (
+            records_equal and cluster["records"] == batched["records"]
+        )
     speedup = (
         batched["throughput_rps"] / unbatched["throughput_rps"]
         if unbatched["throughput_rps"] > 0
@@ -227,6 +327,16 @@ def main() -> int:
         "speedup": speedup,
         "records_identical": records_equal,
     }
+    if cluster is not None:
+        cluster_speedup = (
+            cluster["throughput_rps"] / batched["throughput_rps"]
+            if batched["throughput_rps"] > 0
+            else 0.0
+        )
+        result["cluster"] = {
+            k: v for k, v in cluster.items() if k != "records"
+        }
+        result["cluster_speedup"] = cluster_speedup
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(result, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -242,6 +352,14 @@ def main() -> int:
         f"p95 {batched['latency_p95']:.2f}s, "
         f"mean batch {batched['mean_batch_size']:.2f})"
     )
+    if cluster is not None:
+        print(
+            f"cluster:   {cluster['throughput_rps']:.2f} req/s "
+            f"(p50 {cluster['latency_p50']:.2f}s, "
+            f"p95 {cluster['latency_p95']:.2f}s, "
+            f"{args.cluster_workers} workers, "
+            f"{cluster_speedup:.2f}x batched)"
+        )
     print(f"speedup: {speedup:.2f}x; records identical: {records_equal}")
 
     failures = []
@@ -249,6 +367,16 @@ def main() -> int:
         failures.append(
             f"client errors: {unbatched['errors'] + batched['errors']}"
         )
+    if cluster is not None:
+        if cluster["errors"]:
+            failures.append(f"cluster client errors: {cluster['errors']}")
+        if cluster["completed"] != cluster["requests"]:
+            failures.append("cluster phase dropped requests")
+        if args.check and cluster_speedup < args.cluster_min_speedup:
+            failures.append(
+                f"cluster speedup {cluster_speedup:.2f}x below the "
+                f"{args.cluster_min_speedup}x gate"
+            )
     if not records_equal:
         failures.append(
             "batched phase produced different records than unbatched"

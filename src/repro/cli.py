@@ -174,6 +174,30 @@ def _cmd_eval(args) -> int:
 
 
 def _cmd_server(args) -> int:
+    if args.cluster:
+        from repro.service import ClusterConfig, serve_cluster_forever
+
+        if args.trace:
+            print(
+                "warning: --trace is per-process; cluster workers do "
+                "not trace (run a single-process server to trace jobs)"
+            )
+        return serve_cluster_forever(
+            ClusterConfig(
+                host=args.host,
+                port=args.port,
+                workers=args.cluster,
+                threads=args.workers,
+                worker_max_queued=args.max_queued,
+                batch_window=args.batch_window,
+                max_batch_size=args.max_batch_size,
+                state_dir=args.state_dir,
+                journal_path=args.journal,
+                default_deadline=args.deadline,
+                fast=args.fast,
+                query_overhead=args.query_overhead,
+            )
+        )
     from repro.service import ServerConfig, serve_forever
 
     return serve_forever(
@@ -409,6 +433,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="record every job's search as span-tree JSONL "
         "(render: repro trace)",
+    )
+    p_server.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve as a supervised N-process cluster (consistent-hash "
+        "router, crash recovery, job journal); --workers then sets "
+        "threads per worker process",
+    )
+    p_server.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="cluster durability root: job journal, router proof "
+        "cache, and one proof-cache shard per worker (absent = "
+        "in-memory, no crash recovery)",
+    )
+    p_server.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="cluster job journal path (overrides the --state-dir "
+        "default <dir>/journal.jsonl)",
     )
     p_server.set_defaults(fn=_cmd_server)
 

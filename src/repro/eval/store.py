@@ -31,7 +31,12 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
-__all__ = ["OutcomeRecord", "RunStore"]
+__all__ = [
+    "OutcomeRecord",
+    "RunStore",
+    "checksum_payload",
+    "quarantine_lines",
+]
 
 
 @dataclass(frozen=True)
@@ -64,14 +69,42 @@ class OutcomeRecord:
         return OutcomeRecord(**obj)
 
 
-def _checksum(payload: dict) -> str:
+def checksum_payload(payload: dict) -> str:
     """Truncated SHA-256 of the canonical JSON of ``payload``.
 
     16 hex chars (64 bits) — plenty against accidental corruption,
     which is the threat model; this is not a cryptographic seal.
+    The service's job journal (:mod:`repro.service.journal`) writes
+    the same ``{"...": ..., "sum": <checksum>}`` line format.
     """
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+_checksum = checksum_payload  # internal alias
+
+
+def quarantine_lines(
+    path: Path, good_lines: List[str], bad_lines: List[str]
+) -> Path:
+    """Move corrupt lines to the ``.quarantine`` sibling of ``path``
+    and atomically rewrite ``path`` with only the good ones.
+
+    The rewrite goes through a temp file + ``os.replace`` so a crash
+    mid-quarantine leaves either the old file (re-quarantined next
+    load) or the clean new one — never a half-written file.  Returns
+    the quarantine path.
+    """
+    quarantine = path.with_name(path.name + ".quarantine")
+    with quarantine.open("a", encoding="utf-8") as handle:
+        for line in bad_lines:
+            handle.write(line + "\n")
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        for line in good_lines:
+            handle.write(line + "\n")
+    os.replace(tmp, path)
+    return quarantine
 
 
 class RunStore:
@@ -132,21 +165,9 @@ class RunStore:
         return True
 
     def _quarantine(self, good_lines: List[str], bad_lines: List[str]) -> None:
-        """Move corrupt lines aside and rewrite the store without them.
-
-        The rewrite goes through a temp file + ``os.replace`` so a
-        crash mid-quarantine leaves either the old file (re-quarantined
-        next load) or the clean new one — never a half-written store.
-        """
+        """Move corrupt lines aside and rewrite the store without them."""
         self.quarantined = len(bad_lines)
-        with self.quarantine_path().open("a", encoding="utf-8") as handle:
-            for line in bad_lines:
-                handle.write(line + "\n")
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        with tmp.open("w", encoding="utf-8") as handle:
-            for line in good_lines:
-                handle.write(line + "\n")
-        os.replace(tmp, self.path)
+        quarantine_lines(self.path, good_lines, bad_lines)
 
     # ------------------------------------------------------------------
 

@@ -310,3 +310,69 @@ def _render_service(registry: _Registry, service: dict) -> None:
                 labels,
             )
             size_f.add(stats.get("size", 0), labels)
+
+    # Cluster router gauges (the counters — worker restarts, deaths,
+    # breaker opens, replays — flow through the Metrics snapshot above
+    # as repro_cluster_*_total; emitting them here too would double
+    # count, since the registry sums colliding samples).
+    cluster = service.get("cluster") or {}
+    if cluster:
+        gauge(
+            "repro_cluster_degraded",
+            "gauge",
+            "degradation ladder level: 0 healthy, 1 shedding ad-hoc "
+            "goals, 2 cache-only, 3 draining",
+        ).add(cluster.get("degraded", 0))
+        supervisor = cluster.get("supervisor") or {}
+        gauge(
+            "repro_cluster_workers",
+            "gauge",
+            "configured worker processes",
+        ).add(supervisor.get("workers", 0))
+        gauge(
+            "repro_cluster_workers_healthy",
+            "gauge",
+            "worker processes currently routable",
+        ).add(supervisor.get("healthy", 0))
+        up = gauge(
+            "repro_cluster_worker_up",
+            "gauge",
+            "1 while the worker slot is healthy and routable",
+        )
+        for index, state in sorted(
+            (supervisor.get("states") or {}).items()
+        ):
+            up.add(
+                1 if state.get("state") == "healthy" else 0,
+                {"worker": str(index)},
+            )
+        gauge(
+            "repro_cluster_inflight_jobs",
+            "gauge",
+            "router jobs admitted but not yet terminal",
+        ).add(cluster.get("inflight", 0))
+        jobs_f = gauge(
+            "repro_cluster_jobs",
+            "gauge",
+            "router jobs by lifecycle state",
+        )
+        for state, count in sorted((cluster.get("jobs") or {}).items()):
+            jobs_f.add(count, {"state": state})
+        journal = cluster.get("journal") or {}
+        if journal:
+            gauge(
+                "repro_cluster_journal_pending",
+                "gauge",
+                "journaled jobs with no terminal event (replayed on "
+                "restart)",
+            ).add(journal.get("pending", 0))
+            gauge(
+                "repro_cluster_journal_jobs",
+                "gauge",
+                "jobs ever admitted to the journal",
+            ).add(journal.get("jobs", 0))
+            gauge(
+                "repro_cluster_journal_quarantined_lines",
+                "gauge",
+                "corrupt journal lines quarantined at load",
+            ).add(journal.get("quarantined", 0))

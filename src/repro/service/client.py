@@ -1,8 +1,21 @@
 """A stdlib HTTP client for the prover service.
 
 Thin and dependency-free (``urllib``): the loadgen, the smoke tests,
-and any external tool drive the service through this.  One instance is
-safe to share across threads — each call opens its own connection.
+the cluster router, and any external tool drive the service through
+this.  One instance is safe to share across threads — each call opens
+its own connection.
+
+Transport resilience: a worker restart (or any network blip) surfaces
+as ``ECONNREFUSED``/``ECONNRESET``/read timeouts mid-call.  Those are
+safe to retry — ``POST /prove`` is idempotent (the service
+single-flights on :meth:`~repro.eval.tasks.TheoremTask.cache_key`, so
+a duplicate submit joins the in-flight job instead of starting a
+second search) and every ``GET`` is read-only — so :meth:`_request`
+retries transient transport errors with bounded, deterministic
+seeded backoff (:func:`~repro.llm.resilient.stable_jitter`).  HTTP
+*error responses* (4xx/5xx) are answers, not transport faults, and
+are never retried.  Exhaustion raises :class:`ProverTransportError`;
+``client.transport_retries`` counts retries for observability.
 
 Usage::
 
@@ -15,15 +28,22 @@ Usage::
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.errors import ReproError
+from repro.llm.resilient import stable_jitter
 
-__all__ = ["ProverClient", "ProverServiceError", "JobTimeout"]
+__all__ = [
+    "ProverClient",
+    "ProverServiceError",
+    "ProverTransportError",
+    "JobTimeout",
+]
 
 
 class ProverServiceError(ReproError):
@@ -37,6 +57,10 @@ class ProverServiceError(ReproError):
         )
 
 
+class ProverTransportError(ReproError):
+    """The service could not be reached within the retry budget."""
+
+
 class JobTimeout(ReproError):
     """A job did not finish within the caller's wait budget."""
 
@@ -44,13 +68,31 @@ class JobTimeout(ReproError):
 class ProverClient:
     """Blocking JSON client over the service's HTTP routes."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 3,
+        retry_base_delay: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.retry_base_delay = retry_base_delay
+        self.sleep = sleep
+        #: Transport retries performed over this client's lifetime.
+        self.transport_retries = 0
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
+
+    def _open(self, request) -> dict:
+        with urllib.request.urlopen(
+            request, timeout=self.timeout
+        ) as response:
+            return json.loads(response.read().decode("utf-8"))
 
     def _request(
         self, method: str, path: str, body: Optional[dict] = None
@@ -63,17 +105,33 @@ class ProverClient:
         request = urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method
         )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.transport_retries += 1
+                delay = self.retry_base_delay * 2 ** (attempt - 1)
+                self.sleep(
+                    delay * (1.0 + stable_jitter(path, attempt))
+                )
             try:
-                payload = json.loads(exc.read().decode("utf-8"))
-            except (ValueError, UnicodeDecodeError):
-                payload = {"error": str(exc)}
-            raise ProverServiceError(exc.code, payload) from exc
+                return self._open(request)
+            except urllib.error.HTTPError as exc:
+                # A status line came back: this is a response, not a
+                # transport fault — surface it without retrying.
+                try:
+                    payload = json.loads(exc.read().decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    payload = {"error": str(exc)}
+                raise ProverServiceError(exc.code, payload) from exc
+            except (OSError, http.client.HTTPException) as exc:
+                # ECONNREFUSED/ECONNRESET/timeouts/torn responses — the
+                # shapes a restarting worker produces.  URLError is an
+                # OSError subclass, so this covers urlopen's wrapping.
+                last = exc
+        raise ProverTransportError(
+            f"{method} {path} failed after {self.retries + 1} attempts: "
+            f"{type(last).__name__}: {last}"
+        ) from last
 
     # ------------------------------------------------------------------
     # Routes

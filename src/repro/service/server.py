@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 import math
+import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -63,7 +64,142 @@ from repro.service.scheduler import (
     ShuttingDownError,
 )
 
-__all__ = ["ServerConfig", "ProverService", "serve_forever"]
+__all__ = [
+    "ServerConfig",
+    "ProverService",
+    "build_http_server",
+    "install_sigterm_drain",
+    "serve_forever",
+]
+
+
+def build_http_server(api, host: str, port: int) -> ThreadingHTTPServer:
+    """Bind (but do not serve) the HTTP front end for ``api``.
+
+    ``api`` is anything exposing the transport-independent handlers
+    ``submit(body)``, ``job_status(id, wait=)``, ``health()``,
+    ``metrics_snapshot()``, and ``metrics_text()`` — both
+    :class:`ProverService` (single process) and
+    :class:`~repro.service.cluster.ProverCluster` (the router) do, so
+    they share one route table and wire format.  ``port=0`` binds an
+    ephemeral port — read it back from ``server.server_address``.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, fmt, *args):  # noqa: N802
+            pass  # quiet; service metrics carry the signal
+
+        def _send(self, status: int, payload: dict) -> None:
+            data = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _send_text(self, status: int, text: str) -> None:
+            data = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header(
+                "Content-Type",
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _wants_prometheus(self, query: dict) -> bool:
+            # JSON stays the default (ProverClient, the loadgen, and
+            # older scrapers all consume it); Prometheus is opt-in
+            # by query param or Accept header.
+            fmt = query.get("format", [""])[0].lower()
+            if fmt in ("prometheus", "prom", "text"):
+                return True
+            if fmt:  # explicit ?format= wins over Accept
+                return False
+            accept = (self.headers.get("Accept") or "").lower()
+            return "text/plain" in accept or "openmetrics" in accept
+
+        def do_GET(self):  # noqa: N802
+            parsed = urlparse(self.path)
+            path = parsed.path.rstrip("/") or "/"
+            if path == "/healthz":
+                self._send(*api.health())
+                return
+            if path == "/metrics":
+                query = parse_qs(parsed.query)
+                if self._wants_prometheus(query):
+                    self._send_text(*api.metrics_text())
+                else:
+                    self._send(*api.metrics_snapshot())
+                return
+            if path.startswith("/jobs/"):
+                job_id = path[len("/jobs/"):]
+                query = parse_qs(parsed.query)
+                wait = None
+                if "wait" in query:
+                    try:
+                        wait = float(query["wait"][0])
+                    except ValueError:
+                        self._send(
+                            400, {"error": "wait must be a number"}
+                        )
+                        return
+                    if not math.isfinite(wait):
+                        # float() happily parses "nan"/"inf", which
+                        # would sail through the long-poll clamp
+                        # (NaN fails every comparison) into
+                        # Event.wait(nan).
+                        self._send(
+                            400,
+                            {"error": "wait must be a finite number"},
+                        )
+                        return
+                self._send(*api.job_status(job_id, wait=wait))
+                return
+            self._send(404, {"error": f"no route {path!r}"})
+
+        def do_POST(self):  # noqa: N802
+            path = urlparse(self.path).path.rstrip("/")
+            if path != "/prove":
+                self._send(404, {"error": f"no route {path!r}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                body = json.loads(
+                    self.rfile.read(length).decode("utf-8") or "{}"
+                )
+            except (ValueError, UnicodeDecodeError) as exc:
+                self._send(400, {"error": f"bad JSON body: {exc}"})
+                return
+            self._send(*api.submit(body))
+
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.daemon_threads = True
+    return server
+
+
+def install_sigterm_drain():
+    """Route ``SIGTERM`` through the ``KeyboardInterrupt`` drain path.
+
+    Containerized and CI runs stop processes with SIGTERM, whose
+    default disposition is immediate death — admitted jobs and
+    unflushed journal/store lines would be lost.  Re-raising it as
+    ``KeyboardInterrupt`` funnels both signals into the one graceful
+    path: stop accepting, finish admitted jobs, flush stores.  Only
+    the main thread can install handlers; elsewhere (tests driving a
+    server from a worker thread) this is a no-op.  Returns the
+    previous handler, or None when nothing was installed.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return None
+
+    def _drain(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    return signal.signal(signal.SIGTERM, _drain)
 
 
 @dataclass(frozen=True)
@@ -288,108 +424,16 @@ class ProverService:
         ``config.port=0`` binds an ephemeral port — read it back from
         ``server.server_address`` (tests and the loadgen do).
         """
-        service = self
-
-        class Handler(BaseHTTPRequestHandler):
-            protocol_version = "HTTP/1.1"
-
-            def log_message(self, fmt, *args):  # noqa: N802
-                pass  # quiet; service metrics carry the signal
-
-            def _send(self, status: int, payload: dict) -> None:
-                data = json.dumps(payload).encode("utf-8")
-                self.send_response(status)
-                self.send_header("Content-Type", "application/json")
-                self.send_header("Content-Length", str(len(data)))
-                self.end_headers()
-                self.wfile.write(data)
-
-            def _send_text(self, status: int, text: str) -> None:
-                data = text.encode("utf-8")
-                self.send_response(status)
-                self.send_header(
-                    "Content-Type",
-                    "text/plain; version=0.0.4; charset=utf-8",
-                )
-                self.send_header("Content-Length", str(len(data)))
-                self.end_headers()
-                self.wfile.write(data)
-
-            def _wants_prometheus(self, query: dict) -> bool:
-                # JSON stays the default (ProverClient, the loadgen, and
-                # older scrapers all consume it); Prometheus is opt-in
-                # by query param or Accept header.
-                fmt = query.get("format", [""])[0].lower()
-                if fmt in ("prometheus", "prom", "text"):
-                    return True
-                if fmt:  # explicit ?format= wins over Accept
-                    return False
-                accept = (self.headers.get("Accept") or "").lower()
-                return "text/plain" in accept or "openmetrics" in accept
-
-            def do_GET(self):  # noqa: N802
-                parsed = urlparse(self.path)
-                path = parsed.path.rstrip("/") or "/"
-                if path == "/healthz":
-                    self._send(*service.health())
-                    return
-                if path == "/metrics":
-                    query = parse_qs(parsed.query)
-                    if self._wants_prometheus(query):
-                        self._send_text(*service.metrics_text())
-                    else:
-                        self._send(*service.metrics_snapshot())
-                    return
-                if path.startswith("/jobs/"):
-                    job_id = path[len("/jobs/"):]
-                    query = parse_qs(parsed.query)
-                    wait = None
-                    if "wait" in query:
-                        try:
-                            wait = float(query["wait"][0])
-                        except ValueError:
-                            self._send(
-                                400, {"error": "wait must be a number"}
-                            )
-                            return
-                        if not math.isfinite(wait):
-                            # float() happily parses "nan"/"inf", which
-                            # would sail through the long-poll clamp
-                            # (NaN fails every comparison) into
-                            # Event.wait(nan).
-                            self._send(
-                                400,
-                                {"error": "wait must be a finite number"},
-                            )
-                            return
-                    self._send(*service.job_status(job_id, wait=wait))
-                    return
-                self._send(404, {"error": f"no route {path!r}"})
-
-            def do_POST(self):  # noqa: N802
-                path = urlparse(self.path).path.rstrip("/")
-                if path != "/prove":
-                    self._send(404, {"error": f"no route {path!r}"})
-                    return
-                try:
-                    length = int(self.headers.get("Content-Length", 0))
-                    body = json.loads(
-                        self.rfile.read(length).decode("utf-8") or "{}"
-                    )
-                except (ValueError, UnicodeDecodeError) as exc:
-                    self._send(400, {"error": f"bad JSON body: {exc}"})
-                    return
-                self._send(*service.submit(body))
-
-        server = ThreadingHTTPServer(
-            (self.config.host, self.config.port), Handler
-        )
-        server.daemon_threads = True
-        return server
+        return build_http_server(self, self.config.host, self.config.port)
 
 
 def serve_forever(config: ServerConfig) -> int:
-    """Boot the service and serve until interrupted (the CLI entry)."""
+    """Boot the service and serve until interrupted (the CLI entry).
+
+    Both ``Ctrl-C`` and ``SIGTERM`` (what containers and CI send) end
+    in the same graceful drain: refuse new work, finish admitted jobs,
+    flush the proof cache, exit 0.
+    """
     service = ProverService(config)
     server = service.make_http_server()
     from repro.llm import available_models
@@ -405,6 +449,7 @@ def serve_forever(config: ServerConfig) -> int:
     print(f"models: {models}")
     if config.trace_path:
         print(f"tracing job searches to {config.trace_path}")
+    install_sigterm_drain()
     try:
         server.serve_forever()
     except KeyboardInterrupt:

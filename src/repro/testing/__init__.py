@@ -2,10 +2,14 @@
 
 Public surface: :class:`~repro.testing.faults.FaultPlan` and the
 :class:`~repro.testing.faults.FaultyGenerator` /
-:class:`~repro.testing.faults.FaultyChecker` wrappers.
+:class:`~repro.testing.faults.FaultyChecker` wrappers, plus
+:class:`~repro.testing.faults.ClusterFaultPlan` for cluster-level
+faults (whole-worker deaths, shard stalls, journal corruption).
 """
 
 from repro.testing.faults import (
+    ClusterFaultPlan,
+    CLUSTER_FAULTS_ENV_VAR,
     FaultPlan,
     FaultyChecker,
     FaultyGenerator,
@@ -13,6 +17,8 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "ClusterFaultPlan",
+    "CLUSTER_FAULTS_ENV_VAR",
     "FaultPlan",
     "FaultyChecker",
     "FaultyGenerator",

@@ -46,6 +46,7 @@ import hashlib
 import os
 import time
 from dataclasses import dataclass, fields
+from pathlib import Path as _Path
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import (
@@ -54,9 +55,17 @@ from repro.errors import (
     TransientModelError,
 )
 
-__all__ = ["FaultPlan", "FaultyGenerator", "FaultyChecker", "FAULTS_ENV_VAR"]
+__all__ = [
+    "FaultPlan",
+    "FaultyGenerator",
+    "FaultyChecker",
+    "ClusterFaultPlan",
+    "FAULTS_ENV_VAR",
+    "CLUSTER_FAULTS_ENV_VAR",
+]
 
 FAULTS_ENV_VAR = "REPRO_FAULTS"
+CLUSTER_FAULTS_ENV_VAR = "REPRO_CLUSTER_FAULTS"
 
 _RATE_KINDS = ("transient", "ratelimit", "stall", "malformed", "truncate")
 
@@ -253,6 +262,140 @@ class FaultyGenerator:
                 "injected truncated response (connection reset mid-body)"
             )
         raise AssertionError(f"unknown fault kind: {kind}")
+
+
+@dataclass(frozen=True)
+class ClusterFaultPlan:
+    """Seeded faults at the *cluster* level: whole-worker deaths,
+    shard stalls, and journal corruption.
+
+    Unlike :class:`FaultPlan`'s ``kill`` (permanent by design — the
+    task must end CRASH), a cluster ``kill_job`` is *recoverable*: the
+    worker process executing a matching theorem dies ``kill_times``
+    times and then succeeds, so the supervisor's restart + the
+    router's re-dispatch must make the death invisible in the final
+    records.  Death counting is cross-process (the worker that dies is
+    not the one that retries), so it lives in marker files under a
+    shared ``state_dir`` rather than in memory.
+
+    Spec syntax mirrors :class:`FaultPlan` (``key=value,...``), read
+    from ``--cluster-faults`` or ``REPRO_CLUSTER_FAULTS``::
+
+        seed=7,kill_job=rev_*,kill_times=1,stall_job=app_*,stall_seconds=0.2
+
+    ``corrupt_journal`` is consumed by the chaos *harness* (not the
+    workers): it names the 0-based journal line the harness flips a
+    byte in between runs, exercising quarantine-on-load.
+    """
+
+    seed: int = 0
+    kill_job: Optional[str] = None  # theorem glob: worker dies mid-job
+    kill_times: int = 1  # deaths before the job is allowed to finish
+    stall_job: Optional[str] = None  # theorem glob: execution stalls
+    stall_seconds: float = 0.2  # duration of one injected stall
+    corrupt_journal: int = -1  # harness-side: journal line to corrupt
+
+    @staticmethod
+    def parse(spec: str) -> "ClusterFaultPlan":
+        kwargs: Dict[str, object] = {}
+        known = {f.name for f in fields(ClusterFaultPlan)}
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" not in token:
+                raise ValueError(
+                    f"bad cluster fault token {token!r} (expected key=value)"
+                )
+            key, _, value = token.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key not in known:
+                raise ValueError(
+                    f"unknown cluster fault {key!r}; known: "
+                    f"{', '.join(sorted(known))}"
+                )
+            if key in ("kill_job", "stall_job"):
+                kwargs[key] = value
+            elif key in ("seed", "kill_times", "corrupt_journal"):
+                kwargs[key] = int(value)
+            else:
+                kwargs[key] = float(value)
+        return ClusterFaultPlan(**kwargs)  # type: ignore[arg-type]
+
+    @staticmethod
+    def from_spec(spec: Optional[str]) -> Optional["ClusterFaultPlan"]:
+        if spec is None or spec == "":
+            spec = os.environ.get(CLUSTER_FAULTS_ENV_VAR) or None
+        if spec is None:
+            return None
+        return ClusterFaultPlan.parse(spec)
+
+    def to_spec(self) -> str:
+        """A spec string that parses back to this plan (worker handoff)."""
+        parts = [f"seed={self.seed}"]
+        if self.kill_job:
+            parts.append(f"kill_job={self.kill_job}")
+            parts.append(f"kill_times={self.kill_times}")
+        if self.stall_job:
+            parts.append(f"stall_job={self.stall_job}")
+            parts.append(f"stall_seconds={self.stall_seconds:g}")
+        if self.corrupt_journal >= 0:
+            parts.append(f"corrupt_journal={self.corrupt_journal}")
+        return ",".join(parts)
+
+    # ------------------------------------------------------------------
+    # Decisions (made inside worker processes)
+    # ------------------------------------------------------------------
+
+    def should_die(self, theorem: str, state_dir) -> bool:
+        """Whether the worker executing ``theorem`` should die *now*.
+
+        Marker files under ``state_dir`` count prior deaths: each True
+        decision drops one marker first (exclusive create, so two
+        workers racing the same theorem cannot double-count), and once
+        ``kill_times`` markers exist the theorem executes normally —
+        the recoverable-crash shape the recovery contract needs.
+        """
+        if not self.kill_job or not fnmatch.fnmatchcase(
+            theorem, self.kill_job
+        ):
+            return False
+        tag = hashlib.sha256(theorem.encode("utf-8")).hexdigest()[:12]
+        root = _Path(state_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        for death in range(self.kill_times):
+            marker = root / f"killed-{tag}-{death}"
+            try:
+                with open(marker, "x", encoding="utf-8"):
+                    pass
+                return True
+            except FileExistsError:
+                continue  # this death already happened; try the next
+        return False
+
+    def stall_for(self, theorem: str) -> float:
+        """Injected execution stall (seconds) for ``theorem``."""
+        if self.stall_job and fnmatch.fnmatchcase(theorem, self.stall_job):
+            return self.stall_seconds
+        return 0.0
+
+    def describe(self) -> str:
+        active = []
+        if self.kill_job:
+            active.append(
+                f"kill_job={self.kill_job} x{self.kill_times}"
+            )
+        if self.stall_job:
+            active.append(
+                f"stall_job={self.stall_job} ({self.stall_seconds:g}s)"
+            )
+        if self.corrupt_journal >= 0:
+            active.append(f"corrupt_journal={self.corrupt_journal}")
+        return (
+            f"ClusterFaultPlan(seed={self.seed}, "
+            f"{', '.join(active) or 'no-op'})"
+        )
 
 
 class FaultyChecker:

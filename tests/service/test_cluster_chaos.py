@@ -1,0 +1,254 @@
+"""Cluster recovery contract: crash, replay, quarantine, degradation.
+
+The PR's acceptance tests: a worker killed mid-job must be invisible
+in the final records (supervisor restart + router re-dispatch,
+byte-identical store); a router crash must replay unfinished journaled
+jobs to the same bytes; a corrupt journal line must be quarantined,
+not fatal; and the degradation ladder must be observable on
+``/healthz`` over real HTTP.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.eval.store import OutcomeRecord, RunStore
+from repro.eval.tasks import task_from_json
+from repro.service import ProverClient
+from repro.service.cluster import ClusterConfig, HashRing, ProverCluster
+
+MODEL = "gpt-4o-mini"
+FUEL = 10
+THEOREMS = ["plus_0_l", "plus_0_r", "plus_n_Sm"]
+
+
+def bodies():
+    return [
+        {"theorem": name, "model": MODEL, "fuel": FUEL}
+        for name in THEOREMS
+    ]
+
+
+def boot(tmp_path, name, **overrides):
+    overrides.setdefault("workers", 2)
+    overrides.setdefault("threads", 2)
+    overrides.setdefault("state_dir", str(tmp_path / name))
+    cluster = ProverCluster(ClusterConfig(**overrides))
+    cluster.start()
+    return cluster
+
+
+def run_all(cluster, task_bodies, budget=120.0):
+    ids = []
+    for body in task_bodies:
+        status, payload = cluster.submit(dict(body))
+        assert status in (200, 202), payload
+        ids.append(payload["job"])
+    wait_all(cluster, ids, budget)
+    return ids
+
+
+def wait_all(cluster, ids, budget=120.0):
+    deadline = time.monotonic() + budget
+    for job_id in ids:
+        while True:
+            _, body = cluster.job_status(job_id, wait=2.0)
+            if body.get("state") in ("done", "failed"):
+                break
+            assert time.monotonic() < deadline, f"{job_id} never finished"
+
+
+def store_bytes(cluster, task_bodies, ids, path):
+    store = RunStore(path)
+    for body, job_id in zip(task_bodies, ids):
+        _, status = cluster.job_status(job_id)
+        assert status["state"] == "done", status
+        store.put(
+            task_from_json(dict(body)),
+            OutcomeRecord.from_json(status["record"]),
+        )
+    return path.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# Hash ring (pure, no processes)
+# ----------------------------------------------------------------------
+
+
+def test_ring_is_deterministic_and_covers_all_workers():
+    ring = HashRing(4)
+    keys = [f"key-{i}" for i in range(200)]
+    owners = [ring.lookup(k, lambda i: True) for k in keys]
+    assert owners == [ring.lookup(k, lambda i: True) for k in keys]
+    assert set(owners) == {0, 1, 2, 3}  # vnodes spread the ranges
+
+
+def test_ring_reroutes_only_the_dead_workers_ranges():
+    ring = HashRing(3)
+    keys = [f"key-{i}" for i in range(200)]
+    before = {k: ring.lookup(k, lambda i: True) for k in keys}
+    after = {k: ring.lookup(k, lambda i: i != 1) for k in keys}
+    for key in keys:
+        if before[key] != 1:
+            assert after[key] == before[key]  # survivors keep ranges
+        else:
+            assert after[key] in (0, 2)
+    assert ring.lookup("anything", lambda i: False) is None
+
+
+# ----------------------------------------------------------------------
+# Crash recovery (forked worker fleets)
+# ----------------------------------------------------------------------
+
+
+def test_kill_worker_mid_job_recovers_byte_identical(tmp_path):
+    cluster = boot(tmp_path, "baseline")
+    try:
+        ids = run_all(cluster, bodies())
+        baseline = store_bytes(
+            cluster, bodies(), ids, tmp_path / "baseline.jsonl"
+        )
+    finally:
+        cluster.close(timeout=30)
+
+    victim = THEOREMS[1]
+    cluster = boot(
+        tmp_path, "kill", cluster_faults=f"kill_job={victim}"
+    )
+    try:
+        ids = run_all(cluster, bodies())
+        deadline = time.monotonic() + 30
+        while (
+            cluster.supervisor.restarts_total < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.1)
+        assert cluster.metrics.counter("cluster.worker_deaths") >= 1
+        assert cluster.supervisor.restarts_total >= 1
+        _, text = cluster.metrics_text()
+        restarts = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_cluster_worker_restarts_total ")
+        ]
+        assert restarts and int(float(restarts[0].split()[1])) >= 1
+        recovered = store_bytes(
+            cluster, bodies(), ids, tmp_path / "kill.jsonl"
+        )
+    finally:
+        cluster.close(timeout=30)
+    assert recovered == baseline
+
+
+def test_router_crash_replays_journal_byte_identical(tmp_path):
+    cluster = boot(tmp_path, "baseline")
+    try:
+        ids = run_all(cluster, bodies())
+        baseline = store_bytes(
+            cluster, bodies(), ids, tmp_path / "baseline.jsonl"
+        )
+    finally:
+        cluster.close(timeout=30)
+
+    # Crash-stop mid-run: a stall pins one job in flight so the abort
+    # is guaranteed to strand journaled work.
+    cluster = boot(
+        tmp_path,
+        "replay",
+        cluster_faults=f"stall_job={THEOREMS[2]},stall_seconds=2",
+    )
+    ids = []
+    for body in bodies():
+        _, payload = cluster.submit(dict(body))
+        ids.append(payload["job"])
+    time.sleep(0.1)
+    cluster.abort()
+    assert cluster.journal.pending(), "abort raced the sweep"
+
+    successor = boot(tmp_path, "replay")
+    try:
+        assert successor.replayed_jobs >= 1
+        wait_all(successor, ids)
+        replayed = store_bytes(
+            successor, bodies(), ids, tmp_path / "replay.jsonl"
+        )
+    finally:
+        successor.close(timeout=30)
+    assert replayed == baseline
+
+
+def test_corrupt_journal_line_is_quarantined_not_fatal(tmp_path):
+    cluster = boot(tmp_path, "corrupt")
+    try:
+        run_all(cluster, bodies()[:1])
+    finally:
+        cluster.close(timeout=30)
+    journal_path = tmp_path / "corrupt" / "journal.jsonl"
+    lines = journal_path.read_text(encoding="utf-8").splitlines()
+    lines[0] = lines[0][:-5] + "XXXX}"
+    journal_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    cluster = boot(tmp_path, "corrupt")
+    try:
+        assert cluster.journal.quarantined == 1
+        assert cluster.journal.quarantine_path().exists()
+        run_all(cluster, bodies()[:1])  # sweep still completes
+        _, snapshot = cluster.metrics_snapshot()
+        assert (
+            snapshot["service"]["cluster"]["journal"]["quarantined"] == 1
+        )
+    finally:
+        cluster.close(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# Degradation ladder over real HTTP
+# ----------------------------------------------------------------------
+
+
+def test_degradation_ladder_is_observable_on_healthz(tmp_path):
+    cluster = boot(tmp_path, "ladder")
+    httpd = cluster.make_http_server()
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    client = ProverClient(f"http://{host}:{port}", timeout=60.0)
+    try:
+        health = client.healthz()
+        assert (health["status"], health["ladder"]) == ("ok", "healthy")
+        assert health["degraded"] is False
+
+        # Warm the router cache while healthy (cache_only rung needs it).
+        job = client.prove(**bodies()[0])
+        if job["state"] not in ("done", "failed"):
+            client.wait(job["job"], timeout=120.0)
+
+        cluster.supervisor.disable_worker(0)
+        health = client.healthz()
+        assert health["ladder"] == "shed_adhoc"
+        assert health["degraded"] is True
+        from repro.service import ProverServiceError
+
+        with pytest.raises(ProverServiceError) as err:
+            client.prove(goal="forall n, n = n", model=MODEL)
+        assert err.value.status == 429  # raw goals shed first
+
+        cluster.supervisor.disable_worker(1)
+        health = client.healthz()
+        assert health["ladder"] == "cache_only"
+        warm = client.prove(**bodies()[0])  # router-cache hit
+        assert warm["state"] == "done" and warm["cached"]
+        with pytest.raises(ProverServiceError) as err:
+            client.prove(**bodies()[2])  # cold: nothing can run it
+        assert err.value.status == 503
+
+        text = client.metrics_text()
+        assert "repro_cluster_degraded 2" in text
+        assert "repro_cluster_worker_restarts_total" in text
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        cluster.close(timeout=30)

@@ -199,3 +199,57 @@ class TestFaultyChecker:
         faulty = FaultyChecker(self._Checker(), FaultPlan(), sleep=slept.append)
         faulty.check("s", "auto.")
         assert slept == []
+
+
+class TestClusterFaultPlan:
+    def test_parse_round_trips_through_to_spec(self):
+        from repro.testing import ClusterFaultPlan
+
+        plan = ClusterFaultPlan.parse(
+            "seed=7,kill_job=rev_*,kill_times=2,"
+            "stall_job=app_*,stall_seconds=0.5,corrupt_journal=3"
+        )
+        assert plan.kill_job == "rev_*"
+        assert plan.kill_times == 2
+        assert plan.stall_seconds == 0.5
+        assert plan.corrupt_journal == 3
+        assert ClusterFaultPlan.parse(plan.to_spec()) == plan
+
+    def test_parse_rejects_unknown_keys(self):
+        from repro.testing import ClusterFaultPlan
+
+        with pytest.raises(ValueError, match="unknown cluster fault"):
+            ClusterFaultPlan.parse("explode=1")
+        with pytest.raises(ValueError, match="key=value"):
+            ClusterFaultPlan.parse("justaword")
+
+    def test_from_spec_falls_back_to_environment(self, monkeypatch):
+        from repro.testing import CLUSTER_FAULTS_ENV_VAR, ClusterFaultPlan
+
+        assert ClusterFaultPlan.from_spec(None) is None
+        monkeypatch.setenv(CLUSTER_FAULTS_ENV_VAR, "kill_job=foo")
+        plan = ClusterFaultPlan.from_spec(None)
+        assert plan is not None and plan.kill_job == "foo"
+        # An explicit spec wins over the environment.
+        assert ClusterFaultPlan.from_spec("kill_job=bar").kill_job == "bar"
+
+    def test_should_die_counts_deaths_across_processes(self, tmp_path):
+        from repro.testing import ClusterFaultPlan
+
+        plan = ClusterFaultPlan(kill_job="rev_*", kill_times=2)
+        # Two deaths, then the theorem is allowed to finish — even from
+        # a "different process" (a fresh plan reading the same markers).
+        assert plan.should_die("rev_involutive", tmp_path) is True
+        assert plan.should_die("rev_involutive", tmp_path) is True
+        fresh = ClusterFaultPlan.parse(plan.to_spec())
+        assert fresh.should_die("rev_involutive", tmp_path) is False
+        # Non-matching theorems never die and drop no markers.
+        assert plan.should_die("plus_comm", tmp_path) is False
+        assert len(list(tmp_path.iterdir())) == 2
+
+    def test_stall_only_matching_theorems(self):
+        from repro.testing import ClusterFaultPlan
+
+        plan = ClusterFaultPlan(stall_job="app_*", stall_seconds=0.25)
+        assert plan.stall_for("app_assoc") == 0.25
+        assert plan.stall_for("rev_involutive") == 0.0
