@@ -1,0 +1,195 @@
+"""Repair + pass@k harness: sample k attempts per cell, run the
+checker-error repair loop, and report unbiased coverage@k.
+
+Three sections, all on the simulated hinted profile:
+
+1. **Baseline sweep** — single-shot search over the first ``--n`` test
+   theorems; the failed cells are the repair candidates.
+2. **Repair sweep** — the same cells with ``--repair-rounds`` feedback
+   rounds; every cell whose status moves to ``repaired`` (and passes
+   Qed replay) is a conversion the feedback loop earned.
+3. **pass@k sweep** — ``--k`` independently-seeded attempts per cell
+   on the sampling model, folded into the unbiased coverage@k
+   estimator for k in {1, 4, 8} (clipped to ``--k``).
+
+Writes a JSON artifact to ``--out`` (CI uploads it) plus a text table
+to stdout.  ``--check`` exits non-zero unless at least
+``--min-repaired`` cells converted and coverage@k is monotone in k.
+
+Usage::
+
+    PYTHONPATH=src python scripts/pass_at_k.py --out coverage_at_k.json --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+
+from repro.corpus.loader import load_project
+from repro.eval import (
+    ExperimentConfig,
+    Runner,
+    coverage_at_k,
+    render_coverage_at_k,
+    sweep_tasks,
+)
+from repro.repair.sampling import attempt_tasks
+
+REPAIR_MODEL = "gpt-4o"
+SAMPLING_MODEL = "gpt-4o-mini"
+FAILED = ("stuck", "fuelout", "timeout")
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default="coverage_at_k.json",
+        metavar="PATH",
+        help="where to write the JSON artifact",
+    )
+    parser.add_argument(
+        "--n", type=int, default=24, help="theorems in the repair sweep"
+    )
+    parser.add_argument(
+        "--sample-n",
+        type=int,
+        default=8,
+        help="theorems in the pass@k sweep",
+    )
+    parser.add_argument("--fuel", type=int, default=64)
+    parser.add_argument("--k", type=int, default=8)
+    parser.add_argument("--repair-rounds", type=int, default=2)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the repair/coverage assertions hold",
+    )
+    parser.add_argument(
+        "--min-repaired",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --check: minimum cells the repair loop must convert",
+    )
+    return parser.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    started = time.time()
+    project = load_project()
+    failures = []
+
+    # -- 1+2: baseline vs repair ---------------------------------------
+    print("[1/3] baseline sweep ...", file=sys.stderr)
+    base_cfg = ExperimentConfig(max_theorems=args.n, fuel=args.fuel)
+    base_runner = Runner(project, base_cfg)
+    theorems = base_runner.theorems_for(REPAIR_MODEL)
+    base_tasks = sweep_tasks(theorems, REPAIR_MODEL, True, base_cfg)
+    base_records = base_runner.run_tasks(base_tasks)
+
+    print("[2/3] repair sweep ...", file=sys.stderr)
+    repair_cfg = replace(base_cfg, repair_rounds=args.repair_rounds)
+    repair_runner = Runner(project, repair_cfg)
+    repair_tasks = sweep_tasks(theorems, REPAIR_MODEL, True, repair_cfg)
+    repair_records = repair_runner.run_tasks(repair_tasks)
+
+    converted = []
+    for base, rep in zip(base_records, repair_records):
+        if (
+            base.status in FAILED
+            and rep.status == "repaired"
+            and rep.revalidated
+        ):
+            converted.append(
+                {
+                    "theorem": base.theorem,
+                    "from": base.status,
+                    "attempts": rep.attempts,
+                    "proof": rep.generated_proof,
+                }
+            )
+    failed_cells = sum(r.status in FAILED for r in base_records)
+    print(
+        f"repair: {len(converted)}/{failed_cells} failed cells converted "
+        f"within {args.repair_rounds} rounds"
+    )
+    for cell in converted:
+        print(
+            f"  {cell['theorem']}: {cell['from']} -> repaired "
+            f"({cell['attempts']} attempts): {cell['proof']}"
+        )
+
+    # -- 3: pass@k ------------------------------------------------------
+    print("[3/3] pass@k sweep ...", file=sys.stderr)
+    ks = sorted({k for k in (1, 4, 8) if k <= args.k} | {args.k})
+    sample_cfg = ExperimentConfig(max_theorems=args.sample_n, fuel=args.fuel)
+    sample_runner = Runner(project, sample_cfg)
+    series = {}
+    coverage_json = {}
+    for hinted in (False, True):
+        tasks = attempt_tasks(
+            sweep_tasks(
+                sample_runner.theorems_for(SAMPLING_MODEL),
+                SAMPLING_MODEL,
+                hinted,
+                sample_cfg,
+            ),
+            args.k,
+        )
+        records = sample_runner.run_tasks(tasks)
+        tag = "hints" if hinted else "vanilla"
+        cov = coverage_at_k(records, ks)
+        series[f"{SAMPLING_MODEL} {tag}"] = cov
+        coverage_json[tag] = {str(k): cov[k] for k in ks}
+    print()
+    print(render_coverage_at_k(series))
+
+    # -- checks + artifact ----------------------------------------------
+    if args.check:
+        if len(converted) < args.min_repaired:
+            failures.append(
+                f"repair converted {len(converted)} cells, "
+                f"required {args.min_repaired}"
+            )
+        for cov in series.values():
+            pairs = sorted(cov.items())
+            for (k1, c1), (k2, c2) in zip(pairs, pairs[1:]):
+                if c2 < c1 - 1e-9:
+                    failures.append(
+                        f"coverage@{k2}={c2:.3f} below "
+                        f"coverage@{k1}={c1:.3f}"
+                    )
+
+    artifact = {
+        "repair_model": REPAIR_MODEL,
+        "sampling_model": SAMPLING_MODEL,
+        "n": args.n,
+        "fuel": args.fuel,
+        "k": args.k,
+        "repair_rounds": args.repair_rounds,
+        "failed_cells": failed_cells,
+        "converted": converted,
+        "coverage_at_k": coverage_json,
+        "failures": failures,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    verdict = "PASS" if not failures else "FAIL"
+    print()
+    print(
+        f"{verdict} in {time.time() - started:.0f}s"
+        + (": " + "; ".join(failures) if failures else "")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,7 +6,10 @@ Usage::
     python -m repro.cli show tree_name_distinct_head
     python -m repro.cli check
     python -m repro.cli prove rev_involutive --model gpt-4o --hints
+    python -m repro.cli prove le_trans --hints --repair-rounds 2
+    python -m repro.cli repair le_trans --model gpt-4o --hints
     python -m repro.cli eval --model gpt-4o-mini --n 12
+    python -m repro.cli eval --model gpt-4o-mini --n 8 --pass-at-k 4
     python -m repro.cli eval --model gpt-4o-mini --jobs 4 --store runs/eval.jsonl
     python -m repro.cli server --port 8421 --cache runs/service.jsonl
     python -m repro.cli prove rev_involutive --trace runs/trace.jsonl
@@ -73,6 +76,7 @@ def _cmd_prove(args) -> int:
         fuel=args.fuel,
         theorem_deadline=args.theorem_deadline,
         trace=bool(args.trace),
+        repair_rounds=args.repair_rounds,
     )
     runner = Runner(project, config)
     task = TheoremTask.from_config(args.name, args.model, args.hints, config)
@@ -88,16 +92,74 @@ def _cmd_prove(args) -> int:
     runner.metrics.merge(task_result.metrics)
     rejected = runner.metrics.counter("verdict.rejected")
     duplicates = runner.metrics.counter("verdict.duplicate")
+    attempt_note = (
+        f", {record.attempts} attempts" if record.attempts > 1 else ""
+    )
     print(
         f"{record.status} after {record.queries} queries "
-        f"({elapsed:.1f}s; rejected {rejected}, duplicates {duplicates})"
+        f"({elapsed:.1f}s; rejected {rejected}, duplicates {duplicates}"
+        f"{attempt_note})"
     )
     if args.metrics:
         print()
         print(render_metrics(runner.metrics.snapshot()))
-    if record.status == "proved" and record.revalidated:
+    if record.status in ("proved", "repaired") and record.revalidated:
         print(f"generated (re-checked): {record.generated_proof}")
         print(f"human proof was:\n{theorem.proof_text}")
+        return 0
+    return 1
+
+
+def _cmd_repair(args) -> int:
+    """Show a failed search's failure context, then run the repair loop."""
+    from dataclasses import replace
+
+    from repro.eval import ExperimentConfig, Runner
+    from repro.eval.tasks import TheoremTask
+    from repro.serapi import ProofChecker
+
+    project = load_project(check_proofs=not args.fast)
+    theorem = project.theorem(args.name)
+    config = ExperimentConfig(
+        width=args.width,
+        fuel=args.fuel,
+        theorem_deadline=args.theorem_deadline,
+    )
+    runner = Runner(project, config)
+    base_task = TheoremTask.from_config(
+        args.name, args.model, args.hints, config
+    )
+    base = runner.execute_task(base_task).record
+    print(f"initial search: {base.status} after {base.queries} queries")
+    if base.status in ("proved", "repaired") and base.revalidated:
+        print(f"nothing to repair: {base.generated_proof}")
+        return 0
+    if base.failure:
+        ctx = base.failure
+        print(f"failure frontier (depth {ctx['depth']}):")
+        for tactic in ctx["prefix"]:
+            print(f"    {tactic}.")
+        print(f"  rejected: {ctx['failed_tactic']}  [{ctx['verdict']}]")
+        print(f"  checker:  {ctx['message']}")
+        checker = ProofChecker(project.env_for(theorem))
+        state, survived = checker.replay_prefix(
+            theorem.statement, ctx["prefix"]
+        )
+        if len(survived) == len(ctx["prefix"]):
+            print("  goal at frontier:")
+            for line in state.render().splitlines():
+                print(f"    {line}")
+    else:
+        print("no failure context captured (nothing was ever rejected)")
+    record = runner.execute_task(
+        replace(base_task, repair_rounds=args.rounds)
+    ).record
+    print(
+        f"repair ({args.rounds} round cap): {record.status}, "
+        f"{record.attempts} attempts"
+    )
+    if record.status == "repaired" and record.revalidated:
+        print(f"repaired (re-checked): {record.generated_proof}")
         return 0
     return 1
 
@@ -123,6 +185,7 @@ def _cmd_eval(args) -> int:
             task_retries=args.task_retries,
             faults=args.faults,
             trace=bool(args.trace),
+            repair_rounds=args.repair_rounds,
         ),
     )
     if runner.fault_plan is not None:
@@ -148,6 +211,30 @@ def _cmd_eval(args) -> int:
             f"{args.model:20} {tag} proved={row.proved:6.1%} "
             f"stuck={row.stuck:6.1%} fuelout={row.fuelout:6.1%}"
         )
+    if args.pass_at_k > 1:
+        from repro.eval import coverage_at_k, render_coverage_at_k, sweep_tasks
+        from repro.repair.sampling import attempt_tasks
+
+        ks = sorted(
+            {1, args.pass_at_k}
+            | {2 ** i for i in range(1, 10) if 2 ** i < args.pass_at_k}
+        )
+        series = {}
+        for hinted in (False, True):
+            tasks = attempt_tasks(
+                sweep_tasks(
+                    runner.theorems_for(args.model),
+                    args.model,
+                    hinted,
+                    runner.config,
+                ),
+                args.pass_at_k,
+            )
+            records = runner.run_tasks(tasks, store=store, fresh=args.fresh)
+            tag = "hints" if hinted else "vanilla"
+            series[f"{args.model} {tag}"] = coverage_at_k(records, ks)
+        print()
+        print(render_coverage_at_k(series))
     cached = runner.metrics.counter("tasks.cached")
     executed = runner.metrics.counter("tasks.executed")
     crashed = runner.metrics.counter("tasks.crashed")
@@ -313,7 +400,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="record the search as a span-tree JSONL (render: repro trace)",
     )
+    p_prove.add_argument(
+        "--repair-rounds",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checker-error feedback rounds after a failed search "
+        "(0 disables the repair loop)",
+    )
     p_prove.set_defaults(fn=_cmd_prove)
+
+    p_repair = sub.add_parser(
+        "repair",
+        help="run a search, show its failure context, then repair it",
+    )
+    p_repair.add_argument("name")
+    p_repair.add_argument("--model", default="gpt-4o")
+    p_repair.add_argument("--hints", action="store_true")
+    p_repair.add_argument("--width", type=int, default=8)
+    p_repair.add_argument("--fuel", type=int, default=128)
+    p_repair.add_argument(
+        "--rounds",
+        type=int,
+        default=2,
+        metavar="N",
+        help="repair-round cap (default 2)",
+    )
+    p_repair.add_argument(
+        "--theorem-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="shared wall-clock budget across the initial search and "
+        "every repair round",
+    )
+    p_repair.set_defaults(fn=_cmd_repair)
 
     p_eval = sub.add_parser("eval", help="mini evaluation sweep")
     p_eval.add_argument("--model", default="gpt-4o")
@@ -374,6 +495,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="record every searched cell as span-tree JSONL "
         "(outcome records are unaffected; render: repro trace)",
+    )
+    p_eval.add_argument(
+        "--repair-rounds",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checker-error feedback rounds per failed cell "
+        "(0 disables the repair loop)",
+    )
+    p_eval.add_argument(
+        "--pass-at-k",
+        type=int,
+        default=1,
+        metavar="K",
+        help="also run K independently-seeded attempts per cell and "
+        "report unbiased coverage@k",
     )
     p_eval.set_defaults(fn=_cmd_eval)
 

@@ -6,16 +6,24 @@ theorem, gets *stuck* (no unexpanded goals remain), or *fuels out*
 adds two operational outcomes: *timeout* (the per-theorem wall-clock
 deadline expired before the search resolved) and *crash* (the task's
 worker died or its model failed permanently; the sweep records the
-loss and continues instead of aborting).
+loss and continues instead of aborting).  The repair layer adds
+*repaired*: the initial search failed, but a checker-error feedback
+round (:mod:`repro.repair`) completed the proof.
+
+A failed search also carries a :class:`FailureContext` — the deepest
+failure frontier the search saw, with the checker's own rejection
+message.  This is the signal the paper identifies as ground truth for
+why an LLM proof is wrong, and it is what the repair engine feeds back
+to the model.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["Status", "SearchStats", "SearchResult"]
+__all__ = ["Status", "SearchStats", "SearchResult", "FailureContext"]
 
 
 class Status(enum.Enum):
@@ -26,6 +34,49 @@ class Status(enum.Enum):
     # taxonomy): per-theorem deadline expiry and worker/model death.
     TIMEOUT = "timeout"
     CRASH = "crash"
+    # Repair-loop outcome: proved by a checker-error feedback round
+    # after the initial search failed (repro.repair).
+    REPAIRED = "repaired"
+
+
+@dataclass(frozen=True)
+class FailureContext:
+    """Where and why a failed search gave up.
+
+    Captured at the *failure frontier*: the deepest node (ties broken
+    by cumulative log-probability, then expansion order) whose
+    expansion produced at least one checker rejection.  ``prefix``
+    is that node's validated tactic path from the root — the surviving
+    partial proof a repair round resumes from.
+    """
+
+    prefix: Tuple[str, ...]  # validated tactics root -> frontier node
+    goal: str  # rendered proof state at the frontier
+    depth: int  # frontier node depth (== len(prefix))
+    failed_tactic: str  # the top-ranked rejected candidate there
+    message: str  # the checker's rejection message
+    verdict: str  # 'rejected' | 'timeout' | 'duplicate'
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "prefix": list(self.prefix),
+            "goal": self.goal,
+            "depth": self.depth,
+            "failed_tactic": self.failed_tactic,
+            "message": self.message,
+            "verdict": self.verdict,
+        }
+
+    @classmethod
+    def from_json(cls, obj: Dict[str, object]) -> "FailureContext":
+        return cls(
+            prefix=tuple(obj.get("prefix", ())),  # type: ignore[arg-type]
+            goal=str(obj.get("goal", "")),
+            depth=int(obj.get("depth", 0)),  # type: ignore[arg-type]
+            failed_tactic=str(obj.get("failed_tactic", "")),
+            message=str(obj.get("message", "")),
+            verdict=str(obj.get("verdict", "rejected")),
+        )
 
 
 @dataclass
@@ -46,10 +97,17 @@ class SearchResult:
     theorem_name: str
     tactics: List[str] = field(default_factory=list)
     stats: SearchStats = field(default_factory=SearchStats)
+    # The deepest failure frontier of a non-proved search (None when
+    # proved, or when nothing was ever rejected, e.g. frontier
+    # exhaustion by pure depth/duplicate pruning).
+    failure: Optional[FailureContext] = None
+    # Search attempts consumed: 1 for a single-shot search; the repair
+    # engine bumps it once per feedback round it runs.
+    attempts: int = 1
 
     @property
     def proved(self) -> bool:
-        return self.status is Status.PROVED
+        return self.status in (Status.PROVED, Status.REPAIRED)
 
     def proof_text(self) -> str:
         """The generated proof as a flat script (replayable by Qed)."""

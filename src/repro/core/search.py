@@ -23,7 +23,12 @@ from typing import Callable, Optional, Sequence, Set
 
 from repro.core.frontier import make_frontier
 from repro.core.node import Node
-from repro.core.result import SearchResult, SearchStats, Status
+from repro.core.result import (
+    FailureContext,
+    SearchResult,
+    SearchStats,
+    Status,
+)
 from repro.core.transcript import CandidateEvent, ExpansionEvent, Transcript
 from repro.deadline import Deadline
 from repro.errors import GenerationError
@@ -102,7 +107,19 @@ class BestFirstSearch:
         statement: Term,
         prompt_fn: PromptFn,
         transcript: Optional[Transcript] = None,
+        initial_tactics: Sequence[str] = (),
     ) -> SearchResult:
+        """Search for a proof of ``statement``.
+
+        ``initial_tactics`` seeds the tree with a validated tactic
+        prefix (the repair engine resumes from a failed search's
+        surviving prefix this way): each tactic is replayed through
+        the checker from the root, and every surviving prefix node
+        joins the frontier — deeper nodes with a slightly better
+        score, so the search focuses at the frontier but can still
+        back off to shallower alternatives.  A prefix tactic the
+        checker now refuses simply truncates the prefix there.
+        """
         config = self.config
         stats = SearchStats()
         started = self.clock()
@@ -124,7 +141,44 @@ class BestFirstSearch:
         seen: Set = {root.key}
         stats.nodes_created = 1
 
+        # Replay the seed prefix: one chain of nodes below the root.
+        # Prefix node at depth d scores -(n-d)*1e-6, so the deepest
+        # (the failure frontier being repaired) is selected first.
+        node = root
+        prefix_len = len(initial_tactics)
+        for offset, tactic in enumerate(initial_tactics):
+            check = self.checker.check(
+                node.state,
+                tactic,
+                seen_keys=seen if config.dedup_states else None,
+            )
+            if check.verdict is not Verdict.VALID or check.state is None:
+                break
+            child = Node(
+                state=check.state,
+                key=self.checker.state_key(check.state),
+                cum_log_prob=-(prefix_len - offset - 1) * 1e-6,
+                depth=node.depth + 1,
+                parent=node,
+                tactic=tactic,
+            )
+            seen.add(child.key)
+            stats.nodes_created += 1
+            if check.state.is_complete():
+                # The prefix already closes the proof (possible when a
+                # timed-out search is resumed with a longer budget).
+                node = child
+                break
+            frontier.push(child)
+            node = child
+
         tracer = self.tracer
+
+        # Failure frontier: the deepest (then best-scoring) node whose
+        # expansion produced a rejection/timeout, with the top-ranked
+        # offending candidate — what a repair round feeds back.
+        best_fail: Optional[FailureContext] = None
+        best_fail_rank = (-1, 0.0)
 
         def finish(status: Status, tactics=None) -> SearchResult:
             stats.wall_seconds = self.clock() - started
@@ -144,7 +198,12 @@ class BestFirstSearch:
                 theorem_name=theorem_name,
                 tactics=list(tactics or []),
                 stats=stats,
+                failure=None if status is Status.PROVED else best_fail,
             )
+
+        if node is not root and node.state.is_complete():
+            with tracer.span("search", theorem=theorem_name) as search_span:
+                return finish(Status.PROVED, node.tactics_from_root())
 
         metrics = self.metrics
         with tracer.span("search", theorem=theorem_name) as search_span:
@@ -210,6 +269,7 @@ class BestFirstSearch:
                             goal_preview=node.state.render()[:200],
                         )
 
+                    node_fail: Optional[tuple] = None
                     for candidate in candidates:
                         stats.candidates += 1
                         check = self.checker.check(
@@ -228,12 +288,24 @@ class BestFirstSearch:
                             )
                         if check.verdict is Verdict.REJECTED:
                             stats.rejected += 1
+                            if node_fail is None:
+                                node_fail = (
+                                    candidate.tactic,
+                                    check.message,
+                                    check.verdict.value,
+                                )
                             continue
                         if check.verdict is Verdict.DUPLICATE:
                             stats.duplicates += 1
                             continue
                         if check.verdict is Verdict.TIMEOUT:
                             stats.timeouts += 1
+                            if node_fail is None:
+                                node_fail = (
+                                    candidate.tactic,
+                                    check.message,
+                                    check.verdict.value,
+                                )
                             continue
                         assert check.state is not None
                         child = Node(
@@ -255,6 +327,20 @@ class BestFirstSearch:
                             )
                         if child.depth < config.max_depth:
                             frontier.push(child)
+
+                    if node_fail is not None:
+                        rank = (node.depth, node.cum_log_prob)
+                        if rank > best_fail_rank:
+                            best_fail_rank = rank
+                            tactic, message, verdict = node_fail
+                            best_fail = FailureContext(
+                                prefix=tuple(node.tactics_from_root()),
+                                goal=node.state.render()[:1000],
+                                depth=node.depth,
+                                failed_tactic=tactic,
+                                message=message,
+                                verdict=verdict,
+                            )
 
                 if transcript is not None and event is not None:
                     transcript.record(event)

@@ -6,6 +6,7 @@ from repro.eval.config import ALL_MODELS, LARGE_MODELS, SMALL_MODELS, Experiment
 from repro.eval.coverage import (
     BIN_LABELS,
     BinCoverage,
+    coverage_at_k,
     coverage_by_bin,
     coverage_under,
     overall_coverage,
@@ -23,6 +24,7 @@ from repro.eval.executor import (
 from repro.eval.instrumentation import STAGES, Metrics
 from repro.eval.outcomes import OutcomeRow, outcome_row, table2_rows
 from repro.eval.report import (
+    render_coverage_at_k,
     render_figure1,
     render_metrics,
     render_table1,
@@ -55,6 +57,7 @@ __all__ = [
     "ExperimentConfig",
     "BIN_LABELS",
     "BinCoverage",
+    "coverage_at_k",
     "coverage_by_bin",
     "coverage_under",
     "overall_coverage",
@@ -71,6 +74,7 @@ __all__ = [
     "OutcomeRow",
     "outcome_row",
     "table2_rows",
+    "render_coverage_at_k",
     "render_figure1",
     "render_metrics",
     "render_table1",

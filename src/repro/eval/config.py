@@ -40,6 +40,9 @@ class ExperimentConfig:
     heartbeat: Optional[float] = None  # seconds before a silent worker
     # is presumed dead (process backend); None = wait indefinitely
     faults: Optional[str] = None  # FaultPlan spec for chaos sweeps
+    # Repair loop (repro.repair): checker-feedback rounds allowed
+    # after a failed search; 0 = single-shot (the paper's setting).
+    repair_rounds: int = 0
     fallback_model: Optional[str] = None  # degradation target when the
     # primary's circuit breaker opens / retries are exhausted
     resilient: bool = True  # wrap models in ResilientGenerator

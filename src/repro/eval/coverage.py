@@ -1,14 +1,21 @@
-"""Figure 1: proof coverage by human-proof token-length bins."""
+"""Figure 1: proof coverage by human-proof token-length bins —
+plus the repair layer's coverage@k view over sampled attempts."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.corpus.tokenizer import LENGTH_BINS, bin_of_length
 from repro.eval.runner import EvalRun, TheoremOutcome
 
-__all__ = ["BinCoverage", "coverage_by_bin", "overall_coverage", "BIN_LABELS"]
+__all__ = [
+    "BinCoverage",
+    "coverage_by_bin",
+    "overall_coverage",
+    "coverage_at_k",
+    "BIN_LABELS",
+]
 
 BIN_LABELS = tuple(
     [f"<={edge}" for edge in LENGTH_BINS] + [f">{LENGTH_BINS[-1]}"]
@@ -41,6 +48,17 @@ def overall_coverage(outcomes: Sequence[TheoremOutcome]) -> float:
     if not outcomes:
         return 0.0
     return sum(o.proved for o in outcomes) / len(outcomes)
+
+
+def coverage_at_k(records: Iterable, ks: Sequence[int]) -> Dict[int, float]:
+    """coverage@k over attempt-expanded outcome records.
+
+    Façade over :func:`repro.repair.sampling.coverage_at_k` so report
+    code can stay on the eval layer; see there for the estimator.
+    """
+    from repro.repair.sampling import coverage_at_k as _coverage_at_k
+
+    return _coverage_at_k(records, ks)
 
 
 def coverage_under(outcomes: Sequence[TheoremOutcome], tokens: int) -> float:

@@ -11,6 +11,7 @@ __all__ = [
     "render_figure1",
     "render_table1",
     "render_table2",
+    "render_coverage_at_k",
     "render_metrics",
     "fmt_pct",
 ]
@@ -101,6 +102,29 @@ def render_table2(rows: Sequence[dict], title: str = "Table 2") -> str:
             f"{arrow_len(row['length_pct']):>18}"
         )
     lines.append("(each cell: without hints -> with hints)")
+    return "\n".join(lines)
+
+
+def render_coverage_at_k(
+    series: Dict[str, Dict[int, float]], title: str = "coverage@k"
+) -> str:
+    """Per-setting coverage@k table over sampled attempts.
+
+    ``series`` maps a row label (e.g. ``"gpt-4o hints"``) to the
+    ``{k: coverage}`` dict from
+    :func:`repro.eval.coverage.coverage_at_k`.
+    """
+    lines = [title, ""]
+    ks = sorted({k for cov in series.values() for k in cov})
+    header = f"{'setting':28}" + "".join(f"{'@' + str(k):>10}" for k in ks)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, cov in series.items():
+        cells = "".join(
+            f"{fmt_pct(cov[k]):>10}" if k in cov else f"{'—':>10}"
+            for k in ks
+        )
+        lines.append(f"{label:28}{cells}")
     return "\n".join(lines)
 
 

@@ -44,6 +44,7 @@ from repro.llm import get_model
 from repro.llm.resilient import ResilientGenerator
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.prompting import PromptBuilder
+from repro.repair.engine import RepairEngine
 from repro.serapi import ProofChecker
 from repro.tactics.script import run_script
 from repro.testing.faults import FaultPlan, FaultyGenerator
@@ -67,10 +68,19 @@ class TheoremOutcome:
     revalidated: bool = False
     similarity: Optional[float] = None
     length_ratio: Optional[float] = None  # generated/human tokens
+    # Search attempts consumed (1 + repair rounds run).
+    attempts: int = 1
+    # FailureContext.to_json() of a non-proved search, if captured.
+    failure: Optional[dict] = None
 
     @property
     def proved(self) -> bool:
-        return self.status is Status.PROVED and self.revalidated
+        # REPAIRED is a proof like any other — it passed the same
+        # Qed replay; the status only records that feedback was needed.
+        return (
+            self.status in (Status.PROVED, Status.REPAIRED)
+            and self.revalidated
+        )
 
 
 def record_from_outcome(outcome: TheoremOutcome) -> OutcomeRecord:
@@ -85,6 +95,8 @@ def record_from_outcome(outcome: TheoremOutcome) -> OutcomeRecord:
         revalidated=outcome.revalidated,
         similarity=outcome.similarity,
         length_ratio=outcome.length_ratio,
+        attempts=outcome.attempts,
+        failure=outcome.failure,
     )
 
 
@@ -196,6 +208,8 @@ class Runner:
         search_config=None,
         metrics: Optional[Metrics] = None,
         tracer=None,
+        repair_rounds: int = 0,
+        attempt_salt: str = "",
     ) -> TheoremOutcome:
         model = model_override if model_override is not None else get_model(
             model_name
@@ -223,17 +237,36 @@ class Runner:
             hint_names=self.splits.hint_names if hinted else None,
             window_tokens=model.context_window,
             reduced_dependencies=reduced_dependencies,
+            attempt_salt=attempt_salt,
         )
         search = BestFirstSearch(
             checker, model, search_config, metrics=metrics, tracer=tracer
         )
-        result = search.prove(theorem.name, theorem.statement, builder.build)
+        if repair_rounds > 0:
+            engine = RepairEngine(
+                search,
+                builder,
+                repair_rounds,
+                metrics=metrics,
+                tracer=tracer,
+            )
+            result = engine.prove(theorem.name, theorem.statement)
+        else:
+            result = search.prove(
+                theorem.name, theorem.statement, builder.build
+            )
         outcome = TheoremOutcome(
             theorem=theorem,
             model=model_name,
             hinted=hinted,
             status=result.status,
             queries=result.stats.queries,
+            attempts=result.attempts,
+            failure=(
+                result.failure.to_json()
+                if result.failure is not None
+                else None
+            ),
         )
         if result.proved:
             proof_text = result.proof_text()
@@ -314,6 +347,8 @@ class Runner:
                         search_config=task.search_config(),
                         metrics=metrics,
                         tracer=tracer,
+                        repair_rounds=task.repair_rounds,
+                        attempt_salt=task.sample_salt(),
                     )
                     record = record_from_outcome(outcome)
                 except ModelExhaustedError:
@@ -358,6 +393,8 @@ class Runner:
             revalidated=record.revalidated,
             similarity=record.similarity,
             length_ratio=record.length_ratio,
+            attempts=record.attempts,
+            failure=record.failure,
         )
 
     # ------------------------------------------------------------------

@@ -60,6 +60,14 @@ class OutcomeRecord:
     revalidated: bool = False
     similarity: Optional[float] = None
     length_ratio: Optional[float] = None
+    # Search attempts consumed: 1 single-shot; 1 + rounds run when the
+    # repair loop engaged (repro.repair).
+    attempts: int = 1
+    # Serialized FailureContext of the last failed attempt (None when
+    # the search proved/repaired the theorem, or never saw a
+    # rejection).  Deterministic: tactic text, checker message, and
+    # rendered goal are all pure functions of the task.
+    failure: Optional[dict] = None
 
     def to_json(self) -> dict:
         return asdict(self)

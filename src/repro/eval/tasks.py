@@ -35,7 +35,9 @@ __all__ = [
 # Bump when the hashed payload changes shape, so stale store entries
 # are never mistaken for current ones.
 # v2: added theorem_deadline (per-theorem wall-clock budget).
-CACHE_KEY_VERSION = 2
+# v3: added repair_rounds (checker-feedback repair cap) and attempt
+#     (pass@k sample index).
+CACHE_KEY_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -62,6 +64,16 @@ class TheoremTask:
     # setting).  Outcome-relevant — a search can end TIMEOUT — so it
     # participates in the cache key.
     theorem_deadline: Optional[float] = None
+    # Repair loop (repro.repair): extra checker-feedback search rounds
+    # allowed after a failed initial search.  0 = single-shot (the
+    # paper's setting); outcome-relevant (can flip a failure to
+    # REPAIRED), so it participates in the cache key.
+    repair_rounds: int = 0
+    # pass@k sample index: attempt 0 is the base sample; attempt i > 0
+    # salts the prompt with a seed derived from the attempt-0 cache key
+    # (repro.llm.sampling.attempt_seed), making the k samples distinct
+    # yet bit-reproducible.  Outcome-relevant by construction.
+    attempt: int = 0
 
     @staticmethod
     def from_config(
@@ -89,6 +101,26 @@ class TheoremTask:
                 else None
             ),
             theorem_deadline=getattr(config, "theorem_deadline", None),
+            repair_rounds=getattr(config, "repair_rounds", 0),
+        )
+
+    def sample_salt(self) -> str:
+        """The pass@k sampling salt for this task's attempt index.
+
+        Empty for attempt 0 (prompts — and therefore records — are
+        byte-identical to a pre-pass@k single sample).  For attempt
+        i > 0: a stable hash of (the attempt-0 cache key, i), so every
+        attempt of the same base cell draws an independent sample while
+        staying bit-reproducible across backends and processes.
+        """
+        if self.attempt == 0:
+            return ""
+        from dataclasses import replace
+
+        from repro.llm.sampling import attempt_seed
+
+        return attempt_seed(
+            replace(self, attempt=0).cache_key(), self.attempt
         )
 
     def search_config(self) -> SearchConfig:
@@ -128,6 +160,8 @@ class TheoremTask:
                 else None
             ),
             "theorem_deadline": self.theorem_deadline,
+            "repair_rounds": self.repair_rounds,
+            "attempt": self.attempt,
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -179,7 +213,8 @@ def task_from_json(obj: dict) -> TheoremTask:
     ):
         if not isinstance(getattr(task, name), kind):
             raise ValueError(f"field {name!r} must be {kind.__name__}")
-    for name in ("width", "fuel", "max_depth", "seed"):
+    for name in ("width", "fuel", "max_depth", "seed", "repair_rounds",
+                 "attempt"):
         if not isinstance(getattr(task, name), int) or isinstance(
             getattr(task, name), bool
         ):
@@ -191,6 +226,10 @@ def task_from_json(obj: dict) -> TheoremTask:
         task.theorem_deadline, (int, float)
     ):
         raise ValueError("field 'theorem_deadline' must be a number or null")
+    if task.repair_rounds < 0:
+        raise ValueError("field 'repair_rounds' must be >= 0")
+    if task.attempt < 0:
+        raise ValueError("field 'attempt' must be >= 0")
     return task
 
 

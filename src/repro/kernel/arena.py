@@ -104,7 +104,17 @@ _ALPHA_FP_STATS = _ArenaStats("alpha_fp")
 
 
 class TermArena:
-    """One generation's node table plus parallel derived-data arrays."""
+    """One generation's node table plus parallel derived-data arrays.
+
+    Thread safety: the service's worker threads intern into the shared
+    singleton concurrently, so *admission* (which must keep the node
+    table and every parallel array aligned) is serialized on
+    ``admit_lock`` with a double-checked table probe.  The hit paths
+    stay lock-free: a table entry is published only after all parallel
+    arrays hold the node (publish-last), and representatives are
+    stamped ``_aid`` before ``_agen``, so an unlocked reader that
+    observes a hit can always dereference it.
+    """
 
     __slots__ = (
         "generation",
@@ -115,6 +125,7 @@ class TermArena:
         "fvs",
         "metas",
         "alpha_fp",
+        "admit_lock",
     )
 
     def __init__(self, generation: int) -> None:
@@ -127,6 +138,7 @@ class TermArena:
         self.fvs: List[Optional[FrozenSet[str]]] = []  # lazy
         self.metas: List[Optional[FrozenSet[int]]] = []  # lazy
         self.alpha_fp: List[Optional[int]] = []  # lazy (empty-env fp)
+        self.admit_lock = threading.Lock()
 
     def size(self) -> int:
         return len(self.nodes)
@@ -178,23 +190,36 @@ class TermArena:
         tid = self.table.get(key)
         d = term.__dict__
         if tid is None:
-            _INTERN_STATS.misses += 1
-            rep = self._canonicalize(term)
-            tid = len(self.nodes)
-            self.nodes.append(key)
-            self.terms.append(rep)
-            self.hashes.append(structural_hash(rep))
-            self.fvs.append(None)
-            self.metas.append(None)
-            self.alpha_fp.append(None)
-            self.table[key] = tid
-            rd = rep.__dict__
-            object.__setattr__(rep, "_aid", tid)
-            object.__setattr__(rep, "_agen", self.generation)
-            # Compatibility stamp read by the epoch/pinning tests: the
-            # arena generation *is* the intern epoch it was born under.
-            object.__setattr__(rep, "_interned", self.generation)
-            del rd  # (stamps applied; rd unused beyond documentation)
+            # Admission is the only compound mutation: the node table
+            # and every parallel array must stay aligned, and two
+            # threads admitting concurrently would both read the same
+            # len(nodes) as their id.  Double-checked under the lock;
+            # the table entry is published last so the lock-free hit
+            # path above never sees an id its arrays don't yet hold.
+            with self.admit_lock:
+                tid = self.table.get(key)
+                if tid is None:
+                    _INTERN_STATS.misses += 1
+                    rep = self._canonicalize(term)
+                    tid = len(self.nodes)
+                    self.nodes.append(key)
+                    self.terms.append(rep)
+                    self.hashes.append(structural_hash(rep))
+                    self.fvs.append(None)
+                    self.metas.append(None)
+                    self.alpha_fp.append(None)
+                    # Stamp the representative (_aid before _agen: an
+                    # unlocked reader checks _agen first) and then
+                    # publish.  The compatibility stamp `_interned` is
+                    # read by the epoch/pinning tests: the arena
+                    # generation *is* the intern epoch it was born
+                    # under.
+                    object.__setattr__(rep, "_aid", tid)
+                    object.__setattr__(rep, "_agen", self.generation)
+                    object.__setattr__(rep, "_interned", self.generation)
+                    self.table[key] = tid
+                else:
+                    _INTERN_STATS.hits += 1
         else:
             _INTERN_STATS.hits += 1
         if d.get("_agen") != self.generation or d.get("_aid") != tid:

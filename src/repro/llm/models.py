@@ -69,6 +69,11 @@ class SimulatedModel:
             candidates = rank_and_sample(
                 proposals, priors, self.profile, k, rng
             )
+        if view.failed_tactics:
+            # Repair feedback: an attentive model does not re-propose a
+            # tactic the prompt says the checker already refused here.
+            refused = set(view.failed_tactics)
+            candidates = [c for c in candidates if c.tactic not in refused]
         for candidate in candidates:
             self.usage.record_output(candidate.tactic)
         return candidates

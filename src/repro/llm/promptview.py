@@ -35,6 +35,11 @@ _INDUCTIVE_RE = re.compile(
 )
 _RULE_RE = re.compile(r"^\s*\|\s*(\w+)\s*:\s*(.+?)$", re.MULTILINE)
 _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_']*")
+# Repair-round feedback lines (repro.repair.prompts): the tactics a
+# previous attempt tried at this frontier and the checker refused.
+_FAILED_TACTIC_RE = re.compile(
+    r"^\(\* The checker rejected: (.*?) \*\)$", re.MULTILINE
+)
 
 # Tokens that mark a context line as a variable declaration rather
 # than a hypothesis (a model would judge this visually the same way).
@@ -104,6 +109,9 @@ class PromptView:
     goal_text: str = ""
     goal_term: Optional[Term] = None
     num_goals: int = 1
+    # Tactics a repair-feedback block reports as already refused by the
+    # checker at this frontier (an attentive model won't retry them).
+    failed_tactics: List[str] = field(default_factory=list)
 
     def hinted_lemmas(self) -> List[LemmaView]:
         return [l for l in self.lemmas.values() if l.proof]
@@ -226,6 +234,7 @@ def parse_prompt(prompt: str) -> PromptView:
     # Current theorem + steps so far.
     if theorem_pos >= 0:
         tail = prompt[theorem_pos:goal_pos if goal_pos >= 0 else len(prompt)]
+        view.failed_tactics = _FAILED_TACTIC_RE.findall(tail)
         m = re.search(r"Lemma\s+(\w+)\s*:\s*(.*?)\.\nProof\.", tail, re.DOTALL)
         if m:
             view.theorem_name = m.group(1)

@@ -16,12 +16,31 @@ from repro.llm.heuristics import Proposal
 from repro.llm.interface import Candidate
 from repro.llm.profiles import ModelProfile
 
-__all__ = ["stable_seed", "rank_and_sample", "corrupt"]
+__all__ = ["stable_seed", "attempt_seed", "rank_and_sample", "corrupt"]
 
 
 def stable_seed(*parts: str) -> int:
     digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def attempt_seed(task_key: str, attempt: int) -> str:
+    """The pass@k sampling salt for one attempt of a task.
+
+    A stable hash of (the task's attempt-0 cache key, the attempt
+    index), rendered as a short hex token that rides in the prompt
+    (see :class:`repro.prompting.PromptBuilder`).  Generation stays a
+    pure function of (model, prompt) — the salt simply makes attempt
+    i's prompt (and therefore its sample) distinct from attempt j's,
+    while remaining bit-reproducible across serial, thread, and
+    process backends.
+    """
+    if attempt < 0:
+        raise ValueError("attempt index must be >= 0")
+    digest = hashlib.sha256(
+        f"{task_key}\x1f{attempt}".encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
 
 
 _SUFFIX_SWAPS = [("_l", "_r"), ("_r", "_l"), ("_1", "_2"), ("_2", "_1")]

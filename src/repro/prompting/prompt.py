@@ -14,6 +14,20 @@ Layout (top to bottom)::
 The goal display and the step history sit at the very end so that
 keep-the-end truncation (:mod:`repro.prompting.truncation`) always
 preserves them — the model must never lose the active goals.
+
+Two optional sections extend the layout without disturbing it:
+
+* ``feedback`` — a repair round's failure block (the failing tactic
+  and the checker's rejection message, see
+  :mod:`repro.repair.prompts`), inserted just above the goal display
+  so truncation keeps it;
+* ``attempt_salt`` — a pass@k sampling token appended after the
+  footer.  Generation is a pure function of (model, prompt), so the
+  salt is *the* channel by which attempt i draws a different sample
+  than attempt j.
+
+Both default to absent, leaving prompts byte-identical to the
+single-shot layout.
 """
 
 from __future__ import annotations
@@ -43,6 +57,8 @@ class PromptBuilder:
     hint_names: Optional[Set[str]] = None  # None = vanilla setting
     window_tokens: Optional[int] = None
     reduced_dependencies: Optional[Sequence[str]] = None
+    feedback: Optional[str] = None  # repair-round failure block
+    attempt_salt: str = ""  # pass@k sampling token ("" = base sample)
 
     def __post_init__(self) -> None:
         if self.reduced_dependencies is not None:
@@ -65,9 +81,13 @@ class PromptBuilder:
         parts.append("Proof.")
         for step in steps:
             parts.append(f"  {step}.")
+        if self.feedback:
+            parts.append(self.feedback)
         parts.append(GOAL_HEADER)
         parts.append(state.render())
         parts.append(_FOOTER)
+        if self.attempt_salt:
+            parts.append(f"(* sample {self.attempt_salt} *)")
         prompt = "\n".join(parts)
         if self.window_tokens is not None:
             prompt = truncate_to_window(prompt, self.window_tokens)

@@ -1,0 +1,29 @@
+"""Proof repair: checker-error feedback loops and pass@k sampling.
+
+The paper's verdict taxonomy tells *why* a proof attempt failed; this
+package closes the loop on that signal.  :class:`RepairEngine` re-runs
+a failed search with the failure context fed back through the prompt,
+and :mod:`repro.repair.sampling` turns independently-salted attempts
+into the standard unbiased coverage@k metric.
+"""
+
+from repro.repair.engine import NEAR_MISS_DEPTH, RepairEngine, repairable
+from repro.repair.prompts import REPAIR_HEADER, feedback_block
+from repro.repair.sampling import (
+    attempt_tasks,
+    coverage_at_k,
+    pass_at_k,
+    record_proved,
+)
+
+__all__ = [
+    "NEAR_MISS_DEPTH",
+    "REPAIR_HEADER",
+    "RepairEngine",
+    "attempt_tasks",
+    "coverage_at_k",
+    "feedback_block",
+    "pass_at_k",
+    "record_proved",
+    "repairable",
+]

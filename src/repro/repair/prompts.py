@@ -1,0 +1,66 @@
+"""Failure-feedback prompt blocks for repair rounds.
+
+A repair round re-prompts the model with the evidence the initial
+search left behind: the surviving tactic prefix, the goal at the
+failure frontier, the top-ranked tactic the checker refused there, and
+the checker's own rejection message.  The block is rendered as Coq
+comments so it composes with the existing prompt layout
+(:mod:`repro.prompting.prompt`) without disturbing any of the prompt
+parsers — and so the model can only react to what is *in the text*,
+exactly like the rest of the simulated-model design.
+
+``(* The checker rejected: <tactic> *)`` lines are the machine-
+readable part: :func:`repro.llm.promptview.parse_prompt` collects them
+into ``PromptView.failed_tactics`` and the simulated model suppresses
+those exact candidates, which is the minimal honest model of "the
+model read the error message".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.result import FailureContext
+
+__all__ = ["REPAIR_HEADER", "feedback_block"]
+
+REPAIR_HEADER = "(* Previous attempt failed *)"
+
+# The checker message rides in a comment; keep it one line and
+# bounded so the block cannot crowd out the goal display.
+_MESSAGE_LIMIT = 240
+
+
+def _comment_safe(text: str) -> str:
+    """One whitespace-collapsed line that cannot close the comment."""
+    collapsed = " ".join(text.split())
+    return collapsed.replace("*)", "* )")[:_MESSAGE_LIMIT]
+
+
+def feedback_block(
+    failure: FailureContext,
+    round_index: int,
+    refused: Iterable[str] = (),
+) -> str:
+    """The feedback section for one repair round.
+
+    ``refused`` lists tactics earlier rounds already reported (the
+    current failure's tactic is always included), so the model sees
+    the full set it should stop retrying.  ``round_index`` is baked
+    into the text: the block for round 2 differs from round 1 even on
+    an identical failure, so each round draws a fresh sample.
+    """
+    tried: List[str] = []
+    for tactic in list(refused) + [failure.failed_tactic]:
+        if tactic and tactic not in tried:
+            tried.append(tactic)
+    lines = [REPAIR_HEADER]
+    if failure.prefix:
+        lines.append(
+            f"(* Progress survived up to depth {failure.depth}. *)"
+        )
+    for tactic in tried:
+        lines.append(f"(* The checker rejected: {_comment_safe(tactic)} *)")
+    lines.append(f"(* Checker error: {_comment_safe(failure.message)} *)")
+    lines.append(f"(* repair round {round_index} *)")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""pass@k sampling: independently-seeded attempts and the unbiased
+coverage@k estimator.
+
+One-attempt coverage understates what a model can do: CoqPilot-style
+multi-attempt sampling routinely proves theorems a single sample
+misses.  This module makes coverage@k a first-class metric:
+
+* :func:`attempt_tasks` expands a base task list into k attempts per
+  cell.  Attempt i differs from attempt 0 only by its ``attempt``
+  field; the prompt salt derived from it
+  (:meth:`repro.eval.tasks.TheoremTask.sample_salt`) makes the samples
+  distinct yet bit-reproducible across backends.
+* :func:`pass_at_k` is the standard unbiased estimator
+  ``1 - C(n-c, k) / C(n, k)`` over n samples with c successes.
+* :func:`coverage_at_k` aggregates outcome records into a per-k
+  coverage table, grouping attempts by their base cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from math import comb
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.eval.store import OutcomeRecord
+from repro.eval.tasks import TheoremTask
+
+__all__ = [
+    "attempt_tasks",
+    "pass_at_k",
+    "coverage_at_k",
+    "record_proved",
+]
+
+PROVED_STATUSES = ("proved", "repaired")
+
+
+def attempt_tasks(
+    tasks: Sequence[TheoremTask], k: int
+) -> List[TheoremTask]:
+    """k independently-seeded attempts per base task.
+
+    Attempt indices are assigned 0..k-1 regardless of the base task's
+    own ``attempt`` value, and the expansion is attempt-major per task
+    so the store groups a cell's samples together.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return [
+        replace(task, attempt=attempt)
+        for task in tasks
+        for attempt in range(k)
+    ]
+
+
+def pass_at_k(n: int, c: int, k: int) -> float:
+    """Unbiased pass@k over n samples with c successes.
+
+    The Codex-paper estimator: the probability that at least one of k
+    samples drawn (without replacement) from the n observed ones
+    succeeds.  Exact combinatorics — no floating-point product loop —
+    so the report is deterministic to the last digit.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if n < k:
+        raise ValueError(f"need at least k={k} samples, got n={n}")
+    if c < 0 or c > n:
+        raise ValueError("successes must satisfy 0 <= c <= n")
+    if c == 0:
+        return 0.0
+    if n - c < k:
+        return 1.0
+    return 1.0 - comb(n - c, k) / comb(n, k)
+
+
+def record_proved(record: OutcomeRecord) -> bool:
+    """Whether a record counts as a success for coverage purposes.
+
+    ``repaired`` counts exactly like ``proved`` — both are Qed-replay
+    revalidated complete proofs; the status only says whether the
+    feedback loop was needed.
+    """
+    return record.status in PROVED_STATUSES and record.revalidated
+
+
+def coverage_at_k(
+    records: Iterable[OutcomeRecord], ks: Sequence[int]
+) -> Dict[int, float]:
+    """Mean pass@k over the base cells present in ``records``.
+
+    Cells are grouped by (theorem, model, hinted); every record of a
+    cell is one sample.  Each requested k must not exceed the smallest
+    cell's sample count (the estimator needs n >= k).
+    """
+    cells: Dict[Tuple[str, str, bool], List[bool]] = {}
+    for record in records:
+        key = (record.theorem, record.model, record.hinted)
+        cells.setdefault(key, []).append(record_proved(record))
+    if not cells:
+        return {k: 0.0 for k in ks}
+    out: Dict[int, float] = {}
+    for k in ks:
+        values = [
+            pass_at_k(len(samples), sum(samples), k)
+            for samples in cells.values()
+        ]
+        out[k] = sum(values) / len(values)
+    return out

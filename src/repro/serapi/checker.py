@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.deadline import TIMEOUT_MESSAGE, Deadline
 from repro.errors import ParseError, ReproError, TacticError, TacticTimeout
@@ -97,6 +97,28 @@ class ProofChecker:
 
     def start_text(self, statement_text: str) -> ProofState:
         return self.start(parse_statement(self.env, statement_text))
+
+    def replay_prefix(
+        self, statement: Term, tactics: Sequence[str]
+    ) -> Tuple[ProofState, List[str]]:
+        """Replay a validated tactic prefix from a fresh initial state.
+
+        The repair layer stores the surviving prefix of a failed
+        search (:class:`repro.core.result.FailureContext`); this
+        replays it, returning the state at the failure frontier plus
+        the tactics that still applied.  A tactic the checker now
+        refuses truncates the replay there — the same rule the search
+        engine applies when seeding its tree from a prefix.
+        """
+        state = self.start(statement)
+        survived: List[str] = []
+        for tactic in tactics:
+            result = self.check(state, tactic)
+            if result.verdict is not Verdict.VALID or result.state is None:
+                break
+            state = result.state
+            survived.append(tactic)
+        return state, survived
 
     def state_key(self, state: ProofState):
         """The duplicate-detection key for ``state`` (mode-dependent)."""

@@ -123,6 +123,8 @@ class Job:
                 "theorem": self.task.theorem,
                 "model": self.task.model,
                 "hinted": self.task.hinted,
+                "repair_rounds": self.task.repair_rounds,
+                "attempt": self.task.attempt,
             },
             "cached": self.cached,
             "dedup_hits": self.dedup_hits,

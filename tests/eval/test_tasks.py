@@ -33,9 +33,9 @@ class TestCacheKey:
         # Pins the hashed payload's shape: breaking this means old run
         # stores silently stop matching — bump CACHE_KEY_VERSION and
         # update the literal *deliberately*.
-        # v2: theorem_deadline joined the payload.
+        # v3: repair_rounds and attempt joined the payload.
         assert TheoremTask(**BASE).cache_key() == (
-            "c4419342ef319ca41dae45fe5b843e7119e6925bdfa7b0c1f94e0c986d163c7e"
+            "8c73efca4735ea801f7590204249ce3582923432605d919976c15e895147c416"
         )
 
     @pytest.mark.parametrize(
@@ -54,6 +54,8 @@ class TestCacheKey:
             ("hint_fraction", 0.25),
             ("reduced_dependencies", ("In", "in_eq")),
             ("theorem_deadline", 30.0),
+            ("repair_rounds", 2),
+            ("attempt", 1),
         ],
     )
     def test_every_field_is_outcome_relevant(self, field, value):

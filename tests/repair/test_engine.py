@@ -1,0 +1,254 @@
+"""The checker-error feedback loop: eligibility, failure capture,
+prefix resume, determinism, and budget sharing."""
+
+import pytest
+
+from repro.core import BestFirstSearch, SearchConfig, Status
+from repro.core.result import FailureContext, SearchResult
+from repro.eval import ExperimentConfig, Metrics, Runner, record_from_outcome
+from repro.llm import get_model
+from repro.llm.promptview import parse_prompt
+from repro.prompting import PromptBuilder
+from repro.repair import NEAR_MISS_DEPTH, RepairEngine, repairable
+from repro.repair.prompts import REPAIR_HEADER, feedback_block
+from repro.serapi import ProofChecker
+
+
+def _failure(depth=1, tactic="apply foo", message="cannot unify"):
+    return FailureContext(
+        prefix=("intros",) * depth,
+        goal="n <= p",
+        depth=depth,
+        failed_tactic=tactic,
+        message=message,
+        verdict="rejected",
+    )
+
+
+def _result(status, failure):
+    return SearchResult(status=status, theorem_name="t", failure=failure)
+
+
+class TestRepairable:
+    def test_stuck_with_failure_always_eligible(self):
+        assert repairable(_result(Status.STUCK, _failure(depth=0)))
+
+    def test_fuelout_needs_near_miss_depth(self):
+        assert not repairable(
+            _result(Status.FUELOUT, _failure(depth=NEAR_MISS_DEPTH - 1))
+        )
+        assert repairable(
+            _result(Status.FUELOUT, _failure(depth=NEAR_MISS_DEPTH))
+        )
+
+    def test_timeout_needs_near_miss_depth(self):
+        assert repairable(
+            _result(Status.TIMEOUT, _failure(depth=NEAR_MISS_DEPTH))
+        )
+
+    def test_no_failure_context_ineligible(self):
+        assert not repairable(_result(Status.STUCK, None))
+
+    def test_proved_and_crash_ineligible(self):
+        assert not repairable(_result(Status.PROVED, _failure()))
+        assert not repairable(_result(Status.CRASH, _failure()))
+
+
+class TestFeedbackBlock:
+    def test_contents(self):
+        block = feedback_block(_failure(), 2)
+        assert block.splitlines()[0] == REPAIR_HEADER
+        assert "(* The checker rejected: apply foo *)" in block
+        assert "(* Checker error: cannot unify *)" in block
+        assert "(* repair round 2 *)" in block
+
+    def test_rounds_differ_on_identical_failure(self):
+        assert feedback_block(_failure(), 1) != feedback_block(_failure(), 2)
+
+    def test_comment_close_is_escaped(self):
+        block = feedback_block(_failure(message="bad *) text"), 1)
+        # The message cannot terminate its host comment early.
+        assert "bad *) text" not in block
+        assert "bad * ) text" in block
+
+    def test_refused_tactics_deduped(self):
+        block = feedback_block(
+            _failure(tactic="apply foo"), 2, refused=["apply foo", "lia"]
+        )
+        assert block.count("The checker rejected") == 2
+
+
+class TestFailureCapture:
+    @pytest.fixture(scope="class")
+    def stuck(self, project):
+        runner = Runner(project, ExperimentConfig())
+        outcome = runner.run_theorem(
+            project.theorem("le_trans"), "gpt-4o", True
+        )
+        assert outcome.status is Status.STUCK
+        return project, outcome
+
+    def test_failure_context_recorded(self, stuck):
+        _, outcome = stuck
+        ctx = outcome.failure
+        assert ctx is not None
+        assert ctx["depth"] == len(ctx["prefix"]) >= 1
+        assert ctx["failed_tactic"]
+        assert ctx["message"]
+        assert ctx["verdict"] == "rejected"
+        assert ctx["goal"]
+
+    def test_prefix_replays_through_checker(self, stuck):
+        project, outcome = stuck
+        theorem = project.theorem("le_trans")
+        checker = ProofChecker(project.env_for(theorem))
+        state, survived = checker.replay_prefix(
+            theorem.statement, outcome.failure["prefix"]
+        )
+        assert survived == list(outcome.failure["prefix"])
+        assert not state.is_complete()
+
+    def test_round_trip_json(self):
+        ctx = _failure()
+        assert FailureContext.from_json(ctx.to_json()) == ctx
+
+
+class TestPrefixResume:
+    def test_complete_prefix_proves_without_queries(self, project):
+        theorem = project.theorem("le_trans")
+        checker = ProofChecker(project.env_for(theorem))
+        search = BestFirstSearch(
+            checker, get_model("gpt-4o"), SearchConfig(width=4, fuel=4)
+        )
+        builder = PromptBuilder(project, theorem)
+        result = search.prove(
+            theorem.name,
+            theorem.statement,
+            builder.build,
+            initial_tactics=("intros", "lia"),
+        )
+        assert result.status is Status.PROVED
+        assert result.tactics == ["intros", "lia"]
+        assert result.stats.queries == 0
+
+    def test_refused_prefix_tactic_truncates(self, project):
+        theorem = project.theorem("le_trans")
+        checker = ProofChecker(project.env_for(theorem))
+        search = BestFirstSearch(
+            checker, get_model("gpt-4o"), SearchConfig(width=4, fuel=1)
+        )
+        builder = PromptBuilder(project, theorem)
+        result = search.prove(
+            theorem.name,
+            theorem.statement,
+            builder.build,
+            initial_tactics=("intros", "apply nonsense_lemma"),
+        )
+        # The bogus tail is dropped; the search continues from depth 1.
+        assert result.stats.nodes_created >= 2
+        assert result.status is not Status.CRASH
+
+
+class TestRepairLoop:
+    def test_converts_stuck_to_repaired(self, project):
+        runner = Runner(project, ExperimentConfig())
+        metrics = Metrics()
+        outcome = runner.run_theorem(
+            project.theorem("le_trans"),
+            "gpt-4o",
+            True,
+            metrics=metrics,
+            repair_rounds=2,
+        )
+        assert outcome.status is Status.REPAIRED
+        assert outcome.revalidated
+        assert outcome.attempts == 2
+        assert outcome.proved
+        assert metrics.counter("repair.rounds") == 1
+        assert metrics.counter("repair.succeeded") == 1
+
+    def test_deterministic(self, project):
+        runner = Runner(project, ExperimentConfig())
+        theorem = project.theorem("le_trans")
+        first = record_from_outcome(
+            runner.run_theorem(theorem, "gpt-4o", True, repair_rounds=2)
+        )
+        second = record_from_outcome(
+            runner.run_theorem(theorem, "gpt-4o", True, repair_rounds=2)
+        )
+        assert first == second
+        assert first.status == "repaired"
+
+    def test_rounds_zero_is_single_shot(self, project):
+        runner = Runner(project, ExperimentConfig())
+        outcome = runner.run_theorem(
+            project.theorem("le_trans"), "gpt-4o", True, repair_rounds=0
+        )
+        assert outcome.status is Status.STUCK
+        assert outcome.attempts == 1
+
+    def test_retry_cap_bounds_attempts(self, project):
+        # A theorem the loop cannot save still terminates at the cap.
+        runner = Runner(project, ExperimentConfig(fuel=16))
+        outcome = runner.run_theorem(
+            project.theorem("in_app_or"), "gpt-4o", True, repair_rounds=2
+        )
+        assert outcome.status is not Status.REPAIRED
+        assert outcome.attempts <= 3
+
+    def test_exhausted_budget_skips_rounds(self, project):
+        # A clock that leaps 1000s per tick expires the shared budget
+        # during the initial search; no repair round may start.
+        theorem = project.theorem("le_trans")
+        ticks = iter(range(0, 10_000_000, 1000))
+        clock = lambda: float(next(ticks))  # noqa: E731
+        checker = ProofChecker(project.env_for(theorem))
+        search = BestFirstSearch(
+            checker,
+            get_model("gpt-4o"),
+            SearchConfig(width=4, fuel=8, theorem_deadline=1.0),
+            clock=clock,
+        )
+        metrics = Metrics()
+        engine = RepairEngine(
+            search,
+            PromptBuilder(project, theorem),
+            rounds=3,
+            metrics=metrics,
+            clock=clock,
+        )
+        result = engine.prove(theorem.name, theorem.statement)
+        assert result.status is Status.TIMEOUT
+        assert result.attempts == 1
+        assert metrics.counter("repair.rounds") == 0
+
+
+class TestModelReadsFeedback:
+    def test_failed_tactics_parsed_from_prompt(self, project):
+        theorem = project.theorem("le_trans")
+        checker = ProofChecker(project.env_for(theorem))
+        builder = PromptBuilder(
+            project, theorem, feedback=feedback_block(_failure(), 1)
+        )
+        prompt = builder.build(checker.start(theorem.statement), ["intros"])
+        view = parse_prompt(prompt)
+        assert view.failed_tactics == ["apply foo"]
+        # The feedback comments do not pollute the step history.
+        assert view.steps == ["intros"]
+
+    def test_model_suppresses_refused_tactics(self, project):
+        theorem = project.theorem("le_trans")
+        checker = ProofChecker(project.env_for(theorem))
+        state = checker.start(theorem.statement)
+        model = get_model("gpt-4o")
+        plain = PromptBuilder(project, theorem)
+        baseline = model.generate(plain.build(state, []), 8)
+        assert baseline
+        refused = baseline[0].tactic
+        fed = PromptBuilder(
+            project,
+            theorem,
+            feedback=feedback_block(_failure(tactic=refused), 1),
+        )
+        repaired = model.generate(fed.build(state, []), 8)
+        assert refused not in [c.tactic for c in repaired]

@@ -1,0 +1,172 @@
+"""pass@k sampling: the estimator, attempt seeding, and backend parity."""
+
+from dataclasses import replace
+from math import comb
+
+import pytest
+
+from repro.eval import (
+    ExperimentConfig,
+    OutcomeRecord,
+    ProcessPoolExecutor,
+    Runner,
+    SerialExecutor,
+    sweep_tasks,
+)
+from repro.eval.tasks import TheoremTask
+from repro.llm.sampling import attempt_seed
+from repro.repair.sampling import attempt_tasks, coverage_at_k, pass_at_k
+
+
+class TestPassAtK:
+    def test_all_succeed(self):
+        assert pass_at_k(10, 10, 5) == 1.0
+
+    def test_none_succeed(self):
+        assert pass_at_k(10, 0, 5) == 0.0
+
+    def test_exact_combinatorics(self):
+        # 4 samples, 1 success, draw 2: 1 - C(3,2)/C(4,2) = 1 - 3/6.
+        assert pass_at_k(4, 1, 2) == pytest.approx(0.5)
+        assert pass_at_k(8, 2, 4) == pytest.approx(1 - comb(6, 4) / comb(8, 4))
+
+    def test_saturates_when_failures_below_k(self):
+        # Fewer than k failures: every k-subset contains a success.
+        assert pass_at_k(5, 4, 2) == 1.0
+
+    def test_k_equals_n_is_any_success(self):
+        assert pass_at_k(3, 1, 3) == 1.0
+
+    @pytest.mark.parametrize(
+        "n,c,k",
+        [(5, 1, 0), (5, 1, -1), (3, 1, 4), (5, -1, 2), (5, 6, 2)],
+    )
+    def test_invalid_inputs_rejected(self, n, c, k):
+        with pytest.raises(ValueError):
+            pass_at_k(n, c, k)
+
+
+class TestAttemptSeed:
+    def test_stable(self):
+        assert attempt_seed("abc", 3) == attempt_seed("abc", 3)
+
+    def test_distinct_across_attempts_and_keys(self):
+        seeds = {attempt_seed("abc", i) for i in range(16)}
+        assert len(seeds) == 16
+        assert attempt_seed("abc", 1) != attempt_seed("abd", 1)
+
+    def test_hex_shape(self):
+        seed = attempt_seed("abc", 1)
+        assert len(seed) == 16
+        int(seed, 16)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            attempt_seed("abc", -1)
+
+
+BASE_TASK = dict(
+    theorem="plus_0_l",
+    model="gpt-4o",
+    hinted=True,
+    width=8,
+    fuel=16,
+    tactic_timeout=5.0,
+    frontier="best-first",
+    dedup_states=True,
+    max_depth=64,
+    seed=20250514,
+    hint_fraction=0.5,
+)
+
+
+class TestAttemptTasks:
+    def test_expansion_shape(self):
+        tasks = [TheoremTask(**BASE_TASK)]
+        expanded = attempt_tasks(tasks, 3)
+        assert [t.attempt for t in expanded] == [0, 1, 2]
+        assert len({t.cache_key() for t in expanded}) == 3
+
+    def test_base_attempt_is_overridden(self):
+        tasks = [TheoremTask(**BASE_TASK, attempt=5)]
+        expanded = attempt_tasks(tasks, 2)
+        assert [t.attempt for t in expanded] == [0, 1]
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            attempt_tasks([TheoremTask(**BASE_TASK)], 0)
+
+    def test_attempt_zero_salt_empty(self):
+        task = TheoremTask(**BASE_TASK)
+        assert task.sample_salt() == ""
+
+    def test_salt_derives_from_attempt_zero_key(self):
+        task = TheoremTask(**{**BASE_TASK, "attempt": 2})
+        base_key = TheoremTask(**BASE_TASK).cache_key()
+        assert task.sample_salt() == attempt_seed(base_key, 2)
+
+
+def _record(theorem, status, revalidated):
+    return OutcomeRecord(
+        theorem=theorem,
+        model="gpt-4o",
+        hinted=True,
+        status=status,
+        queries=1,
+        revalidated=revalidated,
+    )
+
+
+class TestCoverageAtK:
+    def test_mean_over_cells(self):
+        records = [
+            _record("a", "proved", True),
+            _record("a", "stuck", False),
+            _record("b", "stuck", False),
+            _record("b", "stuck", False),
+        ]
+        cov = coverage_at_k(records, [1, 2])
+        # Cell a: pass@1 = 0.5, pass@2 = 1.0; cell b: 0 at both.
+        assert cov[1] == pytest.approx(0.25)
+        assert cov[2] == pytest.approx(0.5)
+
+    def test_repaired_counts_as_success(self):
+        records = [
+            _record("a", "repaired", True),
+            _record("a", "stuck", False),
+        ]
+        assert coverage_at_k(records, [2])[2] == 1.0
+
+    def test_unrevalidated_proof_does_not_count(self):
+        records = [
+            _record("a", "proved", False),
+            _record("a", "stuck", False),
+        ]
+        assert coverage_at_k(records, [1])[1] == 0.0
+
+    def test_empty_records(self):
+        assert coverage_at_k([], [1, 4]) == {1: 0.0, 4: 0.0}
+
+
+class TestBackendParity:
+    def test_process_matches_serial_for_attempts(self, project):
+        # Attempt salts must be a pure function of the task, not of
+        # the process that executes it: the expanded sweep's records
+        # are identical under serial and process backends.
+        config = ExperimentConfig(max_theorems=2, fuel=8, repair_rounds=1)
+        runner = Runner(project, config)
+        tasks = attempt_tasks(
+            sweep_tasks(
+                runner.theorems_for("gpt-4o-mini"),
+                "gpt-4o-mini",
+                True,
+                config,
+            ),
+            2,
+        )
+        serial = runner.run_tasks(tasks, executor=SerialExecutor())
+        processed = runner.run_tasks(
+            tasks, executor=ProcessPoolExecutor(config, jobs=2)
+        )
+        assert processed == serial
+        assert len({t.cache_key() for t in tasks}) == len(tasks)

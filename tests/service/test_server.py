@@ -342,6 +342,49 @@ class TestWarmCache:
             shut(warm, httpd)
 
 
+class TestRepairKnobs:
+    def test_repair_rounds_flow_through_post_prove(self, served):
+        # No dedicated route: ``repair_rounds`` is an ordinary task
+        # field, so it reaches the runner through task_from_json and is
+        # folded into the cache key before admission.
+        _, client = served
+        body = {
+            "theorem": "le_trans",
+            "model": "gpt-4o",
+            "hinted": True,
+            "fuel": 64,
+        }
+        repaired = client.prove_and_wait(
+            repair_rounds=2, timeout=120.0, **body
+        )
+        assert repaired["state"] == "done"
+        assert repaired["record"]["status"] == "repaired"
+        assert repaired["record"]["attempts"] == 2
+
+        # Same knobs again: served from the proof cache, byte-equal.
+        replay = client.prove(repair_rounds=2, **body)
+        assert replay["cached"] is True
+        assert replay["record"] == repaired["record"]
+
+        # Different knobs are a different cache key, not a stale hit.
+        plain = client.prove_and_wait(timeout=120.0, **body)
+        assert plain["record"]["status"] == "stuck"
+
+    def test_attempt_index_is_a_first_class_knob(self, served):
+        _, client = served
+        body = {
+            "theorem": "rev_involutive",
+            "model": "gpt-4o",
+            "fuel": FUEL,
+        }
+        base = client.prove_and_wait(timeout=120.0, **body)
+        resampled = client.prove_and_wait(attempt=1, timeout=120.0, **body)
+        assert base["state"] == resampled["state"] == "done"
+        assert base["task"]["attempt"] == 0
+        assert resampled["task"]["attempt"] == 1
+        assert base["key"] != resampled["key"]
+
+
 class TestAcceptanceDifferential:
     def test_solo_batched_and_warm_records_are_identical(self, project):
         """The PR's end-to-end determinism gate: same (theorem, model,
