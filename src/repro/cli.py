@@ -77,6 +77,7 @@ def _cmd_prove(args) -> int:
         theorem_deadline=args.theorem_deadline,
         trace=bool(args.trace),
         repair_rounds=args.repair_rounds,
+        pipeline_depth=args.pipeline_depth,
     )
     runner = Runner(project, config)
     task = TheoremTask.from_config(args.name, args.model, args.hints, config)
@@ -124,6 +125,7 @@ def _cmd_repair(args) -> int:
         width=args.width,
         fuel=args.fuel,
         theorem_deadline=args.theorem_deadline,
+        pipeline_depth=args.pipeline_depth,
     )
     runner = Runner(project, config)
     base_task = TheoremTask.from_config(
@@ -186,6 +188,7 @@ def _cmd_eval(args) -> int:
             faults=args.faults,
             trace=bool(args.trace),
             repair_rounds=args.repair_rounds,
+            pipeline_depth=args.pipeline_depth,
         ),
     )
     if runner.fault_plan is not None:
@@ -300,6 +303,7 @@ def _cmd_server(args) -> int:
             fast=args.fast,
             query_overhead=args.query_overhead,
             trace_path=args.trace,
+            pipeline_depth=args.pipeline_depth,
         )
     )
 
@@ -408,6 +412,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="checker-error feedback rounds after a failed search "
         "(0 disables the repair loop)",
     )
+    p_prove.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=0,
+        metavar="K",
+        help="generation calls in flight per search (0 = serial loop; "
+        "1 = pipelined, byte-identical to serial; >=2 overlaps "
+        "generation with checking)",
+    )
     p_prove.set_defaults(fn=_cmd_prove)
 
     p_repair = sub.add_parser(
@@ -433,6 +446,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="SECONDS",
         help="shared wall-clock budget across the initial search and "
         "every repair round",
+    )
+    p_repair.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=0,
+        metavar="K",
+        help="generation calls in flight per search (0 = serial loop)",
     )
     p_repair.set_defaults(fn=_cmd_repair)
 
@@ -505,6 +525,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(0 disables the repair loop)",
     )
     p_eval.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=0,
+        metavar="K",
+        help="generation calls in flight per search (0 = serial loop; "
+        "1 = pipelined, byte-identical to serial; >=2 overlaps "
+        "generation with checking; outcome records are unaffected)",
+    )
+    p_eval.add_argument(
         "--pass-at-k",
         type=int,
         default=1,
@@ -570,6 +599,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="record every job's search as span-tree JSONL "
         "(render: repro trace)",
+    )
+    p_server.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=0,
+        metavar="K",
+        help="generation calls in flight per proof job (0 = serial "
+        "search loop)",
     )
     p_server.add_argument(
         "--cluster",

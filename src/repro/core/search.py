@@ -13,16 +13,33 @@ proof state already in the tree, or exceeds the tactic timeout.
 Search succeeds as soon as any child state is complete; it fails
 *stuck* when the frontier empties and *fuelout* when the query limit
 (paper: 128) is exhausted.
+
+Pipelined mode (``SearchConfig.pipeline_depth >= 1``) overlaps the two
+steps: up to ``pipeline_depth`` frontier nodes are reserved per round
+(virtual-loss selection — a reserved node leaves the queue, so the
+next reservation picks a sibling) and their generation calls run
+concurrently through :class:`repro.core.pipeline.GenerationPipeline`,
+while the checker validates the oldest finished round.  Results are
+committed strictly in reservation order (a reorder buffer keyed by
+round sequence number), so the tree — and every outcome record — is a
+pure function of the selection sequence: ``pipeline_depth=1`` is
+byte-identical to the classic serial loop, and any depth is
+run-to-run deterministic.  At depth > 1 selection is speculative
+(round *i+1* is chosen before round *i*'s children exist), so the
+*exploration order* may differ from serial — wall-clock drops,
+coverage is pinned by ``tests/eval/test_pipeline_determinism.py``.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Set
+from typing import Callable, Deque, Optional, Sequence, Set, Tuple
 
 from repro.core.frontier import make_frontier
 from repro.core.node import Node
+from repro.core.pipeline import GenerationHandle, GenerationPipeline
 from repro.core.result import (
     FailureContext,
     SearchResult,
@@ -38,9 +55,17 @@ from repro.llm.interface import TacticGenerator
 from repro.obs.trace import NULL_TRACER
 from repro.serapi.checker import ProofChecker, Verdict
 
-__all__ = ["SearchConfig", "BestFirstSearch"]
+__all__ = ["SearchConfig", "BestFirstSearch", "NO_CANDIDATES_TACTIC"]
 
 PromptFn = Callable[[ProofState, Sequence[str]], str]
+
+#: Sentinel ``FailureContext.failed_tactic`` recorded when an expansion
+#: produced no usable candidates at all (the model returned an empty
+#: list, or only blank tactics).  Without it a search that starves this
+#: way ends STUCK with ``failure=None`` and the repair engine — which
+#: needs a failure frontier to resume from — would skip a theorem that
+#: is in fact repair-eligible.
+NO_CANDIDATES_TACTIC = "<no candidates>"
 
 
 @dataclass(frozen=True)
@@ -57,6 +82,14 @@ class SearchConfig:
     # outcome when it expires (checked between expansions), instead of
     # running unbounded.  None = no deadline (the paper's setting).
     theorem_deadline: Optional[float] = None
+    # Intra-search pipelining: generation calls kept in flight at once.
+    # 0 (default) runs the classic serial loop; 1 runs the pipelined
+    # executor with a single slot (byte-identical records to serial —
+    # the validation mode); >= 2 overlaps generation and checking.
+    # Deliberately NOT part of TheoremTask.cache_key() — like `trace`,
+    # it is an execution knob, not a sweep cell coordinate (see
+    # repro.eval.config.ExperimentConfig.pipeline_depth).
+    pipeline_depth: int = 0
 
 
 class BestFirstSearch:
@@ -73,6 +106,7 @@ class BestFirstSearch:
             Callable[[str, int], Sequence["object"]]
         ] = None,
         tracer=None,
+        submit_fn: Optional[Callable[[str, int], object]] = None,
     ) -> None:
         """``metrics`` is an optional duck-typed sink (an object with
         ``add_time(stage, seconds)``, e.g.
@@ -84,10 +118,17 @@ class BestFirstSearch:
         service layer injects a handle that routes through its shared
         micro-batcher, with identical semantics — the handle must obey
         the determinism contract of
-        :func:`repro.llm.interface.generate_batch`.  ``tracer`` is an
-        optional :class:`repro.obs.trace.Tracer` recording selection /
-        expansion spans; the default no-op tracer costs nothing and
-        leaves outcomes untouched."""
+        :func:`repro.llm.interface.generate_batch`.  ``submit_fn`` is
+        the optional *asynchronous* counterpart used by the pipelined
+        mode: ``submit_fn(prompt, k)`` starts a generation call and
+        returns a handle with ``result()`` (e.g.
+        :meth:`repro.service.batching.BatchingGenerator.submit`); when
+        absent, the generator's own ``submit`` method is used if it has
+        one and ``generate_fn`` was not overridden, else the pipeline
+        falls back to a small thread pool over ``generate_fn``.
+        ``tracer`` is an optional :class:`repro.obs.trace.Tracer`
+        recording selection / expansion spans; the default no-op
+        tracer costs nothing and leaves outcomes untouched."""
         if not getattr(generator, "provides_log_probs", False):
             raise GenerationError(
                 f"model {generator.name} provides no log-probabilities; "
@@ -100,6 +141,16 @@ class BestFirstSearch:
         self.clock = clock
         self.generate = generate_fn or generator.generate
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.submit_fn = submit_fn
+        self._default_generate = generate_fn is None
+
+    def _resolve_submit_fn(self) -> Optional[Callable[[str, int], object]]:
+        """The async submission route for the pipelined mode, if any."""
+        if self.submit_fn is not None:
+            return self.submit_fn
+        if self._default_generate:
+            return getattr(self.generator, "submit", None)
+        return None
 
     def prove(
         self,
@@ -115,10 +166,11 @@ class BestFirstSearch:
         prefix (the repair engine resumes from a failed search's
         surviving prefix this way): each tactic is replayed through
         the checker from the root, and every surviving prefix node
-        joins the frontier — deeper nodes with a slightly better
-        score, so the search focuses at the frontier but can still
-        back off to shallower alternatives.  A prefix tactic the
-        checker now refuses simply truncates the prefix there.
+        joins the frontier — deeper nodes with a strictly better
+        score, so the search expands the failure frontier first but
+        can still back off to shallower alternatives (including the
+        root).  A prefix tactic the checker now refuses simply
+        truncates the prefix there.
         """
         config = self.config
         stats = SearchStats()
@@ -142,10 +194,14 @@ class BestFirstSearch:
         stats.nodes_created = 1
 
         # Replay the seed prefix: one chain of nodes below the root.
-        # Prefix node at depth d scores -(n-d)*1e-6, so the deepest
+        # Prefix node at depth d scores +d*1e-6 — strictly above the
+        # root's 0.0 and increasing with depth — so the deepest node
         # (the failure frontier being repaired) is selected first.
+        # (The old -(n-d)*1e-6 scoring gave the deepest node exactly
+        # 0.0, tying the root; the insertion-order tie-break then made
+        # every repair round re-expand the root before the frontier it
+        # was supposed to resume from.)
         node = root
-        prefix_len = len(initial_tactics)
         for offset, tactic in enumerate(initial_tactics):
             check = self.checker.check(
                 node.state,
@@ -157,7 +213,7 @@ class BestFirstSearch:
             child = Node(
                 state=check.state,
                 key=self.checker.state_key(check.state),
-                cum_log_prob=-(prefix_len - offset - 1) * 1e-6,
+                cum_log_prob=(offset + 1) * 1e-6,
                 depth=node.depth + 1,
                 parent=node,
                 tactic=tactic,
@@ -201,12 +257,116 @@ class BestFirstSearch:
                 failure=None if status is Status.PROVED else best_fail,
             )
 
+        def process_candidates(node, candidates, event) -> Optional[Node]:
+            """Validate one expansion's candidates in rank order.
+
+            Pushes valid children, maintains the failure frontier, and
+            returns the proof-completing child if one appears.  Shared
+            verbatim by the serial and pipelined loops — the checker
+            call sequence is the determinism-sensitive part.
+            """
+            nonlocal best_fail, best_fail_rank
+            node_fail: Optional[Tuple[str, str, str]] = None
+            for candidate in candidates:
+                stats.candidates += 1
+                check = self.checker.check(
+                    node.state,
+                    candidate.tactic,
+                    seen_keys=seen if config.dedup_states else None,
+                )
+                if event is not None:
+                    event.candidates.append(
+                        CandidateEvent(
+                            tactic=candidate.tactic,
+                            log_prob=candidate.log_prob,
+                            verdict=check.verdict.value,
+                            message=check.message,
+                        )
+                    )
+                if check.verdict is Verdict.REJECTED:
+                    stats.rejected += 1
+                    if node_fail is None:
+                        node_fail = (
+                            candidate.tactic,
+                            check.message,
+                            check.verdict.value,
+                        )
+                    continue
+                if check.verdict is Verdict.DUPLICATE:
+                    stats.duplicates += 1
+                    continue
+                if check.verdict is Verdict.TIMEOUT:
+                    stats.timeouts += 1
+                    if node_fail is None:
+                        node_fail = (
+                            candidate.tactic,
+                            check.message,
+                            check.verdict.value,
+                        )
+                    continue
+                assert check.state is not None
+                child = Node(
+                    state=check.state,
+                    key=self.checker.state_key(check.state),
+                    cum_log_prob=node.cum_log_prob + candidate.log_prob,
+                    depth=node.depth + 1,
+                    parent=node,
+                    tactic=candidate.tactic,
+                )
+                seen.add(child.key)
+                stats.nodes_created += 1
+                if check.state.is_complete():
+                    return child
+                if child.depth < config.max_depth:
+                    frontier.push(child)
+
+            if (node_fail is None or not node_fail[0].strip()) and all(
+                not candidate.tactic.strip() for candidate in candidates
+            ):
+                # Zero-candidate expansion (empty list, or only blank
+                # tactics — e.g. repair feedback suppressed everything
+                # the model had): without a recorded failure this node
+                # would leave the search STUCK with failure=None and
+                # therefore repair-ineligible.  Record a sentinel so
+                # the failure frontier survives.
+                node_fail = (
+                    NO_CANDIDATES_TACTIC,
+                    "model returned no usable candidates",
+                    Verdict.REJECTED.value,
+                )
+
+            if node_fail is not None:
+                rank = (node.depth, node.cum_log_prob)
+                if rank > best_fail_rank:
+                    best_fail_rank = rank
+                    tactic, message, verdict = node_fail
+                    best_fail = FailureContext(
+                        prefix=tuple(node.tactics_from_root()),
+                        goal=node.state.render()[:1000],
+                        depth=node.depth,
+                        failed_tactic=tactic,
+                        message=message,
+                        verdict=verdict,
+                    )
+            return None
+
         if node is not root and node.state.is_complete():
             with tracer.span("search", theorem=theorem_name) as search_span:
                 return finish(Status.PROVED, node.tactics_from_root())
 
         metrics = self.metrics
         with tracer.span("search", theorem=theorem_name) as search_span:
+            if config.pipeline_depth >= 1:
+                return self._pipelined_loop(
+                    config,
+                    stats,
+                    deadline,
+                    frontier,
+                    prompt_fn,
+                    transcript,
+                    finish,
+                    process_candidates,
+                )
             while True:
                 # The per-theorem deadline is polled once per expansion
                 # — individual tactics are already bounded by the 5 s
@@ -269,78 +429,146 @@ class BestFirstSearch:
                             goal_preview=node.state.render()[:200],
                         )
 
-                    node_fail: Optional[tuple] = None
-                    for candidate in candidates:
-                        stats.candidates += 1
-                        check = self.checker.check(
-                            node.state,
-                            candidate.tactic,
-                            seen_keys=seen if config.dedup_states else None,
+                    proved = process_candidates(node, candidates, event)
+                    if proved is not None:
+                        if transcript is not None and event is not None:
+                            transcript.record(event)
+                        return finish(
+                            Status.PROVED, proved.tactics_from_root()
                         )
-                        if event is not None:
-                            event.candidates.append(
-                                CandidateEvent(
-                                    tactic=candidate.tactic,
-                                    log_prob=candidate.log_prob,
-                                    verdict=check.verdict.value,
-                                    message=check.message,
-                                )
-                            )
-                        if check.verdict is Verdict.REJECTED:
-                            stats.rejected += 1
-                            if node_fail is None:
-                                node_fail = (
-                                    candidate.tactic,
-                                    check.message,
-                                    check.verdict.value,
-                                )
-                            continue
-                        if check.verdict is Verdict.DUPLICATE:
-                            stats.duplicates += 1
-                            continue
-                        if check.verdict is Verdict.TIMEOUT:
-                            stats.timeouts += 1
-                            if node_fail is None:
-                                node_fail = (
-                                    candidate.tactic,
-                                    check.message,
-                                    check.verdict.value,
-                                )
-                            continue
-                        assert check.state is not None
-                        child = Node(
-                            state=check.state,
-                            key=self.checker.state_key(check.state),
-                            cum_log_prob=node.cum_log_prob
-                            + candidate.log_prob,
-                            depth=node.depth + 1,
-                            parent=node,
-                            tactic=candidate.tactic,
-                        )
-                        seen.add(child.key)
-                        stats.nodes_created += 1
-                        if check.state.is_complete():
-                            if transcript is not None and event is not None:
-                                transcript.record(event)
-                            return finish(
-                                Status.PROVED, child.tactics_from_root()
-                            )
-                        if child.depth < config.max_depth:
-                            frontier.push(child)
-
-                    if node_fail is not None:
-                        rank = (node.depth, node.cum_log_prob)
-                        if rank > best_fail_rank:
-                            best_fail_rank = rank
-                            tactic, message, verdict = node_fail
-                            best_fail = FailureContext(
-                                prefix=tuple(node.tactics_from_root()),
-                                goal=node.state.render()[:1000],
-                                depth=node.depth,
-                                failed_tactic=tactic,
-                                message=message,
-                                verdict=verdict,
-                            )
 
                 if transcript is not None and event is not None:
                     transcript.record(event)
+
+    def _pipelined_loop(
+        self,
+        config: SearchConfig,
+        stats: SearchStats,
+        deadline: Optional[Deadline],
+        frontier,
+        prompt_fn: PromptFn,
+        transcript: Optional[Transcript],
+        finish,
+        process_candidates,
+    ) -> SearchResult:
+        """The pipelined select/expand loop (``pipeline_depth >= 1``).
+
+        Fill phase: reserve frontier nodes and start their generation
+        calls until ``pipeline_depth`` rounds are in flight (or fuel /
+        frontier runs out).  Commit phase: take the *oldest* round,
+        wait for its candidates, and validate them while the younger
+        rounds keep generating.  The in-order commit makes the loop a
+        deterministic function of the selection sequence; at depth 1
+        the fill-one/commit-one cadence replays the serial loop's
+        event order exactly.
+
+        Exits: PROVED and TIMEOUT release any still-reserved nodes
+        back to the frontier (in reverse reservation order, restoring
+        it exactly); FUELOUT and STUCK only occur with an empty
+        pipeline, after every started round was committed — fuel
+        already spent on a query is always followed by its validation,
+        except when the search ends first.
+        """
+        tracer = self.tracer
+        metrics = self.metrics
+        pipeline = GenerationPipeline(
+            self.generate,
+            config.pipeline_depth,
+            submit_fn=self._resolve_submit_fn(),
+        )
+        inflight: Deque[Tuple[Node, GenerationHandle]] = deque()
+
+        def release_inflight() -> None:
+            # Reverse order restores the exact frontier (see
+            # repro.core.frontier docstring).
+            for pending_node, _handle in reversed(inflight):
+                frontier.release(pending_node)
+            inflight.clear()
+
+        try:
+            while True:
+                # Fill: start rounds until the pipeline is full.
+                while len(inflight) < config.pipeline_depth:
+                    # Deadline first, then fuel — the serial loop's
+                    # status priority, polled once per started round.
+                    if deadline is not None and deadline.expired():
+                        release_inflight()
+                        return finish(Status.TIMEOUT)
+                    if stats.queries >= config.fuel:
+                        break
+                    with tracer.span("select") as select_span:
+                        node = frontier.reserve()
+                        if tracer.enabled and node is not None:
+                            select_span.set(
+                                depth=node.depth,
+                                score=round(node.cum_log_prob, 6),
+                                round=stats.queries,
+                            )
+                    if node is None:
+                        break
+                    t0 = self.clock()
+                    with tracer.span("prompt_build"):
+                        prompt = prompt_fn(
+                            node.state, node.tactics_from_root()
+                        )
+                    if metrics is not None:
+                        metrics.add_time("prompt_build", self.clock() - t0)
+                    stats.queries += 1
+                    inflight.append(
+                        (node, pipeline.submit(prompt, config.width))
+                    )
+
+                if not inflight:
+                    # Nothing running and nothing startable: terminal.
+                    if stats.queries >= config.fuel:
+                        return finish(Status.FUELOUT)
+                    return finish(Status.STUCK)
+
+                # Commit: validate the oldest round, in flight or not.
+                node, handle = inflight.popleft()
+                with tracer.span("expand") as expand_span:
+                    if tracer.enabled:
+                        goal = " ".join(node.state.render().split())
+                        expand_span.set(
+                            query=handle.seq + 1,
+                            fuel=config.fuel,
+                            depth=node.depth,
+                            score=round(node.cum_log_prob, 6),
+                            goal=goal[:160],
+                            round=handle.seq,
+                            inflight=len(inflight) + 1,
+                        )
+                    t0 = self.clock()
+                    with tracer.span("generation") as generation_span:
+                        # Blocks only until *this* round is done; the
+                        # younger rounds keep generating meanwhile.
+                        candidates = handle.result()
+                        if tracer.enabled:
+                            generation_span.set(candidates=len(candidates))
+                    if metrics is not None:
+                        metrics.add_time("generation", self.clock() - t0)
+                    frontier.commit(node)
+                    node.expanded = True
+                    stats.nodes_expanded += 1
+
+                    event = None
+                    if transcript is not None:
+                        event = ExpansionEvent(
+                            node_depth=node.depth,
+                            node_score=node.cum_log_prob,
+                            goal_preview=node.state.render()[:200],
+                        )
+
+                    proved = process_candidates(node, candidates, event)
+                    if proved is not None:
+                        if transcript is not None and event is not None:
+                            transcript.record(event)
+                        release_inflight()
+                        return finish(
+                            Status.PROVED, proved.tactics_from_root()
+                        )
+
+                if transcript is not None and event is not None:
+                    transcript.record(event)
+        finally:
+            pipeline.close()

@@ -25,7 +25,7 @@ rehydrates the resulting records into :class:`TheoremOutcome`\\ s.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.corpus.loader import Project, load_project
@@ -171,14 +171,23 @@ class Runner:
         theorem_name: str,
         hinted: bool,
         metrics: Optional[Metrics],
+        pipeline_depth: int = 0,
     ):
         """Apply the fault-tolerance stack to a raw generator.
 
-        Inner to outer: fault injection (chaos sweeps only), then the
-        resilient retry/breaker/fallback wrapper — so injected faults
-        hit the wrapper exactly like a flaky real endpoint would.  The
-        wrapper is built fresh **per task**, so breaker state can never
-        leak between tasks and records stay order-independent.
+        Inner to outer: fault injection (chaos sweeps only), then — at
+        ``pipeline_depth >= 2`` — the intra-search micro-batcher, then
+        the resilient retry/breaker/fallback wrapper.  Injected faults
+        hit the wrapper exactly like a flaky real endpoint would, and
+        the batcher sits *below* the resilient layer for the same
+        reason the service stacks that way: a retry re-enqueues one
+        element, not a whole batch.  The wrapper is built fresh **per
+        task**, so breaker state can never leak between tasks and
+        records stay order-independent.
+
+        Returns ``(generator, batcher)``; ``batcher`` is the owned
+        intra-search :class:`BatchingGenerator` (or None) that the
+        caller must ``close()`` when the task finishes.
         """
         plan = self.fault_plan
         if plan is not None and plan.model_faults_active():
@@ -187,6 +196,17 @@ class Runner:
                 plan,
                 context=f"{theorem_name}|{model.name}|{int(hinted)}",
             )
+        batcher = None
+        if pipeline_depth >= 2:
+            # Imported here: repro.service.server imports this module
+            # (the composition root), so a top-level import would be
+            # circular through the service package.
+            from repro.service.batching import BatchingGenerator
+
+            batcher = BatchingGenerator.for_search(
+                model, pipeline_depth, metrics=metrics
+            )
+            model = batcher
         if getattr(self.config, "resilient", True):
             fallback_name = getattr(self.config, "fallback_model", None)
             model = ResilientGenerator(
@@ -196,7 +216,7 @@ class Runner:
                 ),
                 metrics=metrics,
             )
-        return model
+        return model, batcher
 
     def run_theorem(
         self,
@@ -214,7 +234,12 @@ class Runner:
         model = model_override if model_override is not None else get_model(
             model_name
         )
-        model = self._wrap_model(model, theorem.name, hinted, metrics)
+        # The execution knob rides in from ExperimentConfig, never from
+        # the task (it is outside the cache key — see eval.config).
+        pipeline_depth = getattr(self.config, "pipeline_depth", 0)
+        model, batcher = self._wrap_model(
+            model, theorem.name, hinted, metrics, pipeline_depth
+        )
         search_config = search_config or SearchConfig(
             width=self.config.width,
             fuel=self.config.fuel,
@@ -223,6 +248,10 @@ class Runner:
             dedup_states=self.config.dedup_states,
             theorem_deadline=getattr(self.config, "theorem_deadline", None),
         )
+        if pipeline_depth >= 1 and search_config.pipeline_depth == 0:
+            search_config = replace(
+                search_config, pipeline_depth=pipeline_depth
+            )
         tracer = tracer if tracer is not None else NULL_TRACER
         env = self.project.env_for(theorem)
         checker = ProofChecker(
@@ -242,19 +271,23 @@ class Runner:
         search = BestFirstSearch(
             checker, model, search_config, metrics=metrics, tracer=tracer
         )
-        if repair_rounds > 0:
-            engine = RepairEngine(
-                search,
-                builder,
-                repair_rounds,
-                metrics=metrics,
-                tracer=tracer,
-            )
-            result = engine.prove(theorem.name, theorem.statement)
-        else:
-            result = search.prove(
-                theorem.name, theorem.statement, builder.build
-            )
+        try:
+            if repair_rounds > 0:
+                engine = RepairEngine(
+                    search,
+                    builder,
+                    repair_rounds,
+                    metrics=metrics,
+                    tracer=tracer,
+                )
+                result = engine.prove(theorem.name, theorem.statement)
+            else:
+                result = search.prove(
+                    theorem.name, theorem.statement, builder.build
+                )
+        finally:
+            if batcher is not None:
+                batcher.close()
         outcome = TheoremOutcome(
             theorem=theorem,
             model=model_name,

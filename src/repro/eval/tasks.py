@@ -124,6 +124,10 @@ class TheoremTask:
         )
 
     def search_config(self) -> SearchConfig:
+        # Deliberately never sets pipeline_depth: like `trace`, it is
+        # an execution knob outside the cache key — the runner applies
+        # it from ExperimentConfig on top of this config, and outcome
+        # records are invariant to it (tests/eval pin this).
         return SearchConfig(
             width=self.width,
             fuel=self.fuel,

@@ -154,6 +154,10 @@ class ResilientGenerator:
         )
         # Circuit breaker: closed -> (threshold failures) -> open for
         # cooldown -> half-open (one trial) -> closed or open again.
+        # The lock keeps the counters coherent when the pipelined
+        # search drives one wrapper from several generation threads;
+        # the single-threaded paths pay one uncontended acquire.
+        self._breaker_lock = threading.Lock()
         self._consecutive_failures = 0
         self._open_until: Optional[float] = None
         self._half_open = False
@@ -164,33 +168,37 @@ class ResilientGenerator:
 
     def breaker_open(self) -> bool:
         """True while the primary is being skipped entirely."""
-        if self._open_until is None:
-            return False
-        if self.clock() >= self._open_until:
-            # Cooldown over: half-open, the next query probes the
-            # primary once (a single failure reopens immediately).
-            self._open_until = None
-            self._half_open = True
-            return False
-        return True
+        with self._breaker_lock:
+            if self._open_until is None:
+                return False
+            if self.clock() >= self._open_until:
+                # Cooldown over: half-open, the next query probes the
+                # primary once (a single failure reopens immediately).
+                self._open_until = None
+                self._half_open = True
+                return False
+            return True
 
-    def _trip(self) -> None:
+    def _trip_locked(self) -> None:
         self._open_until = self.clock() + self.policy.breaker_cooldown
         self._half_open = False
         self._incr("llm.breaker_opens")
 
     def _note_failure(self) -> None:
-        self._consecutive_failures += 1
-        self._incr("llm.primary_failures")
-        if (
-            self._half_open
-            or self._consecutive_failures >= self.policy.breaker_threshold
-        ):
-            self._trip()
+        with self._breaker_lock:
+            self._consecutive_failures += 1
+            self._incr("llm.primary_failures")
+            if (
+                self._half_open
+                or self._consecutive_failures
+                >= self.policy.breaker_threshold
+            ):
+                self._trip_locked()
 
     def _note_success(self) -> None:
-        self._consecutive_failures = 0
-        self._half_open = False
+        with self._breaker_lock:
+            self._consecutive_failures = 0
+            self._half_open = False
 
     def _incr(self, name: str) -> None:
         if self.metrics is not None:

@@ -29,6 +29,16 @@ Structure: the window/size policy lives in :class:`BatchPlanner`, a
 pure, lock-free, fake-clock-testable state machine; the thread-safe
 :class:`BatchingGenerator` wraps it with a condition variable and a
 single dispatcher thread.
+
+Two entry points share the machinery: the blocking ``generate`` (one
+caller, parks until its element returns) and the asynchronous
+``submit`` (returns a :class:`Submission` handle whose ``result()``
+parks instead) — the latter is what the intra-search pipeline
+(:mod:`repro.core.pipeline`) plugs in as ``submit_fn``, and
+:meth:`BatchingGenerator.for_search` builds an instance sized for one
+pipelined search: the co-travelling rounds of a fill phase arrive
+within microseconds, so a short window coalesces them into a single
+``generate_batch`` round-trip.
 """
 
 from __future__ import annotations
@@ -45,7 +55,7 @@ from repro.llm.interface import (
     generate_batch,
 )
 
-__all__ = ["BatchPolicy", "BatchPlanner", "BatchingGenerator"]
+__all__ = ["BatchPolicy", "BatchPlanner", "BatchingGenerator", "Submission"]
 
 
 @dataclass(frozen=True)
@@ -78,6 +88,31 @@ class _Pending:
         self.event = threading.Event()
         self.result: Optional[List[Candidate]] = None
         self.error: Optional[BaseException] = None
+
+
+class Submission:
+    """A parked request's caller-side handle (see ``submit``).
+
+    ``result()`` blocks until the dispatcher (or the inline solo path)
+    fills the element, then returns the candidates or re-raises the
+    element's own error — semantically identical to a blocking
+    ``generate`` call split at the park point.  Duck-type-compatible
+    with ``concurrent.futures.Future.result`` as far as
+    :class:`repro.core.pipeline.GenerationHandle` requires.
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, pending: _Pending) -> None:
+        self._pending = pending
+
+    def result(self) -> List[Candidate]:
+        pending = self._pending
+        pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.result is not None
+        return pending.result
 
 
 class BatchPlanner:
@@ -165,7 +200,26 @@ class BatchingGenerator:
         if self.policy.max_batch_size <= 1:
             # Batching disabled: the undecorated solo path.
             return self.inner.generate(prompt, k)
+        return self.submit(prompt, k).result()
+
+    def submit(self, prompt: str, k: int) -> Submission:
+        """Asynchronous ``generate``: enqueue, return a result handle.
+
+        The request joins the same micro-batch queue as blocking
+        callers; the caller parks at ``Submission.result()`` instead
+        of here.  With batching disabled (``max_batch_size=1``) the
+        call executes inline and the returned handle is already
+        resolved, so errors still surface only at ``result()`` — the
+        deterministic commit point of the pipelined search.
+        """
         pending = _Pending(prompt, k, self.clock())
+        if self.policy.max_batch_size <= 1:
+            try:
+                pending.result = self.inner.generate(prompt, k)
+            except BaseException as exc:
+                pending.error = exc
+            pending.event.set()
+            return Submission(pending)
         with self._cond:
             if self._closed:
                 raise RuntimeError(
@@ -174,17 +228,41 @@ class BatchingGenerator:
             self._ensure_dispatcher()
             self._planner.add(pending)
             self._cond.notify_all()
-        pending.event.wait()
-        if pending.error is not None:
-            raise pending.error
-        assert pending.result is not None
-        return pending.result
+        return Submission(pending)
 
     def generate_batch(
         self, requests: Sequence[GenerationRequest]
     ) -> List[List[Candidate]]:
         """Pre-formed batches skip the window and dispatch directly."""
         return generate_batch(self.inner, requests)
+
+    # ------------------------------------------------------------------
+    # Intra-search coalescing
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_search(
+        cls,
+        inner: TacticGenerator,
+        depth: int,
+        batch_window: float = 0.01,
+        clock: Callable[[], float] = time.monotonic,
+        metrics=None,
+    ) -> "BatchingGenerator":
+        """A coalescer sized for one pipelined search.
+
+        ``max_batch_size`` equals the pipeline depth: a fill phase
+        submits at most ``depth`` rounds back-to-back, so a full fill
+        dispatches immediately while stragglers (steady-state single
+        refills) wait at most ``batch_window`` for co-travellers.
+        The window should stay small relative to the backend's
+        per-request latency — it is pure added latency when nothing
+        coalesces.
+        """
+        policy = BatchPolicy(
+            batch_window=batch_window, max_batch_size=max(1, depth)
+        )
+        return cls(inner, policy, clock=clock, metrics=metrics)
 
     # ------------------------------------------------------------------
     # Dispatcher

@@ -222,6 +222,12 @@ class ServerConfig:
     # Span-tree JSONL for every executed job (repro.obs); None = no
     # tracing, and job execution pays no tracing cost at all.
     trace_path: Optional[str] = None
+    # Intra-search pipelining per job (repro.core.pipeline): generation
+    # calls in flight within one search.  0 = serial loop.  Composes
+    # with the cross-search micro-batcher: pipelined rounds from one
+    # job coalesce intra-search first, and the resulting dispatches
+    # still share the per-model batcher with other jobs.
+    pipeline_depth: int = 0
 
 
 class ProverService:
@@ -237,7 +243,12 @@ class ProverService:
         self.started_at = time.monotonic()
         if project is None:
             project = load_project(check_proofs=not self.config.fast)
-        self.runner = Runner(project, ExperimentConfig())
+        self.runner = Runner(
+            project,
+            ExperimentConfig(
+                pipeline_depth=self.config.pipeline_depth,
+            ),
+        )
         self.cache = ProofCache(self.config.cache_path, metrics=self.metrics)
         self.scheduler = Scheduler(
             execute=self._execute,

@@ -1,0 +1,128 @@
+"""GenerationPipeline: inline/threaded/submit_fn backends + ordering."""
+
+import threading
+
+import pytest
+
+from repro.core.pipeline import GenerationHandle, GenerationPipeline
+
+
+def test_depth_below_one_rejected():
+    with pytest.raises(ValueError):
+        GenerationPipeline(lambda p, k: [], 0)
+
+
+def test_depth1_executes_inline_without_threads():
+    calls = []
+
+    def gen(prompt, k):
+        calls.append((prompt, k, threading.current_thread().name))
+        return [prompt.upper()]
+
+    pipeline = GenerationPipeline(gen, 1)
+    handle = pipeline.submit("a", 4)
+    # Already executed, on the caller's thread, before result().
+    assert calls == [("a", 4, threading.current_thread().name)]
+    assert handle.result() == ["A"]
+    assert pipeline._pool is None
+    pipeline.close()
+
+
+def test_depth1_errors_raise_at_submit():
+    def gen(prompt, k):
+        raise RuntimeError("boom")
+
+    pipeline = GenerationPipeline(gen, 1)
+    with pytest.raises(RuntimeError):
+        pipeline.submit("a", 1)
+
+
+def test_sequence_numbers_are_submission_ordered():
+    pipeline = GenerationPipeline(lambda p, k: [p], 1)
+    handles = [pipeline.submit(str(i), 1) for i in range(5)]
+    assert [h.seq for h in handles] == [0, 1, 2, 3, 4]
+
+
+def test_threaded_results_commit_in_submission_order():
+    # The first submission parks until the second finishes; committing
+    # handles in submission order must still return them in order.
+    first_may_finish = threading.Event()
+
+    def gen(prompt, k):
+        if prompt == "slow":
+            assert first_may_finish.wait(5.0)
+        return [prompt]
+
+    with GenerationPipeline(gen, 2) as pipeline:
+        slow = pipeline.submit("slow", 1)
+        fast = pipeline.submit("fast", 1)
+        # Completion order: fast then slow.
+        assert fast._future.result() == ["fast"]
+        first_may_finish.set()
+        # Commit order: slow (seq 0) then fast (seq 1).
+        assert slow.result() == ["slow"]
+        assert fast.result() == ["fast"]
+        assert (slow.seq, fast.seq) == (0, 1)
+
+
+def test_threaded_error_surfaces_at_result():
+    def gen(prompt, k):
+        if prompt == "bad":
+            raise RuntimeError("boom")
+        return [prompt]
+
+    with GenerationPipeline(gen, 2) as pipeline:
+        good = pipeline.submit("good", 1)
+        bad = pipeline.submit("bad", 1)
+        assert good.result() == ["good"]
+        with pytest.raises(RuntimeError):
+            bad.result()
+
+
+def test_submit_fn_backend_is_preferred():
+    routed = []
+
+    class FakePending:
+        def __init__(self, prompt):
+            self.prompt = prompt
+
+        def result(self):
+            return [self.prompt + "!"]
+
+    def submit_fn(prompt, k):
+        routed.append(prompt)
+        return FakePending(prompt)
+
+    pipeline = GenerationPipeline(
+        lambda p, k: pytest.fail("generate_fn must not be called"),
+        3,
+        submit_fn=submit_fn,
+    )
+    handle = pipeline.submit("x", 2)
+    assert routed == ["x"]
+    assert handle.result() == ["x!"]
+    assert pipeline._pool is None  # no thread pool was created
+    pipeline.close()
+
+
+def test_submit_fn_ignored_at_depth1():
+    # Depth 1 is the serial-identity mode: always inline.
+    pipeline = GenerationPipeline(
+        lambda p, k: ["inline"],
+        1,
+        submit_fn=lambda p, k: pytest.fail("must not route async"),
+    )
+    assert pipeline.submit("x", 1).result() == ["inline"]
+
+
+def test_close_is_idempotent():
+    pipeline = GenerationPipeline(lambda p, k: [p], 2)
+    pipeline.submit("a", 1).result()
+    pipeline.close()
+    pipeline.close()
+
+
+def test_handle_result_repeatable():
+    handle = GenerationHandle(0, value=["v"])
+    assert handle.result() == ["v"]
+    assert handle.result() == ["v"]
